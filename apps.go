@@ -1,0 +1,31 @@
+package mpu
+
+import "mpu/internal/apps"
+
+// The three end-to-end applications of §VIII-D, runnable on any back end in
+// MPU or Baseline mode with bit-exact verification against Go references.
+
+// AppResult summarizes one end-to-end application run.
+type AppResult = apps.Result
+
+// LLMEncodeConfig sizes the transformer-encoder application.
+type LLMEncodeConfig = apps.LLMEncodeConfig
+
+// BlackScholesConfig sizes the option-pricing application.
+type BlackScholesConfig = apps.BlackScholesConfig
+
+// EditDistanceConfig sizes the systolic genome-matching application.
+type EditDistanceConfig = apps.EditDistanceConfig
+
+// RunLLMEncode executes a transformer encoder block (matmul, relu,
+// layernorm, softmax) across a coordinator and worker MPUs with
+// broadcast/scatter/gather collectives.
+func RunLLMEncode(cfg LLMEncodeConfig) (*AppResult, error) { return apps.RunLLMEncode(cfg) }
+
+// RunBlackScholes prices European options in fixed point using in-PUM
+// ln/sqrt/exp subroutines and a logistic normal CDF, split across two MPUs.
+func RunBlackScholes(cfg BlackScholesConfig) (*AppResult, error) { return apps.RunBlackScholes(cfg) }
+
+// RunEditDistance scores genome reads against resident reference chunks with
+// bitwise comparisons while queries flow around a systolic ring of MPUs.
+func RunEditDistance(cfg EditDistanceConfig) (*AppResult, error) { return apps.RunEditDistance(cfg) }

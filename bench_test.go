@@ -1,0 +1,191 @@
+package mpu_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment through internal/exp and reports the
+// headline statistic the paper quotes as a custom metric, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+// (`cmd/mastodon` prints the full rows.)
+
+import (
+	"testing"
+
+	"mpu"
+	"mpu/internal/exp"
+	"mpu/internal/workloads"
+)
+
+// benchOpts shrink working sets for bench runs; the simulated portion (and
+// thus the measured shapes) is unchanged — only the analytic scale factors
+// move.
+var benchOpts = exp.Options{Scale: 8, Seed: 1}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig1(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.Slowdown, "slowdown@80instr")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := exp.Fig5()
+		over := 0
+		for _, p := range pts {
+			if p.OverLimit {
+				over++
+			}
+		}
+		b.ReportMetric(float64(over), "points-over-limit")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Table3() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if exp.Fig11() == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.Fig12(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			switch r.Backend {
+			case "RACER":
+				b.ReportMetric(r.GeoSpeedup, "racer-speedup")
+				b.ReportMetric(r.GeoEnergy, "racer-energy")
+			case "MIMDRAM":
+				b.ReportMetric(r.GeoSpeedup, "mimdram-speedup")
+			case "DualityCache":
+				b.ReportMetric(r.GeoSpeedup, "dcache-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.Fig13(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Backend == "RACER" {
+				b.ReportMetric(r.GeoMPUSpeedup, "racer-vs-gpu")
+				b.ReportMetric(r.GeoMPUEnergy, "racer-energy-vs-gpu")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table4(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := 0.0
+		for _, r := range rows {
+			ratio += float64(r.AsmLines) / float64(r.EzpimLines)
+		}
+		b.ReportMetric(ratio/float64(len(rows)), "asm/ezpim-loc")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig14(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "EditDistance" && r.Backend == "RACER" {
+				b.ReportMetric(r.MPUOverBaseline, "editdist-mpu/base")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig15(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "EditDistance" && r.Backend == "RACER" && r.Mode == "Baseline" {
+				b.ReportMetric(r.OffChipShare, "editdist-offchip-share")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationRecipeTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationRecipeTable(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[3].DecodeStalls)/float64(rows[0].DecodeStalls+1), "stall-ratio-unopt/opt")
+	}
+}
+
+func BenchmarkAblationThermal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationThermal(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].Speedup, "2-active-speedup")
+	}
+}
+
+func BenchmarkAblationDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationDivergence(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].MicroOps)/float64(rows[0].MicroOps), "wasted-work-ratio")
+	}
+}
+
+// BenchmarkKernelSuite measures raw simulator throughput over all 21 kernels
+// on RACER (the packages' micro-benchmarks cover the layers individually).
+func BenchmarkKernelSuite(b *testing.B) {
+	spec := mpu.RACER()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, k := range workloads.All() {
+			if _, err := workloads.Run(k, workloads.RunConfig{
+				Spec: spec, Mode: 0, TotalElements: spec.MPUs * spec.Lanes, Seed: 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

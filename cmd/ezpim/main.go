@@ -1,0 +1,65 @@
+// Command ezpim is the advanced assembler CLI (§V-C): it compiles ezpim
+// source files into MPU assembly or binary ISU images.
+//
+// Usage:
+//
+//	ezpim [-bin] [-o out] file.ez
+//
+// Without -o the MPU assembly is printed to stdout along with the Table IV
+// style code-size accounting on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpu"
+)
+
+func main() {
+	bin := flag.Bool("bin", false, "emit the binary ISU image instead of assembly text")
+	opt := flag.Bool("O", false, "run the peephole optimizer on the output")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ezpim [-bin] [-o out] file.ez\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ezpim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := mpu.CompileEzpim(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ezpim: %v\n", err)
+		os.Exit(1)
+	}
+	removed := 0
+	if *opt {
+		res.Program, removed = mpu.Optimize(res.Program)
+		res.AsmLines = len(res.Program)
+	}
+	var data []byte
+	if *bin {
+		data = mpu.EncodeProgram(res.Program)
+	} else {
+		data = []byte(mpu.Disassemble(res.Program))
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ezpim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ezpim: %d source lines -> %d MPU instructions (%.1fx expansion)\n",
+		res.SourceLines, res.AsmLines, float64(res.AsmLines)/float64(res.SourceLines))
+	if removed > 0 {
+		fmt.Fprintf(os.Stderr, "ezpim: peephole pass removed %d instructions\n", removed)
+	}
+}

@@ -1,0 +1,164 @@
+// Command mpurun executes an MPU assembly (.masm) or ezpim (.ez) program on
+// a simulated chip and reports the run statistics.
+//
+// Usage:
+//
+//	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N]
+//	       [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
+//
+// -set preloads a vector register on MPU 0 before the run; -dump prints one
+// after it. The same binary is loaded into every MPU (SPMD).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpu"
+)
+
+type repeatFlag []string
+
+func (r *repeatFlag) String() string     { return strings.Join(*r, ";") }
+func (r *repeatFlag) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	backend := flag.String("backend", "racer", "back end: racer, mimdram, dcache")
+	mode := flag.String("mode", "mpu", "execution mode: mpu or baseline")
+	mpus := flag.Int("mpus", 1, "number of MPUs to instantiate")
+	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
+	var sets, dumps repeatFlag
+	flag.Var(&sets, "set", "preload a register: rfh.vrf.reg=v1,v2,... (repeatable)")
+	flag.Var(&dumps, "dump", "print a register after the run: rfh.vrf.reg (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mpurun [flags] file.{masm,ez}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prog mpu.Program
+	if strings.HasSuffix(path, ".ez") {
+		res, err := mpu.CompileEzpim(string(src))
+		if err != nil {
+			return err
+		}
+		prog = res.Program
+	} else {
+		if prog, err = mpu.Assemble(string(src)); err != nil {
+			return err
+		}
+	}
+	if stats {
+		fmt.Print(mpu.Analyze(prog))
+	}
+	spec, err := mpu.BackendByName(backend)
+	if err != nil {
+		return err
+	}
+	var mode mpu.Mode
+	switch strings.ToLower(modeName) {
+	case "mpu":
+		mode = mpu.ModeMPU
+	case "baseline":
+		mode = mpu.ModeBaseline
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus})
+	if err != nil {
+		return err
+	}
+	if err := m.LoadAll(prog); err != nil {
+		return err
+	}
+	for _, s := range sets {
+		addr, reg, vals, err := parseSet(s)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteVector(0, addr, reg, vals); err != nil {
+			return err
+		}
+	}
+	st, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
+	fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
+		st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
+	fmt.Printf("offloads=%d energy=%.3gJ (datapath %.3g, frontend %.3g, noc %.3g, host %.3g)\n",
+		st.Offloads, st.TotalEnergyPJ()*1e-12,
+		st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,
+		st.NoCEnergyPJ*1e-12, st.HostEnergyPJ*1e-12)
+	for _, d := range dumps {
+		addr, reg, err := parseAddr(d)
+		if err != nil {
+			return err
+		}
+		vals, err := m.ReadVector(0, addr, reg)
+		if err != nil {
+			return err
+		}
+		n := len(vals)
+		if n > 16 {
+			n = 16
+		}
+		fmt.Printf("%s = %v", d, vals[:n])
+		if n < len(vals) {
+			fmt.Printf(" ... (%d lanes)", len(vals))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func parseAddr(s string) (mpu.VRFAddr, int, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return mpu.VRFAddr{}, 0, fmt.Errorf("bad address %q (want rfh.vrf.reg)", s)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return mpu.VRFAddr{}, 0, fmt.Errorf("bad address %q: %v", s, err)
+		}
+		nums[i] = n
+	}
+	return mpu.VRFAddr{RFH: uint8(nums[0]), VRF: uint8(nums[1])}, nums[2], nil
+}
+
+func parseSet(s string) (mpu.VRFAddr, int, []uint64, error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return mpu.VRFAddr{}, 0, nil, fmt.Errorf("bad -set %q (want rfh.vrf.reg=v1,v2,...)", s)
+	}
+	addr, reg, err := parseAddr(s[:eq])
+	if err != nil {
+		return mpu.VRFAddr{}, 0, nil, err
+	}
+	var vals []uint64
+	for _, v := range strings.Split(s[eq+1:], ",") {
+		x, err := strconv.ParseUint(strings.TrimSpace(v), 0, 64)
+		if err != nil {
+			return mpu.VRFAddr{}, 0, nil, fmt.Errorf("bad value in %q: %v", s, err)
+		}
+		vals = append(vals, x)
+	}
+	return addr, reg, vals, nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseAddr(t *testing.T) {
+	addr, reg, err := parseAddr("1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.RFH != 1 || addr.VRF != 2 || reg != 3 {
+		t.Fatalf("parsed %v r%d", addr, reg)
+	}
+	for _, bad := range []string{"", "1.2", "1.2.3.4", "a.b.c", "1..3"} {
+		if _, _, err := parseAddr(bad); err == nil {
+			t.Errorf("parseAddr(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	addr, reg, vals, err := parseSet("0.1.2=10,0x20,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.RFH != 0 || addr.VRF != 1 || reg != 2 {
+		t.Fatalf("addr %v r%d", addr, reg)
+	}
+	want := []uint64{10, 0x20, 3}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	for _, bad := range []string{"0.1.2", "0.1.2=", "0.1.2=x", "0.1=1"} {
+		if _, _, _, err := parseSet(bad); err == nil {
+			t.Errorf("parseSet(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

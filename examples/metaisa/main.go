@@ -1,0 +1,70 @@
+// Meta-ISA: the §IX graph layer compiles tensor-style operations — here a
+// fused normalize-and-score computation with a cross-VRF reduction — onto
+// MPU ensembles without writing a single ISA instruction. Consecutive
+// elementwise ops fuse into one compute ensemble; the Dot expands into the
+// DTC tree-reduce collective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mpu"
+)
+
+func main() {
+	addrs := []mpu.VRFAddr{{RFH: 0}, {RFH: 1}, {RFH: 2}, {RFH: 3}}
+	g := mpu.NewGraph(addrs)
+
+	x := g.Input(0)
+	w := g.Input(1)
+	bias := g.Const(50)
+	h := g.Relu(g.Add(g.Mul(x, w), bias)) // fused into one ensemble
+	score := g.Dot(h, w)                  // cross-VRF tree reduction
+
+	prog, err := g.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph compiled to %d MPU instructions\n", len(prog))
+	a := mpu.Analyze(prog)
+	fmt.Printf("%s\n", a)
+
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		log.Fatal(err)
+	}
+	spec := mpu.RACER()
+	rng := rand.New(rand.NewSource(9))
+	want := make([]uint64, spec.Lanes)
+	for _, adr := range addrs {
+		xv := make([]uint64, spec.Lanes)
+		wv := make([]uint64, spec.Lanes)
+		for l := range xv {
+			xv[l] = uint64(rng.Intn(100))
+			wv[l] = uint64(rng.Intn(100))
+			hv := xv[l]*wv[l] + 50
+			want[l] += hv * wv[l]
+		}
+		m.WriteVector(0, adr, 0, xv)
+		m.WriteVector(0, adr, 1, wv)
+	}
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addrs[0], score.Reg())
+	bad := 0
+	for l := range want {
+		if got[l] != want[l] {
+			bad++
+		}
+	}
+	fmt.Printf("verified %d lane scores, %d mismatches; score[0] = %d\n", len(want), bad, got[0])
+	if bad > 0 {
+		log.Fatal("verification failed")
+	}
+}

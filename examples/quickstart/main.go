@@ -1,0 +1,54 @@
+// Quickstart: assemble a one-ensemble MPU program, run it on the simulated
+// RACER back end, and read the results back. Every ADD below is genuinely
+// computed by ~1300 in-ReRAM NOR micro-ops on bit planes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpu"
+)
+
+func main() {
+	prog, err := mpu.Assemble(`
+		// One compute ensemble over a single vector register file.
+		COMPUTE rfh0 vrf0
+		ADD r0 r1 r2
+		MUL r2 r0 r3
+		COMPUTE_DONE
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{10, 20, 30, 40}
+	addr := mpu.VRFAddr{RFH: 0, VRF: 0}
+	if err := m.WriteVector(0, addr, 0, a); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteVector(0, addr, 1, b); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sums, _ := m.ReadVector(0, addr, 2)
+	prods, _ := m.ReadVector(0, addr, 3)
+	for i := range a {
+		fmt.Printf("lane %d: %d + %d = %d;  (a+b)*a = %d\n", i, a[i], b[i], sums[i], prods[i])
+	}
+	fmt.Printf("\nexecuted %d micro-ops in %d cycles (%.3g s at 1 GHz), %.3g J\n",
+		stats.MicroOps, stats.Cycles, stats.TimeSeconds(1.0), stats.TotalEnergyPJ()*1e-12)
+}

@@ -1,0 +1,3 @@
+module mpu
+
+go 1.22

@@ -1,0 +1,33 @@
+package apps
+
+import "mpu/internal/machine"
+
+// Result summarizes one end-to-end application run.
+type Result struct {
+	Name    string
+	Stats   *machine.Stats
+	Seconds float64
+	Joules  float64
+	Checked int // lanes verified against the Go reference
+
+	MPUs       int
+	EzpimLines int // high-level statements (Table IV "ezpim" column)
+	AsmLines   int // emitted MPU instructions (Table IV "Baseline" proxy)
+
+	Steps       []string // compute steps, as listed in Table IV
+	Collectives []string // collective-communication patterns
+}
+
+// Breakdown returns the Fig. 15 execution-time split: MPU computation,
+// on-chip inter-MPU communication, and off-chip CPU communication, as
+// fractions of their sum.
+func (r *Result) Breakdown() (compute, interMPU, offchip float64) {
+	c := float64(r.Stats.ComputeCycles)
+	n := float64(r.Stats.InterMPUCycles + r.Stats.TransferCycles)
+	o := float64(r.Stats.OffloadCycles)
+	total := c + n + o
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return c / total, n / total, o / total
+}

@@ -1,0 +1,276 @@
+// Package backends describes the PUM datapath microarchitectures the MPU
+// front end plugs into (§IV): geometry of the VRF/RFH mapping, the native
+// micro-op capability set, per-micro-op timing and energy, and the physical
+// parameters behind the thermal scheduling constraints.
+//
+// The three shipped back ends mirror the paper's evaluation targets:
+// ReRAM-based RACER (bit-pipelined NOR), DRAM-based MIMDRAM (triple-row
+// activation), and SRAM-based Duality Cache (bitline logic plus CMOS full
+// adders). Constants derive from the source papers and Table III; see
+// DESIGN.md for the substitution notes.
+package backends
+
+import (
+	"fmt"
+
+	"mpu/internal/micro"
+)
+
+// Spec is the designer-supplied description of a datapath back end. It is
+// what a hardware designer provides when integrating the MPU front end
+// (§IV): the VRF/RFH mapping plus the constraint and cost model the runtime
+// needs.
+type Spec struct {
+	Name string
+
+	// Caps is the native micro-op set; the I2M decoder lowers the MPU ISA
+	// onto exactly these primitives.
+	Caps micro.CapabilitySet
+
+	// Geometry. A VRF holds 64 vector registers of 64 bits across Lanes
+	// lanes; VRFsPerRFH VRFs share constraint-relevant hardware (a RACER
+	// cluster's PCC, a MIMDRAM μPE, a Duality Cache issue window).
+	Lanes      int
+	VRFsPerRFH int
+	RFHsPerMPU int
+
+	// MPUs is the iso-area MPU count (Table III); BaselineUnits is the
+	// number of equivalent datapath units the original design fits in the
+	// same 4 cm² without MPU front ends. Their ratio is the capacity the
+	// MPU configuration gives up.
+	MPUs          int
+	BaselineUnits int
+
+	// ActiveVRFsPerRFH is the constraint the scheduler enforces (thermal
+	// for RACER/MIMDRAM, shared instruction controllers for Duality Cache).
+	ActiveVRFsPerRFH int
+
+	// Timing. The front end issues one micro-op per cycle per MPU
+	// (Table III); CyclesPerMicroOp is the effective latency between
+	// dependent micro-ops in the same array (bit-pipelining hides most of
+	// it on RACER; DRAM TRA timing dominates on MIMDRAM).
+	ClockGHz         float64
+	CyclesPerMicroOp int
+
+	// Energy: one micro-op on one active VRF (all lanes of one column op).
+	MicroOpEnergyPJ float64
+
+	// Physical parameters for the power-density model (Fig. 5).
+	VRFActivePowerMW float64
+	ChipAreaCM2      float64
+	MemPerMPUMB      int
+
+	// OnChipCPU marks datapaths co-located with the host CPU (Duality
+	// Cache): Baseline offloads are cheap, and external memory pressure
+	// appears instead.
+	OnChipCPU bool
+
+	// CapacityGB is the usable data capacity of the chip; kernels whose
+	// working set exceeds it pay external-memory transfer costs.
+	CapacityGB float64
+
+	// BaselineEnergyFactor inflates Baseline datapath energy to model the
+	// original designs' less efficient micro-op expansion and per-command
+	// control switching (§VIII-B reports 49.8% / 49.2% / 22.6% processing
+	// energy reductions even ignoring CPU energy).
+	BaselineEnergyFactor float64
+}
+
+// Validate checks internal consistency of the spec.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("backends: spec has no name")
+	case s.Lanes <= 0 || s.VRFsPerRFH <= 0 || s.RFHsPerMPU <= 0 || s.MPUs <= 0:
+		return fmt.Errorf("backends: %s: non-positive geometry", s.Name)
+	case s.ActiveVRFsPerRFH <= 0 || s.ActiveVRFsPerRFH > s.VRFsPerRFH:
+		return fmt.Errorf("backends: %s: active VRF limit %d outside [1,%d]",
+			s.Name, s.ActiveVRFsPerRFH, s.VRFsPerRFH)
+	case s.CyclesPerMicroOp <= 0 || s.ClockGHz <= 0:
+		return fmt.Errorf("backends: %s: non-positive timing", s.Name)
+	case s.BaselineUnits < s.MPUs:
+		return fmt.Errorf("backends: %s: baseline units %d below iso-area MPUs %d",
+			s.Name, s.BaselineUnits, s.MPUs)
+	}
+	return nil
+}
+
+// VRFsPerMPU returns the number of VRFs one MPU manages.
+func (s *Spec) VRFsPerMPU() int { return s.VRFsPerRFH * s.RFHsPerMPU }
+
+// TotalVRFs returns the chip-wide VRF count in the MPU configuration.
+func (s *Spec) TotalVRFs() int { return s.VRFsPerMPU() * s.MPUs }
+
+// ActiveVRFsPerMPU returns how many VRFs an MPU may activate at once.
+func (s *Spec) ActiveVRFsPerMPU() int { return s.ActiveVRFsPerRFH * s.RFHsPerMPU }
+
+// ActiveLanes returns the chip-wide number of simultaneously computing
+// vector lanes under the scheduling constraint.
+func (s *Spec) ActiveLanes() int { return s.ActiveVRFsPerMPU() * s.MPUs * s.Lanes }
+
+// CapacityFactor is the fraction of baseline datapath capacity the iso-area
+// MPU configuration retains (the source of the small basic-kernel slowdowns
+// in §VIII-B).
+func (s *Spec) CapacityFactor() float64 {
+	return float64(s.MPUs) / float64(s.BaselineUnits)
+}
+
+// PowerDensity returns chip power density in W/cm² with the given number of
+// arrays (VRFs) active — the Fig. 5 curve for this datapath.
+func (s *Spec) PowerDensity(activeVRFs int) float64 {
+	return float64(activeVRFs) * s.VRFActivePowerMW / 1000 / s.ChipAreaCM2
+}
+
+// AirCoolLimitWPerCM2 is the sustained air-cooling power-density limit used
+// to derive the per-RFH activation caps (after Huang et al. [44]).
+const AirCoolLimitWPerCM2 = 100.0
+
+// MaxActiveVRFsThermal returns the largest chip-wide active-array count that
+// stays under the air-cooling limit.
+func (s *Spec) MaxActiveVRFsThermal() int {
+	return int(AirCoolLimitWPerCM2 * s.ChipAreaCM2 * 1000 / s.VRFActivePowerMW)
+}
+
+// RACER returns the ReRAM-based RACER back end [97, 98]. A VRF is one
+// 64-tile bit-pipeline (64 lanes × 64 registers of 64 bits); an RFH is one
+// 64-pipeline cluster sharing a PCC, thermally limited to a single active
+// pipeline.
+func RACER() *Spec {
+	return &Spec{
+		Name:                 "RACER",
+		Caps:                 micro.NewCapabilitySet(micro.NOR),
+		Lanes:                64,
+		VRFsPerRFH:           64,
+		RFHsPerMPU:           8,
+		MPUs:                 497,
+		BaselineUnits:        512,
+		ActiveVRFsPerRFH:     1,
+		ClockGHz:             1.0,
+		CyclesPerMicroOp:     2, // 10 ns ReRAM NOR, ~5× hidden by bit-pipelining
+		MicroOpEnergyPJ:      0.64,
+		VRFActivePowerMW:     12,
+		ChipAreaCM2:          4.0,
+		MemPerMPUMB:          16,
+		CapacityGB:           float64(497*16) / 1024,
+		BaselineEnergyFactor: 1.0 / (1 - 0.498),
+	}
+}
+
+// MIMDRAM returns the DRAM-based MIMDRAM back end [78]. A VRF is one DRAM
+// mat driven by TRA micro-ops; an RFH is one μPE's mat group. Thermal
+// density allows every mat in a μPE to be active (Table III's 256 limit
+// exceeds the 64 VRFs an RFH holds, so the effective limit is 64).
+func MIMDRAM() *Spec {
+	return &Spec{
+		Name:                 "MIMDRAM",
+		Caps:                 micro.NewCapabilitySet(micro.MAJ, micro.NOT, micro.AND, micro.OR),
+		Lanes:                64,
+		VRFsPerRFH:           64,
+		RFHsPerMPU:           8,
+		MPUs:                 450,
+		BaselineUnits:        464,
+		ActiveVRFsPerRFH:     64,
+		ClockGHz:             1.0,
+		CyclesPerMicroOp:     35, // DRAM triple-row-activation timing
+		MicroOpEnergyPJ:      49,
+		VRFActivePowerMW:     1.4,
+		ChipAreaCM2:          4.0,
+		MemPerMPUMB:          16,
+		CapacityGB:           float64(450*16) / 1024,
+		BaselineEnergyFactor: 1.0 / (1 - 0.492),
+	}
+}
+
+// DualityCache returns the SRAM-based Duality Cache back end [31]. A VRF is
+// one SRAM subarray; an RFH is one issue window whose loop FSM serves as the
+// vector mapper. There is no thermal throttle — the limit is the shared
+// instruction controllers, which the issue-window mapping already encodes —
+// but SRAM density caps the chip at 0.2 GB.
+func DualityCache() *Spec {
+	return &Spec{
+		Name: "DualityCache",
+		Caps: micro.NewCapabilitySet(micro.AND, micro.OR, micro.XOR, micro.NOT,
+			micro.FADD, micro.MUX),
+		Lanes:                64,
+		VRFsPerRFH:           64,
+		RFHsPerMPU:           8,
+		MPUs:                 12,
+		BaselineUnits:        12,
+		ActiveVRFsPerRFH:     64,
+		ClockGHz:             1.0,
+		CyclesPerMicroOp:     14, // Duality Cache operation latency (§VIII-C)
+		MicroOpEnergyPJ:      5,
+		VRFActivePowerMW:     5,
+		ChipAreaCM2:          4.0,
+		MemPerMPUMB:          16,
+		OnChipCPU:            true,
+		CapacityGB:           0.2,
+		BaselineEnergyFactor: 1.0 / (1 - 0.226),
+	}
+}
+
+// SIMDRAM returns an Ambit/SIMDRAM-style commodity-DRAM back end
+// [40, 87]. It is not part of the paper's evaluation; it ships as the
+// §IX portability demonstration: a datapath whose native repertoire is
+// ONLY triple-row-activation majority plus dual-contact-cell NOT (no AND/OR
+// presets), onto which the unmodified recipe library still lowers the whole
+// MPU ISA. Geometry follows unmodified DDR4 subarrays: wide rows (256
+// lanes), conservative concurrent activation.
+func SIMDRAM() *Spec {
+	return &Spec{
+		Name:                 "SIMDRAM",
+		Caps:                 micro.NewCapabilitySet(micro.MAJ, micro.NOT),
+		Lanes:                256,
+		VRFsPerRFH:           64,
+		RFHsPerMPU:           8,
+		MPUs:                 112,
+		BaselineUnits:        116,
+		ActiveVRFsPerRFH:     16, // commodity DRAM power-delivery limit
+		ClockGHz:             1.0,
+		CyclesPerMicroOp:     49, // AAP command sequence (two ACT + PRE)
+		MicroOpEnergyPJ:      182,
+		VRFActivePowerMW:     3.7,
+		ChipAreaCM2:          4.0,
+		MemPerMPUMB:          64,
+		CapacityGB:           float64(112*64) / 1024,
+		BaselineEnergyFactor: 1.9,
+	}
+}
+
+// All returns fresh specs for every back end of the paper's evaluation, in
+// the paper's order. SIMDRAM (the portability demo) is not included; fetch
+// it explicitly.
+func All() []*Spec {
+	return []*Spec{RACER(), MIMDRAM(), DualityCache()}
+}
+
+// ByName returns the named back end ("racer", "mimdram", "dcache"/
+// "dualitycache", case-insensitive) or an error.
+func ByName(name string) (*Spec, error) {
+	switch normalize(name) {
+	case "racer":
+		return RACER(), nil
+	case "mimdram":
+		return MIMDRAM(), nil
+	case "dcache", "dualitycache":
+		return DualityCache(), nil
+	case "simdram", "ambit":
+		return SIMDRAM(), nil
+	}
+	return nil, fmt.Errorf("backends: unknown back end %q", name)
+}
+
+func normalize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c == '-' || c == '_' || c == ' ' {
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

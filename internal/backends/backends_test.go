@@ -1,0 +1,134 @@
+package backends
+
+import (
+	"testing"
+
+	"mpu/internal/micro"
+)
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	base := RACER()
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Lanes = 0 },
+		func(s *Spec) { s.ActiveVRFsPerRFH = 0 },
+		func(s *Spec) { s.ActiveVRFsPerRFH = s.VRFsPerRFH + 1 },
+		func(s *Spec) { s.CyclesPerMicroOp = 0 },
+		func(s *Spec) { s.BaselineUnits = s.MPUs - 1 },
+	}
+	for i, mut := range mutations {
+		s := *base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	_ = base.Validate()
+}
+
+func TestGeometryDerivations(t *testing.T) {
+	r := RACER()
+	if got := r.VRFsPerMPU(); got != 512 {
+		t.Errorf("RACER VRFsPerMPU = %d, want 512 (matches the 512-bit activation board)", got)
+	}
+	if got := r.TotalVRFs(); got != 512*497 {
+		t.Errorf("RACER TotalVRFs = %d", got)
+	}
+	if got := r.ActiveVRFsPerMPU(); got != 8 {
+		t.Errorf("RACER ActiveVRFsPerMPU = %d, want 8 (one per cluster)", got)
+	}
+	if got := r.ActiveLanes(); got != 8*497*64 {
+		t.Errorf("RACER ActiveLanes = %d", got)
+	}
+}
+
+func TestCapacityFactor(t *testing.T) {
+	r := RACER()
+	f := r.CapacityFactor()
+	if f <= 0.95 || f >= 1.0 {
+		t.Errorf("RACER capacity factor = %v, want a few percent below 1 (iso-area derate)", f)
+	}
+	if dc := DualityCache().CapacityFactor(); dc != 1.0 {
+		t.Errorf("DualityCache capacity factor = %v, want 1.0", dc)
+	}
+}
+
+// TestThermalLimitsMatchTableIII verifies the Fig. 5 physics behind the
+// ActiveVRFsPerRFH parameters: RACER exceeds air cooling well before full
+// activation (hence 1 active pipeline per cluster), while MIMDRAM and
+// Duality Cache can activate every VRF.
+func TestThermalLimitsMatchTableIII(t *testing.T) {
+	r := RACER()
+	if got := r.PowerDensity(r.TotalVRFs()); got < AirCoolLimitWPerCM2 {
+		t.Errorf("RACER fully active density %.0f W/cm² does not exceed the limit", got)
+	}
+	if got := r.PowerDensity(r.ActiveVRFsPerMPU() * r.MPUs); got > AirCoolLimitWPerCM2 {
+		t.Errorf("RACER scheduled density %.1f W/cm² exceeds the limit", got)
+	}
+	// The derived thermal maximum must justify ~1 active VRF per RFH.
+	maxPerRFH := r.MaxActiveVRFsThermal() / (r.MPUs * r.RFHsPerMPU)
+	if maxPerRFH > 8 {
+		t.Errorf("RACER thermal budget allows %d VRFs/RFH; expected ~1", maxPerRFH)
+	}
+	for _, s := range []*Spec{MIMDRAM(), DualityCache()} {
+		if got := s.PowerDensity(s.TotalVRFs()); got > AirCoolLimitWPerCM2 {
+			t.Errorf("%s fully active density %.1f W/cm² exceeds the limit; Table III allows full activation", s.Name, got)
+		}
+	}
+}
+
+func TestPowerDensityMonotone(t *testing.T) {
+	s := MIMDRAM()
+	prev := -1.0
+	for n := 0; n <= s.TotalVRFs(); n += s.TotalVRFs() / 8 {
+		d := s.PowerDensity(n)
+		if d < prev {
+			t.Fatalf("power density not monotone at %d arrays", n)
+		}
+		prev = d
+	}
+}
+
+func TestCapabilitySets(t *testing.T) {
+	if !RACER().Caps.Has(micro.NOR) || RACER().Caps.Has(micro.FADD) {
+		t.Error("RACER capability set wrong")
+	}
+	if !MIMDRAM().Caps.Has(micro.MAJ) || MIMDRAM().Caps.Has(micro.FADD) {
+		t.Error("MIMDRAM capability set wrong")
+	}
+	if !DualityCache().Caps.Has(micro.FADD) || !DualityCache().Caps.Has(micro.MUX) {
+		t.Error("DualityCache capability set wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"racer", "RACER", "MIMDRAM", "mimdram", "dcache", "Duality-Cache", "duality cache"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("liquid-silicon"); err == nil {
+		t.Error("ByName accepted unknown back end")
+	}
+}
+
+func TestDualityCacheCapacity(t *testing.T) {
+	dc := DualityCache()
+	if dc.CapacityGB != 0.2 {
+		t.Errorf("DualityCache capacity = %v GB, want the paper's 0.2 GB", dc.CapacityGB)
+	}
+	if !dc.OnChipCPU {
+		t.Error("DualityCache must be marked on-chip with the CPU")
+	}
+	if RACER().OnChipCPU {
+		t.Error("RACER must be off-chip from the CPU")
+	}
+}

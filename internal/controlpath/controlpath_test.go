@@ -1,0 +1,224 @@
+package controlpath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func addr(rfh, vrf int) VRFAddr { return VRFAddr{RFH: uint8(rfh), VRF: uint8(vrf)} }
+
+func TestBatchesSingleRFH(t *testing.T) {
+	vrfs := []VRFAddr{addr(0, 0), addr(0, 1), addr(0, 2)}
+	rounds := Batches(vrfs, 1)
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3 (limit 1)", len(rounds))
+	}
+	for i, r := range rounds {
+		if len(r) != 1 || r[0] != vrfs[i] {
+			t.Fatalf("round %d = %v", i, r)
+		}
+	}
+}
+
+func TestBatchesAcrossRFHs(t *testing.T) {
+	// Two RFHs with 3 and 1 VRFs, limit 1: RFHs run concurrently, so
+	// round 0 holds one VRF from each.
+	vrfs := []VRFAddr{addr(0, 0), addr(0, 1), addr(0, 2), addr(1, 5)}
+	rounds := Batches(vrfs, 1)
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(rounds))
+	}
+	if len(rounds[0]) != 2 {
+		t.Fatalf("round 0 = %v, want VRFs from both RFHs", rounds[0])
+	}
+	if len(rounds[1]) != 1 || len(rounds[2]) != 1 {
+		t.Fatalf("later rounds = %v %v", rounds[1], rounds[2])
+	}
+}
+
+func TestBatchesNoLimit(t *testing.T) {
+	var vrfs []VRFAddr
+	for v := 0; v < 64; v++ {
+		vrfs = append(vrfs, addr(2, v))
+	}
+	rounds := Batches(vrfs, 64)
+	if len(rounds) != 1 || len(rounds[0]) != 64 {
+		t.Fatalf("unlimited activation should be one round, got %d", len(rounds))
+	}
+}
+
+func TestBatchesDeduplicates(t *testing.T) {
+	rounds := Batches([]VRFAddr{addr(0, 1), addr(0, 1), addr(0, 1)}, 1)
+	if len(rounds) != 1 {
+		t.Fatalf("duplicate COMPUTE produced %d rounds, want 1", len(rounds))
+	}
+}
+
+func TestBatchesEmpty(t *testing.T) {
+	if got := Batches(nil, 4); len(got) != 0 {
+		t.Fatalf("empty ensemble produced %d rounds", len(got))
+	}
+}
+
+func TestBatchesBadLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("limit 0 did not panic")
+		}
+	}()
+	Batches([]VRFAddr{addr(0, 0)}, 0)
+}
+
+// Property: every VRF appears exactly once across rounds and no round holds
+// more than limit VRFs of the same RFH.
+func TestBatchesProperty(t *testing.T) {
+	f := func(raw []uint16, limRaw uint8) bool {
+		limit := int(limRaw)%8 + 1
+		var vrfs []VRFAddr
+		for _, r := range raw {
+			vrfs = append(vrfs, addr(int(r>>8)%8, int(r)%64))
+		}
+		rounds := Batches(vrfs, limit)
+		seen := map[VRFAddr]int{}
+		for _, round := range rounds {
+			perRFH := map[uint8]int{}
+			for _, a := range round {
+				seen[a]++
+				perRFH[a.RFH]++
+				if perRFH[a.RFH] > limit {
+					return false
+				}
+			}
+		}
+		uniq := map[VRFAddr]bool{}
+		for _, a := range vrfs {
+			uniq[a] = true
+		}
+		if len(seen) != len(uniq) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecipeCacheHitsAndMisses(t *testing.T) {
+	c := NewRecipeCache(DefaultRecipeCacheConfig())
+	first := c.Lookup(7, 900)
+	if first == 0 {
+		t.Fatal("first lookup should stall")
+	}
+	if got := c.Lookup(7, 900); got != 0 {
+		t.Fatalf("second lookup stalled %d cycles, want 0", got)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestRecipeCacheEviction(t *testing.T) {
+	cfg := DefaultRecipeCacheConfig()
+	cfg.CapacityMicroOps = 100
+	cfg.PointerTable = false
+	c := NewRecipeCache(cfg)
+	c.Lookup(1, 60)
+	c.Lookup(2, 60) // evicts opcode 1
+	if got := c.Lookup(1, 60); got == 0 {
+		t.Fatal("evicted recipe hit the cache")
+	}
+}
+
+func TestRecipeCachePointerTableCompresses(t *testing.T) {
+	cfg := DefaultRecipeCacheConfig()
+	cfg.CapacityMicroOps = 100
+	cfg.PointerTable = true
+	c := NewRecipeCache(cfg)
+	// 240 raw micro-ops compress to ~81 stored entries and fit.
+	c.Lookup(1, 240)
+	if got := c.Lookup(1, 240); got != 0 {
+		t.Fatal("pointer-table-compressed recipe did not fit")
+	}
+}
+
+func TestRecipeCacheNoTemplateLookupNeverResident(t *testing.T) {
+	cfg := DefaultRecipeCacheConfig()
+	cfg.TemplateLookup = false
+	c := NewRecipeCache(cfg)
+	c.Lookup(3, 50)
+	if got := c.Lookup(3, 50); got == 0 {
+		t.Fatal("recipe became resident without the template-lookup table")
+	}
+	if c.Hits != 0 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2", c.Hits, c.Misses)
+	}
+}
+
+func TestRecipeCacheStallAccounting(t *testing.T) {
+	cfg := DefaultRecipeCacheConfig()
+	cfg.PointerTable = false
+	c := NewRecipeCache(cfg)
+	stall := c.Lookup(4, 10)
+	if want := int64(cfg.MissPenaltyPer * 10); stall != want {
+		t.Fatalf("stall = %d, want %d", stall, want)
+	}
+	if c.StallCycles != stall {
+		t.Fatalf("StallCycles = %d", c.StallCycles)
+	}
+}
+
+func TestPlaybackBuffer(t *testing.T) {
+	b := NewPlaybackBuffer()
+	if !b.Fits(1024) {
+		t.Fatal("1024-entry body should fit (Table III)")
+	}
+	if b.Fits(1025) {
+		t.Fatal("oversized body reported as fitting")
+	}
+	if b.Overflows != 1 {
+		t.Fatalf("Overflows = %d", b.Overflows)
+	}
+}
+
+func TestReturnStack(t *testing.T) {
+	s := NewReturnStack(2)
+	if _, err := s.Pop(); err == nil {
+		t.Fatal("Pop of empty stack succeeded")
+	}
+	if err := s.Push(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(30); err == nil {
+		t.Fatal("push beyond limit succeeded")
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d", s.Depth())
+	}
+	pc, err := s.Pop()
+	if err != nil || pc != 20 {
+		t.Fatalf("Pop = %d, %v", pc, err)
+	}
+}
+
+func TestTargetMap(t *testing.T) {
+	var tm TargetMap
+	tm.Add(1, 2)
+	tm.Add(3, 4)
+	pairs := tm.Pairs()
+	if len(pairs) != 2 || pairs[0] != (RFHPair{1, 2}) || pairs[1] != (RFHPair{3, 4}) {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+	tm.Reset()
+	if len(tm.Pairs()) != 0 {
+		t.Fatal("Reset left pairs behind")
+	}
+}

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV exports: each figure's data series as a machine-readable table, for
+// replotting outside the text renderers.
+
+// WriteCSV writes rows (first row = header) to dir/name.csv.
+func WriteCSV(dir, name string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+
+// CSV renders the Fig. 1 series.
+func (r *Fig1Result) CSV() [][]string {
+	rows := [][]string{{"body_instrs", "pum_cycles", "cpu_cycles", "slowdown", "cpu_share"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.BodyInstrs),
+			strconv.FormatInt(p.PUMCycles, 10),
+			strconv.FormatInt(p.CPUCycles, 10),
+			f64(p.Slowdown),
+			f64(p.CPUTimeShare),
+		})
+	}
+	return rows
+}
+
+// Fig5CSV renders the power-density sweep.
+func Fig5CSV(points []Fig5Point) [][]string {
+	rows := [][]string{{"backend", "active_arrays", "w_per_cm2", "over_limit"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.Backend, strconv.Itoa(p.ActiveArrays), f64(p.WPerCM2),
+			strconv.FormatBool(p.OverLimit),
+		})
+	}
+	return rows
+}
+
+// CSV renders one back end's Fig. 12 sweep.
+func (r *Fig12Result) CSV() [][]string {
+	rows := [][]string{{"backend", "kernel", "group", "mpu_seconds", "baseline_seconds",
+		"mpu_joules", "baseline_joules", "speedup", "energy_savings"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			r.Backend, row.Kernel, row.Group.String(),
+			f64(row.MPUSeconds), f64(row.BaselineSeconds),
+			f64(row.MPUJoules), f64(row.BaselineJoules),
+			f64(row.Speedup), f64(row.EnergySavings),
+		})
+	}
+	return rows
+}
+
+// CSV renders one back end's Fig. 13 sweep.
+func (r *Fig13Result) CSV() [][]string {
+	rows := [][]string{{"backend", "kernel", "group",
+		"baseline_speedup_vs_gpu", "mpu_speedup_vs_gpu",
+		"baseline_energy_vs_gpu", "mpu_energy_vs_gpu"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			r.Backend, row.Kernel, row.Group.String(),
+			f64(row.BaselineSpeedupVsGPU), f64(row.MPUSpeedupVsGPU),
+			f64(row.BaselineEnergyVsGPU), f64(row.MPUEnergyVsGPU),
+		})
+	}
+	return rows
+}
+
+// Fig14CSV renders the end-to-end comparison.
+func Fig14CSV(rows []Fig14Row) [][]string {
+	out := [][]string{{"app", "backend", "baseline_speedup_vs_gpu", "mpu_speedup_vs_gpu",
+		"baseline_energy_vs_gpu", "mpu_energy_vs_gpu", "mpu_over_baseline"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, r.Backend,
+			f64(r.BaselineSpeedupVsGPU), f64(r.MPUSpeedupVsGPU),
+			f64(r.BaselineEnergyVsGPU), f64(r.MPUEnergyVsGPU),
+			f64(r.MPUOverBaseline),
+		})
+	}
+	return out
+}
+
+// Fig15CSV renders the breakdown.
+func Fig15CSV(rows []Fig15Row) [][]string {
+	out := [][]string{{"app", "backend", "config", "compute_share", "intermpu_share", "offchip_share"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, r.Backend, r.Mode,
+			f64(r.ComputeShare), f64(r.InterMPUShare), f64(r.OffChipShare),
+		})
+	}
+	return out
+}
+
+// Table4CSV renders the application summary.
+func Table4CSV(rows []Table4Row) [][]string {
+	out := [][]string{{"app", "steps", "collectives", "mpus", "loc_asm", "loc_ezpim"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, r.Steps, r.Collectives,
+			strconv.Itoa(r.MPUs), strconv.Itoa(r.AsmLines), strconv.Itoa(r.EzpimLines),
+		})
+	}
+	return out
+}
+
+// ExportAll runs every data-bearing experiment and writes its CSV into dir.
+func ExportAll(dir string, opts Options) error {
+	f1, err := Fig1(opts)
+	if err != nil {
+		return fmt.Errorf("fig1: %w", err)
+	}
+	if err := WriteCSV(dir, "fig1", f1.CSV()); err != nil {
+		return err
+	}
+	if err := WriteCSV(dir, "fig5", Fig5CSV(Fig5())); err != nil {
+		return err
+	}
+	f12, err := Fig12(opts)
+	if err != nil {
+		return fmt.Errorf("fig12: %w", err)
+	}
+	for _, r := range f12 {
+		if err := WriteCSV(dir, "fig12_"+r.Backend, r.CSV()); err != nil {
+			return err
+		}
+	}
+	f13, err := Fig13(opts)
+	if err != nil {
+		return fmt.Errorf("fig13: %w", err)
+	}
+	for _, r := range f13 {
+		if err := WriteCSV(dir, "fig13_"+r.Backend, r.CSV()); err != nil {
+			return err
+		}
+	}
+	t4, err := Table4(opts)
+	if err != nil {
+		return fmt.Errorf("table4: %w", err)
+	}
+	if err := WriteCSV(dir, "table4", Table4CSV(t4)); err != nil {
+		return err
+	}
+	f14, err := Fig14(opts)
+	if err != nil {
+		return fmt.Errorf("fig14: %w", err)
+	}
+	if err := WriteCSV(dir, "fig14", Fig14CSV(f14)); err != nil {
+		return err
+	}
+	f15, err := Fig15(opts)
+	if err != nil {
+		return fmt.Errorf("fig15: %w", err)
+	}
+	return WriteCSV(dir, "fig15", Fig15CSV(f15))
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mpu/internal/backends"
+	"mpu/internal/gpumodel"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// baselineComputeScale returns the Baseline compute inflation for a kernel:
+// stencils run as 4×-footprint Toeplitz matrix products on the original
+// datapaths (§VIII-B).
+func baselineComputeScale(k *workloads.Kernel) float64 {
+	if k.Group == workloads.Stencil {
+		return 4
+	}
+	return 1
+}
+
+// maxSimVRFs keeps the functional portion of chip-scale runs small; timing
+// scales through the scheduler-round factor (see workloads.Run).
+const maxSimVRFs = 8
+
+// KernelRow is one kernel's Fig. 12 comparison on one back end.
+type KernelRow struct {
+	Kernel string
+	Group  workloads.Group
+
+	MPUSeconds, BaselineSeconds float64
+	MPUJoules, BaselineJoules   float64
+
+	Speedup       float64 // Baseline time / MPU time
+	EnergySavings float64 // Baseline energy / MPU energy
+}
+
+// Fig12Result is one back end's kernel sweep.
+type Fig12Result struct {
+	Backend string
+	Rows    []KernelRow
+
+	GeoSpeedup, GeoEnergy           float64
+	GroupGeoSpeedup, GroupGeoEnergy map[workloads.Group]float64
+}
+
+// Fig12 runs all 21 kernels on every back end in MPU and Baseline modes and
+// reports speedup and energy savings of MPU:X over Baseline:X.
+func Fig12(opts Options) ([]*Fig12Result, error) {
+	opts = opts.norm()
+	var out []*Fig12Result
+	for _, spec := range backends.All() {
+		res, err := fig12Backend(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func fig12Backend(spec *backends.Spec, opts Options) (*Fig12Result, error) {
+	n := elementsFor(spec, opts.Scale)
+	res := &Fig12Result{
+		Backend:         spec.Name,
+		GroupGeoSpeedup: map[workloads.Group]float64{},
+		GroupGeoEnergy:  map[workloads.Group]float64{},
+	}
+	groupSpeed := map[workloads.Group][]float64{}
+	groupEnergy := map[workloads.Group][]float64{}
+	var speeds, energies []float64
+	for _, k := range workloads.All() {
+		mpu, err := workloads.Run(k, workloads.RunConfig{
+			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s MPU:%s: %w", k.Name, spec.Name, err)
+		}
+		base, err := workloads.Run(k, workloads.RunConfig{
+			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			ComputeScale: baselineComputeScale(k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s Baseline:%s: %w", k.Name, spec.Name, err)
+		}
+		row := KernelRow{
+			Kernel: k.Name, Group: k.Group,
+			MPUSeconds: mpu.Seconds, BaselineSeconds: base.Seconds,
+			MPUJoules: mpu.Joules, BaselineJoules: base.Joules,
+			Speedup:       base.Seconds / mpu.Seconds,
+			EnergySavings: base.Joules / mpu.Joules,
+		}
+		res.Rows = append(res.Rows, row)
+		speeds = append(speeds, row.Speedup)
+		energies = append(energies, row.EnergySavings)
+		groupSpeed[k.Group] = append(groupSpeed[k.Group], row.Speedup)
+		groupEnergy[k.Group] = append(groupEnergy[k.Group], row.EnergySavings)
+	}
+	res.GeoSpeedup = geomean(speeds)
+	res.GeoEnergy = geomean(energies)
+	for g, xs := range groupSpeed {
+		res.GroupGeoSpeedup[g] = geomean(xs)
+	}
+	for g, xs := range groupEnergy {
+		res.GroupGeoEnergy[g] = geomean(xs)
+	}
+	return res, nil
+}
+
+// Render prints the per-kernel speedups and energy savings.
+func (r *Fig12Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 12 — MPU:%s vs Baseline:%s\n", r.Backend, r.Backend)
+	fmt.Fprintf(&sb, "%-12s %-8s %10s %10s\n", "kernel", "group", "speedup", "energy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %-8s %9.2fx %9.2fx\n", row.Kernel, row.Group, row.Speedup, row.EnergySavings)
+	}
+	for _, g := range []workloads.Group{workloads.Basic, workloads.Branch, workloads.Stencil, workloads.Complex} {
+		fmt.Fprintf(&sb, "geomean %-10s %9.2fx %9.2fx\n", g, r.GroupGeoSpeedup[g], r.GroupGeoEnergy[g])
+	}
+	fmt.Fprintf(&sb, "geomean %-10s %9.2fx %9.2fx\n", "all", r.GeoSpeedup, r.GeoEnergy)
+	return sb.String()
+}
+
+// GPURow is one kernel's Fig. 13 comparison against the RTX 4090 model.
+type GPURow struct {
+	Kernel string
+	Group  workloads.Group
+
+	BaselineSpeedupVsGPU float64
+	MPUSpeedupVsGPU      float64
+	BaselineEnergyVsGPU  float64
+	MPUEnergyVsGPU       float64
+}
+
+// Fig13Result is one back end's GPU-normalized sweep.
+type Fig13Result struct {
+	Backend string
+	Rows    []GPURow
+
+	GeoMPUSpeedup, GeoMPUEnergy           float64
+	GeoBaselineSpeedup, GeoBaselineEnergy float64
+}
+
+// Fig13 normalizes Baseline:X and MPU:X to the GPU for RACER and MIMDRAM
+// (plus DualityCache, which the paper summarizes in prose).
+func Fig13(opts Options) ([]*Fig13Result, error) {
+	opts = opts.norm()
+	gpu := gpumodel.RTX4090()
+	var out []*Fig13Result
+	for _, spec := range backends.All() {
+		n := elementsFor(spec, opts.Scale)
+		res := &Fig13Result{Backend: spec.Name}
+		var ms, me, bs, be []float64
+		for _, k := range workloads.All() {
+			g, err := workloads.GPURun(k, gpu, n)
+			if err != nil {
+				return nil, err
+			}
+			mpu, err := workloads.Run(k, workloads.RunConfig{
+				Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
+				Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			base, err := workloads.Run(k, workloads.RunConfig{
+				Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
+				Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+				ComputeScale: baselineComputeScale(k),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := GPURow{
+				Kernel: k.Name, Group: k.Group,
+				BaselineSpeedupVsGPU: g.Seconds / base.Seconds,
+				MPUSpeedupVsGPU:      g.Seconds / mpu.Seconds,
+				BaselineEnergyVsGPU:  g.Joules / base.Joules,
+				MPUEnergyVsGPU:       g.Joules / mpu.Joules,
+			}
+			res.Rows = append(res.Rows, row)
+			ms = append(ms, row.MPUSpeedupVsGPU)
+			me = append(me, row.MPUEnergyVsGPU)
+			bs = append(bs, row.BaselineSpeedupVsGPU)
+			be = append(be, row.BaselineEnergyVsGPU)
+		}
+		res.GeoMPUSpeedup = geomean(ms)
+		res.GeoMPUEnergy = geomean(me)
+		res.GeoBaselineSpeedup = geomean(bs)
+		res.GeoBaselineEnergy = geomean(be)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Render prints the GPU-normalized rows (log-scale data in the paper).
+func (r *Fig13Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 13 — Baseline:%s and MPU:%s normalized to GPU (RTX 4090 model)\n", r.Backend, r.Backend)
+	fmt.Fprintf(&sb, "%-12s %-8s %14s %14s %14s %14s\n",
+		"kernel", "group", "base speedup", "MPU speedup", "base energy", "MPU energy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s %-8s %13.2fx %13.2fx %13.2fx %13.2fx\n",
+			row.Kernel, row.Group,
+			row.BaselineSpeedupVsGPU, row.MPUSpeedupVsGPU,
+			row.BaselineEnergyVsGPU, row.MPUEnergyVsGPU)
+	}
+	fmt.Fprintf(&sb, "geomean: base %.2fx / MPU %.2fx speedup, base %.2fx / MPU %.2fx energy\n",
+		r.GeoBaselineSpeedup, r.GeoMPUSpeedup, r.GeoBaselineEnergy, r.GeoMPUEnergy)
+	return sb.String()
+}

@@ -1,0 +1,621 @@
+// Package ezpim implements the paper's advanced assembler (§V-C): a
+// high-level front end that turns structured control flow — if/else
+// branches, data-driven while loops, subroutine calls — into MPU ISA
+// masking and jump sequences. It offers two interfaces: a programmatic
+// Builder used by the workload generators, and a small text language
+// (Compile) resembling the ezpim snippets of Fig. 7.
+//
+// Register convention: user code owns r0..r55. ezpim reserves r56..r62 for
+// mask saves and predication temporaries (the Fig. 7c mask arithmetic) and
+// r63 aliases the conditional register in SETMASK.
+package ezpim
+
+import (
+	"fmt"
+
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+)
+
+// UserRegs is the number of registers available to user code; higher
+// registers belong to the assembler.
+const UserRegs = 56
+
+// maskTempBase..62 are the reserved predication registers.
+const maskTempBase = UserRegs
+
+// CmpKind selects a comparison operator.
+type CmpKind int
+
+// Comparison operators. GE, LE, and NE are synthesized by negating the
+// hardware comparisons through the Fig. 7c mask arithmetic.
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpGT
+	CmpLE
+	CmpGE
+	CmpFuzzy // equality ignoring bit positions set in register M
+)
+
+// Cond is a branch/loop condition over two registers.
+type Cond struct {
+	Kind CmpKind
+	A, B int
+	M    int // FUZZY don't-care register
+}
+
+// Eq returns the condition a == b.
+func Eq(a, b int) Cond { return Cond{Kind: CmpEQ, A: a, B: b} }
+
+// Ne returns the condition a != b.
+func Ne(a, b int) Cond { return Cond{Kind: CmpNE, A: a, B: b} }
+
+// Lt returns the signed condition a < b.
+func Lt(a, b int) Cond { return Cond{Kind: CmpLT, A: a, B: b} }
+
+// Gt returns the signed condition a > b.
+func Gt(a, b int) Cond { return Cond{Kind: CmpGT, A: a, B: b} }
+
+// Le returns the signed condition a <= b.
+func Le(a, b int) Cond { return Cond{Kind: CmpLE, A: a, B: b} }
+
+// Ge returns the signed condition a >= b.
+func Ge(a, b int) Cond { return Cond{Kind: CmpGE, A: a, B: b} }
+
+// FuzzyEq returns the condition a == b ignoring bits set in m.
+func FuzzyEq(a, b, m int) Cond { return Cond{Kind: CmpFuzzy, A: a, B: b, M: m} }
+
+// Builder assembles an MPU program with structured control flow. Errors are
+// collected and reported by Program(), keeping call sites clean.
+type Builder struct {
+	prog       isa.Program
+	err        error
+	inEnsemble bool
+	inSub      bool
+	maskDepth  int
+	subs       map[string]int // label -> instruction index
+	callFix    []fixup
+	srcLines   int // high-level statements emitted (Table IV accounting)
+
+	// Binary layout: when subroutines are defined, instruction 0 is an
+	// entry JUMP patched to the first top-level statement, so execution
+	// never falls through into a subroutine body.
+	entryAt   int
+	mainStart int
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{subs: map[string]int{}, entryAt: -1, mainStart: -1}
+}
+
+// markMain records where top-level execution begins, for the entry JUMP.
+func (b *Builder) markMain() {
+	if b.mainStart == -1 && b.entryAt >= 0 && !b.inSub {
+		b.mainStart = len(b.prog)
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("ezpim: "+format, args...)
+	}
+}
+
+func (b *Builder) emit(in isa.Instr) {
+	b.prog = append(b.prog, in)
+}
+
+// note counts one high-level statement for the Table IV LoC comparison.
+func (b *Builder) note() { b.srcLines++ }
+
+// allocMaskReg reserves one predication register for the current nesting
+// level.
+func (b *Builder) allocMaskRegs(n int) int {
+	base := maskTempBase + b.maskDepth
+	if base+n > isa.RegCond {
+		b.fail("predication nesting too deep (needs %d reserved registers)", b.maskDepth+n)
+	}
+	b.maskDepth += n
+	return base
+}
+
+func (b *Builder) releaseMaskRegs(n int) { b.maskDepth -= n }
+
+// Ensemble emits a compute-ensemble header, runs body, and emits the footer.
+func (b *Builder) Ensemble(addrs []controlpath.VRFAddr, body func()) {
+	if b.inEnsemble {
+		b.fail("nested ensembles are not allowed")
+		return
+	}
+	if len(addrs) == 0 {
+		b.fail("ensemble with no VRFs")
+		return
+	}
+	b.markMain()
+	for _, a := range addrs {
+		b.emit(isa.Compute(int(a.RFH), int(a.VRF)))
+	}
+	b.inEnsemble = true
+	body()
+	b.inEnsemble = false
+	b.emit(isa.ComputeDone())
+	b.note()
+}
+
+func (b *Builder) needEnsemble(op string) bool {
+	if !b.inEnsemble {
+		b.fail("%s outside an ensemble", op)
+		return false
+	}
+	return true
+}
+
+func (b *Builder) checkUserReg(rs ...int) {
+	for _, r := range rs {
+		if r < 0 || r >= isa.NumRegs {
+			b.fail("register r%d out of range", r)
+		}
+	}
+}
+
+// Op emits one datapath instruction inside the current ensemble.
+func (b *Builder) Op(in isa.Instr) {
+	if !b.needEnsemble(in.Op.String()) {
+		return
+	}
+	b.emit(in)
+	b.note()
+}
+
+// Arithmetic and data-movement conveniences.
+
+// Add emits rd = rs + rt.
+func (b *Builder) Add(rs, rt, rd int) { b.Op(isa.Add(rs, rt, rd)) }
+
+// Sub emits rd = rs - rt.
+func (b *Builder) Sub(rs, rt, rd int) { b.Op(isa.Sub(rs, rt, rd)) }
+
+// Mul emits rd = rs * rt.
+func (b *Builder) Mul(rs, rt, rd int) { b.Op(isa.Mul(rs, rt, rd)) }
+
+// Mac emits rd += rs * rt.
+func (b *Builder) Mac(rs, rt, rd int) { b.Op(isa.Mac(rs, rt, rd)) }
+
+// Div emits rd = rs / rt.
+func (b *Builder) Div(rs, rt, rd int) { b.Op(isa.QDiv(rs, rt, rd)) }
+
+// Rem emits rd = rs % rt.
+func (b *Builder) Rem(rs, rt, rd int) { b.Op(isa.RDiv(rs, rt, rd)) }
+
+// Inc emits rd = rs + 1.
+func (b *Builder) Inc(rs, rd int) { b.Op(isa.Inc(rs, rd)) }
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rs, rd int) { b.Op(isa.Mov(rs, rd)) }
+
+// Init0 emits rd = 0.
+func (b *Builder) Init0(rd int) { b.Op(isa.Init0(rd)) }
+
+// Init1 emits rd = 1.
+func (b *Builder) Init1(rd int) { b.Op(isa.Init1(rd)) }
+
+// And emits rd = rs & rt.
+func (b *Builder) And(rs, rt, rd int) { b.Op(isa.And(rs, rt, rd)) }
+
+// Or emits rd = rs | rt.
+func (b *Builder) Or(rs, rt, rd int) { b.Op(isa.OrI(rs, rt, rd)) }
+
+// Xor emits rd = rs ^ rt.
+func (b *Builder) Xor(rs, rt, rd int) { b.Op(isa.Xor(rs, rt, rd)) }
+
+// Inv emits rd = ^rs.
+func (b *Builder) Inv(rs, rd int) { b.Op(isa.Inv(rs, rd)) }
+
+// LShift emits rd = rs << 1.
+func (b *Builder) LShift(rs, rd int) { b.Op(isa.LShift(rs, rd)) }
+
+// Relu emits rd = max(rs, 0).
+func (b *Builder) Relu(rs, rd int) { b.Op(isa.Relu(rs, rd)) }
+
+// Popc emits rd = popcount(rs).
+func (b *Builder) Popc(rs, rd int) { b.Op(isa.Popc(rs, rd)) }
+
+// Max emits rd = max(rs, rt).
+func (b *Builder) Max(rs, rt, rd int) { b.Op(isa.MaxI(rs, rt, rd)) }
+
+// Min emits rd = min(rs, rt).
+func (b *Builder) Min(rs, rt, rd int) { b.Op(isa.MinI(rs, rt, rd)) }
+
+// Sel emits rd = bit0(rSel) ? rs : rt.
+func (b *Builder) Sel(rSel, rs, rt, rd int) {
+	b.Mov(rSel, rd)
+	b.Op(isa.MuxI(rs, rt, rd))
+}
+
+// Const synthesizes an arbitrary 64-bit constant into rd using the shift-
+// and-or idiom (PUM has no immediate loads; constants are genuinely built in
+// the datapath unless preloaded by the host).
+func (b *Builder) Const(rd int, v uint64) {
+	if !b.needEnsemble("Const") {
+		return
+	}
+	switch v {
+	case 0:
+		b.emit(isa.Init0(rd))
+		b.note()
+		return
+	case 1:
+		b.emit(isa.Init1(rd))
+		b.note()
+		return
+	}
+	one := b.allocMaskRegs(1)
+	defer b.releaseMaskRegs(1)
+	b.emit(isa.Init1(one))
+	b.emit(isa.Init0(rd))
+	started := false
+	for bit := 63; bit >= 0; bit-- {
+		if started {
+			b.emit(isa.LShift(rd, rd))
+		}
+		if v>>uint(bit)&1 == 1 {
+			b.emit(isa.OrI(rd, one, rd))
+			started = true
+		}
+	}
+	b.note()
+}
+
+// emitCond evaluates c under the current lane mask and loads the result into
+// the mask register (mask := currentMask ∧ c). Negated comparisons use the
+// Fig. 7c mask arithmetic through the reserved registers.
+func (b *Builder) emitCond(c Cond) {
+	b.checkUserReg(c.A, c.B)
+	var cmp isa.Instr
+	negate := false
+	switch c.Kind {
+	case CmpEQ:
+		cmp = isa.CmpEq(c.A, c.B)
+	case CmpNE:
+		cmp, negate = isa.CmpEq(c.A, c.B), true
+	case CmpLT:
+		cmp = isa.CmpLt(c.A, c.B)
+	case CmpGT:
+		cmp = isa.CmpGt(c.A, c.B)
+	case CmpGE:
+		cmp, negate = isa.CmpLt(c.A, c.B), true
+	case CmpLE:
+		cmp, negate = isa.CmpGt(c.A, c.B), true
+	case CmpFuzzy:
+		cmp = isa.Fuzzy(c.A, c.B, c.M)
+	default:
+		b.fail("unknown comparison kind %d", c.Kind)
+		return
+	}
+	if !negate {
+		b.emit(cmp)
+		b.emit(isa.SetMask(isa.RegCond))
+		return
+	}
+	// mask := cur ∧ ¬c:  save cur, take c∧cur, complement under full
+	// masking, intersect with cur, reload.
+	regs := b.allocMaskRegs(2)
+	cur, t := regs, regs+1
+	b.emit(isa.GetMask(cur))
+	b.emit(cmp)
+	b.emit(isa.SetMask(isa.RegCond))
+	b.emit(isa.GetMask(t)) // t = c ∧ cur
+	b.emit(isa.Unmask())
+	b.emit(isa.Inv(t, t))
+	b.emit(isa.And(cur, t, t)) // bit0 = cur ∧ ¬(c∧cur) = cur ∧ ¬c
+	b.emit(isa.SetMask(t))
+	b.releaseMaskRegs(2)
+}
+
+// ifCtx tracks the reserved registers of an open predicated branch.
+type ifCtx struct {
+	save    int
+	hasElse bool
+}
+
+// IfBegin opens a predicated branch: subsequent emission runs on lanes where
+// c holds. Pair with IfElse (optional) and IfEnd. The streaming form exists
+// for the text-language parser; most callers want If.
+func (b *Builder) IfBegin(c Cond) *ifCtx {
+	if !b.needEnsemble("if") {
+		return &ifCtx{}
+	}
+	save := b.allocMaskRegs(1)
+	b.emit(isa.GetMask(save))
+	b.emitCond(c)
+	return &ifCtx{save: save}
+}
+
+// IfElse flips the open branch to the complement lanes (outer ∧ ¬c). The
+// else-mask derives from the then-mask rather than re-evaluating the
+// condition, so the then-body may clobber the condition's registers.
+func (b *Builder) IfElse(ctx *ifCtx) {
+	if !b.inEnsemble {
+		return
+	}
+	ctx.hasElse = true
+	t := b.allocMaskRegs(1)
+	b.emit(isa.GetMask(t)) // inner = save ∧ c
+	b.emit(isa.Unmask())
+	b.emit(isa.Inv(t, t))
+	b.emit(isa.And(ctx.save, t, t)) // bit0 = save ∧ ¬inner
+	b.emit(isa.SetMask(t))
+}
+
+// IfEnd closes the branch and restores the enclosing mask.
+func (b *Builder) IfEnd(ctx *ifCtx) {
+	if !b.inEnsemble {
+		return
+	}
+	if ctx.hasElse {
+		b.releaseMaskRegs(1)
+	}
+	b.emit(isa.SetMask(ctx.save))
+	b.releaseMaskRegs(1)
+	b.note()
+}
+
+// If emits a predicated branch: then runs on lanes where c holds, els (may
+// be nil) on the remaining enabled lanes. Arbitrary nesting is supported up
+// to the reserved-register budget.
+func (b *Builder) If(c Cond, then func(), els func()) {
+	ctx := b.IfBegin(c)
+	if !b.inEnsemble {
+		return
+	}
+	then()
+	if els != nil {
+		b.IfElse(ctx)
+		els()
+	}
+	b.IfEnd(ctx)
+}
+
+// While emits a data-driven loop: body repeats on each lane until its
+// condition fails, with per-lane divergence handled by the mask register and
+// loop exit by JUMP_COND (§V-C "Dynamic Loops").
+func (b *Builder) While(c Cond, body func()) {
+	if !b.needEnsemble("while") {
+		return
+	}
+	save := b.allocMaskRegs(1)
+	b.emit(isa.GetMask(save))
+	b.emitCond(c)
+	top := len(b.prog)
+	body()
+	b.emitCond(c)
+	b.emit(isa.JumpCond(top))
+	b.emit(isa.SetMask(save))
+	b.releaseMaskRegs(1)
+	b.note()
+}
+
+// Repeat emits a loop with a lane-uniform trip count held in register n:
+// a countdown in a reserved register drives the loop. n is preserved.
+func (b *Builder) Repeat(n int, body func()) {
+	if !b.needEnsemble("repeat") {
+		return
+	}
+	regs := b.allocMaskRegs(2)
+	cnt, zero := regs, regs+1
+	b.emit(isa.Mov(n, cnt))
+	b.emit(isa.Init0(zero))
+	b.While(Gt(cnt, zero), func() {
+		body()
+		b.emit(isa.Init1(zero)) // reuse: zero==1 during decrement
+		b.emit(isa.Sub(cnt, zero, cnt))
+		b.emit(isa.Init0(zero))
+	})
+	b.releaseMaskRegs(2)
+}
+
+// Sub defines a subroutine; Call invokes it. Subroutines are placed inline
+// where defined, so define them before the entry JUMP or rely on Program()'s
+// layout (subroutines first, entry JUMP at index 0).
+
+// Call emits a subroutine call to the named Sub.
+func (b *Builder) Call(name string) {
+	if !b.inEnsemble {
+		b.markMain()
+	}
+	b.callFix = append(b.callFix, fixup{at: len(b.prog), label: name})
+	b.emit(isa.Jump(0)) // patched in Program()
+	b.note()
+}
+
+// SubDef registers the current position as subroutine name; the builder
+// emits the trailing RETURN. Subroutines must be defined before main-line
+// code; an entry JUMP at instruction 0 hops over them.
+func (b *Builder) SubDef(name string, body func()) {
+	if _, dup := b.subs[name]; dup {
+		b.fail("duplicate subroutine %q", name)
+		return
+	}
+	if b.inSub || b.inEnsemble {
+		b.fail("subroutine %q defined inside another construct", name)
+		return
+	}
+	if b.mainStart != -1 {
+		b.fail("subroutine %q defined after main-line code", name)
+		return
+	}
+	if b.entryAt == -1 {
+		b.entryAt = len(b.prog)
+		b.emit(isa.Jump(0)) // patched to mainStart in Program()
+	}
+	b.inSub = true
+	b.inEnsemble = true // subroutine bodies execute in the caller's ensemble
+	b.subs[name] = len(b.prog)
+	body()
+	b.emit(isa.Return())
+	b.inEnsemble = false
+	b.inSub = false
+	b.note()
+}
+
+// Transfer emits a local transfer ensemble over the given RFH pairs; each
+// copy moves (vrfSrc, rs) → (vrfDst, rd) for every pair.
+func (b *Builder) Transfer(pairs []controlpath.RFHPair, copies func(t *Transfer)) {
+	if b.inEnsemble {
+		b.fail("transfer inside a compute ensemble")
+		return
+	}
+	if len(pairs) == 0 {
+		b.fail("transfer with no RFH pairs")
+		return
+	}
+	b.markMain()
+	for _, p := range pairs {
+		b.emit(isa.Move(int(p.Src), int(p.Dst)))
+	}
+	copies(&Transfer{b: b})
+	b.emit(isa.MoveDone())
+	b.note()
+}
+
+// Transfer scopes MEMCPY emission to a transfer ensemble.
+type Transfer struct{ b *Builder }
+
+// Copy emits one MEMCPY.
+func (t *Transfer) Copy(vrfSrc, rs, vrfDst, rd int) {
+	t.b.emit(isa.Memcpy(vrfSrc, rs, vrfDst, rd))
+	t.b.note()
+}
+
+// Send emits an inter-MPU send block to dst containing one transfer
+// ensemble.
+func (b *Builder) Send(dst int, pairs []controlpath.RFHPair, copies func(t *Transfer)) {
+	if b.inEnsemble {
+		b.fail("SEND inside a compute ensemble")
+		return
+	}
+	b.markMain()
+	b.emit(isa.Send(dst))
+	for _, p := range pairs {
+		b.emit(isa.Move(int(p.Src), int(p.Dst)))
+	}
+	copies(&Transfer{b: b})
+	b.emit(isa.MoveDone())
+	b.emit(isa.SendDone())
+	b.note()
+}
+
+// Recv emits the matching receive for a peer's send block.
+func (b *Builder) Recv(src int) {
+	b.markMain()
+	b.emit(isa.Recv(src))
+	b.note()
+}
+
+// Sync emits an MPU_SYNC fence.
+func (b *Builder) Sync() {
+	b.markMain()
+	b.emit(isa.Sync())
+	b.note()
+}
+
+// Nop emits a bubble.
+func (b *Builder) Nop() {
+	if !b.inEnsemble {
+		b.markMain()
+	}
+	b.emit(isa.Nop())
+}
+
+// Program finalizes the build: subroutine call fixups are patched and the
+// program is validated. The builder is left intact for inspection.
+func (b *Builder) Program() (isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.inEnsemble {
+		return nil, fmt.Errorf("ezpim: unterminated ensemble")
+	}
+	out := make(isa.Program, len(b.prog))
+	copy(out, b.prog)
+	if b.entryAt >= 0 {
+		if b.mainStart == -1 || b.mainStart >= len(out) {
+			return nil, fmt.Errorf("ezpim: program defines subroutines but no main-line code")
+		}
+		out[b.entryAt].Imm = int32(b.mainStart)
+	}
+	for _, f := range b.callFix {
+		target, ok := b.subs[f.label]
+		if !ok {
+			return nil, fmt.Errorf("ezpim: call to undefined subroutine %q", f.label)
+		}
+		out[f.at].Imm = int32(target)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SourceLines reports the number of high-level statements the builder was
+// driven with — the "Lines of Code ezpim" column of Table IV.
+func (b *Builder) SourceLines() int { return b.srcLines }
+
+// EmittedInstructions reports the assembled instruction count — the
+// "Lines of Code Baseline" proxy of Table IV (hand-written MPU assembly is
+// one line per instruction).
+func (b *Builder) EmittedInstructions() int { return len(b.prog) }
+
+// ReduceAdd emits a log-depth cross-VRF reduction: register reg of every
+// VRF in addrs is summed into addrs[0]'s reg, lane-wise, alternating
+// transfer ensembles (partial values hop RFH-to-RFH through the DTC) with
+// compute ensembles that accumulate. This is the gather/reduce collective
+// the end-to-end applications of §VIII-D build on.
+//
+// Requirements: len(addrs) is a power of two, every VRF lives in a distinct
+// RF holder, and all share the same VRF index (so one MEMCPY addresses every
+// pair of the target map). tmp is a staging register clobbered in all VRFs.
+func (b *Builder) ReduceAdd(addrs []controlpath.VRFAddr, reg, tmp int) {
+	n := len(addrs)
+	if n == 0 || n&(n-1) != 0 {
+		b.fail("ReduceAdd needs a power-of-two VRF count, got %d", n)
+		return
+	}
+	if reg == tmp {
+		b.fail("ReduceAdd staging register must differ from the operand")
+		return
+	}
+	vrfID := addrs[0].VRF
+	seen := map[uint8]bool{}
+	for _, a := range addrs {
+		if a.VRF != vrfID {
+			b.fail("ReduceAdd requires a uniform VRF index; got vrf%d and vrf%d", vrfID, a.VRF)
+			return
+		}
+		if seen[a.RFH] {
+			b.fail("ReduceAdd requires distinct RF holders; rfh%d repeats", a.RFH)
+			return
+		}
+		seen[a.RFH] = true
+	}
+	for half := n / 2; half >= 1; half /= 2 {
+		pairs := make([]controlpath.RFHPair, half)
+		for i := 0; i < half; i++ {
+			pairs[i] = controlpath.RFHPair{Src: addrs[i+half].RFH, Dst: addrs[i].RFH}
+		}
+		b.Transfer(pairs, func(t *Transfer) {
+			t.Copy(int(vrfID), reg, int(vrfID), tmp)
+		})
+		b.Ensemble(addrs[:half], func() {
+			b.Add(reg, tmp, reg)
+		})
+	}
+}

@@ -1,0 +1,594 @@
+package ezpim
+
+import (
+	"fmt"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+	"mpu/internal/machine"
+)
+
+func a00() controlpath.VRFAddr { return controlpath.VRFAddr{RFH: 0, VRF: 0} }
+
+// compileAndRun compiles src, loads regs into rfh0.vrf0, runs on RACER, and
+// returns a register reader.
+func compileAndRun(t *testing.T, src string, regs map[int][]uint64) func(reg int) []uint64 {
+	t.Helper()
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return runProgram(t, res.Program, regs)
+}
+
+func runProgram(t *testing.T, prog isa.Program, regs map[int][]uint64) func(reg int) []uint64 {
+	t.Helper()
+	m, err := machine.New(machine.Config{Spec: backends.RACER(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	for r, vals := range regs {
+		if err := m.WriteVector(0, a00(), r, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return func(reg int) []uint64 {
+		vals, err := m.ReadVector(0, a00(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = r0 + r1
+			r3 = r0 * r1
+			r4 = r0 & r1
+			r5 = max(r0, r1)
+			r6 = popc(r0)
+			r7 = ~r0
+			r8 = r0 << 1
+			r9 = r1
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{
+		0: {6, 100, 0xff},
+		1: {7, 3, 1},
+	})
+	type check struct {
+		reg  int
+		want []uint64
+	}
+	for _, c := range []check{
+		{2, []uint64{13, 103, 0x100}},
+		{3, []uint64{42, 300, 0xff}},
+		{4, []uint64{6, 0, 1}},
+		{5, []uint64{7, 100, 0xff}},
+		{6, []uint64{2, 3, 8}},
+		{7, []uint64{^uint64(6), ^uint64(100), ^uint64(0xff)}},
+		{8, []uint64{12, 200, 0x1fe}},
+		{9, []uint64{7, 3, 1}},
+	} {
+		got := read(c.reg)
+		for i, want := range c.want {
+			if got[i] != want {
+				t.Errorf("r%d lane %d: got %d, want %d", c.reg, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestCompileConstants(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r0 = 0
+			r1 = 1
+			r2 = 1000003
+			r3 = 0xdeadbeef
+		}
+	`
+	read := compileAndRun(t, src, nil)
+	for reg, want := range map[int]uint64{0: 0, 1: 1, 2: 1000003, 3: 0xdeadbeef} {
+		if got := read(reg)[0]; got != want {
+			t.Errorf("r%d = %d, want %d", reg, got, want)
+		}
+	}
+}
+
+func TestCompileIfElse(t *testing.T) {
+	// abs(): r1 = |r0| (signed).
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			if r0 < r2 {
+				r1 = r2 - r0
+			} else {
+				r1 = r0
+			}
+		}
+	`
+	vals := []uint64{5, ^uint64(4), 0, ^uint64(0), 123} // 5, -5, 0, -1, 123
+	read := compileAndRun(t, src, map[int][]uint64{0: vals})
+	want := []uint64{5, 5, 0, 1, 123}
+	got := read(1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lane %d: |%d| = %d, want %d", i, int64(vals[i]), got[i], want[i])
+		}
+	}
+}
+
+func TestCompileIfElseClobbersCondition(t *testing.T) {
+	// The then-branch overwrites the condition register r0; the else mask
+	// must still be derived from the captured then-mask.
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			if r0 == r2 {
+				r0 = 1
+				r1 = 10
+			} else {
+				r1 = 20
+			}
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{0: {0, 7}})
+	got := read(1)
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("branches = %v, want [10 20]", got)
+	}
+}
+
+func TestCompileNestedIf(t *testing.T) {
+	// Classify into r1: 0 if r0==0, 1 if 0<r0, 2 if r0<0.
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			if r0 == r2 {
+				r1 = 0
+			} else {
+				if r0 > r2 {
+					r1 = 1
+				} else {
+					r1 = 2
+				}
+			}
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{0: {0, 9, ^uint64(8)}})
+	got := read(1)
+	want := []uint64{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lane %d: class %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompileWhileGCD(t *testing.T) {
+	src := `
+		# per-lane Euclid: gcd(r0, r1) -> r0
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			while r1 != r2 {
+				r3 = r0 % r1
+				r0 = r1
+				r1 = r3
+			}
+		}
+	`
+	av := []uint64{12, 35, 7, 48, 1}
+	bv := []uint64{18, 14, 13, 0, 1}
+	read := compileAndRun(t, src, map[int][]uint64{0: av, 1: bv})
+	want := []uint64{6, 7, 1, 48, 1}
+	got := read(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lane %d: gcd(%d,%d) = %d, want %d", i, av[i], bv[i], got[i], want[i])
+		}
+	}
+}
+
+func TestCompileSubroutine(t *testing.T) {
+	src := `
+		sub square {
+			r2 = r0 * r0
+		}
+		ensemble {
+			use rfh0.vrf0
+			call square
+			r3 = r2 + r0
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{0: {3, 10}})
+	got := read(3)
+	if got[0] != 12 || got[1] != 110 {
+		t.Fatalf("square+x = %v, want [12 110]", got)
+	}
+}
+
+func TestCompileMoveAndSync(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = r0 + r1
+		}
+		sync
+		move rfh0 -> rfh1 {
+			copy vrf0.r2 -> vrf0.r5
+		}
+	`
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := machine.New(machine.Config{Spec: backends.RACER(), NumMPUs: 1})
+	m.LoadAll(res.Program)
+	m.WriteVector(0, a00(), 0, []uint64{4})
+	m.WriteVector(0, a00(), 1, []uint64{5})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, controlpath.VRFAddr{RFH: 1, VRF: 0}, 5)
+	if got[0] != 9 {
+		t.Fatalf("moved value = %d, want 9", got[0])
+	}
+}
+
+func TestCompileSendRecv(t *testing.T) {
+	sendSrc := `
+		send mpu1 { move rfh0 -> rfh0 { copy vrf0.r0 -> vrf0.r1 } }
+	`
+	recvSrc := `recv mpu0`
+	sp, err := Compile(sendSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Compile(recvSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := machine.New(machine.Config{Spec: backends.RACER(), NumMPUs: 2})
+	m.LoadProgram(0, sp.Program)
+	m.LoadProgram(1, rp.Program)
+	m.WriteVector(0, a00(), 0, []uint64{77})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(1, a00(), 1)
+	if got[0] != 77 {
+		t.Fatalf("sent value = %d, want 77", got[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"frob {}",
+		"ensemble { r0 = r1 }",                    // no use clause
+		"ensemble { use rfh0.vrf0 r0 = r1 + }",    // bad expr
+		"ensemble { use rfh0.vrf0 r99 = r1 }",     // register range
+		"ensemble { use rfh0.vrf0 r0 = r1 << 2 }", // only shift-by-1
+		"ensemble { use rfh0.vrf0 call missing }", // undefined sub
+		"ensemble { use rfh0.vrf0 if r0 { r1 } }", // malformed condition
+		"move rfh0 -> rfh1 { paste vrf0.r0 }",     // bad copy stmt
+		"send mpu0 { copy vrf0.r0 -> vrf0.r0 }",   // send without move
+		"sub f { r0 = r1 } sub f { r0 = r1 }",     // duplicate sub
+		"ensemble { use rfh0.vrf0 r0 = r1 @ r2 }", // bad char
+		"ensemble { use rfh0.vrf0 r0 = max(r1) }", // arity
+		"sub late { r0 = r1 }",                    // subs but no main code
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestCodeSizeReduction pins the Table IV claim: ezpim sources are much
+// smaller than the assembly they expand to.
+func TestCodeSizeReduction(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			while r1 != r2 {
+				r3 = r0 % r1
+				r0 = r1
+				r1 = r3
+			}
+		}
+	`
+	res, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceLines >= res.AsmLines {
+		t.Fatalf("ezpim lines (%d) not smaller than assembly lines (%d)", res.SourceLines, res.AsmLines)
+	}
+	if res.AsmLines < 2*res.SourceLines {
+		t.Fatalf("expected ≥2× expansion, got %d → %d", res.SourceLines, res.AsmLines)
+	}
+}
+
+func TestBuilderWhileDivergence(t *testing.T) {
+	// Builder-level version of the countdown loop.
+	b := NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{a00()}, func() {
+		b.Init0(2)
+		b.Init1(3)
+		b.Init0(1)
+		b.While(Gt(0, 2), func() {
+			b.Sub(0, 3, 0)
+			b.Inc(1, 1)
+		})
+	})
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{0, 3, 7}
+	read := runProgram(t, prog, map[int][]uint64{0: vals})
+	got := read(1)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("lane %d: %d iterations, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestBuilderRepeat(t *testing.T) {
+	b := NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{a00()}, func() {
+		b.Init0(1)
+		b.Repeat(0, func() {
+			b.Inc(1, 1)
+		})
+	})
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := runProgram(t, prog, map[int][]uint64{0: {4, 4}})
+	got := read(1)
+	if got[0] != 4 || got[1] != 4 {
+		t.Fatalf("repeat count = %v, want [4 4]", got)
+	}
+	// The trip-count register must be preserved.
+	if r0 := read(0); r0[0] != 4 {
+		t.Fatalf("repeat clobbered the count register: %v", r0)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Add(0, 1, 2) // outside ensemble
+	if _, err := b.Program(); err == nil {
+		t.Error("arith outside ensemble accepted")
+	}
+
+	b = NewBuilder()
+	b.Ensemble(nil, func() {})
+	if _, err := b.Program(); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+
+	b = NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{a00()}, func() {
+		b.Ensemble([]controlpath.VRFAddr{a00()}, func() {})
+	})
+	if _, err := b.Program(); err == nil {
+		t.Error("nested ensemble accepted")
+	}
+
+	b = NewBuilder()
+	b.Call("nothing")
+	if _, err := b.Program(); err == nil {
+		t.Error("call to undefined subroutine accepted")
+	}
+
+	b = NewBuilder()
+	b.Transfer(nil, func(tr *Transfer) {})
+	if _, err := b.Program(); err == nil {
+		t.Error("empty transfer accepted")
+	}
+}
+
+func TestBuilderSelAndFuzzy(t *testing.T) {
+	b := NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{a00()}, func() {
+		b.Sel(2, 0, 1, 3) // r3 = bit0(r2) ? r0 : r1
+		b.If(FuzzyEq(0, 1, 4), func() {
+			b.Init1(5)
+		}, nil)
+	})
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := runProgram(t, prog, map[int][]uint64{
+		0: {10, 20},
+		1: {30, 40},
+		2: {1, 0},
+		4: {0xFFFFFFFFFFFFFFF0, 0}, // lane 0 ignores all but low 4 bits
+		5: {0, 0},
+	})
+	if got := read(3); got[0] != 10 || got[1] != 40 {
+		t.Fatalf("sel = %v, want [10 40]", got)
+	}
+	// Lane 0: 10 vs 30 differ only above bit 4? 10=0b1010, 30=0b11110 —
+	// they differ in low bits, so fuzzy(0,1) is false; lane 1: 20 vs 40
+	// differ and mask is 0 → false. r5 stays 0 for both.
+	if got := read(5); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("fuzzy branch = %v, want [0 0]", got)
+	}
+}
+
+func TestSourceLineAccounting(t *testing.T) {
+	b := NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{a00()}, func() {
+		b.Add(0, 1, 2)
+		b.Add(2, 1, 3)
+	})
+	if _, err := b.Program(); err != nil {
+		t.Fatal(err)
+	}
+	if b.SourceLines() != 3 { // two adds + the ensemble construct
+		t.Fatalf("SourceLines = %d, want 3", b.SourceLines())
+	}
+	if b.EmittedInstructions() != 4 { // COMPUTE + 2×ADD + COMPUTE_DONE
+		t.Fatalf("EmittedInstructions = %d, want 4", b.EmittedInstructions())
+	}
+}
+
+func TestCompileLetVariables(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			let two = 2
+			let sq = r0 * r0
+			let out = sq + two
+			r1 = out
+			out = out + two   # reassignment
+			r2 = out
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{0: {3, 10}})
+	if got := read(1); got[0] != 11 || got[1] != 102 {
+		t.Fatalf("r1 = %v, want [11 102]", got)
+	}
+	if got := read(2); got[0] != 13 || got[1] != 104 {
+		t.Fatalf("r2 = %v, want [13 104]", got)
+	}
+}
+
+func TestCompileForLoop(t *testing.T) {
+	src := `
+		ensemble {
+			use rfh0.vrf0
+			let acc = 0
+			for 5 {
+				acc = acc + r0
+			}
+			r1 = acc
+			for r2 {
+				r1 = inc(r1)
+			}
+		}
+	`
+	read := compileAndRun(t, src, map[int][]uint64{0: {7, 2}, 2: {3, 3}})
+	if got := read(1); got[0] != 38 || got[1] != 13 {
+		t.Fatalf("r1 = %v, want [38 13]", got)
+	}
+}
+
+func TestCompileLetErrors(t *testing.T) {
+	cases := []string{
+		"ensemble { use rfh0.vrf0 let x = 1 let x = 2 }", // duplicate
+		"ensemble { use rfh0.vrf0 let r5 = 1 }",          // register-like name
+		"ensemble { use rfh0.vrf0 let max = 1 }",         // keyword collision
+		"ensemble { use rfh0.vrf0 r0 = undeclared }",     // use before declare
+		"ensemble { use rfh0.vrf0 for 0 { r0 = r1 } }",   // zero trip count
+		"ensemble { use rfh0.vrf0 for { r0 = r1 } }",     // missing count
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLetRegisterExhaustion(t *testing.T) {
+	src := "ensemble {\n use rfh0.vrf0\n"
+	for i := 0; i < 60; i++ {
+		src += fmt.Sprintf(" let v%d = 1\n", i)
+	}
+	src += "}"
+	if _, err := Compile(src); err == nil {
+		t.Fatal("unbounded let allocation accepted")
+	}
+}
+
+func TestReduceAdd(t *testing.T) {
+	const n = 8
+	addrs := make([]controlpath.VRFAddr, n)
+	for i := range addrs {
+		addrs[i] = controlpath.VRFAddr{RFH: uint8(i), VRF: 3}
+	}
+	b := NewBuilder()
+	b.ReduceAdd(addrs, 0, 1)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Spec: backends.RACER(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	lanes := backends.RACER().Lanes
+	want := make([]uint64, lanes)
+	for i, a := range addrs {
+		vals := make([]uint64, lanes)
+		for l := range vals {
+			vals[l] = uint64(i*1000 + l)
+			want[l] += vals[l]
+		}
+		m.WriteVector(0, a, 0, vals)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addrs[0], 0)
+	for l := range want {
+		if got[l] != want[l] {
+			t.Fatalf("lane %d: reduced %d, want %d", l, got[l], want[l])
+		}
+	}
+}
+
+func TestReduceAddValidation(t *testing.T) {
+	mk := func(addrs []controlpath.VRFAddr, reg, tmp int) error {
+		b := NewBuilder()
+		b.ReduceAdd(addrs, reg, tmp)
+		_, err := b.Program()
+		return err
+	}
+	three := []controlpath.VRFAddr{{RFH: 0}, {RFH: 1}, {RFH: 2}}
+	if mk(three, 0, 1) == nil {
+		t.Error("non-power-of-two count accepted")
+	}
+	mixed := []controlpath.VRFAddr{{RFH: 0, VRF: 0}, {RFH: 1, VRF: 5}}
+	if mk(mixed, 0, 1) == nil {
+		t.Error("mixed VRF indices accepted")
+	}
+	dup := []controlpath.VRFAddr{{RFH: 2}, {RFH: 2}}
+	if mk(dup, 0, 1) == nil {
+		t.Error("duplicate RF holders accepted")
+	}
+	two := []controlpath.VRFAddr{{RFH: 0}, {RFH: 1}}
+	if mk(two, 4, 4) == nil {
+		t.Error("aliased staging register accepted")
+	}
+	if err := mk(two, 4, 5); err != nil {
+		t.Errorf("valid reduction rejected: %v", err)
+	}
+}

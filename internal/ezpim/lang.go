@@ -1,0 +1,813 @@
+package ezpim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+)
+
+// This file implements the ezpim text language, the high-level notation of
+// Fig. 7. A program is a sequence of top-level constructs:
+//
+//	sub square {                 // subroutine (ensemble-context statements)
+//	    r2 = r0 * r0
+//	}
+//	ensemble {
+//	    use rfh0.vrf0            // VRFs executing this block
+//	    use rfh0.vrf1
+//	    r2 = r0 + r1
+//	    if r2 > r3 { r4 = r2 - r3 } else { r4 = r3 - r2 }
+//	    while r0 > r5 { r0 = r0 - r6 }
+//	    call square
+//	}
+//	move rfh0 -> rfh1 { copy vrf0.r2 -> vrf0.r3 }
+//	send mpu1 { move rfh0 -> rfh0 { copy vrf0.r2 -> vrf0.r2 } }
+//	recv mpu0
+//	sync
+//
+// Expressions: rA OP rB (+ - * / % & | ^), ~rA, rA << 1, plain rA (move),
+// integer constants, and the intrinsics max, min, popc, relu, inc, bflip,
+// sel(mask, a, b). Conditions: rA {== != < > <= >=} rB or
+// fuzzy(rA, rB, rMask). Comments run from // or # to end of line.
+
+// CompileResult carries the program plus the Table IV code-size accounting.
+type CompileResult struct {
+	Program     isa.Program
+	SourceLines int // non-empty, non-comment ezpim lines
+	AsmLines    int // emitted MPU instructions (hand-written baseline proxy)
+}
+
+// Compile translates ezpim source text into an MPU program.
+func Compile(src string) (*CompileResult, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, b: NewBuilder(), vars: map[string]int{}, nextVar: UserRegs - 1}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	prog, err := p.b.Program()
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		Program:     prog,
+		SourceLines: countSourceLines(src),
+		AsmLines:    len(prog),
+	}, nil
+}
+
+func countSourceLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		l := strings.TrimSpace(line)
+		if l == "" || strings.HasPrefix(l, "//") || strings.HasPrefix(l, "#") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ---- Lexer -----------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isAlpha(c):
+			j := i
+			for j < len(src) && (isAlpha(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(src) && (isDigit(src[j]) || src[j] == 'x' || src[j] == 'X' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], line})
+			i = j
+		default:
+			// Multi-character punctuation first.
+			for _, p := range []string{"->", "<<", "==", "!=", "<=", ">=", "+="} {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{tPunct, p, line})
+					i += len(p)
+					goto next
+				}
+			}
+			if strings.ContainsRune("{}(),=+-*/%&|^~<>.", rune(c)) {
+				toks = append(toks, token{tPunct, string(c), line})
+				i++
+				goto next
+			}
+			return nil, fmt.Errorf("ezpim: line %d: unexpected character %q", line, c)
+		next:
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// ---- Parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+	b    *Builder
+
+	// let-variable allocation: named variables map onto registers from the
+	// top of the user space downward (r55, r54, ...).
+	vars    map[string]int
+	nextVar int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("ezpim: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return p.errf(t, "expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return t, p.errf(t, "expected identifier, got %q", t.text)
+	}
+	return t, nil
+}
+
+// prefixed parses tokens like rfh0, vrf3, mpu2, r17.
+func (p *parser) prefixed(prefix string, limit int) (int, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(t.text, prefix) {
+		return 0, p.errf(t, "expected %s<N>, got %q", prefix, t.text)
+	}
+	n, err := strconv.Atoi(t.text[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		return 0, p.errf(t, "%s index out of range [0,%d)", t.text, limit)
+	}
+	return n, nil
+}
+
+// reg parses a register operand: rN, or a let-declared variable name.
+func (p *parser) reg() (int, error) {
+	t := p.peek()
+	if t.kind == tIdent {
+		if r, ok := p.vars[t.text]; ok {
+			p.next()
+			return r, nil
+		}
+	}
+	return p.prefixed("r", UserRegs)
+}
+
+// declareVar allocates a register for a new let variable.
+func (p *parser) declareVar(t token) (int, error) {
+	if _, dup := p.vars[t.text]; dup {
+		return 0, p.errf(t, "variable %q already declared", t.text)
+	}
+	if strings.HasPrefix(t.text, "r") && len(t.text) > 1 && isDigit(t.text[1]) {
+		return 0, p.errf(t, "variable name %q collides with register syntax", t.text)
+	}
+	if isIntrinsicName(t.text) {
+		return 0, p.errf(t, "variable name %q collides with an intrinsic", t.text)
+	}
+	if p.nextVar < 16 {
+		return 0, p.errf(t, "too many let variables (registers exhausted)")
+	}
+	r := p.nextVar
+	p.nextVar--
+	p.vars[t.text] = r
+	return r, nil
+}
+
+func isIntrinsicName(s string) bool {
+	switch s {
+	case "max", "min", "popc", "relu", "inc", "bflip", "sel", "fuzzy",
+		"let", "for", "if", "else", "while", "call", "cas", "use",
+		"ensemble", "move", "send", "recv", "sync", "sub", "copy":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() error {
+	for {
+		t := p.peek()
+		if t.kind == tEOF {
+			return nil
+		}
+		if t.kind != tIdent {
+			return p.errf(t, "expected a top-level construct, got %q", t.text)
+		}
+		switch t.text {
+		case "sub":
+			if err := p.parseSub(); err != nil {
+				return err
+			}
+		case "ensemble":
+			if err := p.parseEnsemble(); err != nil {
+				return err
+			}
+		case "move":
+			if err := p.parseMove(nil); err != nil {
+				return err
+			}
+		case "send":
+			if err := p.parseSend(); err != nil {
+				return err
+			}
+		case "recv":
+			p.next()
+			id, err := p.prefixed("mpu", 1<<24)
+			if err != nil {
+				return err
+			}
+			p.b.Recv(id)
+		case "sync":
+			p.next()
+			p.b.Sync()
+		default:
+			return p.errf(t, "unknown top-level construct %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseSub() error {
+	p.next() // sub
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var bodyErr error
+	p.b.SubDef(name.text, func() { bodyErr = p.parseStmts() })
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return p.expectPunct("}")
+}
+
+func (p *parser) parseEnsemble() error {
+	p.next() // ensemble
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var addrs []controlpath.VRFAddr
+	for p.peek().kind == tIdent && p.peek().text == "use" {
+		p.next()
+		rfh, err := p.prefixed("rfh", isa.MaxRFHsPerMPU)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("."); err != nil {
+			return err
+		}
+		vrf, err := p.prefixed("vrf", isa.MaxVRFsPerRFH)
+		if err != nil {
+			return err
+		}
+		addrs = append(addrs, controlpath.VRFAddr{RFH: uint8(rfh), VRF: uint8(vrf)})
+	}
+	if len(addrs) == 0 {
+		return p.errf(p.peek(), "ensemble without any `use rfhN.vrfM` clause")
+	}
+	var bodyErr error
+	p.b.Ensemble(addrs, func() { bodyErr = p.parseStmts() })
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return p.expectPunct("}")
+}
+
+// parseStmts parses ensemble-context statements until the closing brace
+// (which it leaves unconsumed).
+func (p *parser) parseStmts() error {
+	for {
+		t := p.peek()
+		if t.kind == tPunct && t.text == "}" {
+			return nil
+		}
+		if t.kind == tEOF {
+			return p.errf(t, "unexpected end of input inside a block")
+		}
+		if err := p.parseStmt(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseStmt() error {
+	t := p.peek()
+	if t.kind != tIdent {
+		return p.errf(t, "expected a statement, got %q", t.text)
+	}
+	switch t.text {
+	case "if":
+		return p.parseIf()
+	case "while":
+		return p.parseWhile()
+	case "let":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		rd, err := p.declareVar(name)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		return p.parseExprInto(rd)
+	case "for":
+		return p.parseFor()
+	case "call":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		p.b.Call(name.text)
+		return nil
+	case "cas":
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		a, err := p.reg()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		bReg, err := p.reg()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		p.b.Op(isa.Cas(a, bReg))
+		return nil
+	}
+	// Assignment: rD = expr   or   rD += rA * rB (MAC)
+	rd, err := p.reg()
+	if err != nil {
+		return err
+	}
+	op := p.next()
+	if op.kind != tPunct || (op.text != "=" && op.text != "+=") {
+		return p.errf(op, "expected = or += after destination register")
+	}
+	if op.text == "+=" {
+		a, err := p.reg()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return err
+		}
+		b, err := p.reg()
+		if err != nil {
+			return err
+		}
+		p.b.Mac(a, b, rd)
+		return nil
+	}
+	return p.parseExprInto(rd)
+}
+
+func (p *parser) parseExprInto(rd int) error {
+	t := p.peek()
+	switch {
+	case t.kind == tNumber:
+		p.next()
+		v, err := strconv.ParseUint(strings.TrimPrefix(t.text, "0x"), pick(strings.HasPrefix(t.text, "0x"), 16, 10), 64)
+		if err != nil {
+			return p.errf(t, "bad constant %q", t.text)
+		}
+		p.b.Const(rd, v)
+		return nil
+	case t.kind == tPunct && t.text == "~":
+		p.next()
+		a, err := p.reg()
+		if err != nil {
+			return err
+		}
+		p.b.Inv(a, rd)
+		return nil
+	case t.kind == tIdent && isIntrinsic(t.text):
+		return p.parseIntrinsic(rd)
+	case t.kind == tIdent:
+		a, err := p.reg()
+		if err != nil {
+			return err
+		}
+		nxt := p.peek()
+		if nxt.kind != tPunct || !strings.ContainsAny(nxt.text, "+-*/%&|^<") {
+			p.b.Mov(a, rd)
+			return nil
+		}
+		p.next()
+		if nxt.text == "<<" {
+			one := p.next()
+			if one.kind != tNumber || one.text != "1" {
+				return p.errf(one, "only shifts by 1 are supported (LSHIFT)")
+			}
+			p.b.LShift(a, rd)
+			return nil
+		}
+		b, err := p.reg()
+		if err != nil {
+			return err
+		}
+		switch nxt.text {
+		case "+":
+			p.b.Add(a, b, rd)
+		case "-":
+			p.b.Sub(a, b, rd)
+		case "*":
+			p.b.Mul(a, b, rd)
+		case "/":
+			p.b.Div(a, b, rd)
+		case "%":
+			p.b.Rem(a, b, rd)
+		case "&":
+			p.b.And(a, b, rd)
+		case "|":
+			p.b.Or(a, b, rd)
+		case "^":
+			p.b.Xor(a, b, rd)
+		default:
+			return p.errf(nxt, "unsupported operator %q", nxt.text)
+		}
+		return nil
+	}
+	return p.errf(t, "cannot parse expression starting at %q", t.text)
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func isIntrinsic(s string) bool {
+	switch s {
+	case "max", "min", "popc", "relu", "inc", "bflip", "sel":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIntrinsic(rd int) error {
+	name := p.next().text
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	var args []int
+	for {
+		a, err := p.reg()
+		if err != nil {
+			return err
+		}
+		args = append(args, a)
+		t := p.next()
+		if t.kind == tPunct && t.text == ")" {
+			break
+		}
+		if t.kind != tPunct || t.text != "," {
+			return p.errf(t, "expected , or ) in %s()", name)
+		}
+	}
+	want := map[string]int{"max": 2, "min": 2, "popc": 1, "relu": 1, "inc": 1, "bflip": 1, "sel": 3}[name]
+	if len(args) != want {
+		return p.errf(p.peek(), "%s() takes %d register arguments, got %d", name, want, len(args))
+	}
+	switch name {
+	case "max":
+		p.b.Max(args[0], args[1], rd)
+	case "min":
+		p.b.Min(args[0], args[1], rd)
+	case "popc":
+		p.b.Popc(args[0], rd)
+	case "relu":
+		p.b.Relu(args[0], rd)
+	case "inc":
+		p.b.Inc(args[0], rd)
+	case "bflip":
+		p.b.Op(isa.BFlip(args[0], rd))
+	case "sel":
+		p.b.Sel(args[0], args[1], args[2], rd)
+	}
+	return nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	t := p.peek()
+	if t.kind == tIdent && t.text == "fuzzy" {
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return Cond{}, err
+		}
+		a, err := p.reg()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return Cond{}, err
+		}
+		b, err := p.reg()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return Cond{}, err
+		}
+		m, err := p.reg()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Cond{}, err
+		}
+		return FuzzyEq(a, b, m), nil
+	}
+	a, err := p.reg()
+	if err != nil {
+		return Cond{}, err
+	}
+	op := p.next()
+	if op.kind != tPunct {
+		return Cond{}, p.errf(op, "expected comparison operator")
+	}
+	b, err := p.reg()
+	if err != nil {
+		return Cond{}, err
+	}
+	switch op.text {
+	case "==":
+		return Eq(a, b), nil
+	case "!=":
+		return Ne(a, b), nil
+	case "<":
+		return Lt(a, b), nil
+	case ">":
+		return Gt(a, b), nil
+	case "<=":
+		return Le(a, b), nil
+	case ">=":
+		return Ge(a, b), nil
+	}
+	return Cond{}, p.errf(op, "unknown comparison %q", op.text)
+}
+
+func (p *parser) parseIf() error {
+	p.next() // if
+	cond, err := p.parseCond()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	ctx := p.b.IfBegin(cond)
+	if err := p.parseStmts(); err != nil {
+		return err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return err
+	}
+	if p.peek().kind == tIdent && p.peek().text == "else" {
+		p.next()
+		if err := p.expectPunct("{"); err != nil {
+			return err
+		}
+		p.b.IfElse(ctx)
+		if err := p.parseStmts(); err != nil {
+			return err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return err
+		}
+	}
+	p.b.IfEnd(ctx)
+	return nil
+}
+
+// parseFor lowers `for <count> { ... }` — a lane-uniform repeat whose trip
+// count is a constant or a register/variable — onto Builder.Repeat.
+func (p *parser) parseFor() error {
+	p.next() // for
+	t := p.peek()
+	var cnt int
+	if t.kind == tNumber {
+		p.next()
+		n, err := strconv.ParseUint(t.text, 10, 16)
+		if err != nil || n == 0 {
+			return p.errf(t, "bad trip count %q", t.text)
+		}
+		// Synthesize the constant into a fresh variable register.
+		r, err := p.declareVar(token{kind: tIdent, text: fmt.Sprintf("__for%d", p.pos), line: t.line})
+		if err != nil {
+			return err
+		}
+		p.b.Const(r, n)
+		cnt = r
+	} else {
+		r, err := p.reg()
+		if err != nil {
+			return err
+		}
+		cnt = r
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var bodyErr error
+	p.b.Repeat(cnt, func() { bodyErr = p.parseStmts() })
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return p.expectPunct("}")
+}
+
+func (p *parser) parseWhile() error {
+	p.next() // while
+	cond, err := p.parseCond()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var bodyErr error
+	p.b.While(cond, func() { bodyErr = p.parseStmts() })
+	if bodyErr != nil {
+		return bodyErr
+	}
+	return p.expectPunct("}")
+}
+
+func (p *parser) parseMove(send *int) error {
+	p.next() // move
+	var pairs []controlpath.RFHPair
+	for {
+		src, err := p.prefixed("rfh", isa.MaxRFHsPerMPU)
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return err
+		}
+		dst, err := p.prefixed("rfh", isa.MaxRFHsPerMPU)
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, controlpath.RFHPair{Src: uint8(src), Dst: uint8(dst)})
+		if p.peek().kind == tPunct && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var copyErr error
+	copies := func(tr *Transfer) {
+		for {
+			t := p.peek()
+			if t.kind == tPunct && t.text == "}" {
+				return
+			}
+			if t.kind != tIdent || t.text != "copy" {
+				copyErr = p.errf(t, "expected `copy` inside a move block")
+				return
+			}
+			p.next()
+			vs, err := p.prefixed("vrf", isa.MaxVRFsPerRFH)
+			if err != nil {
+				copyErr = err
+				return
+			}
+			if copyErr = p.expectPunct("."); copyErr != nil {
+				return
+			}
+			rs, err := p.reg()
+			if err != nil {
+				copyErr = err
+				return
+			}
+			if copyErr = p.expectPunct("->"); copyErr != nil {
+				return
+			}
+			vd, err := p.prefixed("vrf", isa.MaxVRFsPerRFH)
+			if err != nil {
+				copyErr = err
+				return
+			}
+			if copyErr = p.expectPunct("."); copyErr != nil {
+				return
+			}
+			rdReg, err := p.reg()
+			if err != nil {
+				copyErr = err
+				return
+			}
+			tr.Copy(vs, rs, vd, rdReg)
+		}
+	}
+	if send != nil {
+		p.b.Send(*send, pairs, copies)
+	} else {
+		p.b.Transfer(pairs, copies)
+	}
+	if copyErr != nil {
+		return copyErr
+	}
+	return p.expectPunct("}")
+}
+
+func (p *parser) parseSend() error {
+	p.next() // send
+	id, err := p.prefixed("mpu", 1<<24)
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	t := p.peek()
+	if t.kind != tIdent || t.text != "move" {
+		return p.errf(t, "send block must contain a move block")
+	}
+	if err := p.parseMove(&id); err != nil {
+		return err
+	}
+	return p.expectPunct("}")
+}

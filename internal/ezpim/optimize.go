@@ -1,0 +1,110 @@
+package ezpim
+
+import (
+	"fmt"
+
+	"mpu/internal/isa"
+)
+
+// Optimize runs a peephole pass over an assembled MPU program and returns
+// the optimized program plus the number of instructions removed. It is the
+// first piece of the "true compiler toolchain" the paper lists as future
+// work (§IX): masking-sequence cleanups that are easy for a code generator
+// to emit redundantly and expensive to execute on a bit-serial datapath.
+//
+// Patterns removed (each guarded so no jump target lands on the removed
+// instruction, and all jump targets are re-indexed afterwards):
+//
+//	MOV rX rX                     — identity move
+//	UNMASK ; UNMASK               — the second is a no-op
+//	SETMASK a ; SETMASK b         — the first write is dead
+//	UNMASK ; SETMASK x            — the UNMASK is dead
+//	SETMASK x ; UNMASK            — the SETMASK is dead
+func Optimize(p isa.Program) (isa.Program, int) {
+	total := 0
+	for {
+		out, n := optimizeOnce(p)
+		total += n
+		if n == 0 {
+			return out, total
+		}
+		p = out
+	}
+}
+
+func optimizeOnce(p isa.Program) (isa.Program, int) {
+	// Jump targets: removing an instruction that control flow can enter
+	// directly would change semantics; removing the *first* of a pair is
+	// only safe if the second is reached exclusively by fallthrough — i.e.
+	// the second instruction is not itself a target, and the first is not
+	// a target either (a jump could land on it expecting its effect...
+	// actually landing on a removed dead-store is fine only if the store
+	// really is dead on that path too; be conservative: never remove a
+	// targeted instruction).
+	target := make([]bool, len(p)+1)
+	for _, in := range p {
+		if in.Op == isa.JUMP || in.Op == isa.JUMPCOND {
+			if t := int(in.Imm); t >= 0 && t < len(target) {
+				target[t] = true
+			}
+		}
+	}
+
+	remove := make([]bool, len(p))
+	for i := 0; i < len(p); i++ {
+		in := p[i]
+		// Identity move.
+		if in.Op == isa.MOV && in.A == in.C && !target[i] {
+			// Removing a targeted identity MOV would still be safe, but we
+			// stay uniform with the other rules.
+			remove[i] = true
+			continue
+		}
+		if i+1 >= len(p) || target[i] || target[i+1] {
+			continue
+		}
+		next := p[i+1]
+		switch {
+		case in.Op == isa.UNMASK && next.Op == isa.UNMASK:
+			remove[i+1] = true
+		case in.Op == isa.SETMASK && next.Op == isa.SETMASK:
+			remove[i] = true
+		case in.Op == isa.UNMASK && next.Op == isa.SETMASK:
+			remove[i] = true
+		case in.Op == isa.SETMASK && next.Op == isa.UNMASK:
+			remove[i] = true
+		}
+	}
+
+	removed := 0
+	newIndex := make([]int, len(p)+1)
+	idx := 0
+	for i := range p {
+		newIndex[i] = idx
+		if remove[i] {
+			removed++
+			continue
+		}
+		idx++
+	}
+	newIndex[len(p)] = idx
+	if removed == 0 {
+		return p, 0
+	}
+	out := make(isa.Program, 0, len(p)-removed)
+	for i, in := range p {
+		if remove[i] {
+			continue
+		}
+		if in.Op == isa.JUMP || in.Op == isa.JUMPCOND {
+			in.Imm = int32(newIndex[in.Imm])
+		}
+		out = append(out, in)
+	}
+	if err := out.Validate(); err != nil {
+		// A failed rewrite indicates a bug in the pass; fall back to the
+		// unoptimized program rather than emitting a broken binary.
+		panic(fmt.Sprintf("ezpim: optimizer produced invalid program: %v", err))
+	}
+	return out, removed
+}

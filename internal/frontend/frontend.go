@@ -1,0 +1,78 @@
+// Package frontend models the synthesized MPU control-path hardware: the
+// per-component area and power breakdown of Fig. 11 and the chip-level
+// iso-area arithmetic of §VIII-A. The totals are the paper's 15 nm Synopsys
+// results (0.123 mm², 1.22 mW static, 71.72 mW dynamic at 1 GHz); component
+// fractions follow the reported storage-dominated split (storage components
+// hold 53% of area, 91% of static power, and almost all dynamic power).
+package frontend
+
+// Totals from the §VIII-A synthesis run, per MPU front end.
+const (
+	AreaMM2        = 0.123
+	StaticPowerMW  = 1.22
+	DynamicPowerMW = 71.72
+	ClockGHz       = 1.0
+)
+
+// Component is one control-path block with its share of the front end.
+type Component struct {
+	Name        string
+	Storage     bool    // counted toward the storage-dominated share
+	AreaFrac    float64 // fraction of AreaMM2
+	StaticFrac  float64 // fraction of StaticPowerMW
+	DynamicFrac float64 // fraction of DynamicPowerMW
+}
+
+// Components returns the Fig. 11 breakdown. Fractions sum to 1 per column.
+func Components() []Component {
+	return []Component{
+		{Name: "playback buffer", Storage: true, AreaFrac: 0.24, StaticFrac: 0.41, DynamicFrac: 0.44},
+		{Name: "template lookup", Storage: true, AreaFrac: 0.17, StaticFrac: 0.29, DynamicFrac: 0.31},
+		{Name: "recipe/pointer table", Storage: true, AreaFrac: 0.12, StaticFrac: 0.21, DynamicFrac: 0.21},
+		{Name: "activation board", Storage: false, AreaFrac: 0.09, StaticFrac: 0.02, DynamicFrac: 0.01},
+		{Name: "fetcher + ISU port", Storage: false, AreaFrac: 0.13, StaticFrac: 0.03, DynamicFrac: 0.01},
+		{Name: "I2M template filler", Storage: false, AreaFrac: 0.10, StaticFrac: 0.02, DynamicFrac: 0.01},
+		{Name: "data transfer controller", Storage: false, AreaFrac: 0.08, StaticFrac: 0.01, DynamicFrac: 0.005},
+		{Name: "EFI + scheduler", Storage: false, AreaFrac: 0.07, StaticFrac: 0.01, DynamicFrac: 0.005},
+	}
+}
+
+// StorageShare sums the storage components' fractions: (area, static,
+// dynamic). §VIII-A reports 53% / 91% / ~100%.
+func StorageShare() (area, static, dynamic float64) {
+	for _, c := range Components() {
+		if c.Storage {
+			area += c.AreaFrac
+			static += c.StaticFrac
+			dynamic += c.DynamicFrac
+		}
+	}
+	return area, static, dynamic
+}
+
+// ChipImpact reports the chip-level cost of adding n MPU front ends to a
+// datapath chip of the given area (cm²) and static power (mW), as in the
+// §VIII-A RACER example (512 MPUs: 4.00 → 4.63 cm², 330 → 955 mW).
+func ChipImpact(n int, chipAreaCM2, chipStaticMW float64) (areaCM2, staticMW float64) {
+	areaCM2 = chipAreaCM2 + float64(n)*AreaMM2/100
+	staticMW = chipStaticMW + float64(n)*StaticPowerMW
+	return areaCM2, staticMW
+}
+
+// MaxRuntimePowerW returns the worst-case control-path power for n MPUs
+// (§VIII-A: 36.7 W for 512 MPUs, 40.2% of RACER system power).
+func MaxRuntimePowerW(n int) float64 {
+	return float64(n) * (StaticPowerMW + DynamicPowerMW) / 1000
+}
+
+// StaticEnergyPJ returns front-end static energy for n MPUs over the given
+// number of 1 GHz cycles.
+func StaticEnergyPJ(n int, cycles int64) float64 {
+	return float64(n) * StaticPowerMW * float64(cycles) // 1 mW × 1 ns = 1 pJ
+}
+
+// DynamicEnergyPJ returns decode/issue energy for the given number of
+// active-issue cycles (cycles in which a front end issued a micro-op).
+func DynamicEnergyPJ(issueCycles int64) float64 {
+	return DynamicPowerMW * float64(issueCycles)
+}

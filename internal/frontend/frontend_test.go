@@ -1,0 +1,66 @@
+package frontend
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFractionsSumToOne(t *testing.T) {
+	var a, s, d float64
+	for _, c := range Components() {
+		if c.AreaFrac <= 0 || c.StaticFrac <= 0 || c.DynamicFrac <= 0 {
+			t.Errorf("%s: non-positive fraction", c.Name)
+		}
+		a += c.AreaFrac
+		s += c.StaticFrac
+		d += c.DynamicFrac
+	}
+	for name, sum := range map[string]float64{"area": a, "static": s, "dynamic": d} {
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s fractions sum to %v, want 1", name, sum)
+		}
+	}
+}
+
+// TestStorageDominance pins the §VIII-A observation: storage components are
+// 53% of area, 91% of static power, and almost all dynamic power.
+func TestStorageDominance(t *testing.T) {
+	area, static, dynamic := StorageShare()
+	if math.Abs(area-0.53) > 0.01 {
+		t.Errorf("storage area share = %.2f, want 0.53", area)
+	}
+	if math.Abs(static-0.91) > 0.01 {
+		t.Errorf("storage static share = %.2f, want 0.91", static)
+	}
+	if dynamic < 0.9 {
+		t.Errorf("storage dynamic share = %.2f, want ≈1", dynamic)
+	}
+}
+
+// TestChipImpactMatchesPaper reproduces the §VIII-A RACER example: 512 MPUs
+// take the chip from 4.00 to 4.63 cm² and 330 to ~955 mW static.
+func TestChipImpactMatchesPaper(t *testing.T) {
+	area, static := ChipImpact(512, 4.00, 330)
+	if math.Abs(area-4.63) > 0.01 {
+		t.Errorf("chip area = %.2f cm², want 4.63", area)
+	}
+	if math.Abs(static-954.6) > 1 {
+		t.Errorf("chip static = %.1f mW, want ≈955", static)
+	}
+}
+
+// TestMaxRuntimePower reproduces the 36.7 W maximum for 512 MPUs.
+func TestMaxRuntimePower(t *testing.T) {
+	if got := MaxRuntimePowerW(512); math.Abs(got-37.3) > 1 {
+		t.Errorf("max runtime power = %.1f W, want ≈36.7–37.3", got)
+	}
+}
+
+func TestEnergyHelpers(t *testing.T) {
+	if got := StaticEnergyPJ(2, 1000); got != 2*1.22*1000 {
+		t.Errorf("StaticEnergyPJ = %v", got)
+	}
+	if got := DynamicEnergyPJ(100); got != 7172.0 {
+		t.Errorf("DynamicEnergyPJ = %v", got)
+	}
+}

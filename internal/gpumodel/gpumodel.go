@@ -1,0 +1,89 @@
+// Package gpumodel provides the analytical RTX 4090 cost model used as the
+// paper's GPU comparison point. The real evaluation ran CUDA kernels on
+// hardware; here a roofline model captures the behaviours that matter for
+// the comparison: 64-bit bitwise kernels are memory-bound, every kernel pays
+// launch overhead, data reaches the card over PCIe, and divergent control
+// flow wastes SIMT lanes.
+package gpumodel
+
+import "fmt"
+
+// Model holds device parameters.
+type Model struct {
+	Name string
+
+	// PeakGOPS64 is effective 64-bit integer throughput (GOPS). The 4090's
+	// 82.6 TFLOPS fp32 peak degrades heavily for 64-bit integer work,
+	// which executes as multi-instruction int32 sequences.
+	PeakGOPS64 float64
+
+	DRAMGBs float64 // device memory bandwidth
+	PCIeGBs float64 // host link bandwidth
+
+	LaunchOverheadS float64 // per kernel launch
+	BoardPowerW     float64 // under load
+	HostPowerW      float64 // host share attributed while the GPU runs
+}
+
+// RTX4090 returns the GeForce RTX 4090 parameters [75].
+func RTX4090() *Model {
+	return &Model{
+		Name:            "RTX4090",
+		PeakGOPS64:      10_000, // ≈82.6 TFLOPS fp32 / ~8 for int64 sequences
+		DRAMGBs:         1008,
+		PCIeGBs:         32, // PCIe 4.0 ×16
+		LaunchOverheadS: 5e-6,
+		BoardPowerW:     380,
+		HostPowerW:      60,
+	}
+}
+
+// Profile characterizes one kernel for the roofline.
+type Profile struct {
+	Name     string
+	Elements int
+
+	OpsPerElement   float64 // 64-bit integer operations
+	BytesPerElement float64 // device-memory traffic per pass
+	Passes          int     // kernel launches / full-array passes
+	Divergence      float64 // SIMT divergence penalty (≥1)
+
+	// HostBytes counts PCIe traffic (H2D inputs + D2H results). PUM keeps
+	// data resident, so this is pure GPU-side cost.
+	HostBytes float64
+}
+
+// Result is the modeled execution.
+type Result struct {
+	Seconds  float64
+	Joules   float64
+	MemBound bool
+}
+
+// Run evaluates the roofline for p.
+func (m *Model) Run(p Profile) (Result, error) {
+	if p.Elements <= 0 {
+		return Result{}, fmt.Errorf("gpumodel: non-positive element count %d", p.Elements)
+	}
+	passes := p.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	div := p.Divergence
+	if div < 1 {
+		div = 1
+	}
+	n := float64(p.Elements)
+	tCompute := n * p.OpsPerElement * div / (m.PeakGOPS64 * 1e9)
+	tMem := n * p.BytesPerElement * float64(passes) / (m.DRAMGBs * 1e9)
+	tKernel := tCompute
+	memBound := false
+	if tMem > tKernel {
+		tKernel = tMem
+		memBound = true
+	}
+	tPCIe := p.HostBytes / (m.PCIeGBs * 1e9)
+	t := tKernel + float64(passes)*m.LaunchOverheadS + tPCIe
+	e := t * (m.BoardPowerW + m.HostPowerW)
+	return Result{Seconds: t, Joules: e, MemBound: memBound}, nil
+}

@@ -1,0 +1,94 @@
+package gpumodel
+
+import "testing"
+
+func TestRTX4090Parameters(t *testing.T) {
+	m := RTX4090()
+	if m.DRAMGBs != 1008 {
+		t.Errorf("DRAM bandwidth = %v, want the 4090's 1008 GB/s", m.DRAMGBs)
+	}
+	if m.PCIeGBs != 32 {
+		t.Errorf("PCIe bandwidth = %v, want 32 GB/s (gen4 x16)", m.PCIeGBs)
+	}
+	if m.BoardPowerW <= 0 || m.LaunchOverheadS <= 0 {
+		t.Error("non-positive power/overhead")
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	m := RTX4090()
+	// 1 op/element over 24 bytes: classic streaming kernel → memory bound.
+	res, err := m.Run(Profile{Name: "stream", Elements: 1 << 24, OpsPerElement: 1, BytesPerElement: 24, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MemBound {
+		t.Error("streaming kernel not memory bound")
+	}
+	wantMem := float64(1<<24) * 24 / (m.DRAMGBs * 1e9)
+	if res.Seconds < wantMem {
+		t.Errorf("time %v below the bandwidth floor %v", res.Seconds, wantMem)
+	}
+}
+
+func TestComputeBoundKernel(t *testing.T) {
+	m := RTX4090()
+	res, err := m.Run(Profile{Name: "heavy", Elements: 1 << 20, OpsPerElement: 10000, BytesPerElement: 8, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemBound {
+		t.Error("op-heavy kernel reported memory bound")
+	}
+}
+
+func TestDivergencePenalty(t *testing.T) {
+	m := RTX4090()
+	base, _ := m.Run(Profile{Elements: 1 << 20, OpsPerElement: 1000, BytesPerElement: 8, Passes: 1, Divergence: 1})
+	div, _ := m.Run(Profile{Elements: 1 << 20, OpsPerElement: 1000, BytesPerElement: 8, Passes: 1, Divergence: 4})
+	if div.Seconds <= base.Seconds {
+		t.Error("divergence did not slow the kernel")
+	}
+}
+
+func TestLaunchAndPCIeCosts(t *testing.T) {
+	m := RTX4090()
+	one, _ := m.Run(Profile{Elements: 1024, OpsPerElement: 1, BytesPerElement: 8, Passes: 1})
+	many, _ := m.Run(Profile{Elements: 1024, OpsPerElement: 1, BytesPerElement: 8, Passes: 10})
+	if many.Seconds < one.Seconds+8*m.LaunchOverheadS {
+		t.Error("launch overhead not charged per pass")
+	}
+	withHost, _ := m.Run(Profile{Elements: 1024, OpsPerElement: 1, BytesPerElement: 8, Passes: 1, HostBytes: 32e9})
+	if withHost.Seconds < 0.9 {
+		t.Errorf("32 GB over PCIe should cost ≈1 s, got %v", withHost.Seconds)
+	}
+}
+
+func TestEnergyTracksPower(t *testing.T) {
+	m := RTX4090()
+	res, _ := m.Run(Profile{Elements: 1 << 24, OpsPerElement: 1, BytesPerElement: 24, Passes: 1})
+	want := res.Seconds * (m.BoardPowerW + m.HostPowerW)
+	if diff := res.Joules - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy %v, want %v", res.Joules, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := RTX4090()
+	if _, err := m.Run(Profile{Elements: 0}); err == nil {
+		t.Error("zero elements accepted")
+	}
+	if _, err := m.Run(Profile{Elements: -1}); err == nil {
+		t.Error("negative elements accepted")
+	}
+}
+
+func TestDefaultsNormalized(t *testing.T) {
+	m := RTX4090()
+	// Passes 0 → 1, Divergence 0 → 1: should equal the explicit values.
+	a, _ := m.Run(Profile{Elements: 1 << 20, OpsPerElement: 10, BytesPerElement: 8})
+	b, _ := m.Run(Profile{Elements: 1 << 20, OpsPerElement: 10, BytesPerElement: 8, Passes: 1, Divergence: 1})
+	if a.Seconds != b.Seconds {
+		t.Error("zero-value profile fields not normalized")
+	}
+}

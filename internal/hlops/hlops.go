@@ -1,0 +1,258 @@
+// Package hlops is the meta-ISA layer sketched in §IX: high-level,
+// tensor-style operations ("encode matrix multiply operations as multiply
+// and accumulate micro-ops") compiled down to MPU programs. A Graph records
+// operations over batched operands — each value is one vector register
+// replicated across a set of VRFs, holding VRFs×lanes elements — and
+// Compile lowers them through the ezpim builder: consecutive elementwise
+// operations fuse into one compute ensemble, and cross-VRF reductions expand
+// into the DTC tree-reduce collective.
+//
+// The register allocator is linear with explicit Free; graphs needing more
+// than the architectural register file fail at Compile with a clear error,
+// mirroring how a real toolchain for the MPU would spill (spilling is left
+// as future work, as in the paper).
+package hlops
+
+import (
+	"fmt"
+
+	"mpu/internal/controlpath"
+	"mpu/internal/ezpim"
+	"mpu/internal/isa"
+)
+
+// Value is a handle to one graph operand (a vector register across the
+// graph's VRFs).
+type Value struct {
+	reg  int
+	g    *Graph
+	dead bool
+}
+
+// Reg exposes the architectural register backing the value (for data
+// loading and readback).
+func (v Value) Reg() int { return v.reg }
+
+type opKind int
+
+const (
+	opElem opKind = iota // one or more datapath instructions
+	opReduce
+)
+
+type op struct {
+	kind  opKind
+	emit  func(b *ezpim.Builder) // elementwise
+	reg   int                    // reduce operand
+	tmp   int                    // reduce staging
+	width int                    // reduce participant count
+}
+
+// Graph records meta-ISA operations for one VRF set.
+type Graph struct {
+	addrs   []controlpath.VRFAddr
+	ops     []op
+	nextReg int
+	free    []int
+	err     error
+}
+
+// NewGraph starts a graph over the given VRFs. For reductions the VRFs must
+// occupy distinct RF holders with a uniform VRF index and have a
+// power-of-two count; elementwise-only graphs have no layout constraints.
+func NewGraph(addrs []controlpath.VRFAddr) *Graph {
+	return &Graph{addrs: addrs}
+}
+
+func (g *Graph) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf("hlops: "+format, args...)
+	}
+}
+
+// alloc reserves one register.
+func (g *Graph) alloc() int {
+	if n := len(g.free); n > 0 {
+		r := g.free[n-1]
+		g.free = g.free[:n-1]
+		return r
+	}
+	r := g.nextReg
+	if r >= ezpim.UserRegs-2 { // keep two registers for reduce staging
+		g.fail("register file exhausted (%d live values); Free dead values", r)
+		return 0
+	}
+	g.nextReg = r + 1
+	return r
+}
+
+// Input binds a value to an externally loaded register. Inputs must be
+// declared before any computed value so the allocator does not reuse their
+// registers.
+func (g *Graph) Input(reg int) Value {
+	if reg < 0 || reg >= ezpim.UserRegs {
+		g.fail("input register r%d out of user range", reg)
+		return Value{g: g}
+	}
+	if reg >= g.nextReg {
+		g.nextReg = reg + 1
+	}
+	return Value{reg: reg, g: g}
+}
+
+// Free returns a value's register to the allocator; using the value
+// afterwards is an error.
+func (g *Graph) Free(v *Value) {
+	if v.dead {
+		g.fail("double Free of r%d", v.reg)
+		return
+	}
+	v.dead = true
+	g.free = append(g.free, v.reg)
+}
+
+func (g *Graph) use(vs ...Value) bool {
+	for _, v := range vs {
+		if v.g != g {
+			g.fail("value from a different graph")
+			return false
+		}
+		if v.dead {
+			g.fail("use of freed value r%d", v.reg)
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) binary(mk func(a, b, c int) isa.Instr, a, b Value) Value {
+	if !g.use(a, b) {
+		return Value{g: g}
+	}
+	out := Value{reg: g.alloc(), g: g}
+	in := mk(a.reg, b.reg, out.reg)
+	g.ops = append(g.ops, op{kind: opElem, emit: func(bl *ezpim.Builder) { bl.Op(in) }})
+	return out
+}
+
+func (g *Graph) unary(mk func(a, c int) isa.Instr, a Value) Value {
+	if !g.use(a) {
+		return Value{g: g}
+	}
+	out := Value{reg: g.alloc(), g: g}
+	in := mk(a.reg, out.reg)
+	g.ops = append(g.ops, op{kind: opElem, emit: func(bl *ezpim.Builder) { bl.Op(in) }})
+	return out
+}
+
+// Elementwise operations.
+
+// Add returns a + b.
+func (g *Graph) Add(a, b Value) Value { return g.binary(isa.Add, a, b) }
+
+// Sub returns a - b.
+func (g *Graph) Sub(a, b Value) Value { return g.binary(isa.Sub, a, b) }
+
+// Mul returns a * b.
+func (g *Graph) Mul(a, b Value) Value { return g.binary(isa.Mul, a, b) }
+
+// Div returns a / b (unsigned).
+func (g *Graph) Div(a, b Value) Value { return g.binary(isa.QDiv, a, b) }
+
+// Max returns max(a, b) (signed).
+func (g *Graph) Max(a, b Value) Value { return g.binary(isa.MaxI, a, b) }
+
+// Min returns min(a, b) (signed).
+func (g *Graph) Min(a, b Value) Value { return g.binary(isa.MinI, a, b) }
+
+// And returns a & b.
+func (g *Graph) And(a, b Value) Value { return g.binary(isa.And, a, b) }
+
+// Xor returns a ^ b.
+func (g *Graph) Xor(a, b Value) Value { return g.binary(isa.Xor, a, b) }
+
+// Relu returns max(a, 0).
+func (g *Graph) Relu(a Value) Value { return g.unary(isa.Relu, a) }
+
+// Popc returns popcount(a).
+func (g *Graph) Popc(a Value) Value { return g.unary(isa.Popc, a) }
+
+// Not returns ^a.
+func (g *Graph) Not(a Value) Value { return g.unary(isa.Inv, a) }
+
+// Const returns a value filled with the constant c in every lane.
+func (g *Graph) Const(c uint64) Value {
+	out := Value{reg: g.alloc(), g: g}
+	g.ops = append(g.ops, op{kind: opElem, emit: func(bl *ezpim.Builder) { bl.Const(out.reg, c) }})
+	return out
+}
+
+// MulAcc computes acc += a*b in place and returns acc.
+func (g *Graph) MulAcc(acc, a, b Value) Value {
+	if !g.use(acc, a, b) {
+		return Value{g: g}
+	}
+	in := isa.Mac(a.reg, b.reg, acc.reg)
+	g.ops = append(g.ops, op{kind: opElem, emit: func(bl *ezpim.Builder) { bl.Op(in) }})
+	return acc
+}
+
+// SumReduce folds a across the graph's VRFs with the DTC tree collective:
+// after execution, VRF addrs[0] holds the lane-wise sum over all VRFs. The
+// value's register is reused for the result.
+func (g *Graph) SumReduce(a Value) Value {
+	if !g.use(a) {
+		return Value{g: g}
+	}
+	n := len(g.addrs)
+	if n == 0 || n&(n-1) != 0 {
+		g.fail("SumReduce needs a power-of-two VRF count, got %d", n)
+		return Value{g: g}
+	}
+	tmp := g.alloc()
+	g.ops = append(g.ops, op{kind: opReduce, reg: a.reg, tmp: tmp, width: n})
+	g.free = append(g.free, tmp)
+	return a
+}
+
+// Dot returns the lane-wise dot product of a and b across the graph's VRFs:
+// per-VRF products followed by a tree reduction into addrs[0].
+func (g *Graph) Dot(a, b Value) Value {
+	return g.SumReduce(g.Mul(a, b))
+}
+
+// Compile lowers the graph: runs of elementwise ops fuse into single
+// compute ensembles, separated by reduce collectives.
+func (g *Graph) Compile() (isa.Program, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
+	if len(g.addrs) == 0 {
+		return nil, fmt.Errorf("hlops: graph has no VRFs")
+	}
+	if len(g.ops) == 0 {
+		return nil, fmt.Errorf("hlops: graph has no operations")
+	}
+	b := ezpim.NewBuilder()
+	i := 0
+	for i < len(g.ops) {
+		if g.ops[i].kind == opReduce {
+			o := g.ops[i]
+			b.ReduceAdd(g.addrs, o.reg, o.tmp)
+			i++
+			continue
+		}
+		j := i
+		for j < len(g.ops) && g.ops[j].kind == opElem {
+			j++
+		}
+		segment := g.ops[i:j]
+		b.Ensemble(g.addrs, func() {
+			for _, o := range segment {
+				o.emit(b)
+			}
+		})
+		i = j
+	}
+	return b.Program()
+}

@@ -1,0 +1,235 @@
+package hlops
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+	"mpu/internal/machine"
+)
+
+func rfhAddrs(n int) []controlpath.VRFAddr {
+	addrs := make([]controlpath.VRFAddr, n)
+	for i := range addrs {
+		addrs[i] = controlpath.VRFAddr{RFH: uint8(i), VRF: 0}
+	}
+	return addrs
+}
+
+func runGraph(t *testing.T, prog isa.Program, addrs []controlpath.VRFAddr,
+	load map[int][][]uint64) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{Spec: backends.RACER(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	for reg, perVRF := range load {
+		for v, vals := range perVRF {
+			if err := m.WriteVector(0, addrs[v], reg, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestElementwiseGraph(t *testing.T) {
+	addrs := rfhAddrs(2)
+	g := NewGraph(addrs)
+	x := g.Input(0)
+	y := g.Input(1)
+	z := g.Add(x, y)         // r2
+	w := g.Mul(z, z)         // r3
+	r := g.Relu(g.Sub(x, y)) // r4 (sub), r5 (relu)... allocation order
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := backends.RACER().Lanes
+	xv := [][]uint64{make([]uint64, lanes), make([]uint64, lanes)}
+	yv := [][]uint64{make([]uint64, lanes), make([]uint64, lanes)}
+	rng := rand.New(rand.NewSource(4))
+	for v := 0; v < 2; v++ {
+		for l := 0; l < lanes; l++ {
+			xv[v][l] = uint64(rng.Intn(1000))
+			yv[v][l] = uint64(rng.Intn(1000))
+		}
+	}
+	m := runGraph(t, prog, addrs, map[int][][]uint64{0: xv, 1: yv})
+	for v := 0; v < 2; v++ {
+		gotW, _ := m.ReadVector(0, addrs[v], w.Reg())
+		gotR, _ := m.ReadVector(0, addrs[v], r.Reg())
+		for l := 0; l < lanes; l++ {
+			s := xv[v][l] + yv[v][l]
+			if gotW[l] != s*s {
+				t.Fatalf("vrf %d lane %d: (x+y)² = %d, want %d", v, l, gotW[l], s*s)
+			}
+			d := xv[v][l] - yv[v][l]
+			if int64(d) < 0 {
+				d = 0
+			}
+			if gotR[l] != d {
+				t.Fatalf("vrf %d lane %d: relu(x−y) = %d, want %d", v, l, gotR[l], d)
+			}
+		}
+	}
+}
+
+func TestDotReduce(t *testing.T) {
+	const n = 4
+	addrs := rfhAddrs(n)
+	g := NewGraph(addrs)
+	x := g.Input(0)
+	y := g.Input(1)
+	d := g.Dot(x, y)
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := backends.RACER().Lanes
+	xv := make([][]uint64, n)
+	yv := make([][]uint64, n)
+	want := make([]uint64, lanes)
+	rng := rand.New(rand.NewSource(6))
+	for v := 0; v < n; v++ {
+		xv[v] = make([]uint64, lanes)
+		yv[v] = make([]uint64, lanes)
+		for l := 0; l < lanes; l++ {
+			xv[v][l] = uint64(rng.Intn(500))
+			yv[v][l] = uint64(rng.Intn(500))
+			want[l] += xv[v][l] * yv[v][l]
+		}
+	}
+	m := runGraph(t, prog, addrs, map[int][][]uint64{0: xv, 1: yv})
+	got, _ := m.ReadVector(0, addrs[0], d.Reg())
+	for l := range want {
+		if got[l] != want[l] {
+			t.Fatalf("lane %d: dot = %d, want %d", l, got[l], want[l])
+		}
+	}
+}
+
+func TestGraphWithConstAndMulAcc(t *testing.T) {
+	addrs := rfhAddrs(1)
+	g := NewGraph(addrs)
+	x := g.Input(0)
+	three := g.Const(3)
+	acc := g.Const(100)
+	acc = g.MulAcc(acc, x, three) // 100 + 3x
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runGraph(t, prog, addrs, map[int][][]uint64{0: {{7, 0, 50}}})
+	got, _ := m.ReadVector(0, addrs[0], acc.Reg())
+	for l, x := range []uint64{7, 0, 50} {
+		if got[l] != 100+3*x {
+			t.Fatalf("lane %d: %d, want %d", l, got[l], 100+3*x)
+		}
+	}
+}
+
+func TestSegmentFusion(t *testing.T) {
+	// Elementwise ops around a reduction must form exactly three segments:
+	// ensemble, reduce (transfers + ensembles), ensemble.
+	addrs := rfhAddrs(2)
+	g := NewGraph(addrs)
+	x := g.Input(0)
+	s := g.Add(x, x)
+	s = g.SumReduce(s)
+	_ = g.Add(s, s)
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := 0
+	for _, in := range prog {
+		if in.Op == isa.MOVE {
+			moves++
+		}
+	}
+	if moves != 1 { // log2(2) reduction rounds = 1 transfer ensemble
+		t.Fatalf("MOVE headers = %d, want 1", moves)
+	}
+}
+
+func TestAllocatorFreeAndReuse(t *testing.T) {
+	g := NewGraph(rfhAddrs(1))
+	x := g.Input(0)
+	t1 := g.Add(x, x)
+	r1 := t1.Reg()
+	g.Free(&t1)
+	t2 := g.Mul(x, x)
+	if t2.Reg() != r1 {
+		t.Fatalf("freed register not reused: got r%d, want r%d", t2.Reg(), r1)
+	}
+	if _, err := g.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	// Register exhaustion.
+	g := NewGraph(rfhAddrs(1))
+	x := g.Input(0)
+	for i := 0; i < 60; i++ {
+		x = g.Add(x, x)
+	}
+	if _, err := g.Compile(); err == nil {
+		t.Error("register exhaustion not reported")
+	}
+
+	// Use after free.
+	g = NewGraph(rfhAddrs(1))
+	v := g.Add(g.Input(0), g.Input(1))
+	g.Free(&v)
+	g.Add(v, v)
+	if _, err := g.Compile(); err == nil {
+		t.Error("use-after-free not reported")
+	}
+
+	// Double free.
+	g = NewGraph(rfhAddrs(1))
+	v = g.Add(g.Input(0), g.Input(1))
+	g.Free(&v)
+	v2 := v
+	g.Free(&v2)
+	if _, err := g.Compile(); err == nil {
+		t.Error("double free not reported")
+	}
+
+	// Non-power-of-two reduction.
+	g = NewGraph(rfhAddrs(3))
+	g.SumReduce(g.Input(0))
+	if _, err := g.Compile(); err == nil {
+		t.Error("3-way reduction not reported")
+	}
+
+	// Cross-graph value.
+	g1, g2 := NewGraph(rfhAddrs(1)), NewGraph(rfhAddrs(1))
+	a := g1.Input(0)
+	g2.Add(a, a)
+	if _, err := g2.Compile(); err == nil {
+		t.Error("cross-graph value not reported")
+	}
+
+	// Empty graph.
+	if _, err := NewGraph(rfhAddrs(1)).Compile(); err == nil {
+		t.Error("empty graph not reported")
+	}
+	// Bad input register.
+	g = NewGraph(rfhAddrs(1))
+	g.Input(99)
+	g.Add(g.Input(0), g.Input(1))
+	if _, err := g.Compile(); err == nil {
+		t.Error("out-of-range input not reported")
+	}
+}

@@ -1,0 +1,85 @@
+// Package hostcpu models the external host processor the *Baseline*
+// configurations depend on for control flow (§I, Fig. 1). The original
+// datapaths cannot evaluate dynamic loop conditions or redirect their own
+// instruction streams, so every such decision is a full off-chip round trip:
+// the host reads condition state back over the memory bus, evaluates it, and
+// issues the next command sequence through the driver stack.
+//
+// Parameters are sized from the Xeon Gold 6544Y system of Table III and
+// calibrated so that the Fig. 1 microbenchmark reproduces: with an 80
+// CMPEQ-instruction loop body on RACER, one CPU interaction per iteration
+// slows the loop by ~10×.
+package hostcpu
+
+// Model carries the offload cost parameters.
+type Model struct {
+	// RoundTripCycles is the cost (in 1 GHz datapath cycles) of one
+	// CPU-assisted control decision for an off-chip datapath: interrupt
+	// delivery, driver work, condition readback, and command re-issue.
+	RoundTripCycles int64
+
+	// OnChipRoundTripCycles applies to datapaths co-located with the CPU
+	// (Duality Cache): the trip is a cache-hierarchy access, not a bus
+	// crossing.
+	OnChipRoundTripCycles int64
+
+	// ReadbackBytesPerLane is the condition state the CPU must pull back
+	// per vector lane to evaluate a branch or loop exit.
+	ReadbackBytesPerLane float64
+
+	// BusEnergyPJPerByte is the off-chip transfer energy.
+	BusEnergyPJPerByte float64
+
+	// ActivePowerW is drawn by the host whenever a Baseline kernel runs:
+	// the CPU cannot sleep because it owns the control loop. The MPU
+	// configurations eliminate this entirely (§VIII-B).
+	ActivePowerW float64
+
+	// OnChipActivePowerW is the share attributed when the datapath lives
+	// next to the CPU (Duality Cache): the cores idle-poll rather than
+	// drive an off-chip link.
+	OnChipActivePowerW float64
+}
+
+// Default returns the calibrated model.
+func Default() *Model {
+	return &Model{
+		RoundTripCycles:       650_000, // ≈0.65 ms: interrupt + driver + readback + reissue
+		OnChipRoundTripCycles: 3_000,   // cache-resident handshake
+		ReadbackBytesPerLane:  0.125,   // one mask bit per lane
+		BusEnergyPJPerByte:    25,      // off-chip DDR-class transfer energy
+		ActivePowerW:          45,      // package power while polling/serving
+		OnChipActivePowerW:    18,      // co-located cores actively polling
+	}
+}
+
+// OffloadCycles returns the latency of one control offload moving
+// lanes-worth of condition state, for an on- or off-chip datapath.
+func (m *Model) OffloadCycles(lanes int, onChip bool) int64 {
+	base := m.RoundTripCycles
+	if onChip {
+		base = m.OnChipRoundTripCycles
+	}
+	// Readback streams at ~8 bytes/cycle on the shared bus.
+	rb := int64(m.ReadbackBytesPerLane * float64(lanes) / 8)
+	return base + rb
+}
+
+// OffloadEnergyPJ returns the bus energy of one offload's readback plus
+// command traffic.
+func (m *Model) OffloadEnergyPJ(lanes int) float64 {
+	bytes := m.ReadbackBytesPerLane*float64(lanes) + 64 // plus a command packet
+	return bytes * m.BusEnergyPJPerByte
+}
+
+// IdleEnergyPJ returns the host-side energy for a Baseline run of the given
+// duration (cycles at 1 GHz): the CPU is live for the whole kernel. On-chip
+// hosts attribute the smaller co-located share.
+func (m *Model) IdleEnergyPJ(cycles int64, onChip bool) float64 {
+	p := m.ActivePowerW
+	if onChip {
+		p = m.OnChipActivePowerW
+	}
+	seconds := float64(cycles) * 1e-9
+	return p * seconds * 1e12
+}

@@ -1,0 +1,55 @@
+package hostcpu
+
+import "testing"
+
+func TestOffloadCycles(t *testing.T) {
+	m := Default()
+	off := m.OffloadCycles(64, false)
+	on := m.OffloadCycles(64, true)
+	if off <= on {
+		t.Fatalf("off-chip trip (%d) not costlier than on-chip (%d)", off, on)
+	}
+	if off < m.RoundTripCycles {
+		t.Fatalf("offload %d below base round trip %d", off, m.RoundTripCycles)
+	}
+	// Wider vectors mean more condition state to read back.
+	if m.OffloadCycles(1<<20, false) <= off {
+		t.Fatal("readback cost did not grow with lane count")
+	}
+}
+
+func TestOffloadEnergyScalesWithLanes(t *testing.T) {
+	m := Default()
+	if m.OffloadEnergyPJ(64) <= 0 {
+		t.Fatal("no offload energy")
+	}
+	if m.OffloadEnergyPJ(1024) <= m.OffloadEnergyPJ(64) {
+		t.Fatal("offload energy did not grow with lanes")
+	}
+}
+
+func TestIdleEnergy(t *testing.T) {
+	m := Default()
+	// 1 ms at 45 W = 45 mJ = 45e9 pJ.
+	got := m.IdleEnergyPJ(1_000_000, false)
+	want := m.ActivePowerW * 1e-3 * 1e12
+	if diff := got - want; diff > 1 || diff < -1 {
+		t.Fatalf("IdleEnergyPJ = %g, want %g", got, want)
+	}
+	// On-chip hosts attribute a smaller share.
+	if on := m.IdleEnergyPJ(1_000_000, true); on >= got {
+		t.Fatalf("on-chip idle energy %g not below off-chip %g", on, got)
+	}
+}
+
+// TestFig1Calibration pins the calibration target: with an 80-instruction
+// CMPEQ loop body on RACER (~920 cycles per CMPEQ), one round trip per
+// iteration slows the loop by roughly 10× (Fig. 1).
+func TestFig1Calibration(t *testing.T) {
+	m := Default()
+	bodyCycles := float64(80 * 920)
+	slowdown := (bodyCycles + float64(m.OffloadCycles(64, false))) / bodyCycles
+	if slowdown < 7 || slowdown > 14 {
+		t.Fatalf("Fig. 1 slowdown at 80 instructions = %.1f×, want ≈10×", slowdown)
+	}
+}

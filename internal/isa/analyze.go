@@ -1,0 +1,124 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis is a static summary of an MPU binary — the toolchain-side view a
+// compiler or autotuner needs before dispatch.
+type Analysis struct {
+	Instructions int
+	BinaryBytes  int
+
+	ByClass map[Class]int
+	ByOp    map[Op]int
+
+	ComputeEnsembles  int
+	TransferEnsembles int
+	SendBlocks        int
+	Recvs             int
+	MaxHeaderVRFs     int // largest compute-ensemble header
+	MaxBodyLen        int // largest straight-line ensemble body (playback pressure)
+	JumpTargets       int
+	HasDynamicLoops   bool // any JUMP_COND
+	HasSubroutines    bool // any JUMP/RETURN
+	VRFsTouched       int  // distinct (rfh, vrf) pairs in COMPUTE headers
+}
+
+// Analyze computes the static summary of p.
+func Analyze(p Program) Analysis {
+	a := Analysis{
+		Instructions: len(p),
+		BinaryBytes:  p.BinarySize(),
+		ByClass:      map[Class]int{},
+		ByOp:         map[Op]int{},
+	}
+	vrfs := map[[2]uint8]bool{}
+	targets := map[int32]bool{}
+	header := 0
+	bodyStart := -1
+	for i, in := range p {
+		a.ByClass[ClassOf(in.Op)]++
+		a.ByOp[in.Op]++
+		if header > 0 && in.Op != COMPUTE {
+			// The ensemble header just ended; the body starts here.
+			if header > a.MaxHeaderVRFs {
+				a.MaxHeaderVRFs = header
+			}
+			header = 0
+			bodyStart = i
+		}
+		switch in.Op {
+		case COMPUTE:
+			if header == 0 {
+				a.ComputeEnsembles++
+			}
+			header++
+			vrfs[[2]uint8{in.A, in.B}] = true
+		case COMPUTEDONE:
+			if bodyStart >= 0 && i-bodyStart+1 > a.MaxBodyLen {
+				a.MaxBodyLen = i - bodyStart + 1
+			}
+			bodyStart = -1
+		case MOVE:
+			if i == 0 || p[i-1].Op != MOVE {
+				// A MOVE run following a SEND belongs to the send block.
+				if i == 0 || p[i-1].Op != SEND {
+					a.TransferEnsembles++
+				}
+			}
+		case SEND:
+			a.SendBlocks++
+		case RECV:
+			a.Recvs++
+		case JUMPCOND:
+			a.HasDynamicLoops = true
+			targets[in.Imm] = true
+		case JUMP:
+			a.HasSubroutines = true
+			targets[in.Imm] = true
+		case RETURN:
+			a.HasSubroutines = true
+		}
+	}
+	a.JumpTargets = len(targets)
+	a.VRFsTouched = len(vrfs)
+	return a
+}
+
+// String renders the analysis as a short report.
+func (a Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d instructions (%d bytes)\n", a.Instructions, a.BinaryBytes)
+	fmt.Fprintf(&sb, "ensembles: %d compute (max header %d VRFs, max body %d), %d transfer, %d send, %d recv\n",
+		a.ComputeEnsembles, a.MaxHeaderVRFs, a.MaxBodyLen, a.TransferEnsembles, a.SendBlocks, a.Recvs)
+	fmt.Fprintf(&sb, "control: dynamic loops=%v subroutines=%v jump targets=%d\n",
+		a.HasDynamicLoops, a.HasSubroutines, a.JumpTargets)
+	// Deterministic op histogram, densest first.
+	type kv struct {
+		op Op
+		n  int
+	}
+	var ops []kv
+	for op, n := range a.ByOp {
+		ops = append(ops, kv{op, n})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].n != ops[j].n {
+			return ops[i].n > ops[j].n
+		}
+		return ops[i].op < ops[j].op
+	})
+	sb.WriteString("op histogram:")
+	for i, o := range ops {
+		if i == 8 {
+			fmt.Fprintf(&sb, " … (%d more)", len(ops)-8)
+			break
+		}
+		fmt.Fprintf(&sb, " %s×%d", o.op, o.n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEnsembleProgram(t *testing.T) {
+	p, err := Assemble(`
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh1 vrf3
+		ADD r0 r1 r2
+		CMPGT r2 r3
+		SETMASK cond
+	loop:
+		SUB r2 r4 r2
+		CMPGT r2 r3
+		SETMASK cond
+		JUMP_COND loop
+		COMPUTE_DONE
+
+		MOVE rfh0 rfh1
+		MEMCPY vrf0 r2 vrf3 r5
+		MOVE_DONE
+
+		SEND mpu1
+		MOVE rfh0 rfh0
+		MEMCPY vrf0 r5 vrf0 r5
+		MOVE_DONE
+		SEND_DONE
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if a.Instructions != len(p) || a.BinaryBytes != 4*len(p) {
+		t.Fatalf("size accounting wrong: %+v", a)
+	}
+	if a.ComputeEnsembles != 1 || a.MaxHeaderVRFs != 2 {
+		t.Fatalf("compute ensembles = %d header %d", a.ComputeEnsembles, a.MaxHeaderVRFs)
+	}
+	if a.TransferEnsembles != 1 {
+		t.Fatalf("transfer ensembles = %d, want 1 (the SEND's MOVE is part of the send block)", a.TransferEnsembles)
+	}
+	if a.SendBlocks != 1 || a.Recvs != 0 {
+		t.Fatalf("send/recv = %d/%d", a.SendBlocks, a.Recvs)
+	}
+	if !a.HasDynamicLoops || a.HasSubroutines {
+		t.Fatalf("control detection: %+v", a)
+	}
+	if a.VRFsTouched != 2 {
+		t.Fatalf("VRFs touched = %d", a.VRFsTouched)
+	}
+	if a.ByOp[SETMASK] != 2 || a.ByClass[ClassArith] == 0 {
+		t.Fatalf("histograms wrong: %+v", a.ByOp)
+	}
+	if a.MaxBodyLen != 8 { // ADD..COMPUTE_DONE
+		t.Fatalf("MaxBodyLen = %d", a.MaxBodyLen)
+	}
+	s := a.String()
+	for _, want := range []string{"instructions", "dynamic loops=true", "op histogram:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeSubroutines(t *testing.T) {
+	p, _ := Assemble("JUMP main\nsub: ADD r0 r1 r2\nRETURN\nmain: COMPUTE rfh0 vrf0\nJUMP sub\nCOMPUTE_DONE")
+	a := Analyze(p)
+	if !a.HasSubroutines {
+		t.Fatal("subroutines not detected")
+	}
+	if a.JumpTargets != 2 {
+		t.Fatalf("jump targets = %d, want 2", a.JumpTargets)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Instructions != 0 || a.ComputeEnsembles != 0 {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+}

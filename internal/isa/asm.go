@@ -1,0 +1,336 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual MPU assembly format:
+//
+//	// comment
+//	loop:                    ; a label
+//	    COMPUTE rfh1 vrf2
+//	    ADD r0 r1 r2
+//	    CMPGT r2 r3
+//	    SETMASK cond
+//	    JUMP_COND loop
+//	    COMPUTE_DONE
+//
+// Operands are written r<N> (registers), rfh<N>, vrf<N>, mpu<N>, `cond`
+// (the conditional register, only for SETMASK), bare integers (absolute
+// targets), or label names. Commas between operands are optional.
+
+// Assemble parses MPU assembly text into a validated Program.
+func Assemble(src string) (Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var (
+		prog    Program
+		labels  = map[string]int{}
+		fixups  []pending
+		lineNum = 0
+	)
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels may share a line with an instruction: "loop: ADD r0 r1 r2".
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("isa: line %d: no instruction in %q", lineNum, line)
+		}
+		mnemonic := strings.ToUpper(fields[0])
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNum, fields[0])
+		}
+		in, labelRef, err := parseOperands(op, fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNum, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instr: len(prog), label: labelRef, line: lineNum})
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int32(target)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func opByName(name string) (Op, bool) {
+	for op, s := range opNames {
+		if s == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parsePrefixed(tok, prefix string, limit int) (int, error) {
+	low := strings.ToLower(tok)
+	if !strings.HasPrefix(low, prefix) {
+		return 0, fmt.Errorf("operand %q: expected %s<N>", tok, prefix)
+	}
+	n, err := strconv.Atoi(low[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		return 0, fmt.Errorf("operand %q: index out of range [0,%d)", tok, limit)
+	}
+	return n, nil
+}
+
+// parseOperands builds an instruction from operand tokens. For jump-like ops
+// with a symbolic target it returns the label for later fixup.
+func parseOperands(op Op, toks []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(toks) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", op, n, len(toks))
+		}
+		return nil
+	}
+	reg := func(i int) (int, error) { return parsePrefixed(toks[i], "r", NumRegs) }
+
+	switch op {
+	case NOP, COMPUTEDONE, MPUSYNC, MOVEDONE, SENDDONE, UNMASK, RETURN:
+		return Instr{Op: op}, "", need(0)
+
+	case COMPUTE:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rfh, err := parsePrefixed(toks[0], "rfh", MaxRFHsPerMPU)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		vrf, err := parsePrefixed(toks[1], "vrf", MaxVRFsPerRFH)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Compute(rfh, vrf), "", nil
+
+	case MOVE:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		src, err := parsePrefixed(toks[0], "rfh", MaxRFHsPerMPU)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		dst, err := parsePrefixed(toks[1], "rfh", MaxRFHsPerMPU)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Move(src, dst), "", nil
+
+	case SEND, RECV:
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		id, err := parsePrefixed(toks[0], "mpu", 1<<24)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Imm: int32(id)}, "", nil
+
+	case JUMP, JUMPCOND:
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		if n, err := strconv.Atoi(toks[0]); err == nil {
+			return Instr{Op: op, Imm: int32(n)}, "", nil
+		}
+		if !isIdent(toks[0]) {
+			return Instr{}, "", fmt.Errorf("%s: bad target %q", op, toks[0])
+		}
+		return Instr{Op: op}, toks[0], nil
+
+	case SETMASK:
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		if strings.EqualFold(toks[0], "cond") {
+			return SetMask(RegCond), "", nil
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return SetMask(rs), "", nil
+
+	case GETMASK, INIT0, INIT1:
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, C: uint8(rd)}, "", nil
+
+	case CMPEQ, CMPGT, CMPLT, CAS:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, A: uint8(rs), B: uint8(rt)}, "", nil
+
+	case INC, POPC, RELU, INV, BFLIP, LSHIFT, MOV:
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return op2(op, rs, rd), "", nil
+
+	case MEMCPY:
+		if err := need(4); err != nil {
+			return Instr{}, "", err
+		}
+		vs, err := parsePrefixed(toks[0], "vrf", MaxVRFsPerRFH)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		vd, err := parsePrefixed(toks[2], "vrf", MaxVRFsPerRFH)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(3)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Memcpy(vs, rs, vd, rd), "", nil
+
+	default: // three-operand arithmetic/boolean/compare forms
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := reg(2)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return op3(op, rs, rt, rd), "", nil
+	}
+}
+
+// Format renders in as one line of MPU assembly.
+func Format(in Instr) string {
+	switch in.Op {
+	case NOP, COMPUTEDONE, MPUSYNC, MOVEDONE, SENDDONE, UNMASK, RETURN:
+		return in.Op.String()
+	case COMPUTE:
+		return fmt.Sprintf("COMPUTE rfh%d vrf%d", in.A, in.B)
+	case MOVE:
+		return fmt.Sprintf("MOVE rfh%d rfh%d", in.A, in.B)
+	case SEND, RECV:
+		return fmt.Sprintf("%s mpu%d", in.Op, in.Imm)
+	case JUMP, JUMPCOND:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case SETMASK:
+		if in.A == RegCond {
+			return "SETMASK cond"
+		}
+		return fmt.Sprintf("SETMASK r%d", in.A)
+	case GETMASK, INIT0, INIT1:
+		return fmt.Sprintf("%s r%d", in.Op, in.C)
+	case CMPEQ, CMPGT, CMPLT, CAS:
+		return fmt.Sprintf("%s r%d r%d", in.Op, in.A, in.B)
+	case INC, POPC, RELU, INV, BFLIP, LSHIFT, MOV:
+		return fmt.Sprintf("%s r%d r%d", in.Op, in.A, in.C)
+	case MEMCPY:
+		return fmt.Sprintf("MEMCPY vrf%d r%d vrf%d r%d", in.A, in.B, in.C, in.D)
+	default:
+		return fmt.Sprintf("%s r%d r%d r%d", in.Op, in.A, in.B, in.C)
+	}
+}
+
+// Disassemble renders p as assembly text, one instruction per line with the
+// absolute index as a comment, matching the Fig. 6 presentation style.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&b, "%-40s // %d\n", Format(in), i)
+	}
+	return b.String()
+}

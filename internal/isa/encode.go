@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary layout of the 32-bit MPU instruction word:
+//
+//	generic:  op:8 | A:8 | B:8 | C:8
+//	imm form: op:8 | imm:24            (SEND, RECV, JUMP, JUMP_COND)
+//	memcpy:   op:8 | A:6 | B:6 | C:6 | D:6
+//
+// The imm form gives a 16M-instruction jump range, far beyond the 2 MB ISU of
+// Table III. The MEMCPY form packs four 6-bit operands, matching the 64
+// registers per VRF and 64 VRFs per RF holder.
+
+const immMask = 1<<24 - 1
+
+// Encode packs in into its 32-bit binary form.
+func Encode(in Instr) uint32 {
+	switch in.Op {
+	case SEND, RECV, JUMP, JUMPCOND:
+		return uint32(in.Op)<<24 | uint32(in.Imm)&immMask
+	case MEMCPY:
+		return uint32(in.Op)<<24 |
+			uint32(in.A&0x3f)<<18 | uint32(in.B&0x3f)<<12 |
+			uint32(in.C&0x3f)<<6 | uint32(in.D&0x3f)
+	default:
+		return uint32(in.Op)<<24 | uint32(in.A)<<16 | uint32(in.B)<<8 | uint32(in.C)
+	}
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 24)
+	if op >= numOps {
+		return Instr{}, fmt.Errorf("isa: decode: unknown opcode %d", op)
+	}
+	switch op {
+	case SEND, RECV, JUMP, JUMPCOND:
+		return Instr{Op: op, Imm: int32(w & immMask)}, nil
+	case MEMCPY:
+		return Instr{
+			Op: op,
+			A:  uint8(w >> 18 & 0x3f),
+			B:  uint8(w >> 12 & 0x3f),
+			C:  uint8(w >> 6 & 0x3f),
+			D:  uint8(w & 0x3f),
+		}, nil
+	default:
+		return Instr{Op: op, A: uint8(w >> 16), B: uint8(w >> 8), C: uint8(w)}, nil
+	}
+}
+
+// EncodeProgram serialises p little-endian, 4 bytes per instruction — the
+// format an instruction storage unit (ISU) holds on chip.
+func EncodeProgram(p Program) []byte {
+	buf := make([]byte, 4*len(p))
+	for i, in := range p {
+		binary.LittleEndian.PutUint32(buf[4*i:], Encode(in))
+	}
+	return buf
+}
+
+// DecodeProgram parses an ISU image produced by EncodeProgram.
+func DecodeProgram(buf []byte) (Program, error) {
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("isa: binary length %d not a multiple of 4", len(buf))
+	}
+	p := make(Program, len(buf)/4)
+	for i := range p {
+		in, err := Decode(binary.LittleEndian.Uint32(buf[4*i:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: instr %d: %w", i, err)
+		}
+		p[i] = in
+	}
+	return p, nil
+}
+
+// BinarySize returns the ISU footprint of p in bytes.
+func (p Program) BinarySize() int { return 4 * len(p) }

@@ -1,0 +1,63 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestAssembleNeverPanics feeds adversarial text to the assembler: it may
+// reject, but must never panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	pieces := []string{
+		"ADD", "COMPUTE", "JUMP", "MEMCPY", "SETMASK", "r0", "r63", "r999",
+		"rfh0", "vrf77", "mpu1", "cond", ":", "::", "loop:", "//x", ";",
+		"\n", "\t", ",", "-1", "0x", "9999999999999999999999", "_", ".",
+		"label", "JUMP_COND", "COMPUTE_DONE", "MOVE_DONE", "", " ",
+	}
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		var sb strings.Builder
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte(' ')
+			}
+			if rng.Intn(4) == 0 {
+				sb.WriteByte('\n')
+			}
+		}
+		_, _ = Assemble(sb.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeNeverPanics decodes every possible opcode byte with random
+// operand bits.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 10000; i++ {
+		_, _ = Decode(rng.Uint32())
+	}
+}
+
+// TestDecodeProgramGarbage parses random byte blobs.
+func TestDecodeProgramGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, rng.Intn(64)*4)
+		rng.Read(buf)
+		if p, err := DecodeProgram(buf); err == nil {
+			// Whatever decodes must re-encode identically.
+			again, err2 := DecodeProgram(EncodeProgram(p))
+			if err2 != nil || len(again) != len(p) {
+				t.Fatal("decode/encode not stable")
+			}
+		}
+	}
+}

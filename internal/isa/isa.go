@@ -1,0 +1,479 @@
+// Package isa defines the MPU instruction set architecture of Table II:
+// 32-bit instructions over 64-bit data, spanning ensemble deployment,
+// inter-MPU communication, control flow, arithmetic, comparison, Boolean
+// and data-movement instructions. The package provides typed instruction
+// constructors, binary encode/decode, and a textual assembler and
+// disassembler used by ezpim and the workloads.
+package isa
+
+import "fmt"
+
+// Op is an MPU opcode.
+type Op uint8
+
+// Opcode space, grouped as in Table II of the paper.
+const (
+	// Ensemble deployment.
+	NOP Op = iota
+	COMPUTE
+	COMPUTEDONE
+	MPUSYNC
+	MOVE
+	MOVEDONE
+
+	// Inter-MPU communication.
+	SEND
+	SENDDONE
+	RECV
+
+	// Control flow.
+	GETMASK
+	SETMASK
+	UNMASK
+	JUMPCOND
+	JUMP
+	RETURN
+
+	// Arithmetic.
+	ADD
+	SUB
+	INC
+	INIT0
+	INIT1
+	MUL
+	MAC
+	QDIV
+	QRDIV
+	RDIV
+	POPC
+	RELU
+
+	// Comparison & search.
+	CMPEQ
+	CMPGT
+	CMPLT
+	FUZZY
+	CAS
+	MUX
+	MAX
+	MIN
+
+	// Boolean & bit manipulation.
+	AND
+	NAND
+	NOR
+	INV
+	OR
+	XOR
+	XNOR
+	BFLIP
+	LSHIFT
+
+	// Data movement.
+	MEMCPY
+	MOV
+
+	numOps
+)
+
+// NumOps is the count of defined opcodes (useful for table sizing).
+const NumOps = int(numOps)
+
+// WordBits is the architectural data width (Table II: 64-bit data).
+const WordBits = 64
+
+// NumRegs is the number of vector registers addressable within a VRF.
+const NumRegs = 64
+
+// RegCond is the pseudo-register name accepted by SETMASK to select the
+// conditional register as the mask source (§VI-B: "SETMASK can retrieve a
+// bitmask from either the conditional register or one bit of data from each
+// element in a vector register").
+const RegCond = 63
+
+// MaxVRFsPerRFH bounds VRF ids; it matches the 512-bit activation board of
+// Table III divided across 8 RF holders.
+const MaxVRFsPerRFH = 64
+
+// MaxRFHsPerMPU bounds RFH ids (Table III: 8 RFHs per MPU).
+const MaxRFHsPerMPU = 8
+
+var opNames = [numOps]string{
+	NOP:         "NOP",
+	COMPUTE:     "COMPUTE",
+	COMPUTEDONE: "COMPUTE_DONE",
+	MPUSYNC:     "MPU_SYNC",
+	MOVE:        "MOVE",
+	MOVEDONE:    "MOVE_DONE",
+	SEND:        "SEND",
+	SENDDONE:    "SEND_DONE",
+	RECV:        "RECV",
+	GETMASK:     "GETMASK",
+	SETMASK:     "SETMASK",
+	UNMASK:      "UNMASK",
+	JUMPCOND:    "JUMP_COND",
+	JUMP:        "JUMP",
+	RETURN:      "RETURN",
+	ADD:         "ADD",
+	SUB:         "SUB",
+	INC:         "INC",
+	INIT0:       "INIT0",
+	INIT1:       "INIT1",
+	MUL:         "MUL",
+	MAC:         "MAC",
+	QDIV:        "QDIV",
+	QRDIV:       "QRDIV",
+	RDIV:        "RDIV",
+	POPC:        "POPC",
+	RELU:        "RELU",
+	CMPEQ:       "CMPEQ",
+	CMPGT:       "CMPGT",
+	CMPLT:       "CMPLT",
+	FUZZY:       "FUZZY",
+	CAS:         "CAS",
+	MUX:         "MUX",
+	MAX:         "MAX",
+	MIN:         "MIN",
+	AND:         "AND",
+	NAND:        "NAND",
+	NOR:         "NOR",
+	INV:         "INV",
+	OR:          "OR",
+	XOR:         "XOR",
+	XNOR:        "XNOR",
+	BFLIP:       "BFLIP",
+	LSHIFT:      "LSHIFT",
+	MEMCPY:      "MEMCPY",
+	MOV:         "MOV",
+}
+
+// String returns the assembly mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Class describes an opcode's position in the Table II grouping.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassEnsemble Class = iota
+	ClassInterMPU
+	ClassControl
+	ClassArith
+	ClassCompare
+	ClassBoolean
+	ClassData
+)
+
+// ClassOf returns the Table II group of op.
+func ClassOf(op Op) Class {
+	switch {
+	case op == NOP:
+		return ClassControl
+	case op <= MOVEDONE:
+		return ClassEnsemble
+	case op <= RECV:
+		return ClassInterMPU
+	case op <= RETURN:
+		return ClassControl
+	case op <= RELU:
+		return ClassArith
+	case op <= MIN:
+		return ClassCompare
+	case op <= LSHIFT:
+		return ClassBoolean
+	default:
+		return ClassData
+	}
+}
+
+// Instr is one decoded MPU instruction. Field meaning depends on the opcode:
+//
+//	3-operand arith/bool/compare: A=rs, B=rt, C=rd
+//	2-operand (INC, POPC, RELU, INV, BFLIP, LSHIFT, MOV, GETMASK...): A=rs, C=rd
+//	COMPUTE:   A=rfh, B=vrf
+//	MOVE:      A=rfhSrc, B=rfhDst
+//	SEND/RECV: Imm=mpu id
+//	JUMP/JUMP_COND: Imm=absolute instruction index (filled by the assembler
+//	                from labels)
+//	MEMCPY:    A=vrfSrc, B=rs, C=vrfDst, D=rd
+type Instr struct {
+	Op         Op
+	A, B, C, D uint8
+	Imm        int32
+}
+
+// Typed constructors. These are the canonical way to build programs
+// programmatically (ezpim's Builder relies on them).
+
+// Compute starts/extends a compute ensemble header by activating vrf of rfh.
+func Compute(rfh, vrf int) Instr { return Instr{Op: COMPUTE, A: uint8(rfh), B: uint8(vrf)} }
+
+// ComputeDone ends a compute ensemble.
+func ComputeDone() Instr { return Instr{Op: COMPUTEDONE} }
+
+// Sync is the MPU_SYNC fence across deployed ensembles.
+func Sync() Instr { return Instr{Op: MPUSYNC} }
+
+// Move starts/extends a transfer ensemble header with an RFH pair.
+func Move(rfhSrc, rfhDst int) Instr { return Instr{Op: MOVE, A: uint8(rfhSrc), B: uint8(rfhDst)} }
+
+// MoveDone ends a transfer ensemble.
+func MoveDone() Instr { return Instr{Op: MOVEDONE} }
+
+// Send opens an inter-MPU send block targeting MPU dst.
+func Send(dst int) Instr { return Instr{Op: SEND, Imm: int32(dst)} }
+
+// SendDone closes an inter-MPU send block.
+func SendDone() Instr { return Instr{Op: SENDDONE} }
+
+// Recv services an inter-MPU transfer arriving from MPU src.
+func Recv(src int) Instr { return Instr{Op: RECV, Imm: int32(src)} }
+
+// GetMask copies the lane mask into rd (bit 0 of every lane).
+func GetMask(rd int) Instr { return Instr{Op: GETMASK, C: uint8(rd)} }
+
+// SetMask loads the mask register from rs (bit 0), or from the conditional
+// register when rs == RegCond.
+func SetMask(rs int) Instr { return Instr{Op: SETMASK, A: uint8(rs)} }
+
+// Unmask re-enables all lanes.
+func Unmask() Instr { return Instr{Op: UNMASK} }
+
+// JumpCond jumps to absolute instruction index target while any lane remains
+// enabled in the mask register (§VI-B EFI semantics; see DESIGN.md).
+func JumpCond(target int) Instr { return Instr{Op: JUMPCOND, Imm: int32(target)} }
+
+// Jump jumps unconditionally to target, pushing the return address.
+func Jump(target int) Instr { return Instr{Op: JUMP, Imm: int32(target)} }
+
+// Return pops the return-address stack.
+func Return() Instr { return Instr{Op: RETURN} }
+
+// Nop inserts a bubble.
+func Nop() Instr { return Instr{Op: NOP} }
+
+// Three-operand constructors.
+func op3(op Op, rs, rt, rd int) Instr { return Instr{Op: op, A: uint8(rs), B: uint8(rt), C: uint8(rd)} }
+
+// Two-operand constructors.
+func op2(op Op, rs, rd int) Instr { return Instr{Op: op, A: uint8(rs), C: uint8(rd)} }
+
+// Add returns rd = rs + rt (two's complement).
+func Add(rs, rt, rd int) Instr { return op3(ADD, rs, rt, rd) }
+
+// Sub returns rd = rs - rt.
+func Sub(rs, rt, rd int) Instr { return op3(SUB, rs, rt, rd) }
+
+// Inc returns rd = rs + 1.
+func Inc(rs, rd int) Instr { return op2(INC, rs, rd) }
+
+// Init0 initialises rd with 0.
+func Init0(rd int) Instr { return Instr{Op: INIT0, C: uint8(rd)} }
+
+// Init1 initialises rd with 1.
+func Init1(rd int) Instr { return Instr{Op: INIT1, C: uint8(rd)} }
+
+// Mul returns rd = rs * rt (8/16/32-bit inputs per Table II; the simulator
+// computes the low 64 bits of the product).
+func Mul(rs, rt, rd int) Instr { return op3(MUL, rs, rt, rd) }
+
+// Mac returns rd += rs * rt.
+func Mac(rs, rt, rd int) Instr { return op3(MAC, rs, rt, rd) }
+
+// QDiv returns rd = rs / rt (quotient; unsigned).
+func QDiv(rs, rt, rd int) Instr { return op3(QDIV, rs, rt, rd) }
+
+// QRDiv returns quotient in rd and remainder in rt (overwriting rt, as the
+// paper's description notes).
+func QRDiv(rs, rt, rd int) Instr { return op3(QRDIV, rs, rt, rd) }
+
+// RDiv returns rd = rs % rt (remainder; unsigned).
+func RDiv(rs, rt, rd int) Instr { return op3(RDIV, rs, rt, rd) }
+
+// Popc returns rd = population count of rs.
+func Popc(rs, rd int) Instr { return op2(POPC, rs, rd) }
+
+// Relu returns rd = max(rs, 0) treating rs as signed.
+func Relu(rs, rd int) Instr { return op2(RELU, rs, rd) }
+
+// CmpEq sets the conditional register to rs == rt per lane.
+func CmpEq(rs, rt int) Instr { return Instr{Op: CMPEQ, A: uint8(rs), B: uint8(rt)} }
+
+// CmpGt sets the conditional register to rs > rt per lane (signed).
+func CmpGt(rs, rt int) Instr { return Instr{Op: CMPGT, A: uint8(rs), B: uint8(rt)} }
+
+// CmpLt sets the conditional register to rs < rt per lane (signed).
+func CmpLt(rs, rt int) Instr { return Instr{Op: CMPLT, A: uint8(rs), B: uint8(rt)} }
+
+// Fuzzy sets the conditional register to rs == rt ignoring bit positions set
+// in rd.
+func Fuzzy(rs, rt, rd int) Instr { return op3(FUZZY, rs, rt, rd) }
+
+// Cas conditionally swaps rs and rt per lane so that rs <= rt afterwards
+// (the compare-and-swap sorting primitive).
+func Cas(rs, rt int) Instr { return Instr{Op: CAS, A: uint8(rs), B: uint8(rt)} }
+
+// MuxI blends rs and rt under the bitmask held in rd (Table II: "choose rs
+// or rt based on bitmask in rd"): per lane, rd = bit0(rd) != 0 ? rs : rt.
+func MuxI(rs, rt, rd int) Instr { return op3(MUX, rs, rt, rd) }
+
+// MaxI returns rd = max(rs, rt) (signed).
+func MaxI(rs, rt, rd int) Instr { return op3(MAX, rs, rt, rd) }
+
+// MinI returns rd = min(rs, rt) (signed).
+func MinI(rs, rt, rd int) Instr { return op3(MIN, rs, rt, rd) }
+
+// And returns rd = rs & rt.
+func And(rs, rt, rd int) Instr { return op3(AND, rs, rt, rd) }
+
+// Nand returns rd = ^(rs & rt).
+func Nand(rs, rt, rd int) Instr { return op3(NAND, rs, rt, rd) }
+
+// Nor returns rd = ^(rs | rt).
+func Nor(rs, rt, rd int) Instr { return op3(NOR, rs, rt, rd) }
+
+// Inv returns rd = ^rs.
+func Inv(rs, rd int) Instr { return op2(INV, rs, rd) }
+
+// OrI returns rd = rs | rt.
+func OrI(rs, rt, rd int) Instr { return op3(OR, rs, rt, rd) }
+
+// Xor returns rd = rs ^ rt.
+func Xor(rs, rt, rd int) Instr { return op3(XOR, rs, rt, rd) }
+
+// Xnor returns rd = ^(rs ^ rt).
+func Xnor(rs, rt, rd int) Instr { return op3(XNOR, rs, rt, rd) }
+
+// BFlip reverses the bit order of rs into rd.
+func BFlip(rs, rd int) Instr { return op2(BFLIP, rs, rd) }
+
+// LShift shifts rs left by 1 into rd.
+func LShift(rs, rd int) Instr { return op2(LSHIFT, rs, rd) }
+
+// Memcpy copies register rs of the source VRF to register rd of the
+// destination VRF for each RFH pair of the enclosing transfer ensemble.
+func Memcpy(vrfSrc, rs, vrfDst, rd int) Instr {
+	return Instr{Op: MEMCPY, A: uint8(vrfSrc), B: uint8(rs), C: uint8(vrfDst), D: uint8(rd)}
+}
+
+// Mov copies register rs to rd within a VRF.
+func Mov(rs, rd int) Instr { return op2(MOV, rs, rd) }
+
+// Reads returns the general registers an arithmetic-class instruction reads,
+// for dependency bookkeeping in tools. It returns nil for non-datapath ops.
+func (in Instr) Reads() []int {
+	switch in.Op {
+	case ADD, SUB, MUL, QDIV, RDIV, AND, NAND, NOR, OR, XOR, XNOR, MAX, MIN:
+		return []int{int(in.A), int(in.B)}
+	case MAC:
+		return []int{int(in.A), int(in.B), int(in.C)}
+	case QRDIV:
+		return []int{int(in.A), int(in.B)}
+	case INC, POPC, RELU, INV, BFLIP, LSHIFT, MOV:
+		return []int{int(in.A)}
+	case CMPEQ, CMPGT, CMPLT, CAS:
+		return []int{int(in.A), int(in.B)}
+	case FUZZY, MUX:
+		return []int{int(in.A), int(in.B), int(in.C)}
+	case SETMASK:
+		if in.A != RegCond {
+			return []int{int(in.A)}
+		}
+	}
+	return nil
+}
+
+// Writes returns the general registers the instruction writes.
+func (in Instr) Writes() []int {
+	switch in.Op {
+	case ADD, SUB, MUL, MAC, QDIV, RDIV, INC, INIT0, INIT1, POPC, RELU,
+		AND, NAND, NOR, OR, XOR, XNOR, INV, BFLIP, LSHIFT, MOV, MAX, MIN,
+		MUX, GETMASK:
+		return []int{int(in.C)}
+	case QRDIV:
+		return []int{int(in.C), int(in.B)}
+	case CAS:
+		return []int{int(in.A), int(in.B)}
+	}
+	return nil
+}
+
+// Validate checks operand ranges for the instruction.
+func (in Instr) Validate() error {
+	if in.Op >= numOps {
+		return fmt.Errorf("isa: unknown opcode %d", in.Op)
+	}
+	checkReg := func(name string, v uint8) error {
+		if v >= NumRegs {
+			return fmt.Errorf("isa: %s operand %s=r%d out of range [0,%d)", in.Op, name, v, NumRegs)
+		}
+		return nil
+	}
+	switch in.Op {
+	case COMPUTE:
+		if in.A >= MaxRFHsPerMPU {
+			return fmt.Errorf("isa: COMPUTE rfh%d out of range [0,%d)", in.A, MaxRFHsPerMPU)
+		}
+		if in.B >= MaxVRFsPerRFH {
+			return fmt.Errorf("isa: COMPUTE vrf%d out of range [0,%d)", in.B, MaxVRFsPerRFH)
+		}
+	case MOVE:
+		if in.A >= MaxRFHsPerMPU || in.B >= MaxRFHsPerMPU {
+			return fmt.Errorf("isa: MOVE rfh%d->rfh%d out of range [0,%d)", in.A, in.B, MaxRFHsPerMPU)
+		}
+	case SEND, RECV:
+		if in.Imm < 0 {
+			return fmt.Errorf("isa: %s negative MPU id %d", in.Op, in.Imm)
+		}
+	case JUMP, JUMPCOND:
+		if in.Imm < 0 {
+			return fmt.Errorf("isa: %s negative target %d", in.Op, in.Imm)
+		}
+	case MEMCPY:
+		if in.A >= MaxVRFsPerRFH || in.C >= MaxVRFsPerRFH {
+			return fmt.Errorf("isa: MEMCPY vrf out of range")
+		}
+		if err := checkReg("rs", in.B); err != nil {
+			return err
+		}
+		return checkReg("rd", in.D)
+	case SETMASK:
+		// RegCond (63) is legal as the conditional-register source.
+		return checkReg("rs", in.A)
+	default:
+		for _, r := range in.Reads() {
+			if err := checkReg("src", uint8(r)); err != nil {
+				return err
+			}
+		}
+		for _, r := range in.Writes() {
+			if err := checkReg("dst", uint8(r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a sequence of MPU instructions (one ISU binary).
+type Program []Instr
+
+// Validate checks every instruction and that jump targets stay in range.
+func (p Program) Validate() error {
+	for i, in := range p {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("instr %d: %w", i, err)
+		}
+		if in.Op == JUMP || in.Op == JUMPCOND {
+			if int(in.Imm) >= len(p) {
+				return fmt.Errorf("instr %d: %s target %d beyond program end %d", i, in.Op, in.Imm, len(p))
+			}
+		}
+	}
+	return nil
+}

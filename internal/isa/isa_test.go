@@ -1,0 +1,343 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "OP(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if got := Op(200).String(); got != "OP(200)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		NOP:      ClassControl,
+		COMPUTE:  ClassEnsemble,
+		MOVEDONE: ClassEnsemble,
+		SEND:     ClassInterMPU,
+		RECV:     ClassInterMPU,
+		GETMASK:  ClassControl,
+		RETURN:   ClassControl,
+		ADD:      ClassArith,
+		RELU:     ClassArith,
+		CMPEQ:    ClassCompare,
+		MIN:      ClassCompare,
+		AND:      ClassBoolean,
+		LSHIFT:   ClassBoolean,
+		MEMCPY:   ClassData,
+		MOV:      ClassData,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	instrs := []Instr{
+		Nop(),
+		Compute(3, 17),
+		ComputeDone(),
+		Sync(),
+		Move(1, 7),
+		MoveDone(),
+		Send(130),
+		SendDone(),
+		Recv(4),
+		GetMask(9),
+		SetMask(RegCond),
+		SetMask(5),
+		Unmask(),
+		JumpCond(12345),
+		Jump(7),
+		Return(),
+		Add(1, 2, 3),
+		Sub(4, 5, 6),
+		Inc(7, 8),
+		Init0(9),
+		Init1(10),
+		Mul(11, 12, 13),
+		Mac(14, 15, 16),
+		QDiv(17, 18, 19),
+		QRDiv(20, 21, 22),
+		RDiv(23, 24, 25),
+		Popc(26, 27),
+		Relu(28, 29),
+		CmpEq(30, 31),
+		CmpGt(32, 33),
+		CmpLt(34, 35),
+		Fuzzy(36, 37, 38),
+		Cas(39, 40),
+		MuxI(41, 42, 43),
+		MaxI(44, 45, 46),
+		MinI(47, 48, 49),
+		And(50, 51, 52),
+		Nand(53, 54, 55),
+		Nor(56, 57, 58),
+		Inv(59, 60),
+		OrI(1, 2, 3),
+		Xor(4, 5, 6),
+		Xnor(7, 8, 9),
+		BFlip(10, 11),
+		LShift(12, 13),
+		Memcpy(63, 62, 61, 60),
+		Mov(14, 15),
+	}
+	for _, in := range instrs {
+		got, err := Decode(Encode(in))
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip %s: got %+v, want %+v", in.Op, got, in)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 24); err == nil {
+		t.Fatal("Decode accepted unknown opcode")
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	p := Program{Add(1, 2, 3), JumpCond(0), Memcpy(5, 6, 7, 8), ComputeDone()}
+	buf := EncodeProgram(p)
+	if len(buf) != p.BinarySize() {
+		t.Fatalf("binary size %d != %d", len(buf), p.BinarySize())
+	}
+	got, err := DecodeProgram(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(p) {
+		t.Fatalf("decoded %d instrs, want %d", len(got), len(p))
+	}
+	for i := range p {
+		if got[i] != p[i] {
+			t.Errorf("instr %d: got %+v want %+v", i, got[i], p[i])
+		}
+	}
+	if _, err := DecodeProgram(buf[:5]); err == nil {
+		t.Error("DecodeProgram accepted truncated image")
+	}
+}
+
+// Property: any in-range instruction encodes/decodes losslessly.
+func TestEncodeDecodeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		op := Op(rng.Intn(NumOps))
+		var in Instr
+		switch op {
+		case SEND, RECV, JUMP, JUMPCOND:
+			in = Instr{Op: op, Imm: int32(rng.Intn(1 << 24))}
+		case MEMCPY:
+			in = Instr{Op: op, A: uint8(rng.Intn(64)), B: uint8(rng.Intn(64)),
+				C: uint8(rng.Intn(64)), D: uint8(rng.Intn(64))}
+		default:
+			in = Instr{Op: op, A: uint8(rng.Intn(256)), B: uint8(rng.Intn(256)), C: uint8(rng.Intn(256))}
+		}
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Program{
+		Compute(0, 1), Add(0, 1, 2), CmpGt(2, 3), SetMask(RegCond),
+		JumpCond(1), ComputeDone(),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := []Instr{
+		{Op: numOps},
+		{Op: COMPUTE, A: MaxRFHsPerMPU},
+		{Op: COMPUTE, B: MaxVRFsPerRFH},
+		{Op: MOVE, A: 200},
+		{Op: SEND, Imm: -1},
+		{Op: JUMP, Imm: -2},
+		{Op: ADD, A: 64},
+		{Op: MEMCPY, A: 64},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad instr %d (%+v) accepted", i, in)
+		}
+	}
+	if err := (Program{Jump(5)}).Validate(); err == nil {
+		t.Error("out-of-range jump target accepted")
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	if got := Add(1, 2, 3).Reads(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Add.Reads() = %v", got)
+	}
+	if got := Add(1, 2, 3).Writes(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Add.Writes() = %v", got)
+	}
+	if got := QRDiv(1, 2, 3).Writes(); len(got) != 2 {
+		t.Errorf("QRDiv.Writes() = %v, want quotient and remainder regs", got)
+	}
+	if got := Cas(1, 2).Writes(); len(got) != 2 {
+		t.Errorf("Cas.Writes() = %v, want both swap regs", got)
+	}
+	if got := SetMask(RegCond).Reads(); got != nil {
+		t.Errorf("SetMask(cond).Reads() = %v, want nil", got)
+	}
+	if got := SetMask(4).Reads(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("SetMask(r4).Reads() = %v", got)
+	}
+}
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+		// compute ensemble (Fig. 6 style)
+		COMPUTE rfh1 vrf1
+		COMPUTE rfh3 vrf2
+		ADD r0, r1, r2
+		SUB r2 r3 r4
+		COMPUTE_DONE
+
+		MOVE rfh1 rfh2
+		MEMCPY vrf0 r0 vrf0 r1
+		MOVE_DONE
+
+		SEND mpu4
+		SEND_DONE
+		MPU_SYNC
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Program{
+		Compute(1, 1), Compute(3, 2), Add(0, 1, 2), Sub(2, 3, 4), ComputeDone(),
+		Move(1, 2), Memcpy(0, 0, 0, 1), MoveDone(),
+		Send(4), SendDone(), Sync(),
+	}
+	if len(p) != len(want) {
+		t.Fatalf("got %d instrs, want %d", len(p), len(want))
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("instr %d: got %+v, want %+v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestAssembleLabelsAndJumps(t *testing.T) {
+	src := `
+	start:
+		INIT0 r0
+	loop:
+		INC r0 r0
+		CMPLT r0 r1
+		SETMASK cond
+		JUMP_COND loop
+		JUMP start
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[4].Op != JUMPCOND || p[4].Imm != 1 {
+		t.Errorf("JUMP_COND resolved to %d, want 1", p[4].Imm)
+	}
+	if p[5].Op != JUMP || p[5].Imm != 0 {
+		t.Errorf("JUMP resolved to %d, want 0", p[5].Imm)
+	}
+}
+
+func TestAssembleNumericTarget(t *testing.T) {
+	p, err := Assemble("NOP\nJUMP 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1].Imm != 0 {
+		t.Errorf("numeric JUMP target = %d", p[1].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"FROB r1 r2 r3",     // unknown mnemonic
+		"ADD r0 r1",         // operand count
+		"ADD r0 r1 r99",     // register range
+		"COMPUTE rfh9 vrf0", // rfh range
+		"JUMP nowhere",      // undefined label
+		"x: NOP\nx: NOP",    // duplicate label
+		"9bad: NOP",         // malformed label
+		"SETMASK vrf1",      // wrong operand kind
+		"MEMCPY vrf0 r0 r1", // operand count
+		"JUMP_COND 99\nNOP", // target out of range
+		"SEND r3",           // wrong prefix
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// Property: Format/Assemble round-trips every constructor-built instruction.
+func TestFormatAssembleRoundTrip(t *testing.T) {
+	p := Program{
+		Compute(2, 9), ComputeDone(), Sync(), Move(0, 3), MoveDone(),
+		Send(12), SendDone(), Recv(3),
+		GetMask(1), SetMask(RegCond), SetMask(2), Unmask(),
+		JumpCond(14), Jump(15), Return(), Nop(),
+		Add(1, 2, 3), Sub(1, 2, 3), Inc(1, 2), Init0(3), Init1(4),
+		Mul(1, 2, 3), Mac(1, 2, 3), QDiv(1, 2, 3), QRDiv(1, 2, 3), RDiv(1, 2, 3),
+		Popc(1, 2), Relu(1, 2),
+		CmpEq(1, 2), CmpGt(1, 2), CmpLt(1, 2), Fuzzy(1, 2, 3), Cas(1, 2),
+		MuxI(1, 2, 3), MaxI(1, 2, 3), MinI(1, 2, 3),
+		And(1, 2, 3), Nand(1, 2, 3), Nor(1, 2, 3), Inv(1, 2), OrI(1, 2, 3),
+		Xor(1, 2, 3), Xnor(1, 2, 3), BFlip(1, 2), LShift(1, 2),
+		Memcpy(1, 2, 3, 4), Mov(1, 2),
+	}
+	var src strings.Builder
+	for _, in := range p {
+		src.WriteString(Format(in))
+		src.WriteByte('\n')
+	}
+	got, err := Assemble(src.String())
+	if err != nil {
+		t.Fatalf("reassembling formatted program: %v\n%s", err, src.String())
+	}
+	if len(got) != len(p) {
+		t.Fatalf("got %d instrs, want %d", len(got), len(p))
+	}
+	for i := range p {
+		if got[i] != p[i] {
+			t.Errorf("instr %d (%s): got %+v, want %+v", i, p[i].Op, got[i], p[i])
+		}
+	}
+}
+
+func TestDisassembleShape(t *testing.T) {
+	text := Disassemble(Program{Add(0, 1, 2), Nop()})
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Disassemble produced %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "ADD r0 r1 r2") || !strings.Contains(lines[0], "// 0") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+}

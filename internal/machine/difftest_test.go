@@ -1,0 +1,375 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/ezpim"
+	"mpu/internal/isa"
+)
+
+// Differential testing: random programs — arithmetic, predication, nested
+// branches, and bounded dynamic loops — run both on the bit-serial machine
+// (through ezpim, the recipe library, and the full control path) and on an
+// independent scalar interpreter that implements Table II semantics
+// directly on uint64 lanes. Any divergence in any architectural register of
+// any lane fails the test.
+
+// scalarRef interprets an MPU program over flat lanes (the test uses a
+// fully-activated batch, so the EFI's any-lane OR equals an OR over all
+// lanes).
+type scalarRef struct {
+	prog  isa.Program
+	regs  [][isa.NumRegs]uint64 // per lane
+	cond  []bool
+	mask  []bool
+	ras   []int
+	steps int
+}
+
+func newScalarRef(prog isa.Program, lanes int) *scalarRef {
+	r := &scalarRef{
+		prog: prog,
+		regs: make([][isa.NumRegs]uint64, lanes),
+		cond: make([]bool, lanes),
+		mask: make([]bool, lanes),
+	}
+	for l := range r.mask {
+		r.mask[l] = true
+	}
+	return r
+}
+
+func (r *scalarRef) anyMask() bool {
+	for _, m := range r.mask {
+		if m {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *scalarRef) run() error {
+	pc := 0
+	for pc >= 0 && pc < len(r.prog) {
+		r.steps++
+		if r.steps > 2_000_000 {
+			return fmt.Errorf("scalar reference ran away at pc=%d", pc)
+		}
+		in := r.prog[pc]
+		switch in.Op {
+		case isa.COMPUTE:
+			// Activation re-enables every lane, matching the machine.
+			for l := range r.mask {
+				r.mask[l] = true
+			}
+			pc++
+		case isa.COMPUTEDONE, isa.NOP, isa.MPUSYNC:
+			pc++
+		case isa.SETMASK:
+			for l := range r.mask {
+				if in.A == isa.RegCond {
+					r.mask[l] = r.cond[l]
+				} else {
+					r.mask[l] = r.regs[l][in.A]&1 == 1
+				}
+			}
+			pc++
+		case isa.UNMASK:
+			for l := range r.mask {
+				r.mask[l] = true
+			}
+			pc++
+		case isa.GETMASK:
+			for l := range r.mask {
+				v := uint64(0)
+				if r.mask[l] {
+					v = 1
+				}
+				r.regs[l][in.C] = v
+			}
+			pc++
+		case isa.JUMPCOND:
+			if r.anyMask() {
+				pc = int(in.Imm)
+			} else {
+				pc++
+			}
+		case isa.JUMP:
+			r.ras = append(r.ras, pc+1)
+			pc = int(in.Imm)
+		case isa.RETURN:
+			if len(r.ras) == 0 {
+				return fmt.Errorf("scalar reference RETURN underflow")
+			}
+			pc = r.ras[len(r.ras)-1]
+			r.ras = r.ras[:len(r.ras)-1]
+		case isa.CMPEQ, isa.CMPGT, isa.CMPLT, isa.FUZZY:
+			for l := range r.mask {
+				res := false
+				a, b := r.regs[l][in.A], r.regs[l][in.B]
+				switch in.Op {
+				case isa.CMPEQ:
+					res = a == b
+				case isa.CMPGT:
+					res = int64(a) > int64(b)
+				case isa.CMPLT:
+					res = int64(a) < int64(b)
+				case isa.FUZZY:
+					res = (a^b)&^r.regs[l][in.C] == 0
+				}
+				r.cond[l] = res && r.mask[l]
+			}
+			pc++
+		default:
+			for l := range r.mask {
+				if !r.mask[l] {
+					continue
+				}
+				r.execLane(l, in)
+			}
+			pc++
+		}
+	}
+	return nil
+}
+
+// execLane applies a datapath instruction to one enabled lane.
+func (r *scalarRef) execLane(l int, in isa.Instr) {
+	regs := &r.regs[l]
+	a, b := regs[in.A], regs[in.B]
+	switch in.Op {
+	case isa.ADD:
+		regs[in.C] = a + b
+	case isa.SUB:
+		regs[in.C] = a - b
+	case isa.MUL:
+		regs[in.C] = a * b
+	case isa.MAC:
+		regs[in.C] += a * b
+	case isa.QDIV:
+		if b == 0 {
+			regs[in.C] = ^uint64(0)
+		} else {
+			regs[in.C] = a / b
+		}
+	case isa.RDIV:
+		if b == 0 {
+			regs[in.C] = a
+		} else {
+			regs[in.C] = a % b
+		}
+	case isa.QRDIV:
+		q, rem := ^uint64(0), a
+		if b != 0 {
+			q, rem = a/b, a%b
+		}
+		regs[in.C], regs[in.B] = q, rem
+	case isa.INC:
+		regs[in.C] = a + 1
+	case isa.INIT0:
+		regs[in.C] = 0
+	case isa.INIT1:
+		regs[in.C] = 1
+	case isa.POPC:
+		n := uint64(0)
+		for x := a; x != 0; x >>= 1 {
+			n += x & 1
+		}
+		regs[in.C] = n
+	case isa.RELU:
+		if int64(a) < 0 {
+			regs[in.C] = 0
+		} else {
+			regs[in.C] = a
+		}
+	case isa.CAS:
+		if int64(a) > int64(b) {
+			regs[in.A], regs[in.B] = b, a
+		}
+	case isa.MUX:
+		if regs[in.C]&1 == 1 {
+			regs[in.C] = a
+		} else {
+			regs[in.C] = b
+		}
+	case isa.MAX:
+		if int64(a) >= int64(b) {
+			regs[in.C] = a
+		} else {
+			regs[in.C] = b
+		}
+	case isa.MIN:
+		if int64(a) <= int64(b) {
+			regs[in.C] = a
+		} else {
+			regs[in.C] = b
+		}
+	case isa.AND:
+		regs[in.C] = a & b
+	case isa.NAND:
+		regs[in.C] = ^(a & b)
+	case isa.NOR:
+		regs[in.C] = ^(a | b)
+	case isa.OR:
+		regs[in.C] = a | b
+	case isa.XOR:
+		regs[in.C] = a ^ b
+	case isa.XNOR:
+		regs[in.C] = ^(a ^ b)
+	case isa.INV:
+		regs[in.C] = ^a
+	case isa.BFLIP:
+		var v uint64
+		for i := 0; i < 64; i++ {
+			if a>>uint(i)&1 == 1 {
+				v |= 1 << uint(63-i)
+			}
+		}
+		regs[in.C] = v
+	case isa.LSHIFT:
+		regs[in.C] = a << 1
+	case isa.MOV:
+		regs[in.C] = a
+	default:
+		panic(fmt.Sprintf("scalar reference: unhandled op %s", in.Op))
+	}
+}
+
+// genProgram builds a random but well-formed program using registers
+// r0..r11 for data, r12 as a loop counter, r13 as zero, r14 as one.
+func genProgram(rng *rand.Rand, addrs []controlpath.VRFAddr) (isa.Program, error) {
+	b := ezpim.NewBuilder()
+	const (
+		dataRegs = 12
+		cnt      = 12
+		zero     = 13
+		one      = 14
+	)
+	reg := func() int { return rng.Intn(dataRegs) }
+	var emitOps func(depth, n int)
+	emitOps = func(depth, n int) {
+		for i := 0; i < n; i++ {
+			switch k := rng.Intn(24); {
+			case k < 10: // three-operand arithmetic/boolean
+				ops := []func(a, b, c int) isa.Instr{
+					isa.Add, isa.Sub, isa.Mul, isa.And, isa.OrI, isa.Xor,
+					isa.Nand, isa.Nor, isa.Xnor, isa.MaxI, isa.MinI, isa.Mac,
+				}
+				b.Op(ops[rng.Intn(len(ops))](reg(), reg(), reg()))
+			case k < 14: // unary
+				ops := []func(a, c int) isa.Instr{
+					isa.Inc, isa.Inv, isa.Mov, isa.LShift, isa.BFlip, isa.Relu, isa.Popc,
+				}
+				b.Op(ops[rng.Intn(len(ops))](reg(), reg()))
+			case k < 15:
+				b.Op(isa.QDiv(reg(), reg(), reg()))
+			case k < 16:
+				b.Op(isa.Cas(reg(), reg()))
+			case k < 17:
+				b.Op(isa.MuxI(reg(), reg(), reg()))
+			case k < 18:
+				b.Op(isa.Fuzzy(reg(), reg(), reg()))
+				b.Op(isa.SetMask(isa.RegCond))
+				b.Op(isa.Unmask())
+			case k < 22 && depth < 3: // nested branch
+				conds := []func(a, b int) ezpim.Cond{ezpim.Eq, ezpim.Ne, ezpim.Lt, ezpim.Gt, ezpim.Le, ezpim.Ge}
+				c := conds[rng.Intn(len(conds))](reg(), reg())
+				if rng.Intn(2) == 0 {
+					b.If(c, func() { emitOps(depth+1, 1+rng.Intn(3)) }, nil)
+				} else {
+					b.If(c, func() { emitOps(depth+1, 1+rng.Intn(3)) },
+						func() { emitOps(depth+1, 1+rng.Intn(3)) })
+				}
+			case k < 23 && depth == 0: // bounded countdown loop
+				b.Op(isa.Init0(zero))
+				b.Op(isa.Init1(one))
+				b.Op(isa.Init1(cnt))
+				for j := rng.Intn(3); j > 0; j-- {
+					b.Op(isa.Inc(cnt, cnt)) // trip count 1..3
+				}
+				b.While(ezpim.Gt(cnt, zero), func() {
+					emitOps(depth+1, 1+rng.Intn(3))
+					b.Op(isa.Sub(cnt, one, cnt))
+				})
+			default:
+				b.Op(isa.Init1(reg()))
+			}
+		}
+	}
+	b.Ensemble(addrs, func() { emitOps(0, 6+rng.Intn(10)) })
+	return b.Program()
+}
+
+// TestDifferentialRandomPrograms cross-checks 60 random programs on the
+// fully-activating MIMDRAM back end (one batch → flat EFI OR).
+func TestDifferentialRandomPrograms(t *testing.T) {
+	diffTrials(t, backends.MIMDRAM(), 60, 1000)
+}
+
+// TestDifferentialOtherBackends runs fewer trials on the remaining
+// capability sets, including the MAJ/NOT-only SIMDRAM.
+func TestDifferentialOtherBackends(t *testing.T) {
+	for _, spec := range []*backends.Spec{backends.DualityCache(), backends.SIMDRAM()} {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			diffTrials(t, spec, 15, 5000)
+		})
+	}
+}
+
+func diffTrials(t *testing.T, spec *backends.Spec, trials int, seedBase int64) {
+	t.Helper()
+	addrs := []controlpath.VRFAddr{{RFH: 0, VRF: 0}, {RFH: 1, VRF: 0}}
+	lanes := spec.Lanes * len(addrs)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seedBase + int64(trial)))
+		prog, err := genProgram(rng, addrs)
+		if err != nil {
+			t.Fatalf("trial %d: generate: %v", trial, err)
+		}
+
+		m, err := New(Config{Spec: spec, NumMPUs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadAll(prog); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ref := newScalarRef(prog, lanes)
+		for l := 0; l < lanes; l++ {
+			for reg := 0; reg < 12; reg++ {
+				v := rng.Uint64()
+				if rng.Intn(2) == 0 {
+					v %= 97 // small values make loops/compares interesting
+				}
+				ref.regs[l][reg] = v
+				a := addrs[l/spec.Lanes]
+				m.mpus[0].vrfAt(a).WriteWord(reg, l%spec.Lanes, v)
+			}
+		}
+
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("trial %d: machine: %v\n%s", trial, err, isa.Disassemble(prog))
+		}
+		if err := ref.run(); err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+
+		for l := 0; l < lanes; l++ {
+			a := addrs[l/spec.Lanes]
+			for reg := 0; reg < 15; reg++ {
+				got := m.mpus[0].vrfAt(a).ReadWord(reg, l%spec.Lanes)
+				want := ref.regs[l][reg]
+				if got != want {
+					t.Fatalf("trial %d: lane %d r%d: machine %#x, reference %#x\nprogram:\n%s",
+						trial, l, reg, got, want, isa.Disassemble(prog))
+				}
+			}
+		}
+	}
+}

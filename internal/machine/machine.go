@@ -1,0 +1,760 @@
+// Package machine executes MPU ISA binaries on a simulated chip: one or more
+// MPUs in front of a PUM datapath back end, connected by an on-chip mesh.
+// It is the Go equivalent of the paper's MASTODON simulator — functional
+// execution happens on bit planes through the real micro-op recipes, while
+// per-event costs (micro-op timing, decode stalls, scheduler rounds, NoC
+// hops, host round trips) accumulate into Stats.
+//
+// Two modes mirror the paper's configurations: ModeMPU runs control flow in
+// the MPU control path; ModeBaseline models the original datapaths, which
+// must offload every data-driven control decision to the external host CPU.
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/hostcpu"
+	"mpu/internal/isa"
+	"mpu/internal/noc"
+	"mpu/internal/recipe"
+	"mpu/internal/vrf"
+)
+
+// Mode selects who executes control flow.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeMPU: the MPU control path executes everything on chip.
+	ModeMPU Mode = iota
+	// ModeBaseline: the original datapath; JUMP_COND, JUMP, RETURN and
+	// SEND coordination are CPU round trips.
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "Baseline"
+	}
+	return "MPU"
+}
+
+// Config assembles a machine.
+type Config struct {
+	Spec    *backends.Spec
+	Mode    Mode
+	NumMPUs int // instantiated MPUs (≤ Spec.MPUs); 0 means 1
+
+	Host   *hostcpu.Model
+	Recipe controlpath.RecipeCacheConfig
+
+	// ActiveVRFsOverride, if positive, replaces the spec's thermal
+	// activation limit (footnote 2's RACER 2-active-VRF study).
+	ActiveVRFsOverride int
+
+	// ComputeScale multiplies compute-cycle and datapath-energy charges;
+	// experiments use it for the Baseline stencil Toeplitz inflation
+	// (§VIII-B: ~4× application footprint). 0 means 1.
+	ComputeScale float64
+
+	// MaxSteps bounds instruction executions per scheduling round to catch
+	// runaway loops. 0 means the default of 50M.
+	MaxSteps int
+
+	// Trace, when non-nil, receives a line per architectural event
+	// (ensemble activation, scheduling round, control transfer, DTC and
+	// inter-MPU traffic) — the MASTODON-style execution log.
+	Trace io.Writer
+}
+
+// Stats aggregates the costs of one Run.
+type Stats struct {
+	Cycles       int64   // makespan: max cycle count across MPUs
+	PerMPUCycles []int64 // per-MPU clocks
+
+	Instructions  uint64 // dynamic ISA instructions executed (per round)
+	MicroOps      uint64 // micro-ops issued across all MPUs and rounds
+	Rounds        uint64 // scheduler activation rounds (Fig. 10 replays)
+	Ensembles     uint64 // compute ensembles executed
+	Transfers     uint64 // MEMCPY pair-copies performed
+	Sends         uint64 // inter-MPU send blocks completed
+	Offloads      uint64 // Baseline CPU round trips
+	RecipeHits    uint64
+	RecipeMisses  uint64
+	PlaybackSpill uint64 // ensemble bodies exceeding the playback buffer
+
+	ComputeCycles  int64 // summed across MPUs
+	TransferCycles int64 // on-chip DTC transfers
+	InterMPUCycles int64 // NoC message passing
+	OffloadCycles  int64 // off-chip CPU interaction (Baseline)
+	DecodeStalls   int64 // recipe-table misses
+
+	DatapathEnergyPJ  float64
+	FrontendStaticPJ  float64
+	FrontendDynamicPJ float64
+	NoCEnergyPJ       float64
+	HostEnergyPJ      float64
+}
+
+// TimeSeconds converts the makespan to seconds at the back-end clock.
+func (s *Stats) TimeSeconds(clockGHz float64) float64 {
+	return float64(s.Cycles) / (clockGHz * 1e9)
+}
+
+// TotalEnergyPJ sums every energy component.
+func (s *Stats) TotalEnergyPJ() float64 {
+	return s.DatapathEnergyPJ + s.FrontendStaticPJ + s.FrontendDynamicPJ +
+		s.NoCEnergyPJ + s.HostEnergyPJ
+}
+
+// Machine is a configured chip ready to load and run binaries.
+type Machine struct {
+	cfg    Config
+	mesh   *noc.Mesh
+	nocCfg noc.Config
+	mpus   []*core
+	stats  Stats
+	limit  int // effective active VRFs per RFH
+}
+
+// core is one MPU: precoder state, compute controller, DTC, and its VRFs.
+type core struct {
+	id      int
+	m       *Machine
+	prog    isa.Program
+	pc      int
+	cycles  int64
+	issue   int64 // cycles spent issuing micro-ops (front-end dynamic energy)
+	vrfs    map[controlpath.VRFAddr]*vrf.VRF
+	ras     *controlpath.ReturnStack
+	rcache  *controlpath.RecipeCache
+	pbuf    *controlpath.PlaybackBuffer
+	done    bool
+	blocked bool
+	// pending rendezvous state
+	sendDst  int
+	recvSrc  int
+	waitSend bool
+	waitRecv bool
+}
+
+// New builds a machine. NumMPUs defaults to 1.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("machine: nil back-end spec")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumMPUs == 0 {
+		cfg.NumMPUs = 1
+	}
+	if cfg.NumMPUs < 0 || cfg.NumMPUs > cfg.Spec.MPUs {
+		return nil, fmt.Errorf("machine: %d MPUs outside [1,%d]", cfg.NumMPUs, cfg.Spec.MPUs)
+	}
+	if cfg.Host == nil {
+		cfg.Host = hostcpu.Default()
+	}
+	if cfg.Recipe.CapacityMicroOps == 0 {
+		cfg.Recipe = controlpath.DefaultRecipeCacheConfig()
+	}
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 1
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	nc := noc.Default(cfg.NumMPUs)
+	mesh, err := noc.New(nc)
+	if err != nil {
+		return nil, err
+	}
+	limit := cfg.Spec.ActiveVRFsPerRFH
+	if cfg.ActiveVRFsOverride > 0 {
+		limit = cfg.ActiveVRFsOverride
+		if limit > cfg.Spec.VRFsPerRFH {
+			limit = cfg.Spec.VRFsPerRFH
+		}
+	}
+	m := &Machine{cfg: cfg, mesh: mesh, nocCfg: nc, limit: limit}
+	for i := 0; i < cfg.NumMPUs; i++ {
+		m.mpus = append(m.mpus, &core{
+			id:     i,
+			m:      m,
+			vrfs:   map[controlpath.VRFAddr]*vrf.VRF{},
+			ras:    controlpath.NewReturnStack(64),
+			rcache: controlpath.NewRecipeCache(cfg.Recipe),
+			pbuf:   controlpath.NewPlaybackBuffer(),
+			done:   true, // no program yet
+		})
+	}
+	return m, nil
+}
+
+// Spec returns the back-end spec the machine was built with.
+func (m *Machine) Spec() *backends.Spec { return m.cfg.Spec }
+
+// Mode returns the configured execution mode.
+func (m *Machine) Mode() Mode { return m.cfg.Mode }
+
+// NumMPUs returns the instantiated MPU count.
+func (m *Machine) NumMPUs() int { return len(m.mpus) }
+
+// LoadProgram installs a binary into one MPU's instruction storage unit.
+func (m *Machine) LoadProgram(mpu int, p isa.Program) error {
+	if mpu < 0 || mpu >= len(m.mpus) {
+		return fmt.Errorf("machine: MPU %d out of range [0,%d)", mpu, len(m.mpus))
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	const isuBytes = 2 << 20 // Table III: 2 MB instruction storage
+	if p.BinarySize() > isuBytes {
+		return fmt.Errorf("machine: binary of %d bytes exceeds the %d-byte ISU", p.BinarySize(), isuBytes)
+	}
+	c := m.mpus[mpu]
+	c.prog = p
+	c.pc = 0
+	c.done = len(p) == 0
+	return nil
+}
+
+// LoadAll installs the same binary on every MPU (SPMD execution).
+func (m *Machine) LoadAll(p isa.Program) error {
+	for i := range m.mpus {
+		if err := m.LoadProgram(i, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) checkAddr(a controlpath.VRFAddr) error {
+	if int(a.RFH) >= m.cfg.Spec.RFHsPerMPU {
+		return fmt.Errorf("machine: rfh%d out of range [0,%d)", a.RFH, m.cfg.Spec.RFHsPerMPU)
+	}
+	if int(a.VRF) >= m.cfg.Spec.VRFsPerRFH {
+		return fmt.Errorf("machine: vrf%d out of range [0,%d)", a.VRF, m.cfg.Spec.VRFsPerRFH)
+	}
+	return nil
+}
+
+func (c *core) vrfAt(a controlpath.VRFAddr) *vrf.VRF {
+	v, ok := c.vrfs[a]
+	if !ok {
+		v = vrf.New(c.m.cfg.Spec.Lanes)
+		c.vrfs[a] = v
+	}
+	return v
+}
+
+// WriteVector loads host data into a vector register (outside kernel time).
+func (m *Machine) WriteVector(mpu int, a controlpath.VRFAddr, reg int, vals []uint64) error {
+	if mpu < 0 || mpu >= len(m.mpus) {
+		return fmt.Errorf("machine: MPU %d out of range", mpu)
+	}
+	if err := m.checkAddr(a); err != nil {
+		return err
+	}
+	if reg < 0 || reg >= isa.NumRegs {
+		return fmt.Errorf("machine: register %d out of range", reg)
+	}
+	m.mpus[mpu].vrfAt(a).WriteReg(reg, vals)
+	return nil
+}
+
+// ReadVector reads a vector register back to the host.
+func (m *Machine) ReadVector(mpu int, a controlpath.VRFAddr, reg int) ([]uint64, error) {
+	if mpu < 0 || mpu >= len(m.mpus) {
+		return nil, fmt.Errorf("machine: MPU %d out of range", mpu)
+	}
+	if err := m.checkAddr(a); err != nil {
+		return nil, err
+	}
+	if reg < 0 || reg >= isa.NumRegs {
+		return nil, fmt.Errorf("machine: register %d out of range", reg)
+	}
+	return m.mpus[mpu].vrfAt(a).ReadReg(reg), nil
+}
+
+// Run executes all loaded programs to completion and returns the statistics.
+// MPUs run concurrently in simulated time, synchronizing at SEND/RECV
+// rendezvous points.
+func (m *Machine) Run() (*Stats, error) {
+	m.stats = Stats{}
+	for {
+		progress := false
+		allDone := true
+		for _, c := range m.mpus {
+			if c.done {
+				continue
+			}
+			allDone = false
+			if c.blocked {
+				continue
+			}
+			if err := c.run(); err != nil {
+				return nil, fmt.Errorf("mpu%d: %w", c.id, err)
+			}
+			progress = true
+		}
+		// Try to match pending rendezvous.
+		for _, s := range m.mpus {
+			if !s.blocked || !s.waitSend {
+				continue
+			}
+			for _, r := range m.mpus {
+				if r.blocked && r.waitRecv && r.recvSrc == s.id && s.sendDst == r.id {
+					if err := m.rendezvous(s, r); err != nil {
+						return nil, err
+					}
+					progress = true
+				}
+			}
+		}
+		if allDone {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("machine: deadlock — no MPU can make progress (check SEND/RECV pairing and the lower-ID-sends-first rule)")
+		}
+	}
+	st := &m.stats
+	for _, c := range m.mpus {
+		st.PerMPUCycles = append(st.PerMPUCycles, c.cycles)
+		if c.cycles > st.Cycles {
+			st.Cycles = c.cycles
+		}
+		st.RecipeHits += c.rcache.Hits
+		st.RecipeMisses += c.rcache.Misses
+		st.DecodeStalls += c.rcache.StallCycles
+		st.PlaybackSpill += c.pbuf.Overflows
+		st.FrontendDynamicPJ += float64(c.issue) * frontendDynamicPJPerCycle
+	}
+	if m.cfg.Mode == ModeMPU {
+		st.FrontendStaticPJ = float64(len(m.mpus)) * frontendStaticMW * float64(st.Cycles)
+	} else {
+		// Baseline: the host is live for the whole run, and the original
+		// datapaths' less efficient micro-op expansion dissipates extra
+		// decode/control energy (§VIII-B's "even if we ignore CPU energy
+		// savings" component).
+		st.HostEnergyPJ += m.cfg.Host.IdleEnergyPJ(st.Cycles, m.cfg.Spec.OnChipCPU)
+		if f := m.cfg.Spec.BaselineEnergyFactor; f > 0 {
+			st.DatapathEnergyPJ *= f
+		}
+		st.FrontendDynamicPJ = 0 // no MPU front end exists
+	}
+	return st, nil
+}
+
+// Front-end power constants (see internal/frontend; duplicated here to keep
+// the dependency graph acyclic: frontend imports nothing, but machine only
+// needs the two scalars).
+const (
+	frontendStaticMW          = 1.22  // pJ per cycle per MPU at 1 GHz
+	frontendDynamicPJPerCycle = 71.72 // pJ per active issue cycle
+)
+
+// run executes instructions until the MPU finishes or blocks on rendezvous.
+func (c *core) run() error {
+	for !c.done && !c.blocked {
+		if c.pc < 0 || c.pc >= len(c.prog) {
+			c.done = true
+			return nil
+		}
+		in := c.prog[c.pc]
+		switch in.Op {
+		case isa.NOP:
+			c.cycles++
+			c.pc++
+		case isa.MPUSYNC:
+			// With one compute controller (Table III) ensembles already
+			// serialize; the fence costs a pipeline drain.
+			c.cycles += 2
+			c.pc++
+		case isa.COMPUTE:
+			if err := c.runComputeEnsemble(); err != nil {
+				return err
+			}
+		case isa.MOVE:
+			if err := c.runTransferEnsemble(); err != nil {
+				return err
+			}
+		case isa.SEND:
+			c.waitSend = true
+			c.sendDst = int(in.Imm)
+			if c.sendDst < 0 || c.sendDst >= len(c.m.mpus) {
+				return fmt.Errorf("SEND to unknown mpu%d", c.sendDst)
+			}
+			c.blocked = true
+		case isa.RECV:
+			c.waitRecv = true
+			c.recvSrc = int(in.Imm)
+			if c.recvSrc < 0 || c.recvSrc >= len(c.m.mpus) {
+				return fmt.Errorf("RECV from unknown mpu%d", c.recvSrc)
+			}
+			c.blocked = true
+		case isa.JUMP:
+			c.chargeControlRedirect()
+			if err := c.ras.Push(c.pc + 1); err != nil {
+				return err
+			}
+			c.pc = int(in.Imm)
+		case isa.RETURN:
+			c.chargeControlRedirect()
+			pc, err := c.ras.Pop()
+			if err != nil {
+				return err
+			}
+			c.pc = pc
+		default:
+			return fmt.Errorf("instruction %s at %d outside any ensemble", in.Op, c.pc)
+		}
+	}
+	return nil
+}
+
+// tracef logs one architectural event when tracing is enabled.
+func (c *core) tracef(format string, args ...any) {
+	if c.m.cfg.Trace != nil {
+		fmt.Fprintf(c.m.cfg.Trace, "mpu%d: "+format+"\n", append([]any{c.id}, args...)...)
+	}
+}
+
+// chargeControlRedirect accounts for a JUMP/RETURN: one cycle on the MPU,
+// a full host round trip for Baseline datapaths, which cannot redirect
+// their own instruction stream (Table I: subroutine calls).
+func (c *core) chargeControlRedirect() {
+	c.cycles++
+	if c.m.cfg.Mode == ModeBaseline {
+		c.offload()
+	}
+}
+
+// offload charges one host CPU round trip (Baseline control decision).
+func (c *core) offload() {
+	c.tracef("host offload (control decision)")
+	lat := c.m.cfg.Host.OffloadCycles(c.m.cfg.Spec.Lanes, c.m.cfg.Spec.OnChipCPU)
+	c.cycles += lat
+	c.m.stats.OffloadCycles += lat
+	c.m.stats.Offloads++
+	c.m.stats.HostEnergyPJ += c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
+}
+
+// runComputeEnsemble executes one COMPUTE…COMPUTE_DONE block under the
+// Fig. 10 scheduler: VRFs are activated in rounds bounded by the thermal
+// limit, and the body (including its dynamic loops and subroutine calls)
+// replays once per round.
+func (c *core) runComputeEnsemble() error {
+	var addrs []controlpath.VRFAddr
+	for c.pc < len(c.prog) && c.prog[c.pc].Op == isa.COMPUTE {
+		in := c.prog[c.pc]
+		a := controlpath.VRFAddr{RFH: in.A, VRF: in.B}
+		if err := c.m.checkAddr(a); err != nil {
+			return err
+		}
+		addrs = append(addrs, a)
+		c.cycles++ // activation-board write
+		c.pc++
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("compute ensemble with empty header at %d", c.pc)
+	}
+	bodyStart := c.pc
+	bodyLen, err := c.findComputeDone(bodyStart)
+	if err != nil {
+		return err
+	}
+	if !c.pbuf.Fits(bodyLen) {
+		// Body exceeds the playback buffer: every replay refetches from the
+		// ISU at one cycle per instruction.
+		c.cycles += int64(bodyLen)
+	}
+	rounds := controlpath.Batches(addrs, c.m.limit)
+	c.m.stats.Ensembles++
+	c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(addrs), bodyLen, len(rounds))
+	endPC := bodyStart
+	for ri, batch := range rounds {
+		c.tracef("round %d: %d VRFs active", ri, len(batch))
+		c.m.stats.Rounds++
+		c.cycles += 4 // footer interrupt + batch swap (Fig. 10 lines 11–23)
+		vrfs := make([]*vrf.VRF, len(batch))
+		for i, a := range batch {
+			vrfs[i] = c.vrfAt(a)
+			vrfs[i].Unmask() // activation enables every lane
+		}
+		pc, err := c.runBody(bodyStart, vrfs)
+		if err != nil {
+			return err
+		}
+		endPC = pc
+	}
+	c.pc = endPC
+	return nil
+}
+
+// findComputeDone returns the linear distance from start to the matching
+// COMPUTE_DONE (playback-buffer sizing). Jump targets may lie outside; only
+// the straight-line footprint occupies the buffer.
+func (c *core) findComputeDone(start int) (int, error) {
+	for i := start; i < len(c.prog); i++ {
+		switch c.prog[i].Op {
+		case isa.COMPUTEDONE:
+			return i - start + 1, nil
+		case isa.COMPUTE, isa.MOVE, isa.SEND, isa.RECV:
+			return 0, fmt.Errorf("instruction %s at %d inside a compute ensemble", c.prog[i].Op, i)
+		}
+	}
+	return 0, fmt.Errorf("compute ensemble at %d missing COMPUTE_DONE", start)
+}
+
+// runBody interprets one replay of an ensemble body on the active batch,
+// returning the pc just past COMPUTE_DONE.
+func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
+	spec := c.m.cfg.Spec
+	st := &c.m.stats
+	pc := start
+	steps := 0
+	for {
+		if pc < 0 || pc >= len(c.prog) {
+			return 0, fmt.Errorf("ensemble body ran past the program end (pc=%d)", pc)
+		}
+		steps++
+		if steps > c.m.cfg.MaxSteps {
+			return 0, fmt.Errorf("ensemble body exceeded %d steps — runaway loop?", c.m.cfg.MaxSteps)
+		}
+		in := c.prog[pc]
+		st.Instructions++
+		switch {
+		case in.Op == isa.COMPUTEDONE:
+			return pc + 1, nil
+
+		case recipe.IsDatapathOp(in.Op):
+			ops, err := recipe.Expand(spec.Caps, in)
+			if err != nil {
+				return 0, err
+			}
+			if c.m.cfg.Mode == ModeMPU {
+				c.cycles += c.rcache.Lookup(uint8(in.Op), len(ops))
+			}
+			for _, v := range batch {
+				v.ExecAll(ops)
+			}
+			n := int64(len(ops))
+			exec := int64(float64(n*int64(spec.CyclesPerMicroOp)) * c.m.cfg.ComputeScale)
+			c.cycles += exec
+			c.issue += n
+			st.ComputeCycles += exec
+			st.MicroOps += uint64(n) * uint64(len(batch))
+			st.DatapathEnergyPJ += float64(n) * spec.MicroOpEnergyPJ * float64(len(batch)) * c.m.cfg.ComputeScale
+			pc++
+
+		case in.Op == isa.SETMASK:
+			for _, v := range batch {
+				if in.A == isa.RegCond {
+					v.SetMaskFromCond()
+				} else {
+					v.SetMaskFromReg(int(in.A))
+				}
+			}
+			c.cycles++
+			pc++
+		case in.Op == isa.UNMASK:
+			for _, v := range batch {
+				v.Unmask()
+			}
+			c.cycles++
+			pc++
+		case in.Op == isa.GETMASK:
+			for _, v := range batch {
+				v.GetMaskInto(int(in.C))
+			}
+			c.cycles++
+			pc++
+
+		case in.Op == isa.JUMPCOND:
+			// EFI (§VI-B): read mask registers of the active VRFs; jump
+			// while any lane anywhere in the batch remains enabled.
+			any := false
+			for _, v := range batch {
+				if v.MaskAny() {
+					any = true
+					break
+				}
+			}
+			c.cycles += 4 // mask readback into the CC + decision
+			if c.m.cfg.Mode == ModeBaseline {
+				c.offload() // the original datapath asks the CPU instead
+			}
+			if any {
+				pc = int(in.Imm)
+			} else {
+				pc++
+			}
+
+		case in.Op == isa.JUMP:
+			c.chargeControlRedirect()
+			if err := c.ras.Push(pc + 1); err != nil {
+				return 0, err
+			}
+			pc = int(in.Imm)
+		case in.Op == isa.RETURN:
+			c.chargeControlRedirect()
+			rpc, err := c.ras.Pop()
+			if err != nil {
+				return 0, err
+			}
+			pc = rpc
+		case in.Op == isa.NOP:
+			c.cycles++
+			pc++
+		default:
+			return 0, fmt.Errorf("instruction %s at %d not executable inside a compute ensemble", in.Op, pc)
+		}
+	}
+}
+
+// runTransferEnsemble executes a local MOVE…MOVE_DONE block on the DTC.
+func (c *core) runTransferEnsemble() error {
+	var tm controlpath.TargetMap
+	for c.pc < len(c.prog) && c.prog[c.pc].Op == isa.MOVE {
+		in := c.prog[c.pc]
+		tm.Add(in.A, in.B)
+		c.cycles++ // target-map write
+		c.pc++
+	}
+	pairs := tm.Pairs()
+	if len(pairs) == 0 {
+		return fmt.Errorf("transfer ensemble with empty header at %d", c.pc)
+	}
+	c.tracef("transfer ensemble: %d RFH pairs", len(pairs))
+	for {
+		if c.pc >= len(c.prog) {
+			return fmt.Errorf("transfer ensemble missing MOVE_DONE")
+		}
+		in := c.prog[c.pc]
+		switch in.Op {
+		case isa.MOVEDONE:
+			c.cycles++
+			c.pc++
+			return nil
+		case isa.MEMCPY:
+			if err := c.memcpyLocal(pairs, in); err != nil {
+				return err
+			}
+			c.pc++
+		case isa.NOP:
+			c.cycles++
+			c.pc++
+		default:
+			return fmt.Errorf("instruction %s at %d inside a transfer ensemble", in.Op, c.pc)
+		}
+	}
+}
+
+// memcpyLocal copies one register per RFH pair through the DTC. Pairs use
+// disjoint RFH links, so they stream in parallel; the cost is one setup plus
+// the register's lane words.
+func (c *core) memcpyLocal(pairs []controlpath.RFHPair, in isa.Instr) error {
+	spec := c.m.cfg.Spec
+	for _, p := range pairs {
+		src := controlpath.VRFAddr{RFH: p.Src, VRF: in.A}
+		dst := controlpath.VRFAddr{RFH: p.Dst, VRF: in.C}
+		if err := c.m.checkAddr(src); err != nil {
+			return err
+		}
+		if err := c.m.checkAddr(dst); err != nil {
+			return err
+		}
+		vrf.CopyRegister(c.vrfAt(src), int(in.B), c.vrfAt(dst), int(in.D))
+		c.m.stats.Transfers++
+	}
+	cyc := int64(16 + spec.Lanes) // setup + one 64-bit word per lane
+	c.cycles += cyc
+	c.m.stats.TransferCycles += cyc
+	// On-chip movement energy: ~0.2 pJ/byte across the RFH interconnect.
+	c.m.stats.NoCEnergyPJ += float64(len(pairs)*spec.Lanes*8) * 0.2
+	return nil
+}
+
+// rendezvous completes a matched SEND/RECV pair: the sender's block
+// (SEND … MOVE/MEMCPY … MOVE_DONE … SEND_DONE) executes with source VRFs on
+// the sender and destination VRFs on the receiver, costed through the mesh.
+func (m *Machine) rendezvous(s, r *core) error {
+	st := &m.stats
+	t0 := s.cycles
+	if r.cycles > t0 {
+		t0 = r.cycles
+	}
+	var block int64
+	if m.cfg.Mode == ModeBaseline {
+		// The host coordinates the pairing before any data moves.
+		lat := m.cfg.Host.OffloadCycles(m.cfg.Spec.Lanes, m.cfg.Spec.OnChipCPU)
+		block += lat
+		st.OffloadCycles += lat
+		st.Offloads++
+		st.HostEnergyPJ += m.cfg.Host.OffloadEnergyPJ(m.cfg.Spec.Lanes)
+	}
+
+	pc := s.pc + 1 // past SEND
+	var tm controlpath.TargetMap
+	for pc < len(s.prog) && s.prog[pc].Op == isa.MOVE {
+		tm.Add(s.prog[pc].A, s.prog[pc].B)
+		block++
+		pc++
+	}
+	pairs := tm.Pairs()
+	if len(pairs) == 0 {
+		return fmt.Errorf("mpu%d: SEND block without MOVE header at %d", s.id, pc)
+	}
+loop:
+	for {
+		if pc >= len(s.prog) {
+			return fmt.Errorf("mpu%d: SEND block missing SEND_DONE", s.id)
+		}
+		in := s.prog[pc]
+		switch in.Op {
+		case isa.MEMCPY:
+			for _, p := range pairs {
+				src := controlpath.VRFAddr{RFH: p.Src, VRF: in.A}
+				dst := controlpath.VRFAddr{RFH: p.Dst, VRF: in.C}
+				if err := m.checkAddr(src); err != nil {
+					return err
+				}
+				if err := m.checkAddr(dst); err != nil {
+					return err
+				}
+				vrf.CopyRegister(s.vrfAt(src), int(in.B), r.vrfAt(dst), int(in.D))
+				st.Transfers++
+			}
+			cyc, pj, err := m.mesh.TransferCost(s.id, r.id, m.cfg.Spec.Lanes)
+			if err != nil {
+				return err
+			}
+			block += int64(cyc)
+			st.InterMPUCycles += int64(cyc)
+			st.NoCEnergyPJ += pj * float64(len(pairs))
+			pc++
+		case isa.MOVEDONE, isa.NOP:
+			block++
+			pc++
+		case isa.SENDDONE:
+			pc++
+			break loop
+		default:
+			return fmt.Errorf("mpu%d: instruction %s at %d inside a SEND block", s.id, in.Op, pc)
+		}
+	}
+	s.tracef("send block to mpu%d complete (%d pairs)", r.id, len(pairs))
+	st.Sends++
+	s.pc = pc
+	r.pc++ // past RECV
+	s.cycles = t0 + block
+	r.cycles = t0 + block
+	s.blocked, s.waitSend = false, false
+	r.blocked, r.waitRecv = false, false
+	return nil
+}

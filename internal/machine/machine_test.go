@@ -1,0 +1,623 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/ezpim"
+	"mpu/internal/isa"
+)
+
+func addr(rfh, vrf int) controlpath.VRFAddr {
+	return controlpath.VRFAddr{RFH: uint8(rfh), VRF: uint8(vrf)}
+}
+
+func mustAssemble(t *testing.T, src string) isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func newMachine(t *testing.T, spec *backends.Spec, mode Mode, mpus int) *Machine {
+	t.Helper()
+	m, err := New(Config{Spec: spec, Mode: mode, NumMPUs: mpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const vecAddSrc = `
+	COMPUTE rfh0 vrf0
+	ADD r0 r1 r2
+	COMPUTE_DONE
+`
+
+func TestVectorAddOnAllBackends(t *testing.T) {
+	for _, spec := range backends.All() {
+		m := newMachine(t, spec, ModeMPU, 1)
+		if err := m.LoadAll(mustAssemble(t, vecAddSrc)); err != nil {
+			t.Fatal(err)
+		}
+		a := make([]uint64, spec.Lanes)
+		b := make([]uint64, spec.Lanes)
+		for i := range a {
+			a[i] = uint64(i * 3)
+			b[i] = uint64(i*i + 7)
+		}
+		if err := m.WriteVector(0, addr(0, 0), 0, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteVector(0, addr(0, 0), 1, b); err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got, err := m.ReadVector(0, addr(0, 0), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if got[i] != a[i]+b[i] {
+				t.Fatalf("%s lane %d: got %d, want %d", spec.Name, i, got[i], a[i]+b[i])
+			}
+		}
+		if st.Cycles <= 0 || st.MicroOps == 0 || st.Ensembles != 1 {
+			t.Fatalf("%s: implausible stats %+v", spec.Name, st)
+		}
+		if st.DatapathEnergyPJ <= 0 {
+			t.Fatalf("%s: no datapath energy recorded", spec.Name)
+		}
+	}
+}
+
+// Dynamic divergent loop: each lane decrements its value to zero, counting
+// iterations. Lanes exit independently through the mask register; the EFI
+// ends the loop when every lane is done (§V-C, §VI-B).
+const countdownSrc = `
+	COMPUTE rfh0 vrf0
+	INIT0 r2
+	INIT1 r3
+	INIT0 r1
+	CMPGT r0 r2
+	SETMASK cond
+loop:
+	SUB r0 r3 r0
+	INC r1 r1
+	CMPGT r0 r2
+	SETMASK cond
+	JUMP_COND loop
+	UNMASK
+	COMPUTE_DONE
+`
+
+func TestDynamicLoopWithDivergence(t *testing.T) {
+	spec := backends.RACER()
+	m := newMachine(t, spec, ModeMPU, 1)
+	if err := m.LoadAll(mustAssemble(t, countdownSrc)); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, spec.Lanes)
+	for i := range vals {
+		vals[i] = uint64(i % 9) // includes zero-iteration lanes
+	}
+	if err := m.WriteVector(0, addr(0, 0), 0, vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	count, _ := m.ReadVector(0, addr(0, 0), 1)
+	rem, _ := m.ReadVector(0, addr(0, 0), 0)
+	for i := range vals {
+		if count[i] != vals[i] {
+			t.Fatalf("lane %d: counted %d iterations, want %d", i, count[i], vals[i])
+		}
+		if rem[i] != 0 {
+			t.Fatalf("lane %d: residue %d, want 0", i, rem[i])
+		}
+	}
+}
+
+// TestSchedulerRounds: more VRFs than the thermal limit → the body replays
+// in rounds (Fig. 10) and every VRF still computes correctly.
+func TestSchedulerRounds(t *testing.T) {
+	spec := backends.RACER() // 1 active VRF per RFH
+	src := `
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh0 vrf1
+		COMPUTE rfh0 vrf2
+		COMPUTE rfh1 vrf0
+		ADD r0 r1 r2
+		COMPUTE_DONE
+	`
+	m := newMachine(t, spec, ModeMPU, 1)
+	if err := m.LoadAll(mustAssemble(t, src)); err != nil {
+		t.Fatal(err)
+	}
+	targets := []controlpath.VRFAddr{addr(0, 0), addr(0, 1), addr(0, 2), addr(1, 0)}
+	for k, a := range targets {
+		va := make([]uint64, spec.Lanes)
+		vb := make([]uint64, spec.Lanes)
+		for i := range va {
+			va[i] = uint64(100*k + i)
+			vb[i] = uint64(k + 1)
+		}
+		m.WriteVector(0, a, 0, va)
+		m.WriteVector(0, a, 1, vb)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rfh0 has 3 VRFs at limit 1 → 3 rounds; rfh1's single VRF rides round 0.
+	if st.Rounds != 3 {
+		t.Fatalf("Rounds = %d, want 3", st.Rounds)
+	}
+	for k, a := range targets {
+		got, _ := m.ReadVector(0, a, 2)
+		for i := range got {
+			want := uint64(100*k+i) + uint64(k+1)
+			if got[i] != want {
+				t.Fatalf("vrf %v lane %d: got %d, want %d", a, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestMIMDRAMSingleRound: with full activation allowed, the same four VRFs
+// execute in one round.
+func TestMIMDRAMSingleRound(t *testing.T) {
+	spec := backends.MIMDRAM()
+	src := `
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh0 vrf1
+		COMPUTE rfh0 vrf2
+		COMPUTE rfh1 vrf0
+		ADD r0 r1 r2
+		COMPUTE_DONE
+	`
+	m := newMachine(t, spec, ModeMPU, 1)
+	m.LoadAll(mustAssemble(t, src))
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("Rounds = %d, want 1 (no thermal throttle)", st.Rounds)
+	}
+}
+
+func TestActiveVRFsOverride(t *testing.T) {
+	spec := backends.RACER()
+	m, err := New(Config{Spec: spec, NumMPUs: 1, ActiveVRFsOverride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh0 vrf1
+		ADD r0 r1 r2
+		COMPUTE_DONE
+	`
+	m.LoadAll(mustAssemble(t, src))
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("Rounds = %d, want 1 with override 2", st.Rounds)
+	}
+}
+
+// TestBaselineOffloadsControlFlow: the Baseline configuration must pay a CPU
+// round trip per JUMP_COND evaluation and be dramatically slower (Fig. 1).
+func TestBaselineOffloadsControlFlow(t *testing.T) {
+	spec := backends.RACER()
+	prog := mustAssemble(t, countdownSrc)
+	vals := make([]uint64, spec.Lanes)
+	for i := range vals {
+		vals[i] = 8
+	}
+
+	run := func(mode Mode) *Stats {
+		m := newMachine(t, spec, mode, 1)
+		m.LoadAll(prog)
+		m.WriteVector(0, addr(0, 0), 0, vals)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	mpuSt := run(ModeMPU)
+	baseSt := run(ModeBaseline)
+	if mpuSt.Offloads != 0 {
+		t.Fatalf("MPU mode performed %d offloads", mpuSt.Offloads)
+	}
+	if baseSt.Offloads != 8 { // one JUMP_COND evaluation per iteration
+		t.Fatalf("Baseline offloads = %d, want 8", baseSt.Offloads)
+	}
+	if baseSt.Cycles < 4*mpuSt.Cycles {
+		t.Fatalf("Baseline (%d cycles) not substantially slower than MPU (%d)", baseSt.Cycles, mpuSt.Cycles)
+	}
+	if baseSt.HostEnergyPJ <= 0 {
+		t.Fatal("Baseline recorded no host energy")
+	}
+	if mpuSt.HostEnergyPJ != 0 {
+		t.Fatal("MPU mode recorded host energy")
+	}
+	if mpuSt.FrontendStaticPJ <= 0 {
+		t.Fatal("MPU mode recorded no front-end static energy")
+	}
+}
+
+func TestSubroutineCall(t *testing.T) {
+	// Binary layout convention (also emitted by ezpim): an entry JUMP hops
+	// over the subroutine region into main, and execution halts by running
+	// off the end of the binary.
+	src := `
+		JUMP main
+	sub:
+		ADD r0 r1 r2
+		RETURN
+	main:
+		COMPUTE rfh0 vrf0
+		JUMP sub
+		COMPUTE_DONE
+	`
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	m.LoadAll(mustAssemble(t, src))
+	a := []uint64{5, 6, 7}
+	b := []uint64{10, 20, 30}
+	m.WriteVector(0, addr(0, 0), 0, a)
+	m.WriteVector(0, addr(0, 0), 1, b)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addr(0, 0), 2)
+	for i := range a {
+		if got[i] != a[i]+b[i] {
+			t.Fatalf("lane %d: got %d, want %d", i, got[i], a[i]+b[i])
+		}
+	}
+}
+
+func TestLocalTransferEnsemble(t *testing.T) {
+	src := `
+		MOVE rfh0 rfh1
+		MEMCPY vrf0 r3 vrf2 r5
+		MOVE_DONE
+	`
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	m.LoadAll(mustAssemble(t, src))
+	vals := []uint64{1, 2, 3, 4}
+	m.WriteVector(0, addr(0, 0), 3, vals)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addr(1, 2), 5)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("lane %d: got %d, want %d", i, got[i], vals[i])
+		}
+	}
+	if st.Transfers != 1 || st.TransferCycles <= 0 {
+		t.Fatalf("transfer stats: %+v", st)
+	}
+}
+
+func TestMultiPairTransfer(t *testing.T) {
+	src := `
+		MOVE rfh0 rfh1
+		MOVE rfh2 rfh3
+		MEMCPY vrf0 r0 vrf0 r0
+		MOVE_DONE
+	`
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	m.LoadAll(mustAssemble(t, src))
+	m.WriteVector(0, addr(0, 0), 0, []uint64{11})
+	m.WriteVector(0, addr(2, 0), 0, []uint64{22})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got1, _ := m.ReadVector(0, addr(1, 0), 0)
+	got3, _ := m.ReadVector(0, addr(3, 0), 0)
+	if got1[0] != 11 || got3[0] != 22 {
+		t.Fatalf("pair transfers: got %d and %d", got1[0], got3[0])
+	}
+}
+
+func TestInterMPUSendRecv(t *testing.T) {
+	sender := mustAssemble(t, `
+		SEND mpu1
+		MOVE rfh0 rfh0
+		MEMCPY vrf0 r1 vrf0 r2
+		MOVE_DONE
+		SEND_DONE
+	`)
+	receiver := mustAssemble(t, `
+		RECV mpu0
+	`)
+	m := newMachine(t, backends.RACER(), ModeMPU, 2)
+	if err := m.LoadProgram(0, sender); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(1, receiver); err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{42, 43, 44}
+	m.WriteVector(0, addr(0, 0), 1, vals)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(1, addr(0, 0), 2)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("lane %d: got %d, want %d", i, got[i], vals[i])
+		}
+	}
+	if st.Sends != 1 || st.InterMPUCycles <= 0 || st.NoCEnergyPJ <= 0 {
+		t.Fatalf("inter-MPU stats: %+v", st)
+	}
+	// Clocks must be synchronized by the rendezvous.
+	if st.PerMPUCycles[0] != st.PerMPUCycles[1] {
+		t.Fatalf("clocks diverged after rendezvous: %v", st.PerMPUCycles)
+	}
+}
+
+func TestBaselineSendPaysOffload(t *testing.T) {
+	sender := mustAssemble(t, "SEND mpu1\nMOVE rfh0 rfh0\nMEMCPY vrf0 r0 vrf0 r0\nMOVE_DONE\nSEND_DONE")
+	receiver := mustAssemble(t, "RECV mpu0")
+	m := newMachine(t, backends.RACER(), ModeBaseline, 2)
+	m.LoadProgram(0, sender)
+	m.LoadProgram(1, receiver)
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offloads != 1 {
+		t.Fatalf("Baseline SEND offloads = %d, want 1", st.Offloads)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Both MPUs SEND to each other — nobody reaches RECV.
+	prog0 := mustAssemble(t, "SEND mpu1\nMOVE rfh0 rfh0\nMEMCPY vrf0 r0 vrf0 r0\nMOVE_DONE\nSEND_DONE\nRECV mpu1")
+	prog1 := mustAssemble(t, "SEND mpu0\nMOVE rfh0 rfh0\nMEMCPY vrf0 r0 vrf0 r0\nMOVE_DONE\nSEND_DONE\nRECV mpu0")
+	m := newMachine(t, backends.RACER(), ModeMPU, 2)
+	m.LoadProgram(0, prog0)
+	m.LoadProgram(1, prog1)
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestProgramErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"arith outside ensemble", "ADD r0 r1 r2"},
+		{"missing compute_done", "COMPUTE rfh0 vrf0\nADD r0 r1 r2"},
+		{"nested compute", "COMPUTE rfh0 vrf0\nCOMPUTE_DONE\nCOMPUTE_DONE"},
+		{"move inside compute", "COMPUTE rfh0 vrf0\nMOVE rfh0 rfh1\nCOMPUTE_DONE"},
+		{"memcpy outside move", "MEMCPY vrf0 r0 vrf0 r0"},
+		{"missing move_done", "MOVE rfh0 rfh1\nMEMCPY vrf0 r0 vrf0 r0"},
+		{"arith inside move", "MOVE rfh0 rfh1\nADD r0 r1 r2\nMOVE_DONE"},
+		{"return without jump", "RETURN"},
+	}
+	for _, c := range cases {
+		m := newMachine(t, backends.RACER(), ModeMPU, 1)
+		m.LoadAll(mustAssemble(t, c.src))
+		if _, err := m.Run(); err == nil {
+			t.Errorf("%s: Run succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestRunawayLoopAborts(t *testing.T) {
+	// Mask never clears → JUMP_COND loops forever; MaxSteps must abort.
+	src := `
+		COMPUTE rfh0 vrf0
+	loop:
+		NOP
+		JUMP_COND loop
+		COMPUTE_DONE
+	`
+	m, err := New(Config{Spec: backends.RACER(), NumMPUs: 1, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadAll(mustAssemble(t, src))
+	if _, err := m.Run(); err == nil {
+		t.Fatal("runaway loop did not abort")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil spec accepted")
+	}
+	if _, err := New(Config{Spec: backends.RACER(), NumMPUs: 10_000}); err == nil {
+		t.Error("excess MPU count accepted")
+	}
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	if err := m.WriteVector(5, addr(0, 0), 0, nil); err == nil {
+		t.Error("bad MPU id accepted")
+	}
+	if err := m.WriteVector(0, addr(20, 0), 0, nil); err == nil {
+		t.Error("bad RFH accepted")
+	}
+	if err := m.WriteVector(0, addr(0, 0), 99, nil); err == nil {
+		t.Error("bad register accepted")
+	}
+	if _, err := m.ReadVector(0, addr(0, 200), 0); err == nil {
+		t.Error("bad VRF accepted")
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	prog := mustAssemble(t, vecAddSrc)
+	run := func(scale float64) int64 {
+		m, err := New(Config{Spec: backends.RACER(), NumMPUs: 1, ComputeScale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LoadAll(prog)
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.ComputeCycles
+	}
+	if c1, c4 := run(1), run(4); c4 < 3*c1 {
+		t.Fatalf("ComputeScale 4 gave %d cycles vs %d", c4, c1)
+	}
+}
+
+func TestRecipeCacheWarmup(t *testing.T) {
+	// Two identical ADDs: the second must hit the recipe table.
+	src := `
+		COMPUTE rfh0 vrf0
+		ADD r0 r1 r2
+		ADD r2 r1 r3
+		COMPUTE_DONE
+	`
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	m.LoadAll(mustAssemble(t, src))
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecipeHits == 0 || st.RecipeMisses == 0 {
+		t.Fatalf("recipe cache hits=%d misses=%d", st.RecipeHits, st.RecipeMisses)
+	}
+	if st.DecodeStalls <= 0 {
+		t.Fatal("no decode stalls recorded for the first ADD")
+	}
+}
+
+func TestStatsTimeAndEnergyHelpers(t *testing.T) {
+	st := &Stats{Cycles: 2_000_000_000, DatapathEnergyPJ: 100, HostEnergyPJ: 50}
+	if got := st.TimeSeconds(1.0); got != 2.0 {
+		t.Fatalf("TimeSeconds = %v", got)
+	}
+	if got := st.TotalEnergyPJ(); got != 150 {
+		t.Fatalf("TotalEnergyPJ = %v", got)
+	}
+}
+
+func TestEmptyProgramFinishesImmediately(t *testing.T) {
+	m := newMachine(t, backends.RACER(), ModeMPU, 2)
+	m.LoadProgram(0, isa.Program{})
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 0 {
+		t.Fatalf("empty machine ran %d cycles", st.Cycles)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	var buf strings.Builder
+	m, err := New(Config{Spec: backends.RACER(), NumMPUs: 1, Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadAll(mustAssemble(t, vecAddSrc))
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ensemble:", "round 0:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+
+	// Baseline traces host offloads.
+	buf.Reset()
+	m, _ = New(Config{Spec: backends.RACER(), NumMPUs: 1, Mode: ModeBaseline, Trace: &buf})
+	m.LoadAll(mustAssemble(t, countdownSrc))
+	m.WriteVector(0, addr(0, 0), 0, []uint64{2})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "host offload") {
+		t.Fatal("trace missing offload events")
+	}
+}
+
+// TestSPMDMultiMPU: the same binary on several MPUs computes independently.
+func TestSPMDMultiMPU(t *testing.T) {
+	m := newMachine(t, backends.RACER(), ModeMPU, 3)
+	if err := m.LoadAll(mustAssemble(t, vecAddSrc)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		m.WriteVector(id, addr(0, 0), 0, []uint64{uint64(id * 100)})
+		m.WriteVector(id, addr(0, 0), 1, []uint64{7})
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		got, _ := m.ReadVector(id, addr(0, 0), 2)
+		if got[0] != uint64(id*100+7) {
+			t.Fatalf("mpu%d: got %d", id, got[0])
+		}
+	}
+	if len(st.PerMPUCycles) != 3 {
+		t.Fatalf("per-MPU clocks = %d entries", len(st.PerMPUCycles))
+	}
+}
+
+// TestISUCapacity: binaries beyond the 2 MB instruction storage are rejected.
+func TestISUCapacity(t *testing.T) {
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	big := make(isa.Program, (2<<20)/4+1)
+	for i := range big {
+		big[i] = isa.Nop()
+	}
+	if err := m.LoadProgram(0, big); err == nil {
+		t.Fatal("oversized binary accepted")
+	}
+}
+
+// TestPlaybackSpill: ensemble bodies beyond 1024 instructions refetch from
+// the ISU and are counted.
+func TestPlaybackSpill(t *testing.T) {
+	b := ezpim.NewBuilder()
+	b.Ensemble([]controlpath.VRFAddr{{}}, func() {
+		for i := 0; i < 1100; i++ {
+			b.Mov(0, 1)
+		}
+	})
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, backends.RACER(), ModeMPU, 1)
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlaybackSpill == 0 {
+		t.Fatal("oversized body did not spill the playback buffer")
+	}
+}

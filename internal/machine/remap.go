@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"fmt"
+
+	"mpu/internal/isa"
+)
+
+// Remap retargets an MPU binary compiled for RF holders of `from` vector
+// register files onto hardware whose holders have `to` VRFs across rfhs RF
+// holders (§VI-C: "we encode the compile-target VRFs-per-RFH parameter in
+// the binary, and the MPU runtime can perform some degree of RFH/VRF-to-MPU
+// remapping if the target hardware uses a different parameter, provided
+// enough resources are available").
+//
+// VRFs are renumbered by their linear index rfh·from + vrf. When the source
+// holders are larger than the target's, one source RFH spreads across
+// several target RFHs — MOVE headers are expanded accordingly, which is
+// valid because every MEMCPY of a transfer ensemble applies uniformly to
+// each pair. Remapping fails if the program addresses more VRFs than the
+// target provides, or if holder sizes are not divisible (partial-holder
+// remapping would tear transfer ensembles apart).
+func Remap(p isa.Program, from, to, rfhs int) (isa.Program, error) {
+	return remap(p, from, to, rfhs)
+}
+
+func remap(p isa.Program, from, to, rfhs int) (isa.Program, error) {
+	if from <= 0 || to <= 0 || rfhs <= 0 {
+		return nil, fmt.Errorf("machine: remap parameters must be positive")
+	}
+	if from == to {
+		out := make(isa.Program, len(p))
+		copy(out, p)
+		return out, nil
+	}
+	if from%to != 0 && to%from != 0 {
+		return nil, fmt.Errorf("machine: cannot remap %d-VRF holders onto %d-VRF holders (not divisible)", from, to)
+	}
+	mapAddr := func(rfh, vrf uint8) (uint8, uint8, error) {
+		linear := int(rfh)*from + int(vrf)
+		nr, nv := linear/to, linear%to
+		if nr >= rfhs {
+			return 0, 0, fmt.Errorf("machine: remapped rfh%d.vrf%d needs RFH %d, target has %d", rfh, vrf, nr, rfhs)
+		}
+		return uint8(nr), uint8(nv), nil
+	}
+	var out isa.Program
+	for i, in := range p {
+		switch in.Op {
+		case isa.COMPUTE:
+			nr, nv, err := mapAddr(in.A, in.B)
+			if err != nil {
+				return nil, fmt.Errorf("instr %d: %w", i, err)
+			}
+			out = append(out, isa.Compute(int(nr), int(nv)))
+		case isa.MOVE:
+			if from > to {
+				// One source holder spans k target holders: expand the
+				// header pair-wise so relative VRF offsets stay aligned.
+				k := from / to
+				for j := 0; j < k; j++ {
+					sr, _, err := mapAddr(in.A, uint8(j*to))
+					if err != nil {
+						return nil, fmt.Errorf("instr %d: %w", i, err)
+					}
+					dr, _, err := mapAddr(in.B, uint8(j*to))
+					if err != nil {
+						return nil, fmt.Errorf("instr %d: %w", i, err)
+					}
+					out = append(out, isa.Move(int(sr), int(dr)))
+				}
+			} else {
+				// Holders grew: several old holders pack into one new RFH;
+				// the pair maps to the holders containing offset 0.
+				sr, _, err := mapAddr(in.A, 0)
+				if err != nil {
+					return nil, fmt.Errorf("instr %d: %w", i, err)
+				}
+				dr, _, err := mapAddr(in.B, 0)
+				if err != nil {
+					return nil, fmt.Errorf("instr %d: %w", i, err)
+				}
+				out = append(out, isa.Move(int(sr), int(dr)))
+			}
+		case isa.MEMCPY:
+			if from > to {
+				// The expanded MOVE header covers sub-holder j = vrf/to;
+				// but each MEMCPY applies to EVERY pair, so the vrf index
+				// must address the same relative slot in all of them.
+				// That holds only when src and dst use the same offset.
+				if int(in.A)/to != int(in.C)/to {
+					return nil, fmt.Errorf("instr %d: MEMCPY vrf%d->vrf%d straddles split holders", i, in.A, in.C)
+				}
+				out = append(out, isa.Memcpy(int(in.A)%to, int(in.B), int(in.C)%to, int(in.D)))
+			} else {
+				// Old vrf indices are valid offsets inside the larger
+				// holder only if every old holder mapped to offset 0 —
+				// guaranteed when to%from == 0 and the MOVE used offset 0.
+				out = append(out, in)
+			}
+		case isa.JUMP, isa.JUMPCOND:
+			// Jump targets shift when MOVE headers expand; recompute after
+			// the first pass if sizes changed.
+			out = append(out, in)
+		default:
+			out = append(out, in)
+		}
+	}
+	if len(out) != len(p) {
+		// MOVE expansion moved instruction indices: rebuild jump targets by
+		// mapping old indices to new ones.
+		newIndex := make([]int, len(p)+1)
+		idx := 0
+		for i, in := range p {
+			newIndex[i] = idx
+			if in.Op == isa.MOVE && from > to {
+				idx += from / to
+			} else {
+				idx++
+			}
+		}
+		newIndex[len(p)] = idx
+		j := 0
+		for i, in := range p {
+			n := 1
+			if in.Op == isa.MOVE && from > to {
+				n = from / to
+			}
+			if in.Op == isa.JUMP || in.Op == isa.JUMPCOND {
+				tgt := int(in.Imm)
+				if tgt < 0 || tgt > len(p) {
+					return nil, fmt.Errorf("instr %d: jump target %d out of range", i, tgt)
+				}
+				out[j].Imm = int32(newIndex[tgt])
+			}
+			j += n
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: remapped program invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package machine
+
+import (
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+)
+
+// narrowSpec is a hypothetical datapath with 32-VRF holders, used to test
+// §VI-C binary portability.
+func narrowSpec() *backends.Spec {
+	s := backends.RACER()
+	s.Name = "RACER-narrow"
+	s.VRFsPerRFH = 32
+	return s
+}
+
+func TestRemapIdentity(t *testing.T) {
+	p := isa.Program{isa.Compute(0, 5), isa.Add(0, 1, 2), isa.ComputeDone()}
+	out, err := Remap(p, 64, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if out[i] != p[i] {
+			t.Fatalf("identity remap changed instr %d", i)
+		}
+	}
+}
+
+func TestRemapComputeAddresses(t *testing.T) {
+	// rfh1.vrf40 under 64-VRF holders is linear VRF 104; under 32-VRF
+	// holders that is rfh3.vrf8.
+	p := isa.Program{isa.Compute(1, 40), isa.Add(0, 1, 2), isa.ComputeDone()}
+	out, err := Remap(p, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].A != 3 || out[0].B != 8 {
+		t.Fatalf("remapped COMPUTE = rfh%d.vrf%d, want rfh3.vrf8", out[0].A, out[0].B)
+	}
+}
+
+func TestRemapOutOfResources(t *testing.T) {
+	// Linear VRF 504 needs RFH 15 under 32-VRF holders; only 8 exist.
+	p := isa.Program{isa.Compute(7, 56), isa.Add(0, 1, 2), isa.ComputeDone()}
+	if _, err := Remap(p, 64, 32, 8); err == nil {
+		t.Fatal("remap beyond target resources accepted")
+	}
+}
+
+func TestRemapIndivisible(t *testing.T) {
+	p := isa.Program{isa.Compute(0, 0), isa.Nop(), isa.ComputeDone()}
+	if _, err := Remap(p, 64, 48, 8); err == nil {
+		t.Fatal("indivisible holder sizes accepted")
+	}
+}
+
+func TestRemapBadParams(t *testing.T) {
+	if _, err := Remap(nil, 0, 32, 8); err == nil {
+		t.Fatal("zero holder size accepted")
+	}
+}
+
+// TestRemapExecutesIdentically compiles a control-flow program against
+// 64-VRF holders, remaps it to a 32-VRF-holder datapath, and checks the
+// results match the original execution.
+func TestRemapExecutesIdentically(t *testing.T) {
+	src := `
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh1 vrf40
+		INIT0 r2
+		INIT1 r3
+		INIT0 r1
+	loop:
+		SUB r0 r3 r0
+		INC r1 r1
+		CMPGT r0 r2
+		SETMASK cond
+		JUMP_COND loop
+		UNMASK
+		COMPUTE_DONE
+	`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint64{3, 7, 1, 0}
+
+	// Original hardware.
+	orig, err := New(Config{Spec: backends.RACER(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.LoadAll(prog)
+	origAddrs := []controlpath.VRFAddr{{RFH: 0, VRF: 0}, {RFH: 1, VRF: 40}}
+	for _, a := range origAddrs {
+		orig.WriteVector(0, a, 0, vals)
+	}
+	if _, err := orig.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Narrow hardware: remap and rerun.
+	remapped, err := Remap(prog, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := New(Config{Spec: narrowSpec(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.LoadAll(remapped); err != nil {
+		t.Fatal(err)
+	}
+	// Linear VRF 0 → rfh0.vrf0; linear 104 → rfh3.vrf8.
+	newAddrs := []controlpath.VRFAddr{{RFH: 0, VRF: 0}, {RFH: 3, VRF: 8}}
+	for _, a := range newAddrs {
+		nm.WriteVector(0, a, 0, vals)
+	}
+	if _, err := nm.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range origAddrs {
+		want, _ := orig.ReadVector(0, origAddrs[i], 1)
+		got, _ := nm.ReadVector(0, newAddrs[i], 1)
+		for l := range vals {
+			if got[l] != want[l] {
+				t.Fatalf("vrf %d lane %d: remapped %d, original %d", i, l, got[l], want[l])
+			}
+		}
+	}
+}
+
+// TestRemapTransferEnsemble checks MOVE/MEMCPY rewriting when holders split.
+func TestRemapTransferEnsemble(t *testing.T) {
+	src := `
+		MOVE rfh0 rfh1
+		MEMCPY vrf40 r3 vrf41 r5
+		MOVE_DONE
+	`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Remap(prog, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MOVE expands into two pair entries (one per 32-VRF sub-holder).
+	moves := 0
+	for _, in := range out {
+		if in.Op == isa.MOVE {
+			moves++
+		}
+	}
+	if moves != 2 {
+		t.Fatalf("MOVE header expanded to %d pairs, want 2", moves)
+	}
+	// vrf40/vrf41 live in sub-holder 1 → offsets 8/9.
+	for _, in := range out {
+		if in.Op == isa.MEMCPY {
+			if in.A != 8 || in.C != 9 {
+				t.Fatalf("MEMCPY remapped to vrf%d->vrf%d, want vrf8->vrf9", in.A, in.C)
+			}
+		}
+	}
+	// Functional check: run the remapped transfer on narrow hardware.
+	nm, err := New(Config{Spec: narrowSpec(), NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.LoadAll(out); err != nil {
+		t.Fatal(err)
+	}
+	// Source rfh0.vrf40 → linear 40 → narrow rfh1.vrf8.
+	nm.WriteVector(0, controlpath.VRFAddr{RFH: 1, VRF: 8}, 3, []uint64{123})
+	if _, err := nm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Dest rfh1.vrf41 → linear 105 → narrow rfh3.vrf9.
+	got, _ := nm.ReadVector(0, controlpath.VRFAddr{RFH: 3, VRF: 9}, 5)
+	if got[0] != 123 {
+		t.Fatalf("transferred value = %d, want 123", got[0])
+	}
+}
+
+// TestRemapStraddlingMemcpyRejected: a MEMCPY whose source and destination
+// land in different sub-holders cannot be remapped pair-uniformly.
+func TestRemapStraddlingMemcpyRejected(t *testing.T) {
+	src := `
+		MOVE rfh0 rfh1
+		MEMCPY vrf10 r0 vrf40 r0
+		MOVE_DONE
+	`
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Remap(prog, 64, 32, 8); err == nil {
+		t.Fatal("straddling MEMCPY accepted")
+	}
+}
+
+// TestRemapJumpTargetsShift: MOVE expansion must rewrite jump targets.
+func TestRemapJumpTargetsShift(t *testing.T) {
+	prog := isa.Program{
+		isa.Move(0, 1),           // expands to 2 instrs
+		isa.Memcpy(40, 0, 40, 1), // index 1 → 2
+		isa.MoveDone(),           // index 2 → 3
+		isa.Compute(0, 0),        // 3 → 4
+		isa.CmpGt(0, 1),          // 4 → 5
+		isa.SetMask(isa.RegCond), // 5 → 6
+		isa.JumpCond(4),          // target 4 → 5
+		isa.ComputeDone(),
+	}
+	out, err := Remap(prog, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range out {
+		if in.Op == isa.JUMPCOND && in.Imm != 5 {
+			t.Fatalf("jump target remapped to %d, want 5", in.Imm)
+		}
+	}
+}

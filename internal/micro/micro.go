@@ -1,0 +1,189 @@
+// Package micro defines the micro-op layer sitting between the MPU ISA and a
+// PUM datapath. An I2M decoder (internal/recipe + internal/controlpath)
+// expands each ISA instruction into a sequence of MicroOps; the datapath
+// executes them column-wide on bit planes (internal/vrf).
+//
+// Micro-op kinds mirror the primitives reported for the three back ends:
+// in-ReRAM NOR (RACER/OSCAR), DRAM triple-row-activation majority (MIMDRAM),
+// and SRAM bitline AND/OR/XOR/NOT plus a single-cycle CMOS full adder
+// (Duality Cache).
+package micro
+
+import "fmt"
+
+// Kind identifies a micro-op.
+type Kind uint8
+
+// Micro-op kinds.
+const (
+	// Boolean column ops (two sources).
+	NOR Kind = iota
+	AND
+	OR
+	XOR
+
+	// Single-source ops.
+	NOT
+	COPY
+
+	// Three-source ops.
+	MAJ // triple-row-activation majority (TRA)
+	MUX // dst = C ? A : B
+
+	// Composite arithmetic assist.
+	FADD // {Dst=sum, Dst2=carry} = fulladd(A, B, C); dedicated CMOS adders
+
+	// Plane initialisation.
+	SET0
+	SET1
+
+	// Control-path interface ops.
+	CONDWR // conditional register := A AND lane-mask (unmasked write)
+	MASKRD // Dst := lane-mask bit (unmasked write; used by GETMASK)
+
+	numKinds
+)
+
+// NumKinds is the number of defined micro-op kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [numKinds]string{
+	NOR: "nor", AND: "and", OR: "or", XOR: "xor", NOT: "not", COPY: "copy",
+	MAJ: "maj", MUX: "mux", FADD: "fadd", SET0: "set0", SET1: "set1",
+	CONDWR: "condwr", MASKRD: "maskrd",
+}
+
+// String returns the lower-case micro-op mnemonic.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("ukind(%d)", uint8(k))
+}
+
+// Space selects the plane address space within a VRF.
+type Space uint8
+
+// Plane address spaces.
+const (
+	SpaceReg     Space = iota // architectural vector registers (Idx=reg, Bit=bit)
+	SpaceScratch              // scratch registers reserved for recipes (Idx, Bit)
+	SpaceTemp                 // single scratch planes (Idx)
+	SpaceCond                 // the conditional register plane
+	SpaceZero                 // constant-0 plane
+	SpaceOne                  // constant-1 plane
+)
+
+// NumScratchRegs is the number of word-wide scratch registers a VRF reserves
+// for recipe temporaries (spare columns/buffer rows in the physical arrays).
+const NumScratchRegs = 4
+
+// NumTempPlanes is the number of single-bit scratch planes per VRF. Sixteen
+// covers the deepest recipe nesting (a NOR-decomposed full adder inside the
+// division inner loop) with headroom.
+const NumTempPlanes = 16
+
+// Ref addresses one bit plane within a VRF.
+type Ref struct {
+	Space Space
+	Idx   uint8 // register / scratch register / temp index
+	Bit   uint8 // bit within the register (reg and scratch spaces only)
+}
+
+// Reg addresses bit b of architectural register r.
+func Reg(r, b int) Ref { return Ref{Space: SpaceReg, Idx: uint8(r), Bit: uint8(b)} }
+
+// Scratch addresses bit b of scratch register s.
+func Scratch(s, b int) Ref { return Ref{Space: SpaceScratch, Idx: uint8(s), Bit: uint8(b)} }
+
+// Temp addresses scratch plane t.
+func Temp(t int) Ref { return Ref{Space: SpaceTemp, Idx: uint8(t)} }
+
+// Cond addresses the conditional register plane.
+func Cond() Ref { return Ref{Space: SpaceCond} }
+
+// Zero addresses the constant-0 plane.
+func Zero() Ref { return Ref{Space: SpaceZero} }
+
+// One addresses the constant-1 plane.
+func One() Ref { return Ref{Space: SpaceOne} }
+
+func (r Ref) String() string {
+	switch r.Space {
+	case SpaceReg:
+		return fmt.Sprintf("r%d.%d", r.Idx, r.Bit)
+	case SpaceScratch:
+		return fmt.Sprintf("s%d.%d", r.Idx, r.Bit)
+	case SpaceTemp:
+		return fmt.Sprintf("t%d", r.Idx)
+	case SpaceCond:
+		return "cond"
+	case SpaceZero:
+		return "zero"
+	case SpaceOne:
+		return "one"
+	}
+	return fmt.Sprintf("ref(%d,%d,%d)", r.Space, r.Idx, r.Bit)
+}
+
+// Op is one micro-op: a column-wide operation on bit planes. Dst2 is used
+// only by FADD (the carry output).
+type Op struct {
+	Kind      Kind
+	Dst, Dst2 Ref
+	A, B, C   Ref
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case SET0, SET1:
+		return fmt.Sprintf("%s %s", o.Kind, o.Dst)
+	case NOT, COPY:
+		return fmt.Sprintf("%s %s, %s", o.Kind, o.Dst, o.A)
+	case MAJ, MUX:
+		return fmt.Sprintf("%s %s, %s, %s, %s", o.Kind, o.Dst, o.A, o.B, o.C)
+	case FADD:
+		return fmt.Sprintf("fadd %s/%s, %s, %s, %s", o.Dst, o.Dst2, o.A, o.B, o.C)
+	case CONDWR:
+		return fmt.Sprintf("condwr %s", o.A)
+	case MASKRD:
+		return fmt.Sprintf("maskrd %s", o.Dst)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", o.Kind, o.Dst, o.A, o.B)
+	}
+}
+
+// CapabilitySet describes which micro-op kinds a datapath supports natively.
+// The recipe library selects expansions based on this set (e.g. RACER is
+// NOR-complete; MIMDRAM uses MAJ/NOT; Duality Cache adds FADD).
+type CapabilitySet struct {
+	kinds [numKinds]bool
+}
+
+// NewCapabilitySet returns a set containing the given kinds. SET0/SET1, COPY,
+// CONDWR, and MASKRD are always included: every published datapath can
+// initialise cells, move columns, and expose mask state to its controller.
+func NewCapabilitySet(kinds ...Kind) CapabilitySet {
+	var s CapabilitySet
+	for _, k := range []Kind{SET0, SET1, COPY, CONDWR, MASKRD} {
+		s.kinds[k] = true
+	}
+	for _, k := range kinds {
+		s.kinds[k] = true
+	}
+	return s
+}
+
+// Has reports whether kind k is supported.
+func (s CapabilitySet) Has(k Kind) bool { return s.kinds[k] }
+
+// Kinds returns the supported kinds in ascending order.
+func (s CapabilitySet) Kinds() []Kind {
+	var out []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if s.kinds[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package micro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "ukind") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(99).String(); got != "ukind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestRefConstructors(t *testing.T) {
+	cases := []struct {
+		ref  Ref
+		want string
+	}{
+		{Reg(3, 17), "r3.17"},
+		{Scratch(1, 63), "s1.63"},
+		{Temp(5), "t5"},
+		{Cond(), "cond"},
+		{Zero(), "zero"},
+		{One(), "one"},
+	}
+	for _, c := range cases {
+		if got := c.ref.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: NOR, Dst: Temp(0), A: Reg(1, 2), B: Reg(3, 4)}, "nor t0, r1.2, r3.4"},
+		{Op{Kind: SET1, Dst: Reg(0, 0)}, "set1 r0.0"},
+		{Op{Kind: NOT, Dst: Temp(1), A: Temp(2)}, "not t1, t2"},
+		{Op{Kind: MAJ, Dst: Temp(0), A: Reg(0, 0), B: Reg(1, 0), C: Zero()}, "maj t0, r0.0, r1.0, zero"},
+		{Op{Kind: FADD, Dst: Temp(0), Dst2: Temp(1), A: Reg(0, 0), B: Reg(1, 0), C: Temp(2)}, "fadd t0/t1, r0.0, r1.0, t2"},
+		{Op{Kind: CONDWR, A: Temp(3)}, "condwr t3"},
+		{Op{Kind: MASKRD, Dst: Reg(2, 0)}, "maskrd r2.0"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCapabilitySet(t *testing.T) {
+	s := NewCapabilitySet(NOR)
+	// Universal kinds are always present.
+	for _, k := range []Kind{SET0, SET1, COPY, CONDWR, MASKRD, NOR} {
+		if !s.Has(k) {
+			t.Errorf("capability %s missing", k)
+		}
+	}
+	for _, k := range []Kind{AND, OR, XOR, MAJ, FADD, MUX, NOT} {
+		if s.Has(k) {
+			t.Errorf("capability %s unexpectedly present", k)
+		}
+	}
+	kinds := s.Kinds()
+	if len(kinds) != 6 {
+		t.Errorf("Kinds() = %v, want 6 entries", kinds)
+	}
+}

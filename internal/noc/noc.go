@@ -1,0 +1,90 @@
+// Package noc models the on-chip network connecting MPUs: a 2-D mesh with
+// per-hop latency and per-byte-hop energy, used by the inter-MPU controller
+// for SEND/RECV message passing (§VI-D). The paper integrates MASTODON with
+// SST's network models; this package provides the equivalent cost model.
+package noc
+
+import "fmt"
+
+// Config describes the mesh.
+type Config struct {
+	MPUs         int
+	HopCycles    int     // router + link traversal per hop
+	SetupCycles  int     // path setup (circuit-switched datapaths)
+	WordsPerFlit int     // 64-bit words moved per cycle once streaming
+	EnergyPJByte float64 // per byte per hop
+}
+
+// Default returns the mesh configuration used in the evaluation: a mesh
+// sized for n MPUs with SST-like router costs.
+func Default(n int) Config {
+	return Config{
+		MPUs:         n,
+		HopCycles:    3,
+		SetupCycles:  12,
+		WordsPerFlit: 1,
+		EnergyPJByte: 1.1,
+	}
+}
+
+// Mesh computes distances and transfer costs over the MPU grid.
+type Mesh struct {
+	cfg  Config
+	side int
+}
+
+// New builds a mesh for the configuration.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.MPUs <= 0 {
+		return nil, fmt.Errorf("noc: MPU count %d must be positive", cfg.MPUs)
+	}
+	if cfg.HopCycles <= 0 || cfg.WordsPerFlit <= 0 {
+		return nil, fmt.Errorf("noc: non-positive cost parameters")
+	}
+	side := 1
+	for side*side < cfg.MPUs {
+		side++
+	}
+	return &Mesh{cfg: cfg, side: side}, nil
+}
+
+// Side returns the mesh edge length.
+func (m *Mesh) Side() int { return m.side }
+
+// Hops returns the Manhattan distance between two MPUs (X-Y routing).
+func (m *Mesh) Hops(src, dst int) (int, error) {
+	if src < 0 || src >= m.cfg.MPUs || dst < 0 || dst >= m.cfg.MPUs {
+		return 0, fmt.Errorf("noc: MPU id out of range (src=%d dst=%d, have %d)", src, dst, m.cfg.MPUs)
+	}
+	sx, sy := src%m.side, src/m.side
+	dx, dy := dst%m.side, dst/m.side
+	h := abs(sx-dx) + abs(sy-dy)
+	return h, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TransferCost returns the cycle count and energy (pJ) to move words 64-bit
+// words from src to dst: path setup, per-hop latency, then streaming at
+// WordsPerFlit per cycle.
+func (m *Mesh) TransferCost(src, dst, words int) (cycles int, energyPJ float64, err error) {
+	hops, err := m.Hops(src, dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	if words < 0 {
+		return 0, 0, fmt.Errorf("noc: negative word count %d", words)
+	}
+	if src == dst {
+		// Local loopback through the DTC data buffer.
+		return m.cfg.SetupCycles + words/m.cfg.WordsPerFlit, 0, nil
+	}
+	cycles = m.cfg.SetupCycles + hops*m.cfg.HopCycles + words/m.cfg.WordsPerFlit
+	energyPJ = float64(words*8) * float64(hops) * m.cfg.EnergyPJByte
+	return cycles, energyPJ, nil
+}

@@ -1,0 +1,89 @@
+package noc
+
+import "testing"
+
+func TestMeshSide(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 4: 2, 5: 3, 9: 3, 10: 4, 497: 23}
+	for mpus, want := range cases {
+		m, err := New(Default(mpus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Side() != want {
+			t.Errorf("Side(%d MPUs) = %d, want %d", mpus, m.Side(), want)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	m, err := New(Default(9)) // 3×3
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},
+		{0, 4, 2},
+		{0, 8, 4},
+		{2, 6, 4},
+	}
+	for _, c := range cases {
+		got, err := m.Hops(c.src, c.dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+	if _, err := m.Hops(0, 9); err == nil {
+		t.Error("out-of-range MPU accepted")
+	}
+	if _, err := m.Hops(-1, 0); err == nil {
+		t.Error("negative MPU accepted")
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	cfg := Default(9)
+	m, _ := New(cfg)
+	cyc, pj, err := m.TransferCost(0, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCyc := cfg.SetupCycles + 4*cfg.HopCycles + 64
+	if cyc != wantCyc {
+		t.Errorf("cycles = %d, want %d", cyc, wantCyc)
+	}
+	wantPJ := float64(64*8) * 4 * cfg.EnergyPJByte
+	if pj != wantPJ {
+		t.Errorf("energy = %v, want %v", pj, wantPJ)
+	}
+	// Local transfers consume no hop energy.
+	_, pj, err = m.TransferCost(3, 3, 64)
+	if err != nil || pj != 0 {
+		t.Errorf("local transfer energy = %v, err %v", pj, err)
+	}
+	if _, _, err := m.TransferCost(0, 1, -4); err == nil {
+		t.Error("negative word count accepted")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{MPUs: 0}); err == nil {
+		t.Error("zero MPUs accepted")
+	}
+	if _, err := New(Config{MPUs: 4, HopCycles: 0, WordsPerFlit: 1}); err == nil {
+		t.Error("zero hop cycles accepted")
+	}
+}
+
+func TestMoreHopsCostMore(t *testing.T) {
+	m, _ := New(Default(16))
+	near, _, _ := m.TransferCost(0, 1, 128)
+	far, _, _ := m.TransferCost(0, 15, 128)
+	if far <= near {
+		t.Errorf("far transfer (%d) not costlier than near (%d)", far, near)
+	}
+}

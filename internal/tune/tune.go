@@ -1,0 +1,121 @@
+// Package tune implements the autotuning support §VI-C envisions for MPU
+// binaries: the VRFs-per-RFH activation limit is a compile-target parameter,
+// and the runtime may run more VRFs concurrently than a conservative default
+// whenever the thermal envelope allows (footnote 2: raising RACER from one
+// to two active VRFs per cluster — still air-coolable — doubles throughput).
+//
+// ActivationLimit sweeps power-of-two limits, checks each against the
+// datapath's power-density model, measures the kernel, and returns the
+// fastest thermally legal configuration.
+package tune
+
+import (
+	"fmt"
+
+	"mpu/internal/backends"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// Candidate is one activation limit's outcome.
+type Candidate struct {
+	ActiveVRFsPerRFH int
+	Seconds          float64
+	Joules           float64
+	DensityWPerCM2   float64 // chip-wide, all MPUs running at this limit
+	Legal            bool    // within the air-cooling envelope / margin
+	Speedup          float64 // vs the spec's shipped limit
+}
+
+// Result is an autotuning sweep.
+type Result struct {
+	Kernel     string
+	Backend    string
+	Candidates []Candidate
+	Best       Candidate // fastest legal candidate
+}
+
+// Config controls the sweep.
+type Config struct {
+	Spec          *backends.Spec
+	Kernel        *workloads.Kernel
+	TotalElements int // 0: one full chip of VRFs
+	Seed          int64
+
+	// SafetyMargin divides the air-cooling limit a candidate must stay
+	// under (2 = keep 50% headroom). 0 means 1 (the raw limit).
+	SafetyMargin float64
+}
+
+// ActivationLimit runs the sweep.
+func ActivationLimit(cfg Config) (*Result, error) {
+	if cfg.Spec == nil || cfg.Kernel == nil {
+		return nil, fmt.Errorf("tune: spec and kernel are required")
+	}
+	if cfg.SafetyMargin == 0 {
+		cfg.SafetyMargin = 1
+	}
+	spec := cfg.Spec
+	n := cfg.TotalElements
+	if n == 0 {
+		n = spec.MPUs * spec.Lanes * spec.VRFsPerMPU() / 8
+	}
+	budget := backends.AirCoolLimitWPerCM2 / cfg.SafetyMargin
+	res := &Result{Kernel: cfg.Kernel.Name, Backend: spec.Name}
+	var baseSeconds float64
+	for limit := 1; limit <= spec.VRFsPerRFH; limit *= 2 {
+		r, err := workloads.Run(cfg.Kernel, workloads.RunConfig{
+			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
+			Seed: cfg.Seed, MaxSimVRFs: 8, ActiveVRFsOverride: limit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		active := limit * spec.RFHsPerMPU * spec.MPUs
+		c := Candidate{
+			ActiveVRFsPerRFH: limit,
+			Seconds:          r.Seconds,
+			Joules:           r.Joules,
+			DensityWPerCM2:   spec.PowerDensity(active),
+			Legal:            spec.PowerDensity(active) <= budget,
+		}
+		if limit == spec.ActiveVRFsPerRFH {
+			baseSeconds = c.Seconds
+		}
+		res.Candidates = append(res.Candidates, c)
+	}
+	if baseSeconds == 0 {
+		// The shipped limit is not a power of two; use the first candidate.
+		baseSeconds = res.Candidates[0].Seconds
+	}
+	for i := range res.Candidates {
+		res.Candidates[i].Speedup = baseSeconds / res.Candidates[i].Seconds
+		c := res.Candidates[i]
+		if c.Legal && (res.Best.Seconds == 0 || c.Seconds < res.Best.Seconds) {
+			res.Best = c
+		}
+	}
+	if res.Best.Seconds == 0 {
+		return nil, fmt.Errorf("tune: no thermally legal configuration found")
+	}
+	return res, nil
+}
+
+// Render prints the sweep table.
+func (r *Result) Render() string {
+	s := fmt.Sprintf("Autotune — %s on MPU:%s (activation limit sweep, §VI-C)\n", r.Kernel, r.Backend)
+	s += fmt.Sprintf("%12s %12s %12s %10s %7s\n", "active VRFs", "seconds", "W/cm²", "speedup", "legal")
+	for _, c := range r.Candidates {
+		mark := ""
+		if c.ActiveVRFsPerRFH == r.Best.ActiveVRFsPerRFH {
+			mark = "  <-- best"
+		}
+		legal := "no"
+		if c.Legal {
+			legal = "yes"
+		}
+		s += fmt.Sprintf("%12d %12.3g %12.1f %9.2fx %7s%s\n",
+			c.ActiveVRFsPerRFH, c.Seconds, c.DensityWPerCM2, c.Speedup, legal, mark)
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/workloads"
+)
+
+func TestActivationLimitRACER(t *testing.T) {
+	res, err := ActivationLimit(Config{
+		Spec:   backends.RACER(),
+		Kernel: workloads.ByName("vecadd"),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 2: two active VRFs per cluster stay within air cooling and
+	// double throughput; the sweep must find ≥2 legal and faster.
+	if res.Best.ActiveVRFsPerRFH < 2 {
+		t.Fatalf("best limit = %d, want ≥2 (footnote 2 headroom)", res.Best.ActiveVRFsPerRFH)
+	}
+	if res.Best.Speedup < 1.9 {
+		t.Fatalf("best speedup = %.2f, want ≥2× over the shipped limit", res.Best.Speedup)
+	}
+	// Full activation must be rejected as thermally illegal on RACER.
+	last := res.Candidates[len(res.Candidates)-1]
+	if last.ActiveVRFsPerRFH != backends.RACER().VRFsPerRFH || last.Legal {
+		t.Fatalf("full activation candidate = %+v, want illegal", last)
+	}
+	// Densities must grow monotonically with the limit.
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].DensityWPerCM2 <= res.Candidates[i-1].DensityWPerCM2 {
+			t.Fatal("density not monotone in the activation limit")
+		}
+	}
+	if !strings.Contains(res.Render(), "best") {
+		t.Fatal("render missing best marker")
+	}
+}
+
+func TestSafetyMarginShrinksBudget(t *testing.T) {
+	raw, err := ActivationLimit(Config{Spec: backends.RACER(), Kernel: workloads.ByName("vecand"), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe, err := ActivationLimit(Config{Spec: backends.RACER(), Kernel: workloads.ByName("vecand"), Seed: 2, SafetyMargin: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Best.ActiveVRFsPerRFH > raw.Best.ActiveVRFsPerRFH {
+		t.Fatalf("margin 4 chose %d active VRFs, raw chose %d", safe.Best.ActiveVRFsPerRFH, raw.Best.ActiveVRFsPerRFH)
+	}
+	if safe.Best.DensityWPerCM2 > backends.AirCoolLimitWPerCM2/4 {
+		t.Fatalf("margin violated: %.1f W/cm²", safe.Best.DensityWPerCM2)
+	}
+}
+
+func TestMIMDRAMAlreadyFullyActive(t *testing.T) {
+	spec := backends.MIMDRAM()
+	res, err := ActivationLimit(Config{Spec: spec, Kernel: workloads.ByName("vecadd"), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIMDRAM ships fully active and stays under the limit: the tuner can
+	// go no faster — it picks the smallest limit that already reaches the
+	// shipped throughput (same speed, lower power density).
+	if res.Best.Speedup < 0.99 || res.Best.Speedup > 1.01 {
+		t.Fatalf("speedup over shipped config = %.2f, want ≈1", res.Best.Speedup)
+	}
+	shipped := res.Candidates[len(res.Candidates)-1] // limit 64 = shipped
+	if shipped.ActiveVRFsPerRFH != spec.VRFsPerRFH || !shipped.Legal {
+		t.Fatalf("shipped full activation should be legal: %+v", shipped)
+	}
+	if res.Best.DensityWPerCM2 > shipped.DensityWPerCM2 {
+		t.Fatal("tuner picked a hotter configuration with no speed gain")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := ActivationLimit(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := ActivationLimit(Config{Spec: backends.RACER()}); err == nil {
+		t.Fatal("missing kernel accepted")
+	}
+}

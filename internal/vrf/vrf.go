@@ -1,0 +1,285 @@
+// Package vrf models a vector register file: the programmer-visible mapping
+// of one or more physical memory arrays (§III). A VRF holds 64 architectural
+// vector registers of 64 bits × n lanes, a small set of scratch registers and
+// planes reserved for recipe temporaries, the conditional register written by
+// comparison instructions, and the in-VRF mask register that power-gates
+// individual lanes (§VI-B).
+package vrf
+
+import (
+	"fmt"
+
+	"mpu/internal/bitvec"
+	"mpu/internal/isa"
+	"mpu/internal/micro"
+)
+
+// VRF is the functional state of one vector register file. Registers are
+// allocated lazily: a register that is never touched costs no memory, which
+// keeps chip-scale machines (hundreds of MPUs × hundreds of VRFs) tractable.
+type VRF struct {
+	lanes   int
+	regs    [isa.NumRegs][]bitvec.Plane
+	scratch [micro.NumScratchRegs][]bitvec.Plane
+	temps   [micro.NumTempPlanes]bitvec.Plane
+	cond    bitvec.Plane
+	mask    bitvec.Plane
+	zero    bitvec.Plane
+	one     bitvec.Plane
+
+	// MicroOps counts executed micro-ops, for cross-checking against the
+	// control path's issue accounting.
+	MicroOps uint64
+}
+
+// New returns a VRF with the given lane count. All lanes start enabled.
+func New(lanes int) *VRF {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("vrf: lane count %d must be positive", lanes))
+	}
+	v := &VRF{lanes: lanes}
+	v.cond = bitvec.New(lanes)
+	v.mask = bitvec.New(lanes)
+	v.mask.Fill(true)
+	v.zero = bitvec.New(lanes)
+	v.one = bitvec.New(lanes)
+	v.one.Fill(true)
+	for i := range v.temps {
+		v.temps[i] = bitvec.New(lanes)
+	}
+	return v
+}
+
+// Lanes reports the vector width of this VRF.
+func (v *VRF) Lanes() int { return v.lanes }
+
+func newRegPlanes(lanes int) []bitvec.Plane {
+	ps := make([]bitvec.Plane, isa.WordBits)
+	for i := range ps {
+		ps[i] = bitvec.New(lanes)
+	}
+	return ps
+}
+
+func (v *VRF) regPlanes(r int) []bitvec.Plane {
+	if r < 0 || r >= isa.NumRegs {
+		panic(fmt.Sprintf("vrf: register %d out of range", r))
+	}
+	if v.regs[r] == nil {
+		v.regs[r] = newRegPlanes(v.lanes)
+	}
+	return v.regs[r]
+}
+
+func (v *VRF) scratchPlanes(s int) []bitvec.Plane {
+	if s < 0 || s >= micro.NumScratchRegs {
+		panic(fmt.Sprintf("vrf: scratch register %d out of range", s))
+	}
+	if v.scratch[s] == nil {
+		v.scratch[s] = newRegPlanes(v.lanes)
+	}
+	return v.scratch[s]
+}
+
+// plane resolves a micro-op plane reference to backing storage.
+func (v *VRF) plane(r micro.Ref) bitvec.Plane {
+	switch r.Space {
+	case micro.SpaceReg:
+		if r.Bit >= isa.WordBits {
+			panic(fmt.Sprintf("vrf: bit %d out of range", r.Bit))
+		}
+		return v.regPlanes(int(r.Idx))[r.Bit]
+	case micro.SpaceScratch:
+		if r.Bit >= isa.WordBits {
+			panic(fmt.Sprintf("vrf: bit %d out of range", r.Bit))
+		}
+		return v.scratchPlanes(int(r.Idx))[r.Bit]
+	case micro.SpaceTemp:
+		if int(r.Idx) >= micro.NumTempPlanes {
+			panic(fmt.Sprintf("vrf: temp plane %d out of range", r.Idx))
+		}
+		return v.temps[r.Idx]
+	case micro.SpaceCond:
+		return v.cond
+	case micro.SpaceZero:
+		return v.zero
+	case micro.SpaceOne:
+		return v.one
+	}
+	panic(fmt.Sprintf("vrf: bad plane space %d", r.Space))
+}
+
+// Exec applies one micro-op under the VRF's lane mask. CONDWR and MASKRD
+// bypass masking, per §VI-B (GETMASK disables lane control so all mask bits
+// are copied; comparisons clear the conditional bit of disabled lanes so
+// stale condition state can never re-enable a lane).
+func (v *VRF) Exec(op micro.Op) {
+	v.MicroOps++
+	switch op.Kind {
+	case micro.NOR:
+		bitvec.Nor(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.mask)
+	case micro.AND:
+		bitvec.And(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.mask)
+	case micro.OR:
+		bitvec.Or(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.mask)
+	case micro.XOR:
+		bitvec.Xor(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.mask)
+	case micro.NOT:
+		bitvec.Not(v.plane(op.Dst), v.plane(op.A), v.mask)
+	case micro.COPY:
+		bitvec.Copy(v.plane(op.Dst), v.plane(op.A), v.mask)
+	case micro.MAJ:
+		bitvec.Maj(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.plane(op.C), v.mask)
+	case micro.MUX:
+		bitvec.Mux(v.plane(op.Dst), v.plane(op.A), v.plane(op.B), v.plane(op.C), v.mask)
+	case micro.FADD:
+		bitvec.FullAdd(v.plane(op.Dst), v.plane(op.Dst2), v.plane(op.A), v.plane(op.B), v.plane(op.C), v.mask)
+	case micro.SET0:
+		bitvec.SetAll(v.plane(op.Dst), false, v.mask)
+	case micro.SET1:
+		bitvec.SetAll(v.plane(op.Dst), true, v.mask)
+	case micro.CONDWR:
+		// cond := src AND mask, written unmasked: disabled lanes read 0.
+		bitvec.And(v.cond, v.plane(op.A), v.mask, v.one)
+	case micro.MASKRD:
+		bitvec.Copy(v.plane(op.Dst), v.mask, v.one)
+	default:
+		panic(fmt.Sprintf("vrf: unknown micro-op kind %d", op.Kind))
+	}
+	if op.Dst.Space == micro.SpaceZero || op.Dst.Space == micro.SpaceOne ||
+		op.Dst2.Space == micro.SpaceOne {
+		panic("vrf: micro-op wrote a constant plane")
+	}
+}
+
+// ExecAll applies a micro-op sequence in order.
+func (v *VRF) ExecAll(ops []micro.Op) {
+	for _, op := range ops {
+		v.Exec(op)
+	}
+}
+
+// SetMaskFromCond loads the mask register from the conditional register
+// (SETMASK cond).
+func (v *VRF) SetMaskFromCond() { v.mask.CopyFrom(v.cond) }
+
+// SetMaskFromReg loads the mask register from bit 0 of register r
+// (SETMASK r<N>).
+func (v *VRF) SetMaskFromReg(r int) { v.mask.CopyFrom(v.regPlanes(r)[0]) }
+
+// Unmask re-enables every lane (UNMASK).
+func (v *VRF) Unmask() { v.mask.Fill(true) }
+
+// MaskAny reports whether any lane remains enabled; the EFI reads this to
+// evaluate JUMP_COND.
+func (v *VRF) MaskAny() bool { return v.mask.AnySet() }
+
+// MaskPop returns the number of enabled lanes.
+func (v *VRF) MaskPop() int { return v.mask.PopCount() }
+
+// GetMaskInto copies the lane mask into bit 0 of register r and clears the
+// remaining bits, bypassing lane gating (GETMASK).
+func (v *VRF) GetMaskInto(r int) {
+	ps := v.regPlanes(r)
+	bitvec.Copy(ps[0], v.mask, v.one)
+	for b := 1; b < isa.WordBits; b++ {
+		bitvec.SetAll(ps[b], false, v.one)
+	}
+}
+
+// ReadWord returns the 64-bit value of register r in lane l.
+func (v *VRF) ReadWord(r, l int) uint64 {
+	ps := v.regPlanes(r)
+	var x uint64
+	for b := 0; b < isa.WordBits; b++ {
+		if ps[b].Get(l) {
+			x |= 1 << uint(b)
+		}
+	}
+	return x
+}
+
+// WriteWord stores a 64-bit value into register r, lane l, bypassing the
+// lane mask (host-side data loading).
+func (v *VRF) WriteWord(r, l int, x uint64) {
+	ps := v.regPlanes(r)
+	for b := 0; b < isa.WordBits; b++ {
+		ps[b].Set(l, x>>uint(b)&1 == 1)
+	}
+}
+
+// ReadReg returns all lane values of register r.
+func (v *VRF) ReadReg(r int) []uint64 {
+	out := make([]uint64, v.lanes)
+	ps := v.regPlanes(r)
+	for b := 0; b < isa.WordBits; b++ {
+		p := ps[b]
+		for l := 0; l < v.lanes; l++ {
+			if p.Get(l) {
+				out[l] |= 1 << uint(b)
+			}
+		}
+	}
+	return out
+}
+
+// WriteReg stores vals into register r starting at lane 0; extra lanes are
+// zeroed. It panics if vals exceeds the lane count.
+func (v *VRF) WriteReg(r int, vals []uint64) {
+	if len(vals) > v.lanes {
+		panic(fmt.Sprintf("vrf: %d values exceed %d lanes", len(vals), v.lanes))
+	}
+	ps := v.regPlanes(r)
+	for b := 0; b < isa.WordBits; b++ {
+		p := ps[b]
+		for l := 0; l < v.lanes; l++ {
+			bit := false
+			if l < len(vals) {
+				bit = vals[l]>>uint(b)&1 == 1
+			}
+			p.Set(l, bit)
+		}
+	}
+}
+
+// CondBits returns the conditional register as a lane-indexed bool slice.
+func (v *VRF) CondBits() []bool {
+	out := make([]bool, v.lanes)
+	for l := 0; l < v.lanes; l++ {
+		out[l] = v.cond.Get(l)
+	}
+	return out
+}
+
+// MaskBits returns the mask register as a lane-indexed bool slice.
+func (v *VRF) MaskBits() []bool {
+	out := make([]bool, v.lanes)
+	for l := 0; l < v.lanes; l++ {
+		out[l] = v.mask.Get(l)
+	}
+	return out
+}
+
+// CopyRegister copies register src of from into register dst of v, bypassing
+// lane masks. Lane counts must match; this is the DTC's MEMCPY datapath.
+func CopyRegister(from *VRF, src int, to *VRF, dst int) {
+	if from.lanes != to.lanes {
+		panic(fmt.Sprintf("vrf: MEMCPY lane mismatch %d vs %d", from.lanes, to.lanes))
+	}
+	fp, tp := from.regPlanes(src), to.regPlanes(dst)
+	for b := 0; b < isa.WordBits; b++ {
+		tp[b].CopyFrom(fp[b])
+	}
+}
+
+// TouchedRegs returns the architectural registers that have been allocated,
+// in ascending order — useful for debugging and state dumps.
+func (v *VRF) TouchedRegs() []int {
+	var out []int
+	for r := range v.regs {
+		if v.regs[r] != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+// Package mpu is a Go implementation of the Memory Processing Unit (MPU) —
+// a microarchitecture-agnostic front end for general-purpose
+// processing-using-memory (PUM) datapaths, reproducing "The Memory
+// Processing Unit: A Generalized Interface for End-to-End In-Memory
+// Execution" (HPCA 2026).
+//
+// The package exposes the full stack:
+//
+//   - the MPU ISA (Table II): assembly text, binary encoding, and typed
+//     instruction constructors;
+//   - the ezpim advanced assembler (§V-C): a small structured language and a
+//     programmatic Builder that lower if/else, data-driven while loops, and
+//     subroutine calls onto the ISA's masking and jump machinery;
+//   - three simulated bitwise-PUM back ends (§IV): ReRAM-based RACER,
+//     DRAM-based MIMDRAM, and SRAM-based Duality Cache — every arithmetic
+//     result is actually computed by executing the back end's micro-ops on
+//     bit planes;
+//   - the machine: MPUs with the full control path (precoder, compute
+//     controller with recipe tables, EFI, thermal-aware scheduler, data
+//     transfer controller) connected by an on-chip mesh, with a Baseline
+//     mode that models the original CPU-assisted datapaths;
+//   - the 21-kernel evaluation suite, three end-to-end applications, and an
+//     experiment harness regenerating every table and figure of the paper.
+//
+// Quick start:
+//
+//	prog, _ := mpu.Assemble(`
+//	    COMPUTE rfh0 vrf0
+//	    ADD r0 r1 r2
+//	    COMPUTE_DONE
+//	`)
+//	m, _ := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+//	_ = m.LoadAll(prog)
+//	_ = m.WriteVector(0, mpu.VRFAddr{}, 0, []uint64{1, 2, 3})
+//	_ = m.WriteVector(0, mpu.VRFAddr{}, 1, []uint64{10, 20, 30})
+//	stats, _ := m.Run()
+//	sums, _ := m.ReadVector(0, mpu.VRFAddr{}, 2)
+package mpu
+
+import (
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/ezpim"
+	"mpu/internal/gpumodel"
+	"mpu/internal/hlops"
+	"mpu/internal/isa"
+	"mpu/internal/machine"
+	"mpu/internal/tune"
+	"mpu/internal/workloads"
+)
+
+// ---- ISA -------------------------------------------------------------------
+
+// Program is a sequence of MPU instructions (one ISU binary).
+type Program = isa.Program
+
+// Instr is one MPU instruction.
+type Instr = isa.Instr
+
+// Assemble parses MPU assembly text (Table II mnemonics, labels, comments)
+// into a validated program.
+func Assemble(src string) (Program, error) { return isa.Assemble(src) }
+
+// Disassemble renders a program as assembly text.
+func Disassemble(p Program) string { return isa.Disassemble(p) }
+
+// EncodeProgram serializes a program into its 32-bit-per-instruction binary
+// image; DecodeProgram parses one back.
+func EncodeProgram(p Program) []byte { return isa.EncodeProgram(p) }
+
+// DecodeProgram parses an ISU image produced by EncodeProgram.
+func DecodeProgram(buf []byte) (Program, error) { return isa.DecodeProgram(buf) }
+
+// ---- ezpim -----------------------------------------------------------------
+
+// Builder assembles MPU programs with structured control flow (the
+// programmatic face of the ezpim advanced assembler).
+type Builder = ezpim.Builder
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return ezpim.NewBuilder() }
+
+// Cond is an ezpim branch/loop condition; build with Eq/Ne/Lt/Gt/Le/Ge.
+type Cond = ezpim.Cond
+
+// Condition constructors (signed comparisons).
+var (
+	Eq = ezpim.Eq
+	Ne = ezpim.Ne
+	Lt = ezpim.Lt
+	Gt = ezpim.Gt
+	Le = ezpim.Le
+	Ge = ezpim.Ge
+)
+
+// CompileResult carries a compiled ezpim program plus code-size accounting.
+type CompileResult = ezpim.CompileResult
+
+// CompileEzpim translates ezpim source text (Fig. 7-style structured
+// programs) into an MPU program.
+func CompileEzpim(src string) (*CompileResult, error) { return ezpim.Compile(src) }
+
+// ---- Back ends ---------------------------------------------------------------
+
+// Backend describes a PUM datapath microarchitecture the MPU front end plugs
+// into: geometry, native micro-op capabilities, timing/energy, and the
+// constraints the thermal-aware scheduler enforces.
+type Backend = backends.Spec
+
+// RACER returns the ReRAM-based RACER back end (bit-pipelined NOR logic).
+func RACER() *Backend { return backends.RACER() }
+
+// MIMDRAM returns the DRAM-based MIMDRAM back end (triple-row activation).
+func MIMDRAM() *Backend { return backends.MIMDRAM() }
+
+// DualityCache returns the SRAM-based Duality Cache back end (bitline logic
+// with CMOS full adders).
+func DualityCache() *Backend { return backends.DualityCache() }
+
+// Backends returns all shipped back ends in the paper's order.
+func Backends() []*Backend { return backends.All() }
+
+// BackendByName resolves "racer", "mimdram", or "dcache"/"dualitycache".
+func BackendByName(name string) (*Backend, error) { return backends.ByName(name) }
+
+// ---- Machine -----------------------------------------------------------------
+
+// Machine is a simulated chip: MPUs in front of a PUM back end, connected by
+// an on-chip mesh.
+type Machine = machine.Machine
+
+// MachineConfig assembles a machine.
+type MachineConfig = machine.Config
+
+// Stats aggregates the costs of one run.
+type Stats = machine.Stats
+
+// Mode selects who executes control flow: the MPU control path or the
+// Baseline host CPU.
+type Mode = machine.Mode
+
+// Execution modes.
+const (
+	ModeMPU      = machine.ModeMPU
+	ModeBaseline = machine.ModeBaseline
+)
+
+// VRFAddr names one vector register file within an MPU.
+type VRFAddr = controlpath.VRFAddr
+
+// NewMachine builds a machine from the configuration.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// ---- Workloads ----------------------------------------------------------------
+
+// Kernel is one of the 21 evaluation kernels.
+type Kernel = workloads.Kernel
+
+// KernelResult is one kernel execution on one configuration.
+type KernelResult = workloads.Result
+
+// KernelRunConfig configures a kernel execution.
+type KernelRunConfig = workloads.RunConfig
+
+// Kernels returns the 21 evaluation kernels.
+func Kernels() []*Kernel { return workloads.All() }
+
+// KernelByName returns the named kernel or nil.
+func KernelByName(name string) *Kernel { return workloads.ByName(name) }
+
+// RunKernel executes a kernel under the configuration, optionally verifying
+// every simulated lane against the scalar reference.
+func RunKernel(k *Kernel, cfg KernelRunConfig) (*KernelResult, error) {
+	return workloads.Run(k, cfg)
+}
+
+// ---- GPU comparison model -------------------------------------------------------
+
+// GPUModel is the analytical RTX 4090 roofline used as the paper's
+// comparison point.
+type GPUModel = gpumodel.Model
+
+// GPUProfile characterizes a workload for the GPU model.
+type GPUProfile = gpumodel.Profile
+
+// RTX4090 returns the GeForce RTX 4090 parameters.
+func RTX4090() *GPUModel { return gpumodel.RTX4090() }
+
+// SIMDRAM returns the Ambit/SIMDRAM-style commodity-DRAM back end — the §IX
+// portability demonstration (MAJ/NOT-only capability set). It is not part of
+// the paper's three-way evaluation.
+func SIMDRAM() *Backend { return backends.SIMDRAM() }
+
+// Remap retargets a binary compiled for RF holders of `from` VRFs onto
+// hardware with holders of `to` VRFs across rfhs RF holders — the §VI-C
+// binary-portability mechanism.
+func Remap(p Program, from, to, rfhs int) (Program, error) {
+	return machine.Remap(p, from, to, rfhs)
+}
+
+// Optimize runs the ezpim peephole pass over an assembled program, removing
+// redundant masking sequences and identity moves. It returns the optimized
+// program and the number of instructions removed.
+func Optimize(p Program) (Program, int) { return ezpim.Optimize(p) }
+
+// ---- Meta-ISA (hlops) -------------------------------------------------------
+
+// Graph is the §IX meta-ISA layer: tensor-style operations over batched
+// operands, compiled onto fused compute ensembles and DTC reduce
+// collectives.
+type Graph = hlops.Graph
+
+// GraphValue is a handle to one graph operand.
+type GraphValue = hlops.Value
+
+// NewGraph starts a meta-ISA graph over the given VRFs.
+func NewGraph(addrs []VRFAddr) *Graph { return hlops.NewGraph(addrs) }
+
+// ---- Analysis & autotuning ---------------------------------------------------
+
+// ProgramAnalysis is the static summary of an MPU binary.
+type ProgramAnalysis = isa.Analysis
+
+// Analyze computes a static summary of a program: instruction histograms,
+// ensemble structure, playback-buffer pressure, and control-flow features.
+func Analyze(p Program) ProgramAnalysis { return isa.Analyze(p) }
+
+// TuneResult is an activation-limit autotuning sweep (§VI-C).
+type TuneResult = tune.Result
+
+// TuneConfig configures the sweep.
+type TuneConfig = tune.Config
+
+// TuneActivationLimit sweeps the VRFs-per-RFH activation limit for a kernel
+// on a back end and returns the fastest thermally legal configuration.
+func TuneActivationLimit(cfg TuneConfig) (*TuneResult, error) {
+	return tune.ActivationLimit(cfg)
+}

@@ -1,0 +1,211 @@
+package mpu_test
+
+import (
+	"testing"
+
+	"mpu"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would; deep behaviour is covered by the internal package tests.
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := mpu.Assemble(`
+		COMPUTE rfh0 vrf0
+		ADD r0 r1 r2
+		COMPUTE_DONE
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteVector(0, mpu.VRFAddr{}, 0, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteVector(0, mpu.VRFAddr{}, 1, []uint64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadVector(0, mpu.VRFAddr{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lane %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if stats.MicroOps == 0 {
+		t.Fatal("no micro-ops recorded")
+	}
+}
+
+func TestBinaryRoundTripThroughFacade(t *testing.T) {
+	prog, err := mpu.Assemble("COMPUTE rfh0 vrf0\nXOR r0 r1 r2\nCOMPUTE_DONE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mpu.DecodeProgram(mpu.EncodeProgram(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatal("binary round trip lost instructions")
+	}
+	if mpu.Disassemble(back) == "" {
+		t.Fatal("empty disassembly")
+	}
+}
+
+func TestEzpimFacade(t *testing.T) {
+	res, err := mpu.CompileEzpim(`
+		ensemble {
+			use rfh0.vrf0
+			r2 = 0
+			while r0 > r2 {
+				r0 = r0 - r1
+			}
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceLines >= res.AsmLines {
+		t.Fatal("no expansion measured")
+	}
+
+	b := mpu.NewBuilder()
+	b.Ensemble([]mpu.VRFAddr{{}}, func() {
+		b.If(mpu.Gt(0, 1), func() { b.Init1(2) }, func() { b.Init0(2) })
+	})
+	if _, err := b.Program(); err != nil {
+		t.Fatal(err)
+	}
+	// All six condition constructors are exported.
+	for _, c := range []mpu.Cond{mpu.Eq(0, 1), mpu.Ne(0, 1), mpu.Lt(0, 1), mpu.Gt(0, 1), mpu.Le(0, 1), mpu.Ge(0, 1)} {
+		_ = c
+	}
+}
+
+func TestBackendsFacade(t *testing.T) {
+	if len(mpu.Backends()) != 3 {
+		t.Fatal("expected three back ends")
+	}
+	for _, name := range []string{"racer", "mimdram", "dcache"} {
+		be, err := mpu.BackendByName(name)
+		if err != nil || be.Validate() != nil {
+			t.Fatalf("backend %s: %v", name, err)
+		}
+	}
+	if mpu.RACER().Name != "RACER" || mpu.MIMDRAM().Name != "MIMDRAM" || mpu.DualityCache().Name != "DualityCache" {
+		t.Fatal("backend constructors misnamed")
+	}
+}
+
+func TestKernelFacade(t *testing.T) {
+	if len(mpu.Kernels()) != 21 {
+		t.Fatal("expected 21 kernels")
+	}
+	k := mpu.KernelByName("vecadd")
+	if k == nil {
+		t.Fatal("vecadd missing")
+	}
+	spec := mpu.RACER()
+	res, err := mpu.RunKernel(k, mpu.KernelRunConfig{
+		Spec: spec, Mode: mpu.ModeMPU, TotalElements: spec.MPUs * spec.Lanes, Check: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckedLanes == 0 {
+		t.Fatal("nothing verified")
+	}
+}
+
+func TestGPUFacade(t *testing.T) {
+	gpu := mpu.RTX4090()
+	res, err := gpu.Run(mpu.GPUProfile{Name: "x", Elements: 1 << 20, OpsPerElement: 1, BytesPerElement: 24, Passes: 1})
+	if err != nil || res.Seconds <= 0 {
+		t.Fatalf("GPU model: %v %v", res, err)
+	}
+}
+
+func TestSIMDRAMAndRemapFacade(t *testing.T) {
+	be := mpu.SIMDRAM()
+	if be.Name != "SIMDRAM" || be.Validate() != nil {
+		t.Fatal("SIMDRAM backend broken")
+	}
+	prog, err := mpu.Assemble("COMPUTE rfh1 vrf40\nADD r0 r1 r2\nCOMPUTE_DONE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mpu.Remap(prog, 64, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].A != 3 || out[0].B != 8 {
+		t.Fatalf("remapped to rfh%d.vrf%d", out[0].A, out[0].B)
+	}
+}
+
+func TestReduceAddFacade(t *testing.T) {
+	addrs := []mpu.VRFAddr{{RFH: 0}, {RFH: 1}}
+	b := mpu.NewBuilder()
+	b.ReduceAdd(addrs, 0, 1)
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+	m.LoadAll(prog)
+	m.WriteVector(0, addrs[0], 0, []uint64{10})
+	m.WriteVector(0, addrs[1], 0, []uint64{32})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addrs[0], 0)
+	if got[0] != 42 {
+		t.Fatalf("reduced = %d, want 42", got[0])
+	}
+}
+
+func TestGraphFacade(t *testing.T) {
+	addrs := []mpu.VRFAddr{{RFH: 0}, {RFH: 1}}
+	g := mpu.NewGraph(addrs)
+	d := g.Dot(g.Input(0), g.Input(1))
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := mpu.NewMachine(mpu.MachineConfig{Spec: mpu.RACER()})
+	m.LoadAll(prog)
+	m.WriteVector(0, addrs[0], 0, []uint64{2})
+	m.WriteVector(0, addrs[0], 1, []uint64{3})
+	m.WriteVector(0, addrs[1], 0, []uint64{4})
+	m.WriteVector(0, addrs[1], 1, []uint64{5})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.ReadVector(0, addrs[0], d.Reg())
+	if got[0] != 2*3+4*5 {
+		t.Fatalf("dot = %d, want 26", got[0])
+	}
+}
+
+func TestOptimizeFacade(t *testing.T) {
+	prog, _ := mpu.Assemble("COMPUTE rfh0 vrf0\nMOV r3 r3\nADD r0 r1 r2\nCOMPUTE_DONE")
+	out, n := mpu.Optimize(prog)
+	if n != 1 || len(out) != 3 {
+		t.Fatalf("optimizer removed %d, len %d", n, len(out))
+	}
+}
