@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector slows the simulator ~10x, so the full-suite run needs
+# more than `go test`'s default 10m per-package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# check is the pre-merge gate: build + vet + full suite under the race
+# detector (the sweep engine is concurrent; plain `go test` won't catch
+# an unsynchronized cell).
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x
+
+figures:
+	$(GO) run ./cmd/mastodon all
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,7 @@ package mpu_test
 
 import (
 	"testing"
+	"time"
 
 	"mpu"
 	"mpu/internal/exp"
@@ -16,8 +17,15 @@ import (
 
 // benchOpts shrink working sets for bench runs; the simulated portion (and
 // thus the measured shapes) is unchanged — only the analytic scale factors
-// move.
+// move. Workers is left at 0 so the figure benchmarks exercise the default
+// parallel sweep path (one worker per CPU); the *Sequential/*Parallel
+// variants below pin the worker count for scaling comparisons.
 var benchOpts = exp.Options{Scale: 8, Seed: 1}
+
+var (
+	seqOpts = exp.Options{Scale: 8, Seed: 1, Workers: 1}
+	parOpts = exp.Options{Scale: 8, Seed: 1, Workers: 0}
+)
 
 func BenchmarkFig1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -40,7 +48,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := exp.Fig5()
+		pts := exp.Fig5(benchOpts)
 		over := 0
 		for _, p := range pts {
 			if p.OverLimit {
@@ -172,6 +180,48 @@ func BenchmarkAblationDivergence(b *testing.B) {
 		}
 		b.ReportMetric(float64(rows[1].MicroOps)/float64(rows[0].MicroOps), "wasted-work-ratio")
 	}
+}
+
+// BenchmarkFig12Sequential and BenchmarkFig12Parallel run the heaviest sweep
+// (3 backends x 21 kernels x 2 modes = 126 simulation cells) with the worker
+// pool pinned to 1 and to one-per-CPU respectively, so
+// `go test -bench 'Fig12(Sequential|Parallel)'` tracks the sweep engine's
+// wall-clock under both schedules.
+func BenchmarkFig12Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig12(seqOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig12(parOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSpeedup times one sequential and one parallel Fig. 12 sweep
+// per iteration and reports the ratio, so the speedup itself is a tracked
+// benchmark metric (1.0 on a single-CPU host, approaching min(NumCPU, 126)x
+// as cores are added).
+func BenchmarkSweepSpeedup(b *testing.B) {
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := exp.Fig12(seqOpts); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := exp.Fig12(parOpts); err != nil {
+			b.Fatal(err)
+		}
+		seq += t1.Sub(t0)
+		par += time.Since(t1)
+	}
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "seq/par-speedup")
 }
 
 // BenchmarkKernelSuite measures raw simulator throughput over all 21 kernels

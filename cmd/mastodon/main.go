@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	mastodon [-scale N] [-seed S] <experiment>...
+//	mastodon [-scale N] [-seed S] [-j N] <experiment>...
 //
 // Experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15
 // ablations all. Scale divides the evaluation working-set sizes (1 = paper
-// scale; larger is faster).
+// scale; larger is faster). -j fans independent sweep cells out across N
+// workers (0 = one per CPU; 1 = sequential); output is byte-identical at
+// any worker count.
 package main
 
 import (
@@ -24,9 +26,10 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "divide working-set sizes by N (1 = full evaluation scale)")
 	seed := flag.Int64("seed", 1, "input generator seed")
+	jobs := flag.Int("j", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also export machine-readable CSVs into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 ablations autotune all\n")
 		flag.PrintDefaults()
 	}
@@ -35,7 +38,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := exp.Options{Scale: *scale, Seed: *seed}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs}
 	if *csvDir != "" {
 		if err := exp.ExportAll(*csvDir, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mastodon: csv export: %v\n", err)
@@ -70,7 +73,7 @@ func run(name string, opts exp.Options) error {
 	case "table1":
 		fmt.Println(exp.Table1())
 	case "fig5":
-		fmt.Println(exp.RenderFig5(exp.Fig5()))
+		fmt.Println(exp.RenderFig5(exp.Fig5(opts)))
 	case "table3":
 		fmt.Println(exp.Table3())
 	case "fig11":

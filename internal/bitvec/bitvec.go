@@ -6,7 +6,10 @@
 // position of every lane simultaneously.
 package bitvec
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Plane is a single bit position across n vector lanes. The zero value is
 // unusable; create planes with New.
@@ -21,6 +24,23 @@ func New(lanes int) Plane {
 		panic(fmt.Sprintf("bitvec: negative lane count %d", lanes))
 	}
 	return Plane{n: lanes, w: make([]uint64, (lanes+63)/64)}
+}
+
+// NewSlab returns count planes of the given lane width backed by one
+// contiguous allocation. A vector register is 64 planes; allocating them
+// as a slab instead of 64 separate slices keeps concurrent sweeps from
+// turning the garbage collector into the bottleneck.
+func NewSlab(lanes, count int) []Plane {
+	if lanes < 0 || count < 0 {
+		panic(fmt.Sprintf("bitvec: negative slab dimensions %d×%d", count, lanes))
+	}
+	words := (lanes + 63) / 64
+	backing := make([]uint64, words*count)
+	out := make([]Plane, count)
+	for i := range out {
+		out[i] = Plane{n: lanes, w: backing[i*words : (i+1)*words : (i+1)*words]}
+	}
+	return out
 }
 
 // Len reports the number of lanes in the plane.
@@ -114,18 +134,9 @@ func (p Plane) AnySet() bool {
 func (p Plane) PopCount() int {
 	c := 0
 	for _, w := range p.w {
-		c += popcount64(w)
+		c += bits.OnesCount64(w)
 	}
 	return c
-}
-
-func popcount64(x uint64) int {
-	// Hacker's Delight population count; stdlib math/bits is also fine but
-	// this keeps the hot loop free of call overhead on older toolchains.
-	x -= (x >> 1) & 0x5555555555555555
-	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
-	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
-	return int((x * 0x0101010101010101) >> 56)
 }
 
 // Equal reports whether p and q have identical lane bits.
@@ -279,6 +290,47 @@ func AndNot(dst, a, b, mask Plane) {
 	for i := range dst.w {
 		v := a.w[i] &^ b.w[i]
 		dst.w[i] = (dst.w[i] &^ mask.w[i]) | (v & mask.w[i])
+	}
+}
+
+// ScatterInto ORs bit `bit` of out[l] for every lane l whose plane bit is
+// 1, skipping lanes beyond len(out). It walks set bits a word at a time,
+// so sparse planes cost almost nothing — this is the word-level fast path
+// behind register readback (vrf.ReadReg), which previously probed every
+// lane of every plane individually.
+func (p Plane) ScatterInto(out []uint64, bit uint) {
+	for wi, w := range p.w {
+		base := wi * 64
+		for w != 0 {
+			l := base + bits.TrailingZeros64(w)
+			if l >= len(out) {
+				return
+			}
+			out[l] |= 1 << bit
+			w &= w - 1
+		}
+	}
+}
+
+// GatherFrom sets each lane's plane bit from bit `bit` of vals[l], zeroing
+// lanes beyond len(vals). It assembles whole backing words instead of
+// calling Set per lane — the fast path behind register loads
+// (vrf.WriteReg).
+func (p Plane) GatherFrom(vals []uint64, bit uint) {
+	for wi := range p.w {
+		base := wi * 64
+		n := p.n - base
+		if n > 64 {
+			n = 64
+		}
+		if n > len(vals)-base {
+			n = len(vals) - base
+		}
+		var w uint64
+		for j := 0; j < n; j++ {
+			w |= (vals[base+j] >> bit & 1) << uint(j)
+		}
+		p.w[wi] = w
 	}
 }
 

@@ -337,12 +337,84 @@ func TestString(t *testing.T) {
 	}
 }
 
-func TestPopcount64(t *testing.T) {
-	cases := map[uint64]int{0: 0, 1: 1, ^uint64(0): 64, 0x8000000000000001: 2, 0xFF00FF00FF00FF00: 32}
-	for in, want := range cases {
-		if got := popcount64(in); got != want {
-			t.Errorf("popcount64(%#x) = %d, want %d", in, got, want)
+func TestPopCountPatterns(t *testing.T) {
+	// Word-boundary patterns that exercised the old hand-rolled popcount.
+	p := New(130)
+	if got := p.PopCount(); got != 0 {
+		t.Errorf("empty PopCount = %d", got)
+	}
+	p.Fill(true)
+	if got := p.PopCount(); got != 130 {
+		t.Errorf("full PopCount = %d, want 130", got)
+	}
+	p.Set(64, false)
+	p.Set(129, false)
+	if got := p.PopCount(); got != 128 {
+		t.Errorf("PopCount = %d, want 128", got)
+	}
+}
+
+func TestNewSlab(t *testing.T) {
+	planes := NewSlab(100, 8)
+	if len(planes) != 8 {
+		t.Fatalf("len = %d", len(planes))
+	}
+	for i, p := range planes {
+		if p.Len() != 100 {
+			t.Fatalf("plane %d lanes = %d", i, p.Len())
 		}
+		if p.AnySet() {
+			t.Fatalf("plane %d not zero", i)
+		}
+	}
+	// Planes must be independent despite the shared backing.
+	planes[3].Fill(true)
+	for i, p := range planes {
+		if i != 3 && p.AnySet() {
+			t.Fatalf("plane %d aliased plane 3", i)
+		}
+	}
+	if planes[3].PopCount() != 100 {
+		t.Fatal("filled slab plane lost bits")
+	}
+	if got := NewSlab(10, 0); len(got) != 0 {
+		t.Fatalf("NewSlab(10, 0) = %d planes", len(got))
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const lanes = 131
+	vals := make([]uint64, lanes)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	planes := NewSlab(lanes, 64)
+	for b := range planes {
+		planes[b].GatherFrom(vals, uint(b))
+	}
+	got := make([]uint64, lanes)
+	for b := range planes {
+		planes[b].ScatterInto(got, uint(b))
+	}
+	for l := range vals {
+		if got[l] != vals[l] {
+			t.Fatalf("lane %d: round trip %#x, want %#x", l, got[l], vals[l])
+		}
+	}
+	// GatherFrom zeroes lanes beyond the value slice.
+	short := []uint64{^uint64(0), ^uint64(0)}
+	p := New(lanes)
+	p.GatherFrom(short, 0)
+	if p.PopCount() != 2 || !p.Get(0) || !p.Get(1) {
+		t.Fatalf("GatherFrom(short) left %d bits", p.PopCount())
+	}
+	// ScatterInto ignores lanes beyond the output slice.
+	out := make([]uint64, 1)
+	p.Fill(true)
+	p.ScatterInto(out, 7)
+	if out[0] != 1<<7 {
+		t.Fatalf("ScatterInto short out = %#x", out[0])
 	}
 }
 

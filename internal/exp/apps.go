@@ -8,6 +8,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/gpumodel"
 	"mpu/internal/machine"
+	"mpu/internal/sweep"
 	"mpu/internal/workloads"
 )
 
@@ -90,22 +91,21 @@ type Table4Row struct {
 func Table4(opts Options) ([]Table4Row, error) {
 	opts = opts.norm()
 	spec := backends.RACER()
-	var rows []Table4Row
-	for _, name := range AppNames() {
-		res, err := runApp(name, spec, machine.ModeMPU, opts.Seed)
+	names := AppNames()
+	return sweep.Map(opts.Workers, len(names), func(i int) (Table4Row, error) {
+		res, err := runApp(names[i], spec, machine.ModeMPU, opts.Seed)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		rows = append(rows, Table4Row{
+		return Table4Row{
 			App:         res.Name,
 			Steps:       strings.Join(res.Steps, ", "),
 			Collectives: strings.Join(res.Collectives, ", "),
 			MPUs:        res.MPUs,
 			AsmLines:    res.AsmLines,
 			EzpimLines:  res.EzpimLines,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable4 prints the application summary.
@@ -138,32 +138,31 @@ type Fig14Row struct {
 func Fig14(opts Options) ([]Fig14Row, error) {
 	opts = opts.norm()
 	gpu := gpumodel.RTX4090()
-	var rows []Fig14Row
-	for _, spec := range []*backends.Spec{backends.RACER(), backends.MIMDRAM()} {
-		for _, name := range AppNames() {
-			g, err := gpu.Run(appGPUProfile(name, spec))
-			if err != nil {
-				return nil, err
-			}
-			mpu, err := runApp(name, spec, machine.ModeMPU, opts.Seed)
-			if err != nil {
-				return nil, err
-			}
-			base, err := runApp(name, spec, machine.ModeBaseline, opts.Seed)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig14Row{
-				App: name, Backend: spec.Name,
-				BaselineSpeedupVsGPU: g.Seconds / base.Seconds,
-				MPUSpeedupVsGPU:      g.Seconds / mpu.Seconds,
-				BaselineEnergyVsGPU:  g.Joules / base.Joules,
-				MPUEnergyVsGPU:       g.Joules / mpu.Joules,
-				MPUOverBaseline:      base.Seconds / mpu.Seconds,
-			})
+	specs := []*backends.Spec{backends.RACER(), backends.MIMDRAM()}
+	names := AppNames()
+	return sweep.Map(opts.Workers, len(specs)*len(names), func(i int) (Fig14Row, error) {
+		spec, name := specs[i/len(names)], names[i%len(names)]
+		g, err := gpu.Run(appGPUProfile(name, spec))
+		if err != nil {
+			return Fig14Row{}, err
 		}
-	}
-	return rows, nil
+		mpu, err := runApp(name, spec, machine.ModeMPU, opts.Seed)
+		if err != nil {
+			return Fig14Row{}, err
+		}
+		base, err := runApp(name, spec, machine.ModeBaseline, opts.Seed)
+		if err != nil {
+			return Fig14Row{}, err
+		}
+		return Fig14Row{
+			App: name, Backend: spec.Name,
+			BaselineSpeedupVsGPU: g.Seconds / base.Seconds,
+			MPUSpeedupVsGPU:      g.Seconds / mpu.Seconds,
+			BaselineEnergyVsGPU:  g.Joules / base.Joules,
+			MPUEnergyVsGPU:       g.Joules / mpu.Joules,
+			MPUOverBaseline:      base.Seconds / mpu.Seconds,
+		}, nil
+	})
 }
 
 // RenderFig14 prints the application comparison.
@@ -196,23 +195,24 @@ type Fig15Row struct {
 // inter-MPU communication, and off-chip CPU communication.
 func Fig15(opts Options) ([]Fig15Row, error) {
 	opts = opts.norm()
-	var rows []Fig15Row
-	for _, spec := range []*backends.Spec{backends.RACER(), backends.MIMDRAM()} {
-		for _, name := range AppNames() {
-			for _, mode := range []machine.Mode{machine.ModeMPU, machine.ModeBaseline} {
-				res, err := runApp(name, spec, mode, opts.Seed)
-				if err != nil {
-					return nil, err
-				}
-				c, n, o := res.Breakdown()
-				rows = append(rows, Fig15Row{
-					App: name, Backend: spec.Name, Mode: mode.String(),
-					ComputeShare: c, InterMPUShare: n, OffChipShare: o,
-				})
-			}
+	specs := []*backends.Spec{backends.RACER(), backends.MIMDRAM()}
+	names := AppNames()
+	modes := []machine.Mode{machine.ModeMPU, machine.ModeBaseline}
+	nCells := len(specs) * len(names) * len(modes)
+	return sweep.Map(opts.Workers, nCells, func(i int) (Fig15Row, error) {
+		spec := specs[i/(len(names)*len(modes))]
+		name := names[i/len(modes)%len(names)]
+		mode := modes[i%len(modes)]
+		res, err := runApp(name, spec, mode, opts.Seed)
+		if err != nil {
+			return Fig15Row{}, err
 		}
-	}
-	return rows, nil
+		c, n, o := res.Breakdown()
+		return Fig15Row{
+			App: name, Backend: spec.Name, Mode: mode.String(),
+			ComputeShare: c, InterMPUShare: n, OffChipShare: o,
+		}, nil
+	})
 }
 
 // RenderFig15 prints the breakdown.
@@ -244,8 +244,7 @@ func AblationRecipeTable(opts Options) ([]AblationRecipeRow, error) {
 	spec := backends.RACER()
 	k := workloads.ByName("softmax")
 	n := spec.MPUs * spec.Lanes * 2
-	var rows []AblationRecipeRow
-	for _, c := range []struct {
+	configs := []struct {
 		name                    string
 		pointerTable, tmplCache bool
 	}{
@@ -253,7 +252,9 @@ func AblationRecipeTable(opts Options) ([]AblationRecipeRow, error) {
 		{"lookup only", false, true},
 		{"pointer only", true, false},
 		{"neither", false, false},
-	} {
+	}
+	return sweep.Map(opts.Workers, len(configs), func(i int) (AblationRecipeRow, error) {
+		c := configs[i]
 		rc := defaultRecipeCfg()
 		rc.PointerTable = c.pointerTable
 		rc.TemplateLookup = c.tmplCache
@@ -262,13 +263,12 @@ func AblationRecipeTable(opts Options) ([]AblationRecipeRow, error) {
 			Seed: opts.Seed, RecipeCache: rc,
 		})
 		if err != nil {
-			return nil, err
+			return AblationRecipeRow{}, err
 		}
-		rows = append(rows, AblationRecipeRow{
+		return AblationRecipeRow{
 			Config: c.name, DecodeStalls: res.Stats.DecodeStalls, Seconds: res.Seconds,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAblationRecipe prints the recipe-table ablation.
@@ -295,22 +295,25 @@ func AblationThermal(opts Options) ([]AblationThermalRow, error) {
 	spec := backends.RACER()
 	k := workloads.ByName("vecadd")
 	n := elementsFor(spec, opts.Scale)
-	var rows []AblationThermalRow
-	var base float64
-	for _, limit := range []int{1, 2, 4} {
+	limits := []int{1, 2, 4}
+	rows, err := sweep.Map(opts.Workers, len(limits), func(i int) (AblationThermalRow, error) {
 		res, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, ActiveVRFsOverride: limit,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, ActiveVRFsOverride: limits[i],
 		})
 		if err != nil {
-			return nil, err
+			return AblationThermalRow{}, err
 		}
-		if limit == 1 {
-			base = res.Seconds
-		}
-		rows = append(rows, AblationThermalRow{
-			ActiveVRFsPerRFH: limit, Seconds: res.Seconds, Speedup: base / res.Seconds,
-		})
+		return AblationThermalRow{ActiveVRFsPerRFH: limits[i], Seconds: res.Seconds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Speedups are relative to the 1-active-VRF row, filled in once every
+	// cell has run.
+	base := rows[0].Seconds
+	for i := range rows {
+		rows[i].Speedup = base / rows[i].Seconds
 	}
 	return rows, nil
 }
@@ -342,20 +345,19 @@ func AblationDivergence(opts Options) ([]AblationDivergenceRow, error) {
 	spec := backends.RACER()
 	k := workloads.ByName("gcd")
 	n := spec.MPUs * spec.Lanes * 32 // 32 VRFs per MPU share
-	var rows []AblationDivergenceRow
-	for _, limit := range []int{1, 4} {
+	limits := []int{1, 4}
+	return sweep.Map(opts.Workers, len(limits), func(i int) (AblationDivergenceRow, error) {
 		res, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, ActiveVRFsOverride: limit,
+			Seed: opts.Seed, ActiveVRFsOverride: limits[i],
 		})
 		if err != nil {
-			return nil, err
+			return AblationDivergenceRow{}, err
 		}
-		rows = append(rows, AblationDivergenceRow{
-			ActiveVRFsPerRFH: limit, Seconds: res.Seconds, MicroOps: res.Stats.MicroOps,
-		})
-	}
-	return rows, nil
+		return AblationDivergenceRow{
+			ActiveVRFsPerRFH: limits[i], Seconds: res.Seconds, MicroOps: res.Stats.MicroOps,
+		}, nil
+	})
 }
 
 // RenderAblationDivergence prints the divergence ablation.

@@ -136,7 +136,7 @@ func ExportAll(dir string, opts Options) error {
 	if err := WriteCSV(dir, "fig1", f1.CSV()); err != nil {
 		return err
 	}
-	if err := WriteCSV(dir, "fig5", Fig5CSV(Fig5())); err != nil {
+	if err := WriteCSV(dir, "fig5", Fig5CSV(Fig5(opts))); err != nil {
 		return err
 	}
 	f12, err := Fig12(opts)

@@ -18,14 +18,23 @@ import (
 	"mpu/internal/frontend"
 	"mpu/internal/isa"
 	"mpu/internal/machine"
+	"mpu/internal/sweep"
 )
 
 // Options tunes experiment scale. Scale divides the paper-scale element
 // counts (1 = full evaluation size; larger values shrink runs for quick
 // iteration and tests).
+//
+// Workers sets the sweep fan-out: every independent cell of an experiment
+// (one machine run of one backend × kernel × mode configuration, one
+// figure point) is dispatched to a bounded worker pool and the results are
+// reassembled in input order, so rendered tables, figures, and CSVs are
+// byte-identical at any worker count. 0 means runtime.GOMAXPROCS; 1 forces
+// the exact sequential execution path (the CLI's -j 1).
 type Options struct {
-	Scale int
-	Seed  int64
+	Scale   int
+	Seed    int64
+	Workers int
 }
 
 func (o Options) norm() Options {
@@ -87,11 +96,12 @@ func Fig1(opts Options) (*Fig1Result, error) {
 	opts = opts.norm()
 	spec := backends.RACER()
 	const iters = 4
-	res := &Fig1Result{}
-	for _, k := range []int{1, 2, 5, 10, 20, 40, 80} {
+	bodies := []int{1, 2, 5, 10, 20, 40, 80}
+	points, err := sweep.Map(opts.Workers, len(bodies), func(i int) (Fig1Point, error) {
+		k := bodies[i]
 		prog, err := fig1Program(k, iters)
 		if err != nil {
-			return nil, err
+			return Fig1Point{}, err
 		}
 		run := func(mode machine.Mode) (*machine.Stats, error) {
 			m, err := machine.New(machine.Config{Spec: spec, Mode: mode, NumMPUs: 1})
@@ -110,11 +120,11 @@ func Fig1(opts Options) (*Fig1Result, error) {
 		}
 		mpuSt, err := run(machine.ModeMPU)
 		if err != nil {
-			return nil, err
+			return Fig1Point{}, err
 		}
 		baseSt, err := run(machine.ModeBaseline)
 		if err != nil {
-			return nil, err
+			return Fig1Point{}, err
 		}
 		p := Fig1Point{
 			BodyInstrs: k,
@@ -123,9 +133,12 @@ func Fig1(opts Options) (*Fig1Result, error) {
 			Slowdown:   float64(baseSt.Cycles) / float64(mpuSt.Cycles),
 		}
 		p.CPUTimeShare = float64(baseSt.OffloadCycles) / float64(baseSt.Cycles)
-		res.Points = append(res.Points, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig1Result{Points: points}, nil
 }
 
 func fig1Program(bodyInstrs, iters int) (isa.Program, error) {
@@ -200,21 +213,29 @@ type Fig5Point struct {
 }
 
 // Fig5 sweeps active arrays per datapath against the air-cooling limit.
-func Fig5() []Fig5Point {
-	var out []Fig5Point
-	for _, spec := range backends.All() {
+func Fig5(opts Options) []Fig5Point {
+	opts = opts.norm()
+	specs := backends.All()
+	perBackend, _ := sweep.Map(opts.Workers, len(specs), func(i int) ([]Fig5Point, error) {
+		spec := specs[i]
 		total := spec.TotalVRFs()
+		var pts []Fig5Point
 		for _, frac := range []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
 			n := int(float64(total) * frac)
 			if n == 0 {
 				n = 1
 			}
 			d := spec.PowerDensity(n)
-			out = append(out, Fig5Point{
+			pts = append(pts, Fig5Point{
 				Backend: spec.Name, ActiveArrays: n, WPerCM2: d,
 				OverLimit: d > backends.AirCoolLimitWPerCM2,
 			})
 		}
+		return pts, nil
+	})
+	var out []Fig5Point
+	for _, pts := range perBackend {
+		out = append(out, pts...)
 	}
 	return out
 }

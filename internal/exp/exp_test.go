@@ -58,7 +58,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	pts := Fig5()
+	pts := Fig5(Options{})
 	over := map[string]bool{}
 	for _, p := range pts {
 		if p.OverLimit {

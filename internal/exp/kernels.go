@@ -7,6 +7,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/gpumodel"
 	"mpu/internal/machine"
+	"mpu/internal/sweep"
 	"mpu/internal/workloads"
 )
 
@@ -46,37 +47,24 @@ type Fig12Result struct {
 }
 
 // Fig12 runs all 21 kernels on every back end in MPU and Baseline modes and
-// reports speedup and energy savings of MPU:X over Baseline:X.
+// reports speedup and energy savings of MPU:X over Baseline:X. Every
+// (backend, kernel) cell is an independent machine run, fanned out across
+// opts.Workers and reassembled in sweep order.
 func Fig12(opts Options) ([]*Fig12Result, error) {
 	opts = opts.norm()
-	var out []*Fig12Result
-	for _, spec := range backends.All() {
-		res, err := fig12Backend(spec, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}
-
-func fig12Backend(spec *backends.Spec, opts Options) (*Fig12Result, error) {
-	n := elementsFor(spec, opts.Scale)
-	res := &Fig12Result{
-		Backend:         spec.Name,
-		GroupGeoSpeedup: map[workloads.Group]float64{},
-		GroupGeoEnergy:  map[workloads.Group]float64{},
-	}
-	groupSpeed := map[workloads.Group][]float64{}
-	groupEnergy := map[workloads.Group][]float64{}
-	var speeds, energies []float64
-	for _, k := range workloads.All() {
+	specs := backends.All()
+	kernels := workloads.All()
+	nk := len(kernels)
+	type cell struct{ mpu, base *workloads.Result }
+	cells, err := sweep.Map(opts.Workers, len(specs)*nk, func(i int) (cell, error) {
+		spec, k := specs[i/nk], kernels[i%nk]
+		n := elementsFor(spec, opts.Scale)
 		mpu, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
 			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s MPU:%s: %w", k.Name, spec.Name, err)
+			return cell{}, fmt.Errorf("fig12 %s MPU:%s: %w", k.Name, spec.Name, err)
 		}
 		base, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
@@ -84,30 +72,49 @@ func fig12Backend(spec *backends.Spec, opts Options) (*Fig12Result, error) {
 			ComputeScale: baselineComputeScale(k),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s Baseline:%s: %w", k.Name, spec.Name, err)
+			return cell{}, fmt.Errorf("fig12 %s Baseline:%s: %w", k.Name, spec.Name, err)
 		}
-		row := KernelRow{
-			Kernel: k.Name, Group: k.Group,
-			MPUSeconds: mpu.Seconds, BaselineSeconds: base.Seconds,
-			MPUJoules: mpu.Joules, BaselineJoules: base.Joules,
-			Speedup:       base.Seconds / mpu.Seconds,
-			EnergySavings: base.Joules / mpu.Joules,
+		return cell{mpu, base}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Fig12Result
+	for si, spec := range specs {
+		res := &Fig12Result{
+			Backend:         spec.Name,
+			GroupGeoSpeedup: map[workloads.Group]float64{},
+			GroupGeoEnergy:  map[workloads.Group]float64{},
 		}
-		res.Rows = append(res.Rows, row)
-		speeds = append(speeds, row.Speedup)
-		energies = append(energies, row.EnergySavings)
-		groupSpeed[k.Group] = append(groupSpeed[k.Group], row.Speedup)
-		groupEnergy[k.Group] = append(groupEnergy[k.Group], row.EnergySavings)
+		groupSpeed := map[workloads.Group][]float64{}
+		groupEnergy := map[workloads.Group][]float64{}
+		var speeds, energies []float64
+		for ki, k := range kernels {
+			c := cells[si*nk+ki]
+			row := KernelRow{
+				Kernel: k.Name, Group: k.Group,
+				MPUSeconds: c.mpu.Seconds, BaselineSeconds: c.base.Seconds,
+				MPUJoules: c.mpu.Joules, BaselineJoules: c.base.Joules,
+				Speedup:       c.base.Seconds / c.mpu.Seconds,
+				EnergySavings: c.base.Joules / c.mpu.Joules,
+			}
+			res.Rows = append(res.Rows, row)
+			speeds = append(speeds, row.Speedup)
+			energies = append(energies, row.EnergySavings)
+			groupSpeed[k.Group] = append(groupSpeed[k.Group], row.Speedup)
+			groupEnergy[k.Group] = append(groupEnergy[k.Group], row.EnergySavings)
+		}
+		res.GeoSpeedup = geomean(speeds)
+		res.GeoEnergy = geomean(energies)
+		for g, xs := range groupSpeed {
+			res.GroupGeoSpeedup[g] = geomean(xs)
+		}
+		for g, xs := range groupEnergy {
+			res.GroupGeoEnergy[g] = geomean(xs)
+		}
+		out = append(out, res)
 	}
-	res.GeoSpeedup = geomean(speeds)
-	res.GeoEnergy = geomean(energies)
-	for g, xs := range groupSpeed {
-		res.GroupGeoSpeedup[g] = geomean(xs)
-	}
-	for g, xs := range groupEnergy {
-		res.GroupGeoEnergy[g] = geomean(xs)
-	}
-	return res, nil
+	return out, nil
 }
 
 // Render prints the per-kernel speedups and energy savings.
@@ -146,42 +153,53 @@ type Fig13Result struct {
 }
 
 // Fig13 normalizes Baseline:X and MPU:X to the GPU for RACER and MIMDRAM
-// (plus DualityCache, which the paper summarizes in prose).
+// (plus DualityCache, which the paper summarizes in prose). Cells fan out
+// like Fig12; the analytical GPU run rides along in each cell.
 func Fig13(opts Options) ([]*Fig13Result, error) {
 	opts = opts.norm()
 	gpu := gpumodel.RTX4090()
-	var out []*Fig13Result
-	for _, spec := range backends.All() {
+	specs := backends.All()
+	kernels := workloads.All()
+	nk := len(kernels)
+	cells, err := sweep.Map(opts.Workers, len(specs)*nk, func(i int) (GPURow, error) {
+		spec, k := specs[i/nk], kernels[i%nk]
 		n := elementsFor(spec, opts.Scale)
+		g, err := workloads.GPURun(k, gpu, n)
+		if err != nil {
+			return GPURow{}, err
+		}
+		mpu, err := workloads.Run(k, workloads.RunConfig{
+			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+		})
+		if err != nil {
+			return GPURow{}, err
+		}
+		base, err := workloads.Run(k, workloads.RunConfig{
+			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			ComputeScale: baselineComputeScale(k),
+		})
+		if err != nil {
+			return GPURow{}, err
+		}
+		return GPURow{
+			Kernel: k.Name, Group: k.Group,
+			BaselineSpeedupVsGPU: g.Seconds / base.Seconds,
+			MPUSpeedupVsGPU:      g.Seconds / mpu.Seconds,
+			BaselineEnergyVsGPU:  g.Joules / base.Joules,
+			MPUEnergyVsGPU:       g.Joules / mpu.Joules,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Fig13Result
+	for si, spec := range specs {
 		res := &Fig13Result{Backend: spec.Name}
 		var ms, me, bs, be []float64
-		for _, k := range workloads.All() {
-			g, err := workloads.GPURun(k, gpu, n)
-			if err != nil {
-				return nil, err
-			}
-			mpu, err := workloads.Run(k, workloads.RunConfig{
-				Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-				Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
-			})
-			if err != nil {
-				return nil, err
-			}
-			base, err := workloads.Run(k, workloads.RunConfig{
-				Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
-				Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
-				ComputeScale: baselineComputeScale(k),
-			})
-			if err != nil {
-				return nil, err
-			}
-			row := GPURow{
-				Kernel: k.Name, Group: k.Group,
-				BaselineSpeedupVsGPU: g.Seconds / base.Seconds,
-				MPUSpeedupVsGPU:      g.Seconds / mpu.Seconds,
-				BaselineEnergyVsGPU:  g.Joules / base.Joules,
-				MPUEnergyVsGPU:       g.Joules / mpu.Joules,
-			}
+		for ki := range kernels {
+			row := cells[si*nk+ki]
 			res.Rows = append(res.Rows, row)
 			ms = append(ms, row.MPUSpeedupVsGPU)
 			me = append(me, row.MPUEnergyVsGPU)

@@ -18,6 +18,7 @@ import (
 	"mpu/internal/controlpath"
 	"mpu/internal/hostcpu"
 	"mpu/internal/isa"
+	"mpu/internal/micro"
 	"mpu/internal/noc"
 	"mpu/internal/recipe"
 	"mpu/internal/vrf"
@@ -118,6 +119,14 @@ type Machine struct {
 	mpus   []*core
 	stats  Stats
 	limit  int // effective active VRFs per RFH
+
+	// expands memoizes recipe expansion per dynamic instruction. A dynamic
+	// loop re-executes the same instruction thousands of times across
+	// rounds and replays; re-running the gate-level expander each time
+	// dominated simulation wall clock. The cache is per machine (the
+	// capability set is fixed at construction), so concurrent sweep cells
+	// share nothing.
+	expands map[isa.Instr][]micro.Op
 }
 
 // core is one MPU: precoder state, compute controller, DTC, and its VRFs.
@@ -179,7 +188,8 @@ func New(cfg Config) (*Machine, error) {
 			limit = cfg.Spec.VRFsPerRFH
 		}
 	}
-	m := &Machine{cfg: cfg, mesh: mesh, nocCfg: nc, limit: limit}
+	m := &Machine{cfg: cfg, mesh: mesh, nocCfg: nc, limit: limit,
+		expands: map[isa.Instr][]micro.Op{}}
 	for i := 0; i < cfg.NumMPUs; i++ {
 		m.mpus = append(m.mpus, &core{
 			id:     i,
@@ -358,6 +368,20 @@ const (
 	frontendDynamicPJPerCycle = 71.72 // pJ per active issue cycle
 )
 
+// expand returns the micro-op recipe for in, memoized for the machine's
+// capability set. The returned slice is shared and must not be mutated.
+func (m *Machine) expand(in isa.Instr) ([]micro.Op, error) {
+	if ops, ok := m.expands[in]; ok {
+		return ops, nil
+	}
+	ops, err := recipe.Expand(m.cfg.Spec.Caps, in)
+	if err != nil {
+		return nil, err
+	}
+	m.expands[in] = ops
+	return ops, nil
+}
+
 // run executes instructions until the MPU finishes or blocks on rendezvous.
 func (c *core) run() error {
 	for !c.done && !c.blocked {
@@ -533,7 +557,7 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 			return pc + 1, nil
 
 		case recipe.IsDatapathOp(in.Op):
-			ops, err := recipe.Expand(spec.Caps, in)
+			ops, err := c.m.expand(in)
 			if err != nil {
 				return 0, err
 			}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapOrderAndValues(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, 37, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 37 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(_, 0) = %v, %v", out, err)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 20, func(i int) (int, error) {
+			if i == 13 {
+				return 0, fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	// Every cell fails; the reported error must be the lowest index that
+	// ran, and with one worker exactly index 0.
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 16, func(i int) (int, error) {
+			return 0, fmt.Errorf("cell %03d", i)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if workers == 1 && err.Error() != "cell 000" {
+			t.Fatalf("sequential error = %q, want cell 000", err)
+		}
+	}
+}
+
+func TestMapEarlyCancellation(t *testing.T) {
+	// Index 0 fails immediately; the other cells are slow. The pool must
+	// stop issuing work long before all 1000 cells execute.
+	var ran atomic.Int64
+	_, err := Map(4, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 500 {
+		t.Fatalf("%d cells ran after early failure, want far fewer", n)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(8, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if err := Each(8, 10, func(i int) error { return errors.New("x") }); err == nil {
+		t.Fatal("expected error")
+	}
+}

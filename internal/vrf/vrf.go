@@ -38,15 +38,15 @@ func New(lanes int) *VRF {
 		panic(fmt.Sprintf("vrf: lane count %d must be positive", lanes))
 	}
 	v := &VRF{lanes: lanes}
-	v.cond = bitvec.New(lanes)
-	v.mask = bitvec.New(lanes)
+	// One slab covers the fixed planes: cond, mask, zero, one, temps.
+	slab := bitvec.NewSlab(lanes, 4+micro.NumTempPlanes)
+	v.cond = slab[0]
+	v.mask = slab[1]
 	v.mask.Fill(true)
-	v.zero = bitvec.New(lanes)
-	v.one = bitvec.New(lanes)
+	v.zero = slab[2]
+	v.one = slab[3]
 	v.one.Fill(true)
-	for i := range v.temps {
-		v.temps[i] = bitvec.New(lanes)
-	}
+	copy(v.temps[:], slab[4:])
 	return v
 }
 
@@ -54,11 +54,7 @@ func New(lanes int) *VRF {
 func (v *VRF) Lanes() int { return v.lanes }
 
 func newRegPlanes(lanes int) []bitvec.Plane {
-	ps := make([]bitvec.Plane, isa.WordBits)
-	for i := range ps {
-		ps[i] = bitvec.New(lanes)
-	}
-	return ps
+	return bitvec.NewSlab(lanes, isa.WordBits)
 }
 
 func (v *VRF) regPlanes(r int) []bitvec.Plane {
@@ -213,12 +209,7 @@ func (v *VRF) ReadReg(r int) []uint64 {
 	out := make([]uint64, v.lanes)
 	ps := v.regPlanes(r)
 	for b := 0; b < isa.WordBits; b++ {
-		p := ps[b]
-		for l := 0; l < v.lanes; l++ {
-			if p.Get(l) {
-				out[l] |= 1 << uint(b)
-			}
-		}
+		ps[b].ScatterInto(out, uint(b))
 	}
 	return out
 }
@@ -231,14 +222,7 @@ func (v *VRF) WriteReg(r int, vals []uint64) {
 	}
 	ps := v.regPlanes(r)
 	for b := 0; b < isa.WordBits; b++ {
-		p := ps[b]
-		for l := 0; l < v.lanes; l++ {
-			bit := false
-			if l < len(vals) {
-				bit = vals[l]>>uint(b)&1 == 1
-			}
-			p.Set(l, bit)
-		}
+		ps[b].GatherFrom(vals, uint(b))
 	}
 }
 

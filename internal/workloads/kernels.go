@@ -12,6 +12,7 @@ package workloads
 
 import (
 	"math/rand"
+	"sync"
 
 	"mpu/internal/ezpim"
 )
@@ -185,14 +186,28 @@ func emitISqrtBody(b *ezpim.Builder, x, out, s int) {
 	})
 }
 
-// All returns the 21 evaluation kernels in group order.
+// The kernel catalog is built once and shared: Kernel values are immutable
+// after construction (their Gen/Ref/Emit closures capture no mutable
+// state), so concurrent sweep cells may use the same *Kernel freely. The
+// only per-run state — the seeded RNG — is created inside Run, per cell.
+var (
+	allOnce sync.Once
+	allKs   []*Kernel
+)
+
+// All returns the 21 evaluation kernels in group order. The returned slice
+// is freshly allocated; the *Kernel values are shared and must be treated
+// as read-only.
 func All() []*Kernel {
-	ks := []*Kernel{}
-	ks = append(ks, basicKernels()...)
-	ks = append(ks, branchKernels()...)
-	ks = append(ks, stencilKernels()...)
-	ks = append(ks, complexKernels()...)
-	return ks
+	allOnce.Do(func() {
+		allKs = append(allKs, basicKernels()...)
+		allKs = append(allKs, branchKernels()...)
+		allKs = append(allKs, stencilKernels()...)
+		allKs = append(allKs, complexKernels()...)
+	})
+	out := make([]*Kernel, len(allKs))
+	copy(out, allKs)
+	return out
 }
 
 // ByName returns the named kernel or nil.
