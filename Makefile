@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench figures clean
+.PHONY: all build test vet race race-short repolint fuzz check bench figures clean
 
 all: check
 
@@ -13,15 +13,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Repository hygiene rules go vet does not cover (seeded randomness only,
+# bit-plane mutation stays behind internal/vrf).
+repolint:
+	$(GO) run ./cmd/repolint
+
 # The race detector slows the simulator ~10x, so the full-suite run needs
 # more than `go test`'s default 10m per-package timeout.
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# check is the pre-merge gate: build + vet + full suite under the race
-# detector (the sweep engine is concurrent; plain `go test` won't catch
-# an unsynchronized cell).
-check: build vet race
+# The concurrency-sensitive packages only (the sweep worker pool and the
+# linter the machine calls from strict mode) — fast enough for every CI run.
+race-short:
+	$(GO) test -race -timeout 10m ./internal/sweep ./internal/lint
+
+# A bounded run of the lint-soundness oracle: random programs the linter
+# passes must execute without ensemble or capacity faults.
+fuzz:
+	$(GO) test -fuzz=FuzzLintSoundness -fuzztime=30s ./internal/isa
+
+# check is the pre-merge gate: build + vet + full test suite + repo lint.
+# Run `make race` (full suite under the race detector) before touching the
+# sweep engine's concurrency.
+check: build vet test repolint
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x

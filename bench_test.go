@@ -224,6 +224,32 @@ func BenchmarkSweepSpeedup(b *testing.B) {
 	b.ReportMetric(seq.Seconds()/par.Seconds(), "seq/par-speedup")
 }
 
+// BenchmarkLintLargestKernel measures the static-verification overhead on
+// the largest kernel binary in the suite — the preflight cost every tool in
+// the chain (Builder.Program, mpurun, strict machines) pays per program.
+func BenchmarkLintLargestKernel(b *testing.B) {
+	spec := mpu.RACER()
+	var largest mpu.Program
+	for _, k := range workloads.All() {
+		p, _, err := workloads.BuildProgram(k, spec, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p) > len(largest) {
+			largest = p
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := mpu.Lint(largest, mpu.LintOptions{Spec: spec})
+		if !r.Ok() {
+			b.Fatalf("largest kernel not lint-ok:\n%s", r)
+		}
+		b.ReportMetric(float64(len(largest)), "instructions")
+	}
+}
+
 // BenchmarkKernelSuite measures raw simulator throughput over all 21 kernels
 // on RACER (the packages' micro-benchmarks cover the layers individually).
 func BenchmarkKernelSuite(b *testing.B) {

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	ezpim [-bin] [-o out] file.ez
+//	ezpim [-bin] [-O] [-lint] [-o out] file.ez
 //
 // Without -o the MPU assembly is printed to stdout along with the Table IV
-// style code-size accounting on stderr.
+// style code-size accounting on stderr. The compiled (and, with -O,
+// optimized) program is always verified by the static linter — Error
+// findings abort the compile; -lint additionally prints the full report,
+// warnings and observations included.
 package main
 
 import (
@@ -20,9 +23,10 @@ import (
 func main() {
 	bin := flag.Bool("bin", false, "emit the binary ISU image instead of assembly text")
 	opt := flag.Bool("O", false, "run the peephole optimizer on the output")
+	lintFlag := flag.Bool("lint", false, "print the full lint report (warnings and observations included)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ezpim [-bin] [-o out] file.ez\n")
+		fmt.Fprintf(os.Stderr, "usage: ezpim [-bin] [-O] [-lint] [-o out] file.ez\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +48,16 @@ func main() {
 	if *opt {
 		res.Program, removed = mpu.Optimize(res.Program)
 		res.AsmLines = len(res.Program)
+	}
+	// Verify the final program — with -O this re-checks the optimizer's
+	// output, not just the builder's.
+	report := mpu.Lint(res.Program, mpu.LintOptions{})
+	if *lintFlag {
+		fmt.Fprint(os.Stderr, report)
+	}
+	if err := report.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ezpim: %v\n", err)
+		os.Exit(1)
 	}
 	var data []byte
 	if *bin {

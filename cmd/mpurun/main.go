@@ -4,10 +4,13 @@
 // Usage:
 //
 //	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N]
-//	       [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
+//	       [-nolint] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
 //
 // -set preloads a vector register on MPU 0 before the run; -dump prints one
-// after it. The same binary is loaded into every MPU (SPMD).
+// after it. The same binary is loaded into every MPU (SPMD). Before loading,
+// the program is preflighted by the static linter against the selected back
+// end — Error findings abort the run (and warnings are printed); -nolint
+// skips the preflight to reproduce raw machine faults.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	mode := flag.String("mode", "mpu", "execution mode: mpu or baseline")
 	mpus := flag.Int("mpus", 1, "number of MPUs to instantiate")
 	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
+	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
 	var sets, dumps repeatFlag
 	flag.Var(&sets, "set", "preload a register: rfh.vrf.reg=v1,v2,... (repeatable)")
 	flag.Var(&dumps, "dump", "print a register after the run: rfh.vrf.reg (repeatable)")
@@ -39,18 +43,19 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats); err != nil {
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats bool) error {
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	var prog mpu.Program
+	var lines []int
 	if strings.HasSuffix(path, ".ez") {
 		res, err := mpu.CompileEzpim(string(src))
 		if err != nil {
@@ -58,7 +63,7 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats b
 		}
 		prog = res.Program
 	} else {
-		if prog, err = mpu.Assemble(string(src)); err != nil {
+		if prog, lines, err = mpu.AssembleWithLines(string(src)); err != nil {
 			return err
 		}
 	}
@@ -68,6 +73,19 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats b
 	spec, err := mpu.BackendByName(backend)
 	if err != nil {
 		return err
+	}
+	if !nolint {
+		report := mpu.Lint(prog, mpu.LintOptions{Spec: spec, Lines: lines})
+		// Warnings are surfaced; Info observations (e.g. reads of -set
+		// preloaded registers) stay quiet.
+		for _, f := range report.Findings {
+			if f.Severity == mpu.LintWarning {
+				fmt.Fprintf(os.Stderr, "mpurun: %s\n", f)
+			}
+		}
+		if err := report.Err(); err != nil {
+			return fmt.Errorf("preflight failed (use -nolint to run anyway): %w", err)
+		}
 	}
 	var mode mpu.Mode
 	switch strings.ToLower(modeName) {

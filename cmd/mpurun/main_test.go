@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
 
 func TestParseAddr(t *testing.T) {
 	addr, reg, err := parseAddr("1.2.3")
@@ -39,7 +46,24 @@ func TestParseSet(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false); err == nil {
+	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestRunLintPreflight(t *testing.T) {
+	// A program the machine would fault on: the preflight must catch it.
+	masm := t.TempDir() + "/bad.masm"
+	if err := writeFile(masm, "COMPUTE rfh0 vrf0\nADD r0 r1 r2\n"); err != nil {
+		t.Fatal(err)
+	}
+	err := run(masm, "racer", "mpu", 1, nil, nil, false, false)
+	if err == nil {
+		t.Fatal("unbalanced ensemble passed the preflight")
+	}
+	// -nolint must hand the same program to the machine, which faults too —
+	// but through the runtime guard, not the linter.
+	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true); err == nil {
+		t.Fatal("unbalanced ensemble ran cleanly with -nolint")
 	}
 }

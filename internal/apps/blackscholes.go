@@ -7,6 +7,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
 	"mpu/internal/ezpim"
+	"mpu/internal/isa"
 	"mpu/internal/machine"
 )
 
@@ -106,53 +107,80 @@ type BlackScholesConfig struct {
 	Check   bool
 }
 
-// RunBlackScholes executes the application and verifies it.
-func RunBlackScholes(cfg BlackScholesConfig) (*Result, error) {
+// bsLayout returns the VRF count and addresses for an option batch, or an
+// error when the batch exceeds one MPU's capacity.
+func bsLayout(cfg BlackScholesConfig) (int, []controlpath.VRFAddr, error) {
 	spec := cfg.Spec
 	lanes := spec.Lanes
-	if cfg.Options <= 0 {
-		cfg.Options = lanes
+	options := cfg.Options
+	if options <= 0 {
+		options = lanes
 	}
-	vrfs := (cfg.Options + lanes - 1) / lanes
+	vrfs := (options + lanes - 1) / lanes
 	if vrfs > spec.VRFsPerMPU() {
-		return nil, fmt.Errorf("apps: option batch needs %d VRFs per MPU, have %d", vrfs, spec.VRFsPerMPU())
+		return 0, nil, fmt.Errorf("apps: option batch needs %d VRFs per MPU, have %d", vrfs, spec.VRFsPerMPU())
 	}
 	addrs := make([]controlpath.VRFAddr, vrfs)
 	for v := range addrs {
 		addrs[v] = controlpath.VRFAddr{RFH: uint8(v % spec.RFHsPerMPU), VRF: uint8(v / spec.RFHsPerMPU)}
 	}
+	return vrfs, addrs, nil
+}
 
-	build := func(worker bool) (*ezpim.Builder, error) {
-		b := ezpim.NewBuilder()
-		b.Ensemble(addrs, func() { emitBlackScholes(b) })
-		// Gather over every RFH pair at once: one MEMCPY per distinct VRF
-		// index moves that register for all pairs in the target map.
-		var pairs []controlpath.RFHPair
-		for r := 0; r < spec.RFHsPerMPU; r++ {
-			pairs = append(pairs, controlpath.RFHPair{Src: uint8(r), Dst: uint8(r)})
-		}
-		maxVRFID := (vrfs - 1) / spec.RFHsPerMPU
-		if worker {
-			// Send prices back to MPU0's staging register r7.
-			b.Send(0, pairs, func(t *ezpim.Transfer) {
-				for id := 0; id <= maxVRFID; id++ {
-					t.Copy(id, bsPrice, id, 7)
-				}
-			})
-		} else {
-			b.Recv(1)
-		}
-		return b, nil
+// buildBlackScholesBuilder constructs MPU0's (worker=false) or MPU1's
+// (worker=true) builder.
+func buildBlackScholesBuilder(spec *backends.Spec, vrfs int, addrs []controlpath.VRFAddr, worker bool) *ezpim.Builder {
+	b := ezpim.NewBuilder()
+	b.Ensemble(addrs, func() { emitBlackScholes(b) })
+	// Gather over every RFH pair at once: one MEMCPY per distinct VRF
+	// index moves that register for all pairs in the target map.
+	var pairs []controlpath.RFHPair
+	for r := 0; r < spec.RFHsPerMPU; r++ {
+		pairs = append(pairs, controlpath.RFHPair{Src: uint8(r), Dst: uint8(r)})
 	}
+	maxVRFID := (vrfs - 1) / spec.RFHsPerMPU
+	if worker {
+		// Send prices back to MPU0's staging register r7.
+		b.Send(0, pairs, func(t *ezpim.Transfer) {
+			for id := 0; id <= maxVRFID; id++ {
+				t.Copy(id, bsPrice, id, 7)
+			}
+		})
+	} else {
+		b.Recv(1)
+	}
+	return b
+}
 
-	b0, err := build(false)
+// BuildBlackScholesPrograms assembles the two MPU binaries (MPU0 first)
+// without running them.
+func BuildBlackScholesPrograms(cfg BlackScholesConfig) ([]isa.Program, error) {
+	vrfs, addrs, err := bsLayout(cfg)
 	if err != nil {
 		return nil, err
 	}
-	b1, err := build(true)
+	progs := make([]isa.Program, 2)
+	for i := range progs {
+		p, err := buildBlackScholesBuilder(cfg.Spec, vrfs, addrs, i == 1).Program()
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// RunBlackScholes executes the application and verifies it.
+func RunBlackScholes(cfg BlackScholesConfig) (*Result, error) {
+	spec := cfg.Spec
+	lanes := spec.Lanes
+	vrfs, addrs, err := bsLayout(cfg)
 	if err != nil {
 		return nil, err
 	}
+
+	b0 := buildBlackScholesBuilder(spec, vrfs, addrs, false)
+	b1 := buildBlackScholesBuilder(spec, vrfs, addrs, true)
 	p0, err := b0.Program()
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
 	"mpu/internal/ezpim"
+	"mpu/internal/isa"
 	"mpu/internal/machine"
 )
 
@@ -86,25 +87,29 @@ type EditDistanceConfig struct {
 	Check bool
 }
 
-// RunEditDistance executes the systolic application and verifies it.
-func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
-	spec := cfg.Spec
+// normalize applies the ring defaults and checks chip capacity.
+func (cfg *EditDistanceConfig) normalize() error {
 	if cfg.MPUs == 0 {
 		cfg.MPUs = 8
 	}
 	if cfg.MPUs%2 != 0 || cfg.MPUs < 2 {
-		return nil, fmt.Errorf("apps: editdistance ring size %d must be even and ≥ 2", cfg.MPUs)
+		return fmt.Errorf("apps: editdistance ring size %d must be even and ≥ 2", cfg.MPUs)
 	}
-	if cfg.MPUs > spec.MPUs {
-		return nil, fmt.Errorf("apps: ring size %d exceeds chip MPUs %d", cfg.MPUs, spec.MPUs)
+	if cfg.MPUs > cfg.Spec.MPUs {
+		return fmt.Errorf("apps: ring size %d exceeds chip MPUs %d", cfg.MPUs, cfg.Spec.MPUs)
 	}
 	if cfg.VRFs == 0 {
 		cfg.VRFs = 4
 	}
-	if cfg.VRFs > spec.VRFsPerMPU() {
-		return nil, fmt.Errorf("apps: %d VRFs per MPU exceeds capacity", cfg.VRFs)
+	if cfg.VRFs > cfg.Spec.VRFsPerMPU() {
+		return fmt.Errorf("apps: %d VRFs per MPU exceeds capacity", cfg.VRFs)
 	}
-	lanes := spec.Lanes
+	return nil
+}
+
+// edLayout returns the per-MPU VRF addresses and the identity pair map.
+func edLayout(cfg EditDistanceConfig) ([]controlpath.VRFAddr, []controlpath.RFHPair) {
+	spec := cfg.Spec
 	addrs := make([]controlpath.VRFAddr, cfg.VRFs)
 	for v := range addrs {
 		addrs[v] = controlpath.VRFAddr{RFH: uint8(v % spec.RFHsPerMPU), VRF: uint8(v / spec.RFHsPerMPU)}
@@ -113,11 +118,16 @@ func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
 	for r := 0; r < spec.RFHsPerMPU; r++ {
 		pairs = append(pairs, controlpath.RFHPair{Src: uint8(r), Dst: uint8(r)})
 	}
-	maxVRFID := (cfg.VRFs - 1) / spec.RFHsPerMPU
+	return addrs, pairs
+}
 
-	// Build per-MPU programs: T = MPUs systolic steps; even MPUs send
-	// before receiving, odd MPUs receive first (ring deadlock avoidance,
-	// the lower-ID-sends-first rule of §V-B).
+// buildEditDistanceBuilders constructs one builder per ring position for a
+// normalized config: T = MPUs systolic steps; even MPUs send before
+// receiving, odd MPUs receive first (ring deadlock avoidance, the
+// lower-ID-sends-first rule of §V-B).
+func buildEditDistanceBuilders(cfg EditDistanceConfig) []*ezpim.Builder {
+	addrs, pairs := edLayout(cfg)
+	maxVRFID := (cfg.VRFs - 1) / cfg.Spec.RFHsPerMPU
 	builders := make([]*ezpim.Builder, cfg.MPUs)
 	for id := 0; id < cfg.MPUs; id++ {
 		b := ezpim.NewBuilder()
@@ -144,6 +154,36 @@ func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
 		}
 		builders[id] = b
 	}
+	return builders
+}
+
+// BuildEditDistancePrograms assembles the per-ring-position binaries without
+// running them.
+func BuildEditDistancePrograms(cfg EditDistanceConfig) ([]isa.Program, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	builders := buildEditDistanceBuilders(cfg)
+	progs := make([]isa.Program, len(builders))
+	for i, b := range builders {
+		p, err := b.Program()
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// RunEditDistance executes the systolic application and verifies it.
+func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
+	spec := cfg.Spec
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	lanes := spec.Lanes
+	addrs, _ := edLayout(cfg)
+	builders := buildEditDistanceBuilders(cfg)
 
 	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: cfg.MPUs})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
 	"mpu/internal/ezpim"
+	"mpu/internal/isa"
 	"mpu/internal/machine"
 )
 
@@ -182,46 +183,49 @@ type LLMEncodeConfig struct {
 	Check   bool
 }
 
-// RunLLMEncode executes the encoder block across a coordinator and workers.
-//
-// Layout: participant compute VRFs sit at (rfh v, vrf 0) for v < VRFs, so a
-// single MEMCPY under the pair map {(v,v)} addresses all of them at once.
-// The coordinator stages batch w's tokens at (rfh v, vrf w).
-func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
-	spec := cfg.Spec
+// normalize applies the config defaults and checks chip capacity.
+func (cfg *LLMEncodeConfig) normalize() error {
 	if cfg.Workers == 0 {
 		cfg.Workers = 3
 	}
 	if cfg.VRFs == 0 {
 		cfg.VRFs = 2
 	}
-	mpus := cfg.Workers + 1
-	if mpus > spec.MPUs {
-		return nil, fmt.Errorf("apps: %d MPUs exceed chip capacity %d", mpus, spec.MPUs)
+	spec := cfg.Spec
+	if mpus := cfg.Workers + 1; mpus > spec.MPUs {
+		return fmt.Errorf("apps: %d MPUs exceed chip capacity %d", mpus, spec.MPUs)
 	}
 	if cfg.VRFs > spec.RFHsPerMPU {
-		return nil, fmt.Errorf("apps: token VRFs %d exceed the %d RF holders", cfg.VRFs, spec.RFHsPerMPU)
+		return fmt.Errorf("apps: token VRFs %d exceed the %d RF holders", cfg.VRFs, spec.RFHsPerMPU)
 	}
 	if cfg.Workers >= spec.VRFsPerRFH {
-		return nil, fmt.Errorf("apps: %d workers exceed staging capacity", cfg.Workers)
+		return fmt.Errorf("apps: %d workers exceed staging capacity", cfg.Workers)
 	}
-	lanes := spec.Lanes
+	return nil
+}
 
+// llmLayout returns the compute-VRF addresses and the identity RFH pair map
+// the collectives use.
+func llmLayout(cfg LLMEncodeConfig) ([]controlpath.VRFAddr, []controlpath.RFHPair) {
 	computeAddrs := make([]controlpath.VRFAddr, cfg.VRFs)
 	for v := range computeAddrs {
 		computeAddrs[v] = controlpath.VRFAddr{RFH: uint8(v), VRF: 0}
-	}
-	stageAddr := func(batch, v int) controlpath.VRFAddr {
-		return controlpath.VRFAddr{RFH: uint8(v), VRF: uint8(batch)}
 	}
 	var pairs []controlpath.RFHPair
 	for v := 0; v < cfg.VRFs; v++ {
 		pairs = append(pairs, controlpath.RFHPair{Src: uint8(v), Dst: uint8(v)})
 	}
+	return computeAddrs, pairs
+}
+
+// buildLLMEncodeBuilders constructs the coordinator and worker builders for
+// a normalized config.
+func buildLLMEncodeBuilders(cfg LLMEncodeConfig) (cb *ezpim.Builder, wbs []*ezpim.Builder) {
+	computeAddrs, pairs := llmLayout(cfg)
 
 	// Coordinator program: broadcast weights + scatter batches, compute its
 	// own batch (batch 0), gather results.
-	cb := ezpim.NewBuilder()
+	cb = ezpim.NewBuilder()
 	for w := 1; w <= cfg.Workers; w++ {
 		wID := w
 		cb.Send(w, pairs, func(t *ezpim.Transfer) {
@@ -240,7 +244,7 @@ func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 
 	// Worker programs: receive weights+batch, compute, send results back
 	// into the coordinator's staging VRFs.
-	wbs := make([]*ezpim.Builder, cfg.Workers)
+	wbs = make([]*ezpim.Builder, cfg.Workers)
 	for w := 1; w <= cfg.Workers; w++ {
 		b := ezpim.NewBuilder()
 		b.Recv(0)
@@ -253,6 +257,46 @@ func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 		})
 		wbs[w-1] = b
 	}
+	return cb, wbs
+}
+
+// BuildLLMEncodePrograms assembles the coordinator (index 0) and worker
+// binaries for cfg without running them — the static-verification and
+// inspection entry point.
+func BuildLLMEncodePrograms(cfg LLMEncodeConfig) ([]isa.Program, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cb, wbs := buildLLMEncodeBuilders(cfg)
+	progs := make([]isa.Program, 0, len(wbs)+1)
+	for _, b := range append([]*ezpim.Builder{cb}, wbs...) {
+		p, err := b.Program()
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// RunLLMEncode executes the encoder block across a coordinator and workers.
+//
+// Layout: participant compute VRFs sit at (rfh v, vrf 0) for v < VRFs, so a
+// single MEMCPY under the pair map {(v,v)} addresses all of them at once.
+// The coordinator stages batch w's tokens at (rfh v, vrf w).
+func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
+	spec := cfg.Spec
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	mpus := cfg.Workers + 1
+	lanes := spec.Lanes
+
+	computeAddrs, _ := llmLayout(cfg)
+	stageAddr := func(batch, v int) controlpath.VRFAddr {
+		return controlpath.VRFAddr{RFH: uint8(v), VRF: uint8(batch)}
+	}
+	cb, wbs := buildLLMEncodeBuilders(cfg)
 
 	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: mpus})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"mpu/internal/controlpath"
 	"mpu/internal/isa"
+	"mpu/internal/lint"
 )
 
 // UserRegs is the number of registers available to user code; higher
@@ -78,6 +79,7 @@ type Builder struct {
 	subs       map[string]int // label -> instruction index
 	callFix    []fixup
 	srcLines   int // high-level statements emitted (Table IV accounting)
+	lintReport *lint.Report
 
 	// Binary layout: when subroutines are defined, instruction 0 is an
 	// entry JUMP patched to the first top-level statement, so execution
@@ -562,8 +564,21 @@ func (b *Builder) Program() (isa.Program, error) {
 	if err := out.Validate(); err != nil {
 		return nil, err
 	}
+	// Structural verification: the builder's lowering must produce programs
+	// the machine's control path accepts. Error findings here are builder
+	// bugs or misuse (e.g. a hand-rolled Emit sequence), surfaced at build
+	// time instead of mid-run. The full report (including warnings and
+	// observations) stays available through LintReport.
+	b.lintReport = lint.Lint(out, lint.Options{})
+	if err := b.lintReport.Err(); err != nil {
+		return nil, fmt.Errorf("ezpim: built program fails verification: %w", err)
+	}
 	return out, nil
 }
+
+// LintReport returns the static-verification report of the last successful
+// Program() call (nil before the first call).
+func (b *Builder) LintReport() *lint.Report { return b.lintReport }
 
 // SourceLines reports the number of high-level statements the builder was
 // driven with — the "Lines of Code ezpim" column of Table IV.

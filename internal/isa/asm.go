@@ -23,6 +23,14 @@ import (
 
 // Assemble parses MPU assembly text into a validated Program.
 func Assemble(src string) (Program, error) {
+	prog, _, err := AssembleWithLines(src)
+	return prog, err
+}
+
+// AssembleWithLines parses MPU assembly text and additionally returns the
+// 1-based source line of every instruction, so downstream tools (the
+// linter's findings, trace annotations) can point back into the listing.
+func AssembleWithLines(src string) (Program, []int, error) {
 	type pending struct {
 		instr int
 		label string
@@ -30,6 +38,7 @@ func Assemble(src string) (Program, error) {
 	}
 	var (
 		prog    Program
+		lines   []int
 		labels  = map[string]int{}
 		fixups  []pending
 		lineNum = 0
@@ -55,10 +64,10 @@ func Assemble(src string) (Program, error) {
 			}
 			name := strings.TrimSpace(line[:i])
 			if !isIdent(name) {
-				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, name)
+				return nil, nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, name)
 			}
 			if _, dup := labels[name]; dup {
-				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, name)
+				return nil, nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, name)
 			}
 			labels[name] = len(prog)
 			line = strings.TrimSpace(line[i+1:])
@@ -68,33 +77,34 @@ func Assemble(src string) (Program, error) {
 		}
 		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
 		if len(fields) == 0 {
-			return nil, fmt.Errorf("isa: line %d: no instruction in %q", lineNum, line)
+			return nil, nil, fmt.Errorf("isa: line %d: no instruction in %q", lineNum, line)
 		}
 		mnemonic := strings.ToUpper(fields[0])
 		op, ok := opByName(mnemonic)
 		if !ok {
-			return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNum, fields[0])
+			return nil, nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", lineNum, fields[0])
 		}
 		in, labelRef, err := parseOperands(op, fields[1:])
 		if err != nil {
-			return nil, fmt.Errorf("isa: line %d: %w", lineNum, err)
+			return nil, nil, fmt.Errorf("isa: line %d: %w", lineNum, err)
 		}
 		if labelRef != "" {
 			fixups = append(fixups, pending{instr: len(prog), label: labelRef, line: lineNum})
 		}
 		prog = append(prog, in)
+		lines = append(lines, lineNum)
 	}
 	for _, f := range fixups {
 		target, ok := labels[f.label]
 		if !ok {
-			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+			return nil, nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
 		}
 		prog[f.instr].Imm = int32(target)
 	}
 	if err := prog.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return prog, nil
+	return prog, lines, nil
 }
 
 func opByName(name string) (Op, bool) {

@@ -1,26 +1,31 @@
-package isa
+package lint
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"mpu/internal/isa"
 )
 
 // Analysis is a static summary of an MPU binary — the toolchain-side view a
-// compiler or autotuner needs before dispatch.
+// compiler or autotuner needs before dispatch. It lives next to the linter
+// so both views are built from the same lexical segmentation (scanCompute /
+// scanTransfer / scanSend) and cannot drift apart.
 type Analysis struct {
 	Instructions int
 	BinaryBytes  int
 
-	ByClass map[Class]int
-	ByOp    map[Op]int
+	ByClass map[isa.Class]int
+	ByOp    map[isa.Op]int
 
 	ComputeEnsembles  int
 	TransferEnsembles int
 	SendBlocks        int
 	Recvs             int
-	MaxHeaderVRFs     int // largest compute-ensemble header
-	MaxBodyLen        int // largest straight-line ensemble body (playback pressure)
+	HeaderVRFs        []int // per compute ensemble, in program order
+	MaxHeaderVRFs     int   // largest compute-ensemble header
+	MaxBodyLen        int   // largest straight-line ensemble body (playback pressure)
 	JumpTargets       int
 	HasDynamicLoops   bool // any JUMP_COND
 	HasSubroutines    bool // any JUMP/RETURN
@@ -28,63 +33,74 @@ type Analysis struct {
 }
 
 // Analyze computes the static summary of p.
-func Analyze(p Program) Analysis {
+func Analyze(p isa.Program) Analysis {
 	a := Analysis{
 		Instructions: len(p),
 		BinaryBytes:  p.BinarySize(),
-		ByClass:      map[Class]int{},
-		ByOp:         map[Op]int{},
+		ByClass:      map[isa.Class]int{},
+		ByOp:         map[isa.Op]int{},
 	}
 	vrfs := map[[2]uint8]bool{}
 	targets := map[int32]bool{}
-	header := 0
-	bodyStart := -1
-	for i, in := range p {
-		a.ByClass[ClassOf(in.Op)]++
+	for _, in := range p {
+		a.ByClass[isa.ClassOf(in.Op)]++
 		a.ByOp[in.Op]++
-		if header > 0 && in.Op != COMPUTE {
-			// The ensemble header just ended; the body starts here.
-			if header > a.MaxHeaderVRFs {
-				a.MaxHeaderVRFs = header
-			}
-			header = 0
-			bodyStart = i
-		}
 		switch in.Op {
-		case COMPUTE:
-			if header == 0 {
-				a.ComputeEnsembles++
-			}
-			header++
+		case isa.COMPUTE:
 			vrfs[[2]uint8{in.A, in.B}] = true
-		case COMPUTEDONE:
-			if bodyStart >= 0 && i-bodyStart+1 > a.MaxBodyLen {
-				a.MaxBodyLen = i - bodyStart + 1
-			}
-			bodyStart = -1
-		case MOVE:
-			if i == 0 || p[i-1].Op != MOVE {
-				// A MOVE run following a SEND belongs to the send block.
-				if i == 0 || p[i-1].Op != SEND {
-					a.TransferEnsembles++
-				}
-			}
-		case SEND:
-			a.SendBlocks++
-		case RECV:
-			a.Recvs++
-		case JUMPCOND:
+		case isa.JUMPCOND:
 			a.HasDynamicLoops = true
 			targets[in.Imm] = true
-		case JUMP:
+		case isa.JUMP:
 			a.HasSubroutines = true
 			targets[in.Imm] = true
-		case RETURN:
+		case isa.RETURN:
 			a.HasSubroutines = true
 		}
 	}
 	a.JumpTargets = len(targets)
 	a.VRFsTouched = len(vrfs)
+
+	// Ensemble structure from the shared lexical segmenters.
+	for i := 0; i < len(p); {
+		switch p[i].Op {
+		case isa.COMPUTE:
+			seg := scanCompute(p, i)
+			a.ComputeEnsembles++
+			h := seg.headerLen()
+			a.HeaderVRFs = append(a.HeaderVRFs, h)
+			if h > a.MaxHeaderVRFs {
+				a.MaxHeaderVRFs = h
+			}
+			if seg.done >= 0 {
+				if n := seg.done - seg.bodyStart + 1; n > a.MaxBodyLen {
+					a.MaxBodyLen = n
+				}
+				i = seg.done + 1
+			} else {
+				i = seg.bodyStart
+			}
+		case isa.MOVE:
+			a.TransferEnsembles++
+			if end, _ := scanTransfer(p, i); end > i {
+				i = end
+			} else {
+				i++
+			}
+		case isa.SEND:
+			a.SendBlocks++
+			if end, _, _ := scanSend(p, i); end > i {
+				i = end
+			} else {
+				i++
+			}
+		case isa.RECV:
+			a.Recvs++
+			i++
+		default:
+			i++
+		}
+	}
 	return a
 }
 
@@ -98,7 +114,7 @@ func (a Analysis) String() string {
 		a.HasDynamicLoops, a.HasSubroutines, a.JumpTargets)
 	// Deterministic op histogram, densest first.
 	type kv struct {
-		op Op
+		op isa.Op
 		n  int
 	}
 	var ops []kv

@@ -1,12 +1,14 @@
-package isa
+package lint
 
 import (
 	"strings"
 	"testing"
+
+	"mpu/internal/isa"
 )
 
 func TestAnalyzeEnsembleProgram(t *testing.T) {
-	p, err := Assemble(`
+	p, err := isa.Assemble(`
 		COMPUTE rfh0 vrf0
 		COMPUTE rfh1 vrf3
 		ADD r0 r1 r2
@@ -39,6 +41,9 @@ func TestAnalyzeEnsembleProgram(t *testing.T) {
 	if a.ComputeEnsembles != 1 || a.MaxHeaderVRFs != 2 {
 		t.Fatalf("compute ensembles = %d header %d", a.ComputeEnsembles, a.MaxHeaderVRFs)
 	}
+	if len(a.HeaderVRFs) != 1 || a.HeaderVRFs[0] != 2 {
+		t.Fatalf("HeaderVRFs = %v, want [2]", a.HeaderVRFs)
+	}
 	if a.TransferEnsembles != 1 {
 		t.Fatalf("transfer ensembles = %d, want 1 (the SEND's MOVE is part of the send block)", a.TransferEnsembles)
 	}
@@ -51,7 +56,7 @@ func TestAnalyzeEnsembleProgram(t *testing.T) {
 	if a.VRFsTouched != 2 {
 		t.Fatalf("VRFs touched = %d", a.VRFsTouched)
 	}
-	if a.ByOp[SETMASK] != 2 || a.ByClass[ClassArith] == 0 {
+	if a.ByOp[isa.SETMASK] != 2 || a.ByClass[isa.ClassArith] == 0 {
 		t.Fatalf("histograms wrong: %+v", a.ByOp)
 	}
 	if a.MaxBodyLen != 8 { // ADD..COMPUTE_DONE
@@ -66,7 +71,7 @@ func TestAnalyzeEnsembleProgram(t *testing.T) {
 }
 
 func TestAnalyzeSubroutines(t *testing.T) {
-	p, _ := Assemble("JUMP main\nsub: ADD r0 r1 r2\nRETURN\nmain: COMPUTE rfh0 vrf0\nJUMP sub\nCOMPUTE_DONE")
+	p, _ := isa.Assemble("JUMP main\nsub: ADD r0 r1 r2\nRETURN\nmain: COMPUTE rfh0 vrf0\nJUMP sub\nCOMPUTE_DONE")
 	a := Analyze(p)
 	if !a.HasSubroutines {
 		t.Fatal("subroutines not detected")
@@ -80,5 +85,44 @@ func TestAnalyzeEmpty(t *testing.T) {
 	a := Analyze(nil)
 	if a.Instructions != 0 || a.ComputeEnsembles != 0 {
 		t.Fatalf("empty analysis: %+v", a)
+	}
+}
+
+// A header run at the very end of the program (no body, no footer) must
+// still be counted and must not hang or panic the segmentation loop.
+func TestAnalyzeTrailingHeader(t *testing.T) {
+	p := isa.Program{isa.Compute(0, 0), isa.Compute(1, 0)}
+	a := Analyze(p)
+	if a.ComputeEnsembles != 1 || a.MaxHeaderVRFs != 2 || a.MaxBodyLen != 0 {
+		t.Fatalf("trailing header analysis: %+v", a)
+	}
+	if len(a.HeaderVRFs) != 1 || a.HeaderVRFs[0] != 2 {
+		t.Fatalf("HeaderVRFs = %v, want [2]", a.HeaderVRFs)
+	}
+}
+
+func TestAnalyzePerEnsembleHeaders(t *testing.T) {
+	p, err := isa.Assemble(`
+		COMPUTE rfh0 vrf0
+		ADD r0 r1 r2
+		COMPUTE_DONE
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh1 vrf0
+		COMPUTE rfh2 vrf0
+		ADD r0 r1 r2
+		COMPUTE_DONE
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(p)
+	if a.ComputeEnsembles != 2 {
+		t.Fatalf("compute ensembles = %d, want 2", a.ComputeEnsembles)
+	}
+	if len(a.HeaderVRFs) != 2 || a.HeaderVRFs[0] != 1 || a.HeaderVRFs[1] != 3 {
+		t.Fatalf("HeaderVRFs = %v, want [1 3]", a.HeaderVRFs)
+	}
+	if a.MaxHeaderVRFs != 3 {
+		t.Fatalf("MaxHeaderVRFs = %d, want 3", a.MaxHeaderVRFs)
 	}
 }

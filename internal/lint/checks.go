@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"mpu/internal/isa"
+)
+
+// encodingPass validates operand encodings and jump-target ranges, the same
+// gate Machine.LoadProgram applies via Program.Validate. The CFG walk only
+// runs when this pass is clean.
+func (w *walker) encodingPass() {
+	for i, in := range w.p {
+		if err := in.Validate(); err != nil {
+			w.addf(Error, "bad-encoding", i, "%v", err)
+			continue
+		}
+		if in.Op == isa.JUMP || in.Op == isa.JUMPCOND {
+			if int(in.Imm) >= len(w.p) {
+				w.addf(Error, "jump-range", i,
+					"%s target %d beyond program end %d", in.Op, in.Imm, len(w.p))
+			}
+		}
+	}
+}
+
+// unreachablePass warns about instructions no walk state covered. Reported
+// per contiguous run to keep one dead region one finding.
+func (w *walker) unreachablePass() {
+	for i := 0; i < len(w.covered); i++ {
+		if w.covered[i] {
+			continue
+		}
+		j := i
+		for j < len(w.covered) && !w.covered[j] {
+			j++
+		}
+		if j-i == 1 {
+			w.addf(Warning, "unreachable", i, "instruction %s is unreachable", w.p[i].Op)
+		} else {
+			w.addf(Warning, "unreachable", i,
+				"instructions %d..%d (%d) are unreachable", i, j-1, j-i)
+		}
+		i = j
+	}
+}
+
+// capacityPass checks every instruction's resource ids against the
+// configured back-end spec — the static counterpart of machine.checkAddr —
+// and annotates compute headers with their thermal scheduling cost.
+func (w *walker) capacityPass() {
+	spec := w.opt.Spec
+	if spec == nil {
+		return
+	}
+	for i, in := range w.p {
+		switch in.Op {
+		case isa.COMPUTE:
+			if int(in.A) >= spec.RFHsPerMPU {
+				w.addf(Error, "capacity-rfh", i,
+					"COMPUTE rfh%d out of range [0,%d) on %s", in.A, spec.RFHsPerMPU, spec.Name)
+			}
+			if int(in.B) >= spec.VRFsPerRFH {
+				w.addf(Error, "capacity-vrf", i,
+					"COMPUTE vrf%d out of range [0,%d) on %s", in.B, spec.VRFsPerRFH, spec.Name)
+			}
+		case isa.MOVE:
+			if int(in.A) >= spec.RFHsPerMPU || int(in.B) >= spec.RFHsPerMPU {
+				w.addf(Error, "capacity-rfh", i,
+					"MOVE rfh%d->rfh%d out of range [0,%d) on %s", in.A, in.B, spec.RFHsPerMPU, spec.Name)
+			}
+		case isa.MEMCPY:
+			if int(in.A) >= spec.VRFsPerRFH || int(in.C) >= spec.VRFsPerRFH {
+				w.addf(Error, "capacity-vrf", i,
+					"MEMCPY vrf%d->vrf%d out of range [0,%d) on %s", in.A, in.C, spec.VRFsPerRFH, spec.Name)
+			}
+		case isa.SEND, isa.RECV:
+			if int(in.Imm) >= spec.MPUs {
+				w.addf(Error, "capacity-mpu", i,
+					"%s mpu%d out of range [0,%d) on %s", in.Op, in.Imm, spec.MPUs, spec.Name)
+			}
+		}
+	}
+	// Header-level checks on the lexical COMPUTE runs (reachable or not).
+	for i := 0; i < len(w.p); i++ {
+		if w.p[i].Op != isa.COMPUTE {
+			continue
+		}
+		seen := map[[2]uint8]bool{}
+		perRFH := map[uint8]int{}
+		j := i
+		for ; j < len(w.p) && w.p[j].Op == isa.COMPUTE; j++ {
+			key := [2]uint8{w.p[j].A, w.p[j].B}
+			if seen[key] {
+				w.addf(Warning, "duplicate-activation", j,
+					"rfh%d vrf%d activated twice in one ensemble header", w.p[j].A, w.p[j].B)
+			}
+			seen[key] = true
+			perRFH[w.p[j].A]++
+		}
+		if limit := spec.ActiveVRFsPerRFH; limit > 0 {
+			maxPer := 0
+			for _, n := range perRFH {
+				if n > maxPer {
+					maxPer = n
+				}
+			}
+			if rounds := (maxPer + limit - 1) / limit; rounds > 1 {
+				w.addf(Info, "activation-rounds", i,
+					"header activates up to %d VRFs per RFH; thermal limit %d on %s replays the body over %d scheduler rounds",
+					maxPer, limit, spec.Name, rounds)
+			}
+		}
+		i = j - 1
+	}
+}
+
+// condWriters are the ops that load the per-lane conditional register
+// (recipe gCondWrite sites).
+func writesCond(op isa.Op) bool {
+	switch op {
+	case isa.CMPEQ, isa.CMPGT, isa.CMPLT, isa.FUZZY:
+		return true
+	}
+	return false
+}
+
+// maskPass runs the lexical per-ensemble control checks: SETMASK cond must
+// follow some comparison (a fresh VRF's conditional register is all-zero, so
+// the mask would disable every lane), and JUMP_COND targets should stay
+// inside the ensemble that is executing them (escaping is legal but replays
+// foreign code under this ensemble's activation batch).
+func (w *walker) maskPass() {
+	for _, seg := range w.ensembles {
+		for i := seg.bodyStart; i < seg.done; i++ {
+			in := w.p[i]
+			switch in.Op {
+			case isa.SETMASK:
+				if in.A != isa.RegCond {
+					continue
+				}
+				primed := false
+				for j := 0; j < i; j++ {
+					if writesCond(w.p[j].Op) {
+						primed = true
+						break
+					}
+				}
+				if !primed {
+					w.addf(Warning, "setmask-before-compare", i,
+						"SETMASK cond with no prior comparison — the conditional register is still all-zero, masking off every lane")
+				}
+			case isa.JUMPCOND:
+				if t := int(in.Imm); t < seg.header || t > seg.done {
+					w.addf(Warning, "jump-escapes-ensemble", i,
+						"JUMP_COND target %d lies outside the compute ensemble [%d,%d]", t, seg.header, seg.done)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mpu/internal/apps"
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// Every workload kernel's SPMD binary must lint warning-free (Info
+// observations such as reads of host-preloaded inputs are allowed) on every
+// back end shape. This pins the toolchain: a builder change that starts
+// emitting suspicious code fails here before it ever reaches an experiment.
+func TestAllKernelsLintClean(t *testing.T) {
+	kernels := workloads.All()
+	if len(kernels) < 21 {
+		t.Fatalf("kernel suite shrank: %d kernels, want at least 21", len(kernels))
+	}
+	for _, spec := range backends.All() {
+		for _, k := range kernels {
+			simVRFs := 4
+			if cap := spec.VRFsPerMPU(); simVRFs > cap {
+				simVRFs = cap
+			}
+			p, _, err := workloads.BuildProgram(k, spec, simVRFs)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", k.Name, spec.Name, err)
+			}
+			r := lint.Lint(p, lint.Options{Spec: spec})
+			if !r.Clean() {
+				t.Errorf("%s on %s not lint-clean:\n%s", k.Name, spec.Name, r)
+			}
+		}
+	}
+}
+
+// The three end-to-end applications must lint warning-free as well, across
+// every per-MPU program they build.
+func TestAppsLintClean(t *testing.T) {
+	spec := backends.RACER()
+	builds := []struct {
+		name  string
+		progs func() ([]isa.Program, error)
+	}{
+		{"BlackScholes", func() ([]isa.Program, error) {
+			return apps.BuildBlackScholesPrograms(apps.BlackScholesConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+		{"LLMEncode", func() ([]isa.Program, error) {
+			return apps.BuildLLMEncodePrograms(apps.LLMEncodeConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+		{"EditDistance", func() ([]isa.Program, error) {
+			return apps.BuildEditDistancePrograms(apps.EditDistanceConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			progs, err := b.progs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(progs) < 2 {
+				t.Fatalf("app built only %d programs", len(progs))
+			}
+			for i, p := range progs {
+				r := lint.Lint(p, lint.Options{Spec: spec})
+				if !r.Clean() {
+					t.Errorf("mpu%d program not lint-clean:\n%s", i, r)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,172 @@
+// Package lint statically verifies assembled MPU ISA programs before they
+// reach a machine. It segments a binary into ensembles and basic blocks,
+// walks the control-flow graph with the same context rules the machine's
+// control path enforces at run time (which instructions are legal at the top
+// level vs. inside a compute ensemble, how JUMP/RETURN thread the return
+// address stack), and reports findings for ensemble bracketing violations,
+// illegal jump targets, register def-use anomalies, and back-end capacity
+// overruns.
+//
+// The linter is sound with respect to the machine's runtime guards: a
+// program that lints with no Error findings cannot trip an ensemble
+// structure fault (machine.ErrEnsembleFault) or, when linted against the
+// same back-end spec, a capacity fault. internal/isa's fuzz tests enforce
+// this as an executable oracle.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+// Severities, least to most severe.
+const (
+	// Info findings are observations (e.g. a register read before any
+	// write, which is how kernels consume host-preloaded inputs).
+	Info Severity = iota
+	// Warning findings are suspicious but cannot fault the machine.
+	Warning
+	// Error findings identify programs the machine will reject or fault on.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one diagnostic, anchored to an instruction index and, when the
+// program came from an assembly listing, a 1-based source line.
+type Finding struct {
+	Severity Severity
+	Check    string // stable check identifier (docs/LINT.md catalog)
+	Index    int    // instruction index, -1 for program-level findings
+	Line     int    // 1-based source line, 0 when unknown
+	Message  string
+}
+
+func (f Finding) String() string {
+	loc := "program"
+	if f.Index >= 0 {
+		loc = fmt.Sprintf("instr %d", f.Index)
+		if f.Line > 0 {
+			loc = fmt.Sprintf("line %d (instr %d)", f.Line, f.Index)
+		}
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", f.Severity, loc, f.Message, f.Check)
+}
+
+// Report is the outcome of one Lint run.
+type Report struct {
+	Findings []Finding
+}
+
+// Count returns the number of findings at exactly severity s.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Errs returns the Error findings.
+func (r *Report) Errs() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Ok reports whether the program is runnable: no Error findings.
+func (r *Report) Ok() bool { return r.Count(Error) == 0 }
+
+// Clean reports whether the program is warning-free: no Error and no
+// Warning findings (Info observations are allowed).
+func (r *Report) Clean() bool { return r.Count(Error) == 0 && r.Count(Warning) == 0 }
+
+// String renders every finding, one per line, severest first.
+func (r *Report) String() string {
+	if len(r.Findings) == 0 {
+		return "lint: clean\n"
+	}
+	var sb strings.Builder
+	for _, f := range r.Findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Err converts Error findings into a single error (nil when Ok).
+func (r *Report) Err() error {
+	errs := r.Errs()
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, len(errs))
+	for _, f := range errs {
+		msgs = append(msgs, f.String())
+	}
+	return fmt.Errorf("lint: %d error(s):\n%s", len(errs), strings.Join(msgs, "\n"))
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Spec enables the per-back-end capacity checks (RFH/VRF id ranges,
+	// MPU ids, activation rounds). nil runs the structural checks only.
+	Spec *backends.Spec
+
+	// Lines maps instruction index to 1-based source line (as returned by
+	// isa.AssembleWithLines); nil leaves findings without line numbers.
+	Lines []int
+
+	// MaxLiveRegs caps simultaneously-live vector registers per ensemble
+	// body (register-pressure check). 0 means isa.NumRegs, which the ISA
+	// encoding cannot exceed; smaller values model back ends that reserve
+	// architectural registers for scratch planes.
+	MaxLiveRegs int
+}
+
+// Lint runs every analysis pass over p and returns the findings, severest
+// first and by instruction index within a severity.
+func Lint(p isa.Program, opt Options) *Report {
+	w := newWalker(p, opt)
+	w.encodingPass()
+	// The CFG walk only makes sense over decodable instructions with
+	// in-range jump targets; encoding errors stop the analysis the same way
+	// they stop Machine.LoadProgram.
+	if w.report.Ok() {
+		w.walk()
+		w.unreachablePass()
+		w.capacityPass()
+		w.maskPass()
+		w.livenessPass()
+	}
+	r := w.report
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Severity != r.Findings[j].Severity {
+			return r.Findings[i].Severity > r.Findings[j].Severity
+		}
+		return r.Findings[i].Index < r.Findings[j].Index
+	})
+	return r
+}

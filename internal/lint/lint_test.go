@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+)
+
+// tinySpec is a deliberately cramped back end for the capacity checks.
+var tinySpec = &backends.Spec{
+	Name:             "tiny",
+	Lanes:            4,
+	VRFsPerRFH:       2,
+	RFHsPerMPU:       1,
+	MPUs:             2,
+	ActiveVRFsPerRFH: 1,
+	ClockGHz:         1,
+}
+
+func mustAssemble(t *testing.T, src string) isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// has reports whether the report contains a finding for check at severity.
+func has(r *Report, check string, sev Severity) bool {
+	for _, f := range r.Findings {
+		if f.Check == check && f.Severity == sev {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintSeededDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string       // assembly source (exclusive with prog)
+		prog isa.Program  // raw program for defects the assembler rejects
+		opt  Options
+		want map[string]Severity // check id -> expected severity
+		ok   bool                // expected Report.Ok()
+	}{
+		{
+			name: "clean straight-line ensemble",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			want: map[string]Severity{"read-before-write": Info},
+			ok:   true,
+		},
+		{
+			name: "unbalanced: missing COMPUTE_DONE",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2`,
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "unbalanced: MOVE opener inside compute body",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				MOVE rfh0 rfh0
+				COMPUTE_DONE`,
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "unbalanced: transfer missing MOVE_DONE",
+			src: `
+				MOVE rfh0 rfh0
+				MEMCPY vrf0 r0 vrf0 r1`,
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "unbalanced: SEND without MOVE header",
+			src: `
+				SEND mpu1
+				SEND_DONE`,
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "unbalanced: body runs past program end",
+			src: `
+				COMPUTE rfh0 vrf0
+				CMPGT r0 r1
+				JUMP_COND end
+				COMPUTE_DONE
+			end:
+				NOP`,
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "bad jump target: beyond program end",
+			prog: isa.Program{
+				isa.Compute(0, 0),
+				{Op: isa.JUMPCOND, Imm: 99},
+				{Op: isa.COMPUTEDONE},
+			},
+			want: map[string]Severity{"jump-range": Error},
+		},
+		{
+			name: "bad encoding: register id out of range",
+			prog: isa.Program{{Op: isa.ADD, A: 99, B: 0, C: 1}},
+			want: map[string]Severity{"bad-encoding": Error},
+		},
+		{
+			name: "datapath op outside any ensemble",
+			src:  `ADD r0 r1 r2`,
+			want: map[string]Severity{"outside-ensemble": Error},
+		},
+		{
+			name: "illegal op inside compute ensemble",
+			src: `
+				COMPUTE rfh0 vrf0
+				RECV mpu1
+				COMPUTE_DONE`,
+			// The lexical scan flags RECV as an opener fault before the
+			// walk can classify it; either way it is an Error.
+			want: map[string]Severity{"ensemble-unbalanced": Error},
+		},
+		{
+			name: "RETURN with empty return stack",
+			src:  `RETURN`,
+			want: map[string]Severity{"return-unbalanced": Error},
+		},
+		{
+			name: "COMPUTE_DONE inside a body-called subroutine",
+			src: `
+				JUMP main
+			sub:
+				COMPUTE_DONE
+				RETURN
+			main:
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				JUMP sub
+				COMPUTE_DONE`,
+			want: map[string]Severity{"footer-in-subroutine": Error},
+		},
+		{
+			name: "read before write is an Info observation",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			want: map[string]Severity{"read-before-write": Info},
+			ok:   true,
+		},
+		{
+			name: "dead write",
+			src: `
+				COMPUTE rfh0 vrf0
+				INIT0 r2
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			want: map[string]Severity{"dead-write": Warning},
+			ok:   true,
+		},
+		{
+			name: "no dead write under a mask",
+			src: `
+				COMPUTE rfh0 vrf0
+				CMPGT r0 r1
+				SETMASK cond
+				INIT0 r2
+				ADD r0 r1 r2
+				UNMASK
+				COMPUTE_DONE`,
+			want: map[string]Severity{},
+			ok:   true,
+		},
+		{
+			name: "register over-pressure",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				ADD r3 r4 r5
+				COMPUTE_DONE`,
+			opt:  Options{MaxLiveRegs: 2},
+			want: map[string]Severity{"register-pressure": Error},
+		},
+		{
+			name: "capacity overruns on a cramped back end",
+			src: `
+				COMPUTE rfh1 vrf5
+				ADD r0 r1 r2
+				COMPUTE_DONE
+				SEND mpu5
+				MOVE rfh0 rfh0
+				MEMCPY vrf3 r0 vrf0 r1
+				SEND_DONE`,
+			opt: Options{Spec: tinySpec},
+			want: map[string]Severity{
+				"capacity-rfh": Error,
+				"capacity-vrf": Error,
+				"capacity-mpu": Error,
+			},
+		},
+		{
+			name: "capacity clean on every real back end shape",
+			src: `
+				COMPUTE rfh7 vrf63
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			opt: Options{Spec: backends.RACER()},
+			ok:  true,
+		},
+		{
+			name: "unreachable block after the entry jump",
+			src: `
+				JUMP main
+				NOP
+			main:
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			want: map[string]Severity{"unreachable": Warning},
+			ok:   true,
+		},
+		{
+			name: "SETMASK with a cold conditional register",
+			src: `
+				COMPUTE rfh0 vrf0
+				SETMASK cond
+				UNMASK
+				COMPUTE_DONE`,
+			want: map[string]Severity{"setmask-before-compare": Warning},
+			ok:   true,
+		},
+		{
+			name: "SETMASK primed by a comparison is clean",
+			src: `
+				COMPUTE rfh0 vrf0
+				CMPGT r0 r1
+				SETMASK cond
+				UNMASK
+				COMPUTE_DONE`,
+			want: map[string]Severity{},
+			ok:   true,
+		},
+		{
+			name: "JUMP_COND escaping its ensemble",
+			src: `
+				COMPUTE rfh0 vrf0
+				CMPGT r0 r1
+				JUMP_COND out
+				COMPUTE_DONE
+				COMPUTE rfh0 vrf1
+			out:
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			want: map[string]Severity{"jump-escapes-ensemble": Warning},
+			ok:   true,
+		},
+		{
+			name: "duplicate activation and thermal rounds",
+			src: `
+				COMPUTE rfh0 vrf0
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				COMPUTE_DONE`,
+			opt: Options{Spec: tinySpec},
+			want: map[string]Severity{
+				"duplicate-activation": Warning,
+				"activation-rounds":    Info,
+			},
+			ok: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.prog
+			if tc.src != "" {
+				p = mustAssemble(t, tc.src)
+			}
+			r := Lint(p, tc.opt)
+			for check, sev := range tc.want {
+				if !has(r, check, sev) {
+					t.Errorf("missing %s finding for check %q:\n%s", sev, check, r)
+				}
+			}
+			if r.Ok() != tc.ok {
+				t.Errorf("Ok() = %v, want %v:\n%s", r.Ok(), tc.ok, r)
+			}
+			// For runnable programs, anything unexpected at Warning/Error
+			// level is itself a bug. (Faulty programs cascade secondary
+			// unreachable warnings past the Error; those are fine.)
+			if !tc.ok {
+				return
+			}
+			for _, f := range r.Findings {
+				if f.Severity == Info {
+					continue
+				}
+				if _, expected := tc.want[f.Check]; !expected {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// A loop kernel in the ezpim style — subroutine + conditional loop — must
+// lint with no Errors and no Warnings.
+func TestLintCleanLoopProgram(t *testing.T) {
+	src := `
+		JUMP main
+	sub:
+		ADD r0 r1 r2
+		RETURN
+	main:
+		COMPUTE rfh0 vrf0
+		COMPUTE rfh0 vrf1
+		JUMP sub
+		CMPGT r2 r3
+		SETMASK cond
+	loop:
+		SUB r2 r4 r2
+		CMPGT r2 r3
+		SETMASK cond
+		JUMP_COND loop
+		UNMASK
+		COMPUTE_DONE`
+	p := mustAssemble(t, src)
+	r := Lint(p, Options{Spec: backends.MIMDRAM()})
+	if !r.Clean() {
+		t.Fatalf("loop program not clean:\n%s", r)
+	}
+}
+
+func TestLintEmptyProgram(t *testing.T) {
+	r := Lint(nil, Options{})
+	if !r.Clean() {
+		t.Fatalf("empty program not clean:\n%s", r)
+	}
+}
+
+// Findings carry source lines when the program came from an assembly
+// listing, and render them.
+func TestLintSourceLines(t *testing.T) {
+	src := "NOP\nADD r0 r1 r2\n"
+	p, lines, err := isa.AssembleWithLines(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Lint(p, Options{Lines: lines})
+	if r.Ok() {
+		t.Fatalf("expected outside-ensemble error:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "line 2") {
+		t.Fatalf("finding does not cite source line 2:\n%s", r)
+	}
+}
+
+// Findings are ordered severest first.
+func TestLintFindingOrder(t *testing.T) {
+	src := `
+		JUMP main
+		NOP
+	main:
+		COMPUTE rfh0 vrf0
+		ADD r0 r1 r2
+		RETURN`
+	p := mustAssemble(t, src)
+	r := Lint(p, Options{})
+	if len(r.Findings) < 2 {
+		t.Fatalf("want at least 2 findings:\n%s", r)
+	}
+	for i := 1; i < len(r.Findings); i++ {
+		if r.Findings[i].Severity > r.Findings[i-1].Severity {
+			t.Fatalf("findings not ordered severest first:\n%s", r)
+		}
+	}
+	if r.Findings[0].Severity != Error {
+		t.Fatalf("first finding should be the Error:\n%s", r)
+	}
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"math/bits"
+
+	"mpu/internal/isa"
+	"mpu/internal/recipe"
+)
+
+// Def-use analysis over one lexical ensemble body. The body is the only
+// place vector registers are read or written, and isa.NumRegs == 64 lets a
+// register set live in one word.
+
+type regset uint64
+
+const fullSet = ^regset(0)
+
+func toSet(regs []int) regset {
+	var s regset
+	for _, r := range regs {
+		s |= 1 << uint(r)
+	}
+	return s
+}
+
+// livenessPass runs read-before-write, dead-write, and register-pressure
+// analysis over every reachable compute-ensemble body.
+func (w *walker) livenessPass() {
+	maxLive := w.opt.MaxLiveRegs
+	if maxLive <= 0 || maxLive > isa.NumRegs {
+		maxLive = isa.NumRegs
+	}
+	for _, seg := range w.ensembles {
+		w.analyzeBody(seg, maxLive)
+	}
+}
+
+// bodyFlow is the intra-ensemble flow graph: one node per instruction in
+// [bodyStart, done], plus a synthetic exit for COMPUTE_DONE, RETURN,
+// escaping JUMP_COND targets, and illegal instructions.
+type bodyFlow struct {
+	p     isa.Program
+	start int
+	n     int
+	succ  [][]int // local indices
+	exit  []bool  // node has an edge to the exit
+}
+
+func newBodyFlow(p isa.Program, seg computeSeg) *bodyFlow {
+	f := &bodyFlow{p: p, start: seg.bodyStart, n: seg.done - seg.bodyStart + 1}
+	f.succ = make([][]int, f.n)
+	f.exit = make([]bool, f.n)
+	for li := 0; li < f.n; li++ {
+		in := p[f.start+li]
+		switch {
+		case in.Op == isa.COMPUTEDONE, in.Op == isa.RETURN:
+			f.exit[li] = true
+		case in.Op == isa.JUMPCOND:
+			if t := int(in.Imm) - f.start; t >= 0 && t < f.n {
+				f.succ[li] = append(f.succ[li], t)
+			} else {
+				f.exit[li] = true
+			}
+			f.succ[li] = append(f.succ[li], li+1)
+		case in.Op == isa.JUMP,
+			recipe.IsDatapathOp(in.Op),
+			in.Op == isa.SETMASK, in.Op == isa.UNMASK, in.Op == isa.GETMASK,
+			in.Op == isa.NOP:
+			f.succ[li] = append(f.succ[li], li+1)
+		default:
+			// Illegal in a body; the walk already errored. Treat as exit.
+			f.exit[li] = true
+		}
+		// The last node is always the lexical COMPUTE_DONE (an exit with no
+		// successors), so li+1 never leaves the range.
+	}
+	return f
+}
+
+// useDef returns the registers an instruction reads and fully writes. A
+// JUMP is a call barrier: the callee may read or write anything.
+func useDef(in isa.Instr) (use, def regset) {
+	if in.Op == isa.JUMP {
+		return fullSet, fullSet
+	}
+	return toSet(in.Reads()), toSet(in.Writes())
+}
+
+// mustDefined computes, per node, the set of registers written on every
+// path from the body entry (forward intersection dataflow).
+func (f *bodyFlow) mustDefined() []regset {
+	in := make([]regset, f.n)
+	for i := range in {
+		in[i] = fullSet
+	}
+	in[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for li := 0; li < f.n; li++ {
+			_, def := useDef(f.p[f.start+li])
+			out := in[li] | def
+			for _, s := range f.succ[li] {
+				if nv := in[s] & out; nv != in[s] {
+					in[s] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// liveIn computes backward liveness with exitLive assumed live at every
+// exit edge. Calls (JUMP) use everything and kill nothing.
+func (f *bodyFlow) liveIn(exitLive regset) []regset {
+	in := make([]regset, f.n)
+	for changed := true; changed; {
+		changed = false
+		for li := f.n - 1; li >= 0; li-- {
+			var out regset
+			if f.exit[li] {
+				out = exitLive
+			}
+			for _, s := range f.succ[li] {
+				out |= in[s]
+			}
+			use, def := useDef(f.p[f.start+li])
+			if f.p[f.start+li].Op == isa.JUMP {
+				def = 0
+			}
+			if nv := use | (out &^ def); nv != in[li] {
+				in[li] = nv
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// liveOutAt recomputes the live-out set of one node from its successors.
+func (f *bodyFlow) liveOutAt(li int, in []regset, exitLive regset) regset {
+	var out regset
+	if f.exit[li] {
+		out = exitLive
+	}
+	for _, s := range f.succ[li] {
+		out |= in[s]
+	}
+	return out
+}
+
+func (w *walker) analyzeBody(seg computeSeg, maxLive int) {
+	f := newBodyFlow(w.p, seg)
+	hasMask := false
+	var touched regset
+	for li := 0; li < f.n; li++ {
+		in := w.p[f.start+li]
+		if in.Op == isa.SETMASK {
+			hasMask = true
+		}
+		use, def := useDef(in)
+		if in.Op != isa.JUMP {
+			touched |= use | def
+		}
+	}
+
+	// Read-before-write: a register read on some path before any write.
+	// Info severity — kernels legitimately read host-preloaded inputs.
+	defined := f.mustDefined()
+	var reported regset
+	for li := 0; li < f.n; li++ {
+		in := w.p[f.start+li]
+		if in.Op == isa.JUMP {
+			continue
+		}
+		for _, r := range in.Reads() {
+			bit := regset(1) << uint(r)
+			if defined[li]&bit == 0 && reported&bit == 0 {
+				reported |= bit
+				w.addf(Info, "read-before-write", f.start+li,
+					"r%d read before any write in this ensemble (host-preloaded input?)", r)
+			}
+		}
+	}
+
+	// Dead writes: a full write whose value cannot be observed. Skipped for
+	// predicated bodies — under a SETMASK, writes merge with prior values
+	// lane-by-lane, so nothing fully kills. Exits assume every register may
+	// be read back by the host.
+	if !hasMask {
+		live := f.liveIn(fullSet)
+		for li := 0; li < f.n; li++ {
+			in := w.p[f.start+li]
+			if in.Op == isa.JUMP {
+				continue
+			}
+			out := f.liveOutAt(li, live, fullSet)
+			for _, r := range in.Writes() {
+				if out&(regset(1)<<uint(r)) == 0 {
+					w.addf(Warning, "dead-write", f.start+li,
+						"write to r%d is overwritten before any read", r)
+				}
+			}
+		}
+	}
+
+	// Register pressure vs. the configured live-register budget. The exit
+	// assumes only registers the body itself touches stay live.
+	if maxLive < isa.NumRegs {
+		live := f.liveIn(touched)
+		peak, at := 0, f.start
+		for li := 0; li < f.n; li++ {
+			if n := bits.OnesCount64(uint64(live[li])); n > peak {
+				peak, at = n, f.start+li
+			}
+		}
+		if peak > maxLive {
+			w.addf(Error, "register-pressure", at,
+				"%d vector registers simultaneously live exceeds the budget of %d", peak, maxLive)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lint
+
+import "mpu/internal/isa"
+
+// The lexical segmenters below mirror the machine's ensemble consumption
+// exactly (machine.runComputeEnsemble / findComputeDone,
+// runTransferEnsemble, rendezvous). Both the CFG walker and Analyze build on
+// them, so the two views of a program cannot drift apart.
+
+// computeSeg is one lexical compute ensemble: a run of COMPUTE activations
+// followed by a straight-line body up to the first COMPUTE_DONE.
+type computeSeg struct {
+	header    int // index of the first COMPUTE
+	bodyStart int // first instruction after the header run
+	done      int // index of the lexical COMPUTE_DONE, -1 if missing
+	bad       int // index of an illegal opener inside the body scan, -1 if none
+}
+
+// headerLen returns the number of COMPUTE activations in the header.
+func (s computeSeg) headerLen() int { return s.bodyStart - s.header }
+
+// scanCompute segments the compute ensemble opening at pc (p[pc] must be
+// COMPUTE). Mirrors machine.findComputeDone: the body scan stops at the
+// first COMPUTE_DONE and rejects ensemble/inter-MPU openers on the way.
+func scanCompute(p isa.Program, pc int) computeSeg {
+	seg := computeSeg{header: pc, done: -1, bad: -1}
+	i := pc
+	for i < len(p) && p[i].Op == isa.COMPUTE {
+		i++
+	}
+	seg.bodyStart = i
+	for ; i < len(p); i++ {
+		switch p[i].Op {
+		case isa.COMPUTEDONE:
+			seg.done = i
+			return seg
+		case isa.COMPUTE, isa.MOVE, isa.SEND, isa.RECV:
+			seg.bad = i
+			return seg
+		}
+	}
+	return seg
+}
+
+// scanTransfer segments the transfer ensemble opening at pc (p[pc] must be
+// MOVE). end is the index just past MOVE_DONE (-1 if the footer is missing);
+// bad is the index of an instruction illegal inside the ensemble (-1 if
+// none). Mirrors machine.runTransferEnsemble.
+func scanTransfer(p isa.Program, pc int) (end, bad int) {
+	i := pc
+	for i < len(p) && p[i].Op == isa.MOVE {
+		i++
+	}
+	for ; i < len(p); i++ {
+		switch p[i].Op {
+		case isa.MOVEDONE:
+			return i + 1, -1
+		case isa.MEMCPY, isa.NOP:
+		default:
+			return -1, i
+		}
+	}
+	return -1, -1
+}
+
+// scanSend segments the inter-MPU send block opening at pc (p[pc] must be
+// SEND). end is the index just past SEND_DONE (-1 if missing); bad as in
+// scanTransfer; noHeader reports a block with no MOVE run after the SEND.
+// Mirrors machine.rendezvous.
+func scanSend(p isa.Program, pc int) (end, bad int, noHeader bool) {
+	i := pc + 1
+	moves := 0
+	for i < len(p) && p[i].Op == isa.MOVE {
+		moves++
+		i++
+	}
+	if moves == 0 {
+		return -1, -1, true
+	}
+	for ; i < len(p); i++ {
+		switch p[i].Op {
+		case isa.SENDDONE:
+			return i + 1, -1, false
+		case isa.MEMCPY, isa.MOVEDONE, isa.NOP:
+		default:
+			return -1, i, false
+		}
+	}
+	return -1, -1, false
+}

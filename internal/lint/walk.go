@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"mpu/internal/isa"
+	"mpu/internal/recipe"
+)
+
+// The walker explores every (pc, context) pair a machine core can reach,
+// mirroring the control path's two execution levels: the top-level
+// dispatcher (machine.core.run) and the compute-ensemble body interpreter
+// (machine.core.runBody). JUMP is modeled as a subroutine call: the callee
+// gets a reachability summary ("can a RETURN execute at the callee's own
+// stack depth?") computed to a least fixpoint, and the call site's
+// fall-through only becomes reachable when that summary says the callee can
+// return. The summary over-approximates runtime returnability, so every
+// runtime path is covered; programs with no Error findings therefore cannot
+// trip the machine's ensemble-structure guards.
+
+// ctxKind is the execution context of a walk state.
+type ctxKind uint8
+
+const (
+	// ctxTop: the top-level dispatcher between ensembles.
+	ctxTop ctxKind = iota
+	// ctxOwnBody: inside the body of an ensemble opened by the current
+	// walk (main program or the same subroutine).
+	ctxOwnBody
+	// ctxCallerBody: inside a subroutine that was called from an ensemble
+	// body — the enclosing ensemble belongs to a caller, so executing its
+	// COMPUTE_DONE here would strand the pending return-stack frame.
+	ctxCallerBody
+)
+
+type state struct {
+	pc  int
+	ctx ctxKind
+}
+
+// procKey identifies a subroutine summary: the entry pc plus the context
+// class it is called from (a callee entered from the top level executes
+// under different legality rules than one entered from an ensemble body).
+type procKey struct {
+	entry   int
+	fromTop bool
+}
+
+type walker struct {
+	p      isa.Program
+	opt    Options
+	report *Report
+
+	dedup     map[string]bool
+	recording bool
+	changed   bool
+
+	covered   []bool
+	procs     map[procKey]bool
+	canRet    map[procKey]bool
+	ensembles []computeSeg
+	ensSeen   map[int]bool
+}
+
+func newWalker(p isa.Program, opt Options) *walker {
+	return &walker{
+		p:       p,
+		opt:     opt,
+		report:  &Report{},
+		dedup:   map[string]bool{},
+		covered: make([]bool, len(p)),
+		procs:   map[procKey]bool{},
+		canRet:  map[procKey]bool{},
+		ensSeen: map[int]bool{},
+	}
+}
+
+// addf records one finding, deduplicated across walk iterations and paths.
+func (w *walker) addf(sev Severity, check string, idx int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%s|%d|%s", check, idx, msg)
+	if w.dedup[key] {
+		return
+	}
+	w.dedup[key] = true
+	line := 0
+	if idx >= 0 && idx < len(w.opt.Lines) {
+		line = w.opt.Lines[idx]
+	}
+	w.report.Findings = append(w.report.Findings, Finding{
+		Severity: sev, Check: check, Index: idx, Line: line, Message: msg,
+	})
+}
+
+// walkAddf is addf gated to the recording pass, for findings emitted while
+// exploring (the fixpoint iterations re-explore the same states).
+func (w *walker) walkAddf(sev Severity, check string, idx int, format string, args ...any) {
+	if w.recording {
+		w.addf(sev, check, idx, format, args...)
+	}
+}
+
+func (w *walker) cover(from, to int) {
+	if !w.recording {
+		return
+	}
+	for i := from; i < to && i < len(w.covered); i++ {
+		w.covered[i] = true
+	}
+}
+
+// walk runs the reachability fixpoint and then one recording pass.
+func (w *walker) walk() {
+	if len(w.p) == 0 {
+		return
+	}
+	for {
+		w.changed = false
+		w.runFrom(state{0, ctxTop}, false)
+		for _, k := range w.procKeys() {
+			ctx := ctxCallerBody
+			if k.fromTop {
+				ctx = ctxTop
+			}
+			if w.runFrom(state{k.entry, ctx}, true) && !w.canRet[k] {
+				w.canRet[k] = true
+				w.changed = true
+			}
+		}
+		if !w.changed {
+			break
+		}
+	}
+	w.recording = true
+	w.runFrom(state{0, ctxTop}, false)
+	for _, k := range w.procKeys() {
+		ctx := ctxCallerBody
+		if k.fromTop {
+			ctx = ctxTop
+		}
+		w.runFrom(state{k.entry, ctx}, true)
+	}
+}
+
+func (w *walker) procKeys() []procKey {
+	keys := make([]procKey, 0, len(w.procs))
+	for k := range w.procs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].entry != keys[j].entry {
+			return keys[i].entry < keys[j].entry
+		}
+		return keys[i].fromTop && !keys[j].fromTop
+	})
+	return keys
+}
+
+// runFrom explores every state reachable from root without entering callees
+// (calls are summarized). It reports whether a RETURN executes at the walk's
+// own stack depth. inProc distinguishes a subroutine walk (RETURN is the
+// normal exit) from the main walk (RETURN would pop an empty return stack).
+func (w *walker) runFrom(root state, inProc bool) bool {
+	seen := map[state]bool{}
+	work := []state{root}
+	returned := false
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.pc >= len(w.p) {
+			// Running off the end is normal program completion at the top
+			// level but a fault inside an ensemble body (machine.runBody).
+			if s.ctx != ctxTop {
+				w.walkAddf(Error, "ensemble-unbalanced", len(w.p)-1,
+					"ensemble body runs past the program end without COMPUTE_DONE")
+			}
+			continue
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		w.cover(s.pc, s.pc+1)
+		succs, isRet := w.exec(s, inProc)
+		if isRet {
+			returned = true
+		}
+		work = append(work, succs...)
+	}
+	return returned
+}
+
+// exec interprets the instruction at s and returns its successor states.
+// The second result reports a RETURN executing at the current walk's depth.
+func (w *walker) exec(s state, inProc bool) ([]state, bool) {
+	in := w.p[s.pc]
+	if s.ctx == ctxTop {
+		return w.execTop(s.pc, in, inProc)
+	}
+	return w.execBody(s, in, inProc)
+}
+
+// execTop mirrors machine.core.run's top-level dispatch.
+func (w *walker) execTop(pc int, in isa.Instr, inProc bool) ([]state, bool) {
+	switch in.Op {
+	case isa.NOP, isa.MPUSYNC, isa.RECV:
+		return []state{{pc + 1, ctxTop}}, false
+	case isa.COMPUTE:
+		return w.enterCompute(pc), false
+	case isa.MOVE:
+		return w.enterTransfer(pc), false
+	case isa.SEND:
+		return w.enterSend(pc), false
+	case isa.JUMP:
+		return w.call(pc, ctxTop), false
+	case isa.RETURN:
+		if inProc {
+			return nil, true
+		}
+		w.walkAddf(Error, "return-unbalanced", pc,
+			"RETURN reachable with no enclosing JUMP call — pops an empty return-address stack")
+		return nil, false
+	default:
+		w.walkAddf(Error, "outside-ensemble", pc,
+			"instruction %s is not executable outside any ensemble", in.Op)
+		return nil, false
+	}
+}
+
+// execBody mirrors machine.core.runBody's legality rules.
+func (w *walker) execBody(s state, in isa.Instr, inProc bool) ([]state, bool) {
+	pc := s.pc
+	switch {
+	case in.Op == isa.COMPUTEDONE:
+		if s.ctx == ctxCallerBody {
+			w.walkAddf(Error, "footer-in-subroutine", pc,
+				"COMPUTE_DONE reachable inside a subroutine called from an ensemble body — the pending return-stack frame would go stale")
+			return nil, false
+		}
+		return []state{{pc + 1, ctxTop}}, false
+	case recipe.IsDatapathOp(in.Op),
+		in.Op == isa.SETMASK, in.Op == isa.UNMASK, in.Op == isa.GETMASK,
+		in.Op == isa.NOP:
+		return []state{{pc + 1, s.ctx}}, false
+	case in.Op == isa.JUMPCOND:
+		return []state{{int(in.Imm), s.ctx}, {pc + 1, s.ctx}}, false
+	case in.Op == isa.JUMP:
+		return w.call(pc, s.ctx), false
+	case in.Op == isa.RETURN:
+		if inProc {
+			return nil, true
+		}
+		w.walkAddf(Error, "return-unbalanced", pc,
+			"RETURN reachable with no enclosing JUMP call — pops an empty return-address stack")
+		return nil, false
+	default:
+		w.walkAddf(Error, "illegal-in-ensemble", pc,
+			"instruction %s is not executable inside a compute ensemble", in.Op)
+		return nil, false
+	}
+}
+
+// call models a JUMP at pc from context fallCtx: the callee entry is
+// registered for a summary walk, and the fall-through successor exists only
+// when the callee's current summary says it can return.
+func (w *walker) call(pc int, fallCtx ctxKind) []state {
+	k := procKey{entry: int(w.p[pc].Imm), fromTop: fallCtx == ctxTop}
+	if !w.procs[k] {
+		w.procs[k] = true
+		w.changed = true
+	}
+	if w.canRet[k] {
+		return []state{{pc + 1, fallCtx}}
+	}
+	return nil
+}
+
+// enterCompute consumes a compute ensemble opening at pc and returns the
+// body entry state, mirroring machine.runComputeEnsemble's lexical scan.
+func (w *walker) enterCompute(pc int) []state {
+	seg := scanCompute(w.p, pc)
+	if seg.bad >= 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", seg.bad,
+			"%s inside the compute ensemble opened at %d", w.p[seg.bad].Op, pc)
+		return nil
+	}
+	if seg.done < 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", pc,
+			"compute ensemble missing COMPUTE_DONE")
+		return nil
+	}
+	w.cover(seg.header, seg.bodyStart)
+	if w.recording && !w.ensSeen[pc] {
+		w.ensSeen[pc] = true
+		w.ensembles = append(w.ensembles, seg)
+	}
+	return []state{{seg.bodyStart, ctxOwnBody}}
+}
+
+// enterTransfer consumes a MOVE…MOVE_DONE transfer ensemble at pc.
+func (w *walker) enterTransfer(pc int) []state {
+	end, bad := scanTransfer(w.p, pc)
+	if bad >= 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", bad,
+			"%s inside the transfer ensemble opened at %d", w.p[bad].Op, pc)
+		return nil
+	}
+	if end < 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", pc,
+			"transfer ensemble missing MOVE_DONE")
+		return nil
+	}
+	w.cover(pc, end)
+	return []state{{end, ctxTop}}
+}
+
+// enterSend consumes a SEND…SEND_DONE inter-MPU block at pc.
+func (w *walker) enterSend(pc int) []state {
+	end, bad, noHeader := scanSend(w.p, pc)
+	if noHeader {
+		w.walkAddf(Error, "ensemble-unbalanced", pc,
+			"SEND block without a MOVE header")
+		return nil
+	}
+	if bad >= 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", bad,
+			"%s inside the SEND block opened at %d", w.p[bad].Op, pc)
+		return nil
+	}
+	if end < 0 {
+		w.walkAddf(Error, "ensemble-unbalanced", pc,
+			"SEND block missing SEND_DONE")
+		return nil
+	}
+	w.cover(pc, end)
+	return []state{{end, ctxTop}}
+}

@@ -11,6 +11,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -18,10 +19,27 @@ import (
 	"mpu/internal/controlpath"
 	"mpu/internal/hostcpu"
 	"mpu/internal/isa"
+	"mpu/internal/lint"
 	"mpu/internal/micro"
 	"mpu/internal/noc"
 	"mpu/internal/recipe"
 	"mpu/internal/vrf"
+)
+
+// Sentinel fault classes, matchable with errors.Is. They tag exactly the
+// runtime guards the static linter (internal/lint) proves unreachable for
+// programs with no Error findings — the lint-soundness fuzz oracle in
+// internal/isa keys on them. Config-dependent failures (deadlock, runaway
+// loops, return-stack overflow from deep recursion, SEND to an MPU that was
+// not instantiated) are deliberately not tagged.
+var (
+	// ErrEnsembleFault: ensemble bracketing or context violations — an
+	// instruction outside any ensemble, an illegal instruction inside a
+	// compute/transfer/SEND block, a missing *_DONE footer, or a RETURN
+	// popping an empty return-address stack.
+	ErrEnsembleFault = errors.New("ensemble structure fault")
+	// ErrCapacityFault: an RFH/VRF id beyond the back-end spec's geometry.
+	ErrCapacityFault = errors.New("capacity fault")
 )
 
 // Mode selects who executes control flow.
@@ -64,6 +82,12 @@ type Config struct {
 	// MaxSteps bounds instruction executions per scheduling round to catch
 	// runaway loops. 0 means the default of 50M.
 	MaxSteps int
+
+	// Strict makes LoadProgram reject programs the static linter flags
+	// with Error findings (checked against Spec), and Run escalate any
+	// ensemble or capacity fault that slips through to a lint-soundness
+	// violation — loaded programs proved clean must not trip those guards.
+	Strict bool
 
 	// Trace, when non-nil, receives a line per architectural event
 	// (ensemble activation, scheduling round, control transfer, DTC and
@@ -225,6 +249,11 @@ func (m *Machine) LoadProgram(mpu int, p isa.Program) error {
 	if p.BinarySize() > isuBytes {
 		return fmt.Errorf("machine: binary of %d bytes exceeds the %d-byte ISU", p.BinarySize(), isuBytes)
 	}
+	if m.cfg.Strict {
+		if err := lint.Lint(p, lint.Options{Spec: m.cfg.Spec}).Err(); err != nil {
+			return fmt.Errorf("machine: strict mode rejected the program: %w", err)
+		}
+	}
 	c := m.mpus[mpu]
 	c.prog = p
 	c.pc = 0
@@ -244,10 +273,10 @@ func (m *Machine) LoadAll(p isa.Program) error {
 
 func (m *Machine) checkAddr(a controlpath.VRFAddr) error {
 	if int(a.RFH) >= m.cfg.Spec.RFHsPerMPU {
-		return fmt.Errorf("machine: rfh%d out of range [0,%d)", a.RFH, m.cfg.Spec.RFHsPerMPU)
+		return fmt.Errorf("machine: rfh%d out of range [0,%d) (%w)", a.RFH, m.cfg.Spec.RFHsPerMPU, ErrCapacityFault)
 	}
 	if int(a.VRF) >= m.cfg.Spec.VRFsPerRFH {
-		return fmt.Errorf("machine: vrf%d out of range [0,%d)", a.VRF, m.cfg.Spec.VRFsPerRFH)
+		return fmt.Errorf("machine: vrf%d out of range [0,%d) (%w)", a.VRF, m.cfg.Spec.VRFsPerRFH, ErrCapacityFault)
 	}
 	return nil
 }
@@ -307,7 +336,7 @@ func (m *Machine) Run() (*Stats, error) {
 				continue
 			}
 			if err := c.run(); err != nil {
-				return nil, fmt.Errorf("mpu%d: %w", c.id, err)
+				return nil, m.faultf(fmt.Errorf("mpu%d: %w", c.id, err))
 			}
 			progress = true
 		}
@@ -319,7 +348,7 @@ func (m *Machine) Run() (*Stats, error) {
 			for _, r := range m.mpus {
 				if r.blocked && r.waitRecv && r.recvSrc == s.id && s.sendDst == r.id {
 					if err := m.rendezvous(s, r); err != nil {
-						return nil, err
+						return nil, m.faultf(err)
 					}
 					progress = true
 				}
@@ -358,6 +387,16 @@ func (m *Machine) Run() (*Stats, error) {
 		st.FrontendDynamicPJ = 0 // no MPU front end exists
 	}
 	return st, nil
+}
+
+// faultf escalates tagged faults under strict mode: a strict machine only
+// loads lint-clean programs, so an ensemble or capacity fault at run time
+// means the static analysis missed a path — surface it as such.
+func (m *Machine) faultf(err error) error {
+	if m.cfg.Strict && (errors.Is(err, ErrEnsembleFault) || errors.Is(err, ErrCapacityFault)) {
+		return fmt.Errorf("machine: lint soundness violation — lint-clean program tripped a runtime guard: %w", err)
+	}
+	return err
 }
 
 // Front-end power constants (see internal/frontend; duplicated here to keep
@@ -431,11 +470,13 @@ func (c *core) run() error {
 			c.chargeControlRedirect()
 			pc, err := c.ras.Pop()
 			if err != nil {
-				return err
+				// Underflow: a RETURN with no pending JUMP frame — a
+				// structural bug the linter flags as return-unbalanced.
+				return fmt.Errorf("%v (%w)", err, ErrEnsembleFault)
 			}
 			c.pc = pc
 		default:
-			return fmt.Errorf("instruction %s at %d outside any ensemble", in.Op, c.pc)
+			return fmt.Errorf("instruction %s at %d outside any ensemble (%w)", in.Op, c.pc, ErrEnsembleFault)
 		}
 	}
 	return nil
@@ -485,7 +526,7 @@ func (c *core) runComputeEnsemble() error {
 		c.pc++
 	}
 	if len(addrs) == 0 {
-		return fmt.Errorf("compute ensemble with empty header at %d", c.pc)
+		return fmt.Errorf("compute ensemble with empty header at %d (%w)", c.pc, ErrEnsembleFault)
 	}
 	bodyStart := c.pc
 	bodyLen, err := c.findComputeDone(bodyStart)
@@ -529,10 +570,10 @@ func (c *core) findComputeDone(start int) (int, error) {
 		case isa.COMPUTEDONE:
 			return i - start + 1, nil
 		case isa.COMPUTE, isa.MOVE, isa.SEND, isa.RECV:
-			return 0, fmt.Errorf("instruction %s at %d inside a compute ensemble", c.prog[i].Op, i)
+			return 0, fmt.Errorf("instruction %s at %d inside a compute ensemble (%w)", c.prog[i].Op, i, ErrEnsembleFault)
 		}
 	}
-	return 0, fmt.Errorf("compute ensemble at %d missing COMPUTE_DONE", start)
+	return 0, fmt.Errorf("compute ensemble at %d missing COMPUTE_DONE (%w)", start, ErrEnsembleFault)
 }
 
 // runBody interprets one replay of an ensemble body on the active batch,
@@ -544,7 +585,7 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 	steps := 0
 	for {
 		if pc < 0 || pc >= len(c.prog) {
-			return 0, fmt.Errorf("ensemble body ran past the program end (pc=%d)", pc)
+			return 0, fmt.Errorf("ensemble body ran past the program end (pc=%d) (%w)", pc, ErrEnsembleFault)
 		}
 		steps++
 		if steps > c.m.cfg.MaxSteps {
@@ -629,14 +670,14 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 			c.chargeControlRedirect()
 			rpc, err := c.ras.Pop()
 			if err != nil {
-				return 0, err
+				return 0, fmt.Errorf("%v (%w)", err, ErrEnsembleFault)
 			}
 			pc = rpc
 		case in.Op == isa.NOP:
 			c.cycles++
 			pc++
 		default:
-			return 0, fmt.Errorf("instruction %s at %d not executable inside a compute ensemble", in.Op, pc)
+			return 0, fmt.Errorf("instruction %s at %d not executable inside a compute ensemble (%w)", in.Op, pc, ErrEnsembleFault)
 		}
 	}
 }
@@ -652,12 +693,12 @@ func (c *core) runTransferEnsemble() error {
 	}
 	pairs := tm.Pairs()
 	if len(pairs) == 0 {
-		return fmt.Errorf("transfer ensemble with empty header at %d", c.pc)
+		return fmt.Errorf("transfer ensemble with empty header at %d (%w)", c.pc, ErrEnsembleFault)
 	}
 	c.tracef("transfer ensemble: %d RFH pairs", len(pairs))
 	for {
 		if c.pc >= len(c.prog) {
-			return fmt.Errorf("transfer ensemble missing MOVE_DONE")
+			return fmt.Errorf("transfer ensemble missing MOVE_DONE (%w)", ErrEnsembleFault)
 		}
 		in := c.prog[c.pc]
 		switch in.Op {
@@ -674,7 +715,7 @@ func (c *core) runTransferEnsemble() error {
 			c.cycles++
 			c.pc++
 		default:
-			return fmt.Errorf("instruction %s at %d inside a transfer ensemble", in.Op, c.pc)
+			return fmt.Errorf("instruction %s at %d inside a transfer ensemble (%w)", in.Op, c.pc, ErrEnsembleFault)
 		}
 	}
 }
@@ -732,12 +773,12 @@ func (m *Machine) rendezvous(s, r *core) error {
 	}
 	pairs := tm.Pairs()
 	if len(pairs) == 0 {
-		return fmt.Errorf("mpu%d: SEND block without MOVE header at %d", s.id, pc)
+		return fmt.Errorf("mpu%d: SEND block without MOVE header at %d (%w)", s.id, pc, ErrEnsembleFault)
 	}
 loop:
 	for {
 		if pc >= len(s.prog) {
-			return fmt.Errorf("mpu%d: SEND block missing SEND_DONE", s.id)
+			return fmt.Errorf("mpu%d: SEND block missing SEND_DONE (%w)", s.id, ErrEnsembleFault)
 		}
 		in := s.prog[pc]
 		switch in.Op {
@@ -769,7 +810,7 @@ loop:
 			pc++
 			break loop
 		default:
-			return fmt.Errorf("mpu%d: instruction %s at %d inside a SEND block", s.id, in.Op, pc)
+			return fmt.Errorf("mpu%d: instruction %s at %d inside a SEND block (%w)", s.id, in.Op, pc, ErrEnsembleFault)
 		}
 	}
 	s.tracef("send block to mpu%d complete (%d pairs)", r.id, len(pairs))

@@ -8,6 +8,7 @@ import (
 	"mpu/internal/controlpath"
 	"mpu/internal/ezpim"
 	"mpu/internal/gpumodel"
+	"mpu/internal/isa"
 	"mpu/internal/machine"
 )
 
@@ -68,6 +69,33 @@ type Result struct {
 	CheckedLanes   int
 }
 
+// BuildProgram assembles kernel k's SPMD binary over simVRFs register files
+// laid out round-robin across spec's RF holders, returning the program and
+// the VRF addresses it activates. Run uses it internally; tools (the lint
+// sweep, disassembly dumps) can call it without simulating anything.
+func BuildProgram(k *Kernel, spec *backends.Spec, simVRFs int) (isa.Program, []controlpath.VRFAddr, error) {
+	if simVRFs <= 0 {
+		simVRFs = 1
+	}
+	addrs := make([]controlpath.VRFAddr, simVRFs)
+	for v := range addrs {
+		addrs[v] = controlpath.VRFAddr{
+			RFH: uint8(v % spec.RFHsPerMPU),
+			VRF: uint8(v / spec.RFHsPerMPU),
+		}
+	}
+	b := ezpim.NewBuilder()
+	if k.Subs != nil {
+		k.Subs(b)
+	}
+	b.Ensemble(addrs, func() { k.Emit(b) })
+	prog, err := b.Program()
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: %s: %w", k.Name, err)
+	}
+	return prog, addrs, nil
+}
+
 // Run executes kernel k under cfg.
 func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 	if cfg.TotalElements <= 0 {
@@ -111,21 +139,9 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 	}
 
 	// Build the SPMD program.
-	addrs := make([]controlpath.VRFAddr, simVRFs)
-	for v := range addrs {
-		addrs[v] = controlpath.VRFAddr{
-			RFH: uint8(v % spec.RFHsPerMPU),
-			VRF: uint8(v / spec.RFHsPerMPU),
-		}
-	}
-	b := ezpim.NewBuilder()
-	if k.Subs != nil {
-		k.Subs(b)
-	}
-	b.Ensemble(addrs, func() { k.Emit(b) })
-	prog, err := b.Program()
+	prog, addrs, err := BuildProgram(k, spec, simVRFs)
 	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", k.Name, err)
+		return nil, err
 	}
 
 	m, err := machine.New(machine.Config{

@@ -44,6 +44,7 @@ import (
 	"mpu/internal/gpumodel"
 	"mpu/internal/hlops"
 	"mpu/internal/isa"
+	"mpu/internal/lint"
 	"mpu/internal/machine"
 	"mpu/internal/tune"
 	"mpu/internal/workloads"
@@ -60,6 +61,11 @@ type Instr = isa.Instr
 // Assemble parses MPU assembly text (Table II mnemonics, labels, comments)
 // into a validated program.
 func Assemble(src string) (Program, error) { return isa.Assemble(src) }
+
+// AssembleWithLines parses MPU assembly text and additionally returns the
+// 1-based source line of every instruction, for lint findings and trace
+// annotations that point back into the listing.
+func AssembleWithLines(src string) (Program, []int, error) { return isa.AssembleWithLines(src) }
 
 // Disassemble renders a program as assembly text.
 func Disassemble(p Program) string { return isa.Disassemble(p) }
@@ -216,14 +222,37 @@ type GraphValue = hlops.Value
 // NewGraph starts a meta-ISA graph over the given VRFs.
 func NewGraph(addrs []VRFAddr) *Graph { return hlops.NewGraph(addrs) }
 
-// ---- Analysis & autotuning ---------------------------------------------------
+// ---- Analysis & static verification -----------------------------------------
 
 // ProgramAnalysis is the static summary of an MPU binary.
-type ProgramAnalysis = isa.Analysis
+type ProgramAnalysis = lint.Analysis
 
 // Analyze computes a static summary of a program: instruction histograms,
 // ensemble structure, playback-buffer pressure, and control-flow features.
-func Analyze(p Program) ProgramAnalysis { return isa.Analyze(p) }
+func Analyze(p Program) ProgramAnalysis { return lint.Analyze(p) }
+
+// LintReport is the outcome of statically verifying a program.
+type LintReport = lint.Report
+
+// LintOptions configures Lint (back-end capacity checks, source-line maps,
+// register-pressure budget).
+type LintOptions = lint.Options
+
+// LintFinding is one diagnostic.
+type LintFinding = lint.Finding
+
+// Lint severities.
+const (
+	LintInfo    = lint.Info
+	LintWarning = lint.Warning
+	LintError   = lint.Error
+)
+
+// Lint statically verifies a program: ensemble bracketing, jump targets,
+// register def-use anomalies, and (when opts.Spec is set) back-end capacity
+// limits. A program whose report has no Error findings cannot trip the
+// machine's runtime ensemble guards (see docs/LINT.md).
+func Lint(p Program, opts LintOptions) *LintReport { return lint.Lint(p, opts) }
 
 // TuneResult is an activation-limit autotuning sweep (§VI-C).
 type TuneResult = tune.Result
