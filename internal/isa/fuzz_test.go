@@ -200,6 +200,12 @@ func seedCorpus() [][]byte {
 		cat(chunk(isa.ADD, 0, 1, 2)),                                    // datapath at top
 		cat(chunk(isa.SEND, 1), chunk(isa.SENDDONE)),                    // no MOVE header
 		cat(chunk(isa.COMPUTE, 0, 0), chunk(isa.RECV, 0), chunk(isa.COMPUTEDONE)),
+		// A top-entered subroutine that opens an ensemble and returns inside
+		// its body: the caller's fall-through resumes in body context (the
+		// MPU_SYNC at 1 faults there), so the linter must reject it.
+		cat(chunk(isa.JUMP, 3), chunk(isa.MPUSYNC), chunk(isa.JUMP, 2),
+			chunk(isa.COMPUTE, 0, 0), chunk(isa.ADD, 0, 1, 2),
+			chunk(isa.RETURN), chunk(isa.COMPUTEDONE)),
 	}
 }
 

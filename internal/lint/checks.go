@@ -137,9 +137,15 @@ func (w *walker) maskPass() {
 				if in.A != isa.RegCond {
 					continue
 				}
+				// The conditional register is per-VRF state that survives
+				// ensemble boundaries and subroutine calls, so any reachable
+				// earlier comparison — in this body, a callee, or a prior
+				// ensemble — may prime it (cross-ensemble persistence is
+				// assumed, not tracked per VRF). Unreachable comparisons
+				// never execute and do not count.
 				primed := false
 				for j := 0; j < i; j++ {
-					if writesCond(w.p[j].Op) {
+					if writesCond(w.p[j].Op) && w.covered[j] {
 						primed = true
 						break
 					}

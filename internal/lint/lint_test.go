@@ -146,6 +146,36 @@ func TestLintSeededDefects(t *testing.T) {
 			want: map[string]Severity{"footer-in-subroutine": Error},
 		},
 		{
+			// The callee opens the ensemble and returns inside its body: at
+			// run time the caller's fall-through resumes inside runBody (here
+			// MPU_SYNC would fault), and round replays of the body would
+			// underflow the return-address stack.
+			name: "RETURN inside an ensemble the subroutine itself opened",
+			src: `
+				JUMP sub
+				MPU_SYNC
+			sub:
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				RETURN
+				COMPUTE_DONE`,
+			want: map[string]Severity{"return-in-ensemble": Error},
+		},
+		{
+			name: "subroutine containing a complete ensemble is clean",
+			src: `
+				JUMP main
+			sub:
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				COMPUTE_DONE
+				RETURN
+			main:
+				JUMP sub`,
+			want: map[string]Severity{"read-before-write": Info},
+			ok:   true,
+		},
+		{
 			name: "read before write is an Info observation",
 			src: `
 				COMPUTE rfh0 vrf0
@@ -240,6 +270,39 @@ func TestLintSeededDefects(t *testing.T) {
 			src: `
 				COMPUTE rfh0 vrf0
 				CMPGT r0 r1
+				SETMASK cond
+				UNMASK
+				COMPUTE_DONE`,
+			want: map[string]Severity{},
+			ok:   true,
+		},
+		{
+			// An unreachable comparison never executes, so it must not
+			// suppress the cold-conditional warning.
+			name: "SETMASK not primed by an unreachable comparison",
+			src: `
+				JUMP main
+				CMPGT r0 r1
+			main:
+				COMPUTE rfh0 vrf0
+				SETMASK cond
+				UNMASK
+				COMPUTE_DONE`,
+			want: map[string]Severity{
+				"setmask-before-compare": Warning,
+				"unreachable":            Warning,
+			},
+			ok: true,
+		},
+		{
+			// The conditional register persists across ensemble boundaries,
+			// so a reachable comparison in an earlier ensemble primes it.
+			name: "SETMASK primed by a comparison in an earlier ensemble",
+			src: `
+				COMPUTE rfh0 vrf0
+				CMPGT r0 r1
+				COMPUTE_DONE
+				COMPUTE rfh0 vrf0
 				SETMASK cond
 				UNMASK
 				COMPUTE_DONE`,

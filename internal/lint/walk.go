@@ -18,6 +18,19 @@ import (
 // return. The summary over-approximates runtime returnability, so every
 // runtime path is covered; programs with no Error findings therefore cannot
 // trip the machine's ensemble-structure guards.
+//
+// The call model resumes the fall-through in the caller's context, which is
+// only faithful when the callee returns in the context it was entered in. At
+// run time the context is a property of the interpreter loop — a RETURN
+// executed by runBody keeps interpreting the return address in body context —
+// so the two places a callee could exit in a different context than it
+// entered are flagged as Errors instead of being resumed unsoundly:
+// COMPUTE_DONE inside a body-entered callee (footer-in-subroutine) and
+// RETURN inside an ensemble the top-entered callee itself opened
+// (return-in-ensemble). The latter is also a genuine runtime hazard: the
+// scheduler replays an ensemble body once per activation round, re-executing
+// the body's RETURN without re-executing the caller's JUMP, so any round
+// after the first underflows the return-address stack.
 
 // ctxKind is the execution context of a walk state.
 type ctxKind uint8
@@ -249,6 +262,15 @@ func (w *walker) execBody(s state, in isa.Instr, inProc bool) ([]state, bool) {
 		return w.call(pc, s.ctx), false
 	case in.Op == isa.RETURN:
 		if inProc {
+			if s.ctx == ctxOwnBody {
+				// The subroutine opened this ensemble itself, so its RETURN
+				// executes inside runBody: the caller's fall-through would
+				// resume in body context (not the top-level context the call
+				// model assumes), and scheduler-round replays of the body
+				// would pop the return-address stack without a matching JUMP.
+				w.walkAddf(Error, "return-in-ensemble", pc,
+					"RETURN reachable inside a compute ensemble opened by the subroutine itself — the caller would resume inside the ensemble body, and scheduler-round replays would underflow the return-address stack")
+			}
 			return nil, true
 		}
 		w.walkAddf(Error, "return-unbalanced", pc,
