@@ -24,9 +24,12 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # The concurrency-sensitive packages only (the sweep worker pool and the
-# linter the machine calls from strict mode) — fast enough for every CI run.
+# linter the machine calls from strict mode) plus the trace-engine parity
+# difftest, whose replay path shares compiled traces and memoized recipe
+# expansions across sweep workers — fast enough for every CI run.
 race-short:
-	$(GO) test -race -timeout 10m ./internal/sweep ./internal/lint
+	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
+	$(GO) test -race -timeout 30m -run 'TestTraceParity' ./internal/machine
 
 # A bounded run of the lint-soundness oracle: random programs the linter
 # passes must execute without ensemble or capacity faults.
@@ -38,8 +41,11 @@ fuzz:
 # sweep engine's concurrency.
 check: build vet test repolint
 
+# One iteration of every benchmark — a smoke run (also in CI) that keeps the
+# reproduction harness executable; steady-state numbers need larger
+# -benchtime.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x
 
 figures:
 	$(GO) run ./cmd/mastodon all

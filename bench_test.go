@@ -250,6 +250,47 @@ func BenchmarkLintLargestKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineRun measures one machine executing the largest kernel in
+// the suite — the simulator hot path in isolation from the sweep worker
+// pool. The activation limit is pinned to 1 with two VRFs per RFH so every
+// ensemble schedules at least two rounds: the /trace variant (the default
+// engine) records the first and replays the rest, while /notrace interprets
+// every round, so the pair quantifies the compile-once/replay-many win.
+func BenchmarkMachineRun(b *testing.B) {
+	spec := mpu.RACER()
+	var largest *workloads.Kernel
+	var size int
+	for _, k := range workloads.All() {
+		p, _, err := workloads.BuildProgram(k, spec, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p) > size {
+			largest, size = k, len(p)
+		}
+	}
+	const vrfs = 16
+	cfg := workloads.RunConfig{
+		Spec: spec, Mode: 0, TotalElements: spec.BaselineUnits * spec.Lanes * vrfs,
+		Seed: 1, MaxSimVRFs: vrfs, ActiveVRFsOverride: 1,
+	}
+	for _, bc := range []struct {
+		name    string
+		noTrace bool
+	}{{"trace", false}, {"notrace", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := cfg
+			c.NoTrace = bc.noTrace
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := workloads.Run(largest, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKernelSuite measures raw simulator throughput over all 21 kernels
 // on RACER (the packages' micro-benchmarks cover the layers individually).
 func BenchmarkKernelSuite(b *testing.B) {

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	mastodon [-scale N] [-seed S] [-j N] <experiment>...
+//	mastodon [-scale N] [-seed S] [-j N] [-notrace] <experiment>...
 //
 // Experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15
 // ablations all. Scale divides the evaluation working-set sizes (1 = paper
 // scale; larger is faster). -j fans independent sweep cells out across N
 // workers (0 = one per CPU; 1 = sequential); output is byte-identical at
-// any worker count.
+// any worker count. -notrace disables the ensemble trace engine, forcing
+// every scheduling round through the interpreter — also byte-identical,
+// just slower (the parity is test-pinned).
 package main
 
 import (
@@ -28,8 +30,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "input generator seed")
 	jobs := flag.Int("j", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also export machine-readable CSVs into this directory")
+	noTrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-notrace] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 ablations autotune all\n")
 		flag.PrintDefaults()
 	}
@@ -38,7 +41,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs, NoTrace: *noTrace}
 	if *csvDir != "" {
 		if err := exp.ExportAll(*csvDir, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mastodon: csv export: %v\n", err)

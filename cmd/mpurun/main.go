@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N]
-//	       [-nolint] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
+//	       [-nolint] [-notrace] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
 //
 // -set preloads a vector register on MPU 0 before the run; -dump prints one
 // after it. The same binary is loaded into every MPU (SPMD). Before loading,
@@ -34,6 +34,7 @@ func main() {
 	mpus := flag.Int("mpus", 1, "number of MPUs to instantiate")
 	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
 	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
+	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	var sets, dumps repeatFlag
 	flag.Var(&sets, "set", "preload a register: rfh.vrf.reg=v1,v2,... (repeatable)")
 	flag.Var(&dumps, "dump", "print a register after the run: rfh.vrf.reg (repeatable)")
@@ -43,13 +44,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint); err != nil {
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint bool) error {
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -96,7 +97,7 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
-	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus})
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace})
 	if err != nil {
 		return err
 	}
@@ -119,6 +120,10 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
 	fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
 		st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
+	if st.TraceHits+st.TraceMisses+st.TraceFallbacks > 0 {
+		fmt.Printf("trace: hits=%d misses=%d fallbacks=%d\n",
+			st.TraceHits, st.TraceMisses, st.TraceFallbacks)
+	}
 	fmt.Printf("offloads=%d energy=%.3gJ (datapath %.3g, frontend %.3g, noc %.3g, host %.3g)\n",
 		st.Offloads, st.TotalEnergyPJ()*1e-12,
 		st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,

@@ -105,6 +105,9 @@ type BlackScholesConfig struct {
 	Options int // per MPU half; lanes-rounded
 	Seed    int64
 	Check   bool
+
+	// NoTrace forwards to machine.Config: interpret every scheduling round.
+	NoTrace bool
 }
 
 // bsLayout returns the VRF count and addresses for an option batch, or an
@@ -190,7 +193,7 @@ func RunBlackScholes(cfg BlackScholesConfig) (*Result, error) {
 		return nil, err
 	}
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: 2})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: 2, NoTrace: cfg.NoTrace})
 	if err != nil {
 		return nil, err
 	}

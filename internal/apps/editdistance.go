@@ -85,6 +85,9 @@ type EditDistanceConfig struct {
 	VRFs  int // VRFs per MPU holding reads; 0 means 4
 	Seed  int64
 	Check bool
+
+	// NoTrace forwards to machine.Config: interpret every scheduling round.
+	NoTrace bool
 }
 
 // normalize applies the ring defaults and checks chip capacity.
@@ -185,7 +188,7 @@ func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
 	addrs, _ := edLayout(cfg)
 	builders := buildEditDistanceBuilders(cfg)
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: cfg.MPUs})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: cfg.MPUs, NoTrace: cfg.NoTrace})
 	if err != nil {
 		return nil, err
 	}

@@ -181,6 +181,9 @@ type LLMEncodeConfig struct {
 	VRFs    int // token VRFs per participant; 0 means 2
 	Seed    int64
 	Check   bool
+
+	// NoTrace forwards to machine.Config: interpret every scheduling round.
+	NoTrace bool
 }
 
 // normalize applies the config defaults and checks chip capacity.
@@ -298,7 +301,7 @@ func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 	}
 	cb, wbs := buildLLMEncodeBuilders(cfg)
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: mpus})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: mpus, NoTrace: cfg.NoTrace})
 	if err != nil {
 		return nil, err
 	}

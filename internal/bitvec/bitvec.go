@@ -31,11 +31,42 @@ func New(lanes int) Plane {
 // as a slab instead of 64 separate slices keeps concurrent sweeps from
 // turning the garbage collector into the bottleneck.
 func NewSlab(lanes, count int) []Plane {
+	planes, _ := NewSlabWords(lanes, count)
+	return planes
+}
+
+// NewSlabWords is NewSlab plus the slab's shared backing words (plane i
+// occupies backing[i*w:(i+1)*w] for w = ceil(lanes/64)). The backing gives
+// word-granular access to the same storage the planes alias; internal/vrf
+// uses it to execute resolved micro-op streams without per-op plane
+// resolution. Writers through the backing must preserve the tail invariant
+// (bits at or beyond the lane count stay zero).
+func NewSlabWords(lanes, count int) ([]Plane, []uint64) {
 	if lanes < 0 || count < 0 {
 		panic(fmt.Sprintf("bitvec: negative slab dimensions %d×%d", count, lanes))
 	}
 	words := (lanes + 63) / 64
 	backing := make([]uint64, words*count)
+	out := make([]Plane, count)
+	for i := range out {
+		out[i] = Plane{n: lanes, w: backing[i*words : (i+1)*words : (i+1)*words]}
+	}
+	return out, backing
+}
+
+// PlanesOver returns count planes of the given lane width aliasing an
+// existing backing slab laid out as NewSlabWords produces (plane i occupies
+// backing[i*w:(i+1)*w] for w = ceil(lanes/64)). internal/vrf uses it to hang
+// lazy plane views over a word directory allocated up front, so the plane
+// and word paths always observe the same storage.
+func PlanesOver(lanes, count int, backing []uint64) []Plane {
+	if lanes < 0 || count < 0 {
+		panic(fmt.Sprintf("bitvec: negative slab dimensions %d×%d", count, lanes))
+	}
+	words := (lanes + 63) / 64
+	if len(backing) < words*count {
+		panic(fmt.Sprintf("bitvec: backing holds %d words, planes need %d", len(backing), words*count))
+	}
 	out := make([]Plane, count)
 	for i := range out {
 		out[i] = Plane{n: lanes, w: backing[i*words : (i+1)*words : (i+1)*words]}

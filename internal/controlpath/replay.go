@@ -1,0 +1,47 @@
+package controlpath
+
+// Replay support for the ensemble trace engine (internal/trace). A recorded
+// ensemble round carries the distinct (opcode, expansion size) pairs its
+// body decodes; before replaying a round without re-interpreting it, the
+// machine asks the recipe cache whether every one of those lookups would hit
+// — and if so, charges the round's hits in O(1) instead of per instruction.
+
+// LookupPair is one distinct decode the body performs: the opcode and the
+// micro-op count of its expansion (the same arguments Lookup takes).
+type LookupPair struct {
+	Opcode   uint8
+	MicroOps int
+}
+
+// storedSize is the table footprint Lookup charges for an expansion.
+func (c *RecipeCache) storedSize(microOps int) int {
+	if c.cfg.PointerTable {
+		return microOps/3 + 1
+	}
+	return microOps
+}
+
+// ReplayAllHit reports whether every pair is resident at its exact stored
+// size — the precondition for skipping the body's Lookup calls: when it
+// holds, each lookup the interpreter would perform is a zero-stall hit, and
+// hits evict nothing, so residency is invariant across the replayed round.
+func (c *RecipeCache) ReplayAllHit(pairs []LookupPair) bool {
+	for _, p := range pairs {
+		if size, ok := c.resident[p.Opcode]; !ok || size != c.storedSize(p.MicroOps) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChargeReplayHits accounts one replayed all-hit round: hits is the number
+// of Lookup calls the interpreted body would have made, and touchOrder lists
+// the body's opcodes by last occurrence. Touching in that order leaves the
+// LRU recency list exactly as the interpreted round would have — which
+// matters because later misses choose eviction victims by that order.
+func (c *RecipeCache) ChargeReplayHits(hits uint64, touchOrder []uint8) {
+	c.Hits += hits
+	for _, op := range touchOrder {
+		c.touch(op)
+	}
+}

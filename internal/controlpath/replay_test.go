@@ -1,0 +1,97 @@
+package controlpath
+
+import "testing"
+
+// replayCfg: small capacity so eviction order is observable.
+func replayCfg() RecipeCacheConfig {
+	return RecipeCacheConfig{CapacityMicroOps: 30, PointerTable: false, TemplateLookup: true, MissPenaltyPer: 2}
+}
+
+func TestReplayAllHit(t *testing.T) {
+	c := NewRecipeCache(replayCfg())
+	c.Lookup(1, 10)
+	c.Lookup(2, 10)
+	pairs := []LookupPair{{Opcode: 1, MicroOps: 10}, {Opcode: 2, MicroOps: 10}}
+	if !c.ReplayAllHit(pairs) {
+		t.Fatal("resident pairs reported as miss")
+	}
+	if c.ReplayAllHit([]LookupPair{{Opcode: 3, MicroOps: 10}}) {
+		t.Fatal("absent opcode reported as hit")
+	}
+	if c.ReplayAllHit([]LookupPair{{Opcode: 1, MicroOps: 11}}) {
+		t.Fatal("size-mismatched entry reported as hit")
+	}
+
+	// PointerTable compresses the stored size; ReplayAllHit must apply the
+	// same transform as Lookup.
+	pc := NewRecipeCache(RecipeCacheConfig{CapacityMicroOps: 30, PointerTable: true, TemplateLookup: true, MissPenaltyPer: 2})
+	pc.Lookup(1, 10)
+	if !pc.ReplayAllHit([]LookupPair{{Opcode: 1, MicroOps: 10}}) {
+		t.Fatal("pointer-table stored size not matched")
+	}
+
+	// Without template lookup nothing becomes resident, so replay never hits.
+	nt := NewRecipeCache(RecipeCacheConfig{CapacityMicroOps: 30, TemplateLookup: false, MissPenaltyPer: 2})
+	nt.Lookup(1, 10)
+	if nt.ReplayAllHit([]LookupPair{{Opcode: 1, MicroOps: 10}}) {
+		t.Fatal("template-lookup-disabled cache reported a hit")
+	}
+}
+
+// TestChargeReplayHitsMatchesLookups drives two identically-configured
+// caches — one through per-instruction Lookup calls, one through the O(1)
+// replay charge — then diverges both with further misses and requires
+// identical hit/miss/stall counters and eviction behavior, proving the
+// replay touch order left the same LRU state.
+func TestChargeReplayHitsMatchesLookups(t *testing.T) {
+	body := []struct {
+		opcode   uint8
+		microOps int
+	}{{1, 10}, {2, 10}, {1, 10}, {3, 10}} // last-occurrence order: 2, 1, 3
+
+	a := NewRecipeCache(replayCfg())
+	b := NewRecipeCache(replayCfg())
+	for _, in := range body { // round 1: both interpret (cold caches)
+		a.Lookup(in.opcode, in.microOps)
+		b.Lookup(in.opcode, in.microOps)
+	}
+
+	pairs := []LookupPair{{1, 10}, {2, 10}, {3, 10}}
+	touch := []uint8{2, 1, 3}
+	for round := 0; round < 3; round++ {
+		for _, in := range body {
+			a.Lookup(in.opcode, in.microOps)
+		}
+		if !b.ReplayAllHit(pairs) {
+			t.Fatal("warm cache reported a replay miss")
+		}
+		b.ChargeReplayHits(uint64(len(body)), touch)
+	}
+
+	// Diverging workload: opcode 4 forces an eviction (capacity 30 holds
+	// three 10-op recipes); the victim must be the same in both caches.
+	a.Lookup(4, 10)
+	b.Lookup(4, 10)
+	for _, in := range body {
+		a.Lookup(in.opcode, in.microOps)
+		b.Lookup(in.opcode, in.microOps)
+	}
+
+	if a.Hits != b.Hits || a.Misses != b.Misses || a.StallCycles != b.StallCycles {
+		t.Fatalf("counter divergence: interpreted hits=%d misses=%d stalls=%d, replayed hits=%d misses=%d stalls=%d",
+			a.Hits, a.Misses, a.StallCycles, b.Hits, b.Misses, b.StallCycles)
+	}
+	if a.used != b.used || len(a.resident) != len(b.resident) {
+		t.Fatalf("residency divergence: %v vs %v", a.resident, b.resident)
+	}
+	for op, size := range a.resident {
+		if b.resident[op] != size {
+			t.Fatalf("resident[%d]: %d vs %d", op, size, b.resident[op])
+		}
+	}
+	for i := range a.lru {
+		if a.lru[i] != b.lru[i] {
+			t.Fatalf("lru order divergence: %v vs %v", a.lru, b.lru)
+		}
+	}
+}

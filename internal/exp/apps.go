@@ -22,14 +22,14 @@ const (
 	edVRFs     = 4
 )
 
-func runApp(name string, spec *backends.Spec, mode machine.Mode, seed int64) (*apps.Result, error) {
+func runApp(name string, spec *backends.Spec, mode machine.Mode, seed int64, noTrace bool) (*apps.Result, error) {
 	switch name {
 	case "LLMEncode":
-		return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Workers: llmWorkers, VRFs: llmVRFs, Seed: seed})
+		return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Workers: llmWorkers, VRFs: llmVRFs, Seed: seed, NoTrace: noTrace})
 	case "BlackScholes":
-		return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Options: bsOptVRFs * spec.Lanes, Seed: seed})
+		return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Options: bsOptVRFs * spec.Lanes, Seed: seed, NoTrace: noTrace})
 	case "EditDistance":
-		return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, MPUs: edRing, VRFs: edVRFs, Seed: seed})
+		return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, MPUs: edRing, VRFs: edVRFs, Seed: seed, NoTrace: noTrace})
 	}
 	return nil, fmt.Errorf("exp: unknown application %q", name)
 }
@@ -93,7 +93,7 @@ func Table4(opts Options) ([]Table4Row, error) {
 	spec := backends.RACER()
 	names := AppNames()
 	return sweep.Map(opts.Workers, len(names), func(i int) (Table4Row, error) {
-		res, err := runApp(names[i], spec, machine.ModeMPU, opts.Seed)
+		res, err := runApp(names[i], spec, machine.ModeMPU, opts.Seed, opts.NoTrace)
 		if err != nil {
 			return Table4Row{}, err
 		}
@@ -146,11 +146,11 @@ func Fig14(opts Options) ([]Fig14Row, error) {
 		if err != nil {
 			return Fig14Row{}, err
 		}
-		mpu, err := runApp(name, spec, machine.ModeMPU, opts.Seed)
+		mpu, err := runApp(name, spec, machine.ModeMPU, opts.Seed, opts.NoTrace)
 		if err != nil {
 			return Fig14Row{}, err
 		}
-		base, err := runApp(name, spec, machine.ModeBaseline, opts.Seed)
+		base, err := runApp(name, spec, machine.ModeBaseline, opts.Seed, opts.NoTrace)
 		if err != nil {
 			return Fig14Row{}, err
 		}
@@ -203,7 +203,7 @@ func Fig15(opts Options) ([]Fig15Row, error) {
 		spec := specs[i/(len(names)*len(modes))]
 		name := names[i/len(modes)%len(names)]
 		mode := modes[i%len(modes)]
-		res, err := runApp(name, spec, mode, opts.Seed)
+		res, err := runApp(name, spec, mode, opts.Seed, opts.NoTrace)
 		if err != nil {
 			return Fig15Row{}, err
 		}
@@ -260,7 +260,7 @@ func AblationRecipeTable(opts Options) ([]AblationRecipeRow, error) {
 		rc.TemplateLookup = c.tmplCache
 		res, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, RecipeCache: rc,
+			Seed: opts.Seed, RecipeCache: rc, NoTrace: opts.NoTrace,
 		})
 		if err != nil {
 			return AblationRecipeRow{}, err
@@ -300,6 +300,7 @@ func AblationThermal(opts Options) ([]AblationThermalRow, error) {
 		res, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
 			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, ActiveVRFsOverride: limits[i],
+			NoTrace: opts.NoTrace,
 		})
 		if err != nil {
 			return AblationThermalRow{}, err
@@ -349,7 +350,7 @@ func AblationDivergence(opts Options) ([]AblationDivergenceRow, error) {
 	return sweep.Map(opts.Workers, len(limits), func(i int) (AblationDivergenceRow, error) {
 		res, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, ActiveVRFsOverride: limits[i],
+			Seed: opts.Seed, ActiveVRFsOverride: limits[i], NoTrace: opts.NoTrace,
 		})
 		if err != nil {
 			return AblationDivergenceRow{}, err

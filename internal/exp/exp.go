@@ -35,6 +35,10 @@ type Options struct {
 	Scale   int
 	Seed    int64
 	Workers int
+
+	// NoTrace forwards to machine.Config: disable the ensemble trace engine
+	// and interpret every scheduling round (the CLI's -notrace).
+	NoTrace bool
 }
 
 func (o Options) norm() Options {
@@ -104,7 +108,7 @@ func Fig1(opts Options) (*Fig1Result, error) {
 			return Fig1Point{}, err
 		}
 		run := func(mode machine.Mode) (*machine.Stats, error) {
-			m, err := machine.New(machine.Config{Spec: spec, Mode: mode, NumMPUs: 1})
+			m, err := machine.New(machine.Config{Spec: spec, Mode: mode, NumMPUs: 1, NoTrace: opts.NoTrace})
 			if err != nil {
 				return nil, err
 			}

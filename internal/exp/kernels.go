@@ -44,6 +44,11 @@ type Fig12Result struct {
 
 	GeoSpeedup, GeoEnergy           float64
 	GroupGeoSpeedup, GroupGeoEnergy map[workloads.Group]float64
+
+	// Trace-engine round accounting summed over the sweep's machine runs
+	// (simulator execution strategy, not modeled hardware; all zero with
+	// -notrace).
+	TraceHits, TraceMisses, TraceFallbacks uint64
 }
 
 // Fig12 runs all 21 kernels on every back end in MPU and Baseline modes and
@@ -61,14 +66,14 @@ func Fig12(opts Options) ([]*Fig12Result, error) {
 		n := elementsFor(spec, opts.Scale)
 		mpu, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
 		})
 		if err != nil {
 			return cell{}, fmt.Errorf("fig12 %s MPU:%s: %w", k.Name, spec.Name, err)
 		}
 		base, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
 			ComputeScale: baselineComputeScale(k),
 		})
 		if err != nil {
@@ -99,6 +104,9 @@ func Fig12(opts Options) ([]*Fig12Result, error) {
 				EnergySavings: c.base.Joules / c.mpu.Joules,
 			}
 			res.Rows = append(res.Rows, row)
+			res.TraceHits += c.mpu.Stats.TraceHits + c.base.Stats.TraceHits
+			res.TraceMisses += c.mpu.Stats.TraceMisses + c.base.Stats.TraceMisses
+			res.TraceFallbacks += c.mpu.Stats.TraceFallbacks + c.base.Stats.TraceFallbacks
 			speeds = append(speeds, row.Speedup)
 			energies = append(energies, row.EnergySavings)
 			groupSpeed[k.Group] = append(groupSpeed[k.Group], row.Speedup)
@@ -129,6 +137,10 @@ func (r *Fig12Result) Render() string {
 		fmt.Fprintf(&sb, "geomean %-10s %9.2fx %9.2fx\n", g, r.GroupGeoSpeedup[g], r.GroupGeoEnergy[g])
 	}
 	fmt.Fprintf(&sb, "geomean %-10s %9.2fx %9.2fx\n", "all", r.GeoSpeedup, r.GeoEnergy)
+	if n := r.TraceHits + r.TraceMisses + r.TraceFallbacks; n > 0 {
+		fmt.Fprintf(&sb, "trace engine: %d/%d rounds replayed (%d recorded, %d interpreted)\n",
+			r.TraceHits, n, r.TraceMisses, r.TraceFallbacks)
+	}
 	return sb.String()
 }
 
@@ -170,14 +182,14 @@ func Fig13(opts Options) ([]*Fig13Result, error) {
 		}
 		mpu, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
 		})
 		if err != nil {
 			return GPURow{}, err
 		}
 		base, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
 			ComputeScale: baselineComputeScale(k),
 		})
 		if err != nil {

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"mpu/internal/isa"
+	"mpu/internal/recipe"
+)
+
+// BodyClass is the control-flow shape of a compute-ensemble body — the
+// classification the CFG walker's body exploration already implies, exported
+// so the machine's trace engine can decide whether a body is safe to
+// compile once and replay across scheduling rounds.
+type BodyClass uint8
+
+const (
+	// BodyStraight: datapath and mask instructions only; execution falls
+	// through lexically to COMPUTE_DONE.
+	BodyStraight BodyClass = iota
+	// BodyStatic: contains JUMP/RETURN but no data-dependent branch, so
+	// every scheduling round executes the identical instruction path.
+	BodyStatic
+	// BodyDynamic: contains JUMP_COND — control flow depends on lane data
+	// and can differ between rounds.
+	BodyDynamic
+	// BodyIllFormed: reaches an instruction illegal inside an ensemble body,
+	// or runs past the program end, before COMPUTE_DONE.
+	BodyIllFormed
+)
+
+var bodyClassNames = [...]string{
+	BodyStraight: "straight", BodyStatic: "static",
+	BodyDynamic: "dynamic", BodyIllFormed: "ill-formed",
+}
+
+func (c BodyClass) String() string {
+	if int(c) < len(bodyClassNames) {
+		return bodyClassNames[c]
+	}
+	return "unknown"
+}
+
+// ClassifyBody classifies the body entered at bodyStart (the instruction
+// after a COMPUTE header run). The walk over-approximates reachability the
+// same way the CFG walker does — a JUMP explores both its target and its
+// fall-through, without tracking return-stack state — so a body classified
+// Straight or Static cannot execute a data-dependent branch at run time.
+// Over-approximation errs only toward the stricter classes, which costs a
+// caller a tracing opportunity but never soundness.
+func ClassifyBody(p isa.Program, bodyStart int) BodyClass {
+	class := BodyStraight
+	seen := map[int]bool{}
+	work := []int{bodyStart}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc < 0 || pc >= len(p) {
+			return BodyIllFormed
+		}
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		in := p[pc]
+		switch {
+		case in.Op == isa.COMPUTEDONE:
+			// Body exit; nothing beyond it belongs to this body.
+		case recipe.IsDatapathOp(in.Op),
+			in.Op == isa.SETMASK, in.Op == isa.UNMASK, in.Op == isa.GETMASK,
+			in.Op == isa.NOP:
+			work = append(work, pc+1)
+		case in.Op == isa.JUMPCOND:
+			return BodyDynamic
+		case in.Op == isa.JUMP:
+			class = BodyStatic
+			// Over-approximate: the fall-through is reachable whether or not
+			// the callee returns.
+			work = append(work, int(in.Imm), pc+1)
+		case in.Op == isa.RETURN:
+			class = BodyStatic
+			// The return address is a JUMP fall-through already on the
+			// worklist; there is no static successor here.
+		default:
+			return BodyIllFormed
+		}
+	}
+	return class
+}

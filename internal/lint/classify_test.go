@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"testing"
+
+	"mpu/internal/isa"
+)
+
+// bodyAt returns the body entry of the compute ensemble opening at pc.
+func bodyAt(t *testing.T, p isa.Program, pc int) int {
+	t.Helper()
+	seg := scanCompute(p, pc)
+	if seg.bad >= 0 || seg.done < 0 {
+		t.Fatalf("program has no well-formed ensemble at %d", pc)
+	}
+	return seg.bodyStart
+}
+
+func TestClassifyBody(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string      // assembly (exclusive with prog)
+		prog isa.Program // raw program for shapes the assembler rejects
+		ens  int         // pc of the COMPUTE opener (src cases)
+		body int         // body entry (prog cases)
+		want BodyClass
+	}{
+		{
+			name: "straight line",
+			src: `
+				COMPUTE rfh0 vrf0
+				ADD r0 r1 r2
+				SETMASK cond
+				UNMASK
+				COMPUTE_DONE`,
+			want: BodyStraight,
+		},
+		{
+			name: "static subroutine call",
+			src: `
+				COMPUTE rfh0 vrf0
+				JUMP sub
+				COMPUTE_DONE
+			sub:
+				ADD r0 r1 r2
+				RETURN`,
+			want: BodyStatic,
+		},
+		{
+			name: "dynamic loop",
+			src: `
+				COMPUTE rfh0 vrf0
+			loop:
+				SUB r0 r0 r1
+				CMPGT r0 r2
+				SETMASK cond
+				JUMP_COND loop
+				COMPUTE_DONE`,
+			want: BodyDynamic,
+		},
+		{
+			name: "jump-cond behind a static jump",
+			src: `
+				COMPUTE rfh0 vrf0
+				JUMP sub
+				COMPUTE_DONE
+			sub:
+				JUMP_COND sub
+				RETURN`,
+			want: BodyDynamic,
+		},
+		{
+			name: "runs past program end",
+			prog: isa.Program{
+				{Op: isa.COMPUTE},
+				{Op: isa.ADD, A: 0, B: 1, C: 2},
+			},
+			body: 1,
+			want: BodyIllFormed,
+		},
+		{
+			name: "illegal op in body",
+			prog: isa.Program{
+				{Op: isa.COMPUTE},
+				{Op: isa.MOVE},
+				{Op: isa.COMPUTEDONE},
+			},
+			body: 1,
+			want: BodyIllFormed,
+		},
+		{
+			name: "self-loop jump stays static",
+			prog: isa.Program{
+				{Op: isa.COMPUTE},
+				{Op: isa.JUMP, Imm: 1},
+				{Op: isa.COMPUTEDONE},
+			},
+			body: 1,
+			want: BodyStatic,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, body := tc.prog, tc.body
+			if tc.src != "" {
+				p = mustAssemble(t, tc.src)
+				body = bodyAt(t, p, tc.ens)
+			}
+			if got := ClassifyBody(p, body); got != tc.want {
+				t.Fatalf("ClassifyBody = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

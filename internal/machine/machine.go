@@ -23,6 +23,7 @@ import (
 	"mpu/internal/micro"
 	"mpu/internal/noc"
 	"mpu/internal/recipe"
+	"mpu/internal/trace"
 	"mpu/internal/vrf"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// violation — loaded programs proved clean must not trip those guards.
 	Strict bool
 
+	// NoTrace disables the ensemble trace engine, forcing every scheduling
+	// round through the interpreter (the escape hatch behind cmd flags and
+	// the parity difftest). The engine is also disabled while Trace is set,
+	// so the execution log keeps its per-instruction fidelity.
+	NoTrace bool
+
 	// Trace, when non-nil, receives a line per architectural event
 	// (ensemble activation, scheduling round, control transfer, DTC and
 	// inter-MPU traffic) — the MASTODON-style execution log.
@@ -110,6 +117,18 @@ type Stats struct {
 	RecipeHits    uint64
 	RecipeMisses  uint64
 	PlaybackSpill uint64 // ensemble bodies exceeding the playback buffer
+
+	// Trace-engine round accounting. Every scheduling round increments
+	// exactly one of these while the engine is enabled: TraceHits replayed
+	// from a compiled trace, TraceMisses interpreted under the recorder
+	// that compiles one, TraceFallbacks interpreted because the body is
+	// untraceable (dynamic control flow, playback spill, recording abort)
+	// or the recipe cache could not guarantee all-hit decode. They describe
+	// simulator execution strategy, not modeled hardware, and are excluded
+	// from trace-on/off parity.
+	TraceHits      uint64
+	TraceMisses    uint64
+	TraceFallbacks uint64
 
 	ComputeCycles  int64 // summed across MPUs
 	TransferCycles int64 // on-chip DTC transfers
@@ -150,7 +169,14 @@ type Machine struct {
 	// dominated simulation wall clock. The cache is per machine (the
 	// capability set is fixed at construction), so concurrent sweep cells
 	// share nothing.
-	expands map[isa.Instr][]micro.Op
+	expands map[isa.Instr]*expandEntry
+}
+
+// expandEntry pairs a recipe expansion with its slot-resolved form, so the
+// body interpreter and the trace engine share one decode.
+type expandEntry struct {
+	ops  []micro.Op
+	rops []micro.ResolvedOp
 }
 
 // core is one MPU: precoder state, compute controller, DTC, and its VRFs.
@@ -172,6 +198,18 @@ type core struct {
 	recvSrc  int
 	waitSend bool
 	waitRecv bool
+
+	// decode caches the expansion entry per body pc (reset on program
+	// load), replacing a struct-keyed map probe per interpreted datapath
+	// instruction with an index load.
+	decode []*expandEntry
+	// traces holds the core's compiled ensemble bodies.
+	traces *trace.Cache
+	// hdr, act, and tm are per-core scratch reused across ensembles to keep
+	// header scans, round activation, and DTC target maps allocation-free.
+	hdr []controlpath.VRFAddr
+	act []*vrf.VRF
+	tm  controlpath.TargetMap
 }
 
 // New builds a machine. NumMPUs defaults to 1.
@@ -213,7 +251,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m := &Machine{cfg: cfg, mesh: mesh, nocCfg: nc, limit: limit,
-		expands: map[isa.Instr][]micro.Op{}}
+		expands: map[isa.Instr]*expandEntry{}}
 	for i := 0; i < cfg.NumMPUs; i++ {
 		m.mpus = append(m.mpus, &core{
 			id:     i,
@@ -222,10 +260,18 @@ func New(cfg Config) (*Machine, error) {
 			ras:    controlpath.NewReturnStack(64),
 			rcache: controlpath.NewRecipeCache(cfg.Recipe),
 			pbuf:   controlpath.NewPlaybackBuffer(),
+			traces: trace.NewCache(),
 			done:   true, // no program yet
 		})
 	}
 	return m, nil
+}
+
+// traceEnabled reports whether the compile-once/replay-many engine is on:
+// it is the default, switched off by NoTrace and while an execution log is
+// being written (the log must show every interpreted instruction).
+func (m *Machine) traceEnabled() bool {
+	return !m.cfg.NoTrace && m.cfg.Trace == nil
 }
 
 // Spec returns the back-end spec the machine was built with.
@@ -258,6 +304,9 @@ func (m *Machine) LoadProgram(mpu int, p isa.Program) error {
 	c.prog = p
 	c.pc = 0
 	c.done = len(p) == 0
+	// A new binary invalidates everything keyed by pc.
+	c.decode = make([]*expandEntry, len(p))
+	c.traces.Reset()
 	return nil
 }
 
@@ -340,18 +389,20 @@ func (m *Machine) Run() (*Stats, error) {
 			}
 			progress = true
 		}
-		// Try to match pending rendezvous.
+		// Try to match pending rendezvous. A blocked sender names its
+		// destination, so the only core that can complete it is
+		// mpus[s.sendDst] (validated when SEND executed) — an O(n) scan
+		// over senders instead of an O(n²) sender×receiver product.
 		for _, s := range m.mpus {
 			if !s.blocked || !s.waitSend {
 				continue
 			}
-			for _, r := range m.mpus {
-				if r.blocked && r.waitRecv && r.recvSrc == s.id && s.sendDst == r.id {
-					if err := m.rendezvous(s, r); err != nil {
-						return nil, m.faultf(err)
-					}
-					progress = true
+			r := m.mpus[s.sendDst]
+			if r.blocked && r.waitRecv && r.recvSrc == s.id {
+				if err := m.rendezvous(s, r); err != nil {
+					return nil, m.faultf(err)
 				}
+				progress = true
 			}
 		}
 		if allDone {
@@ -407,18 +458,34 @@ const (
 	frontendDynamicPJPerCycle = 71.72 // pJ per active issue cycle
 )
 
-// expand returns the micro-op recipe for in, memoized for the machine's
-// capability set. The returned slice is shared and must not be mutated.
-func (m *Machine) expand(in isa.Instr) ([]micro.Op, error) {
-	if ops, ok := m.expands[in]; ok {
-		return ops, nil
+// expand returns the decoded recipe for in — the micro-op expansion plus
+// its slot-resolved form — memoized for the machine's capability set. The
+// returned entry is shared and must not be mutated.
+func (m *Machine) expand(in isa.Instr) (*expandEntry, error) {
+	if e, ok := m.expands[in]; ok {
+		return e, nil
 	}
-	ops, err := recipe.Expand(m.cfg.Spec.Caps, in)
+	ops, rops, err := recipe.ExpandResolved(m.cfg.Spec.Caps, in)
 	if err != nil {
 		return nil, err
 	}
-	m.expands[in] = ops
-	return ops, nil
+	e := &expandEntry{ops: ops, rops: rops}
+	m.expands[in] = e
+	return e, nil
+}
+
+// decodeAt resolves the expansion entry for the datapath instruction at pc
+// through the per-core pc-indexed cache.
+func (c *core) decodeAt(pc int) (*expandEntry, error) {
+	if e := c.decode[pc]; e != nil {
+		return e, nil
+	}
+	e, err := c.m.expand(c.prog[pc])
+	if err != nil {
+		return nil, err
+	}
+	c.decode[pc] = e
+	return e, nil
 }
 
 // run executes instructions until the MPU finishes or blocks on rendezvous.
@@ -509,23 +576,43 @@ func (c *core) offload() {
 	c.m.stats.HostEnergyPJ += c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
 }
 
+// offloadBody charges one host round trip inside an ensemble body. Unlike
+// offload, the energy accumulates into the caller's round-local sum so a
+// replayed round reproduces the identical float addition order.
+func (c *core) offloadBody(hostPJ *float64) (lat int64, pj float64) {
+	c.tracef("host offload (control decision)")
+	lat = c.m.cfg.Host.OffloadCycles(c.m.cfg.Spec.Lanes, c.m.cfg.Spec.OnChipCPU)
+	c.cycles += lat
+	c.m.stats.OffloadCycles += lat
+	c.m.stats.Offloads++
+	pj = c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
+	*hostPJ += pj
+	return lat, pj
+}
+
 // runComputeEnsemble executes one COMPUTE…COMPUTE_DONE block under the
 // Fig. 10 scheduler: VRFs are activated in rounds bounded by the thermal
 // limit, and the body (including its dynamic loops and subroutine calls)
 // replays once per round.
+//
+// When the trace engine is on, the first execution of a body the lint CFG
+// proves free of data-dependent branches runs under a recorder that compiles
+// it into a flat trace; later rounds replay the trace — data-mutating plane
+// ops plus one aggregated charge — instead of re-interpreting instruction by
+// instruction.
 func (c *core) runComputeEnsemble() error {
-	var addrs []controlpath.VRFAddr
+	c.hdr = c.hdr[:0]
 	for c.pc < len(c.prog) && c.prog[c.pc].Op == isa.COMPUTE {
 		in := c.prog[c.pc]
 		a := controlpath.VRFAddr{RFH: in.A, VRF: in.B}
 		if err := c.m.checkAddr(a); err != nil {
 			return err
 		}
-		addrs = append(addrs, a)
+		c.hdr = append(c.hdr, a)
 		c.cycles++ // activation-board write
 		c.pc++
 	}
-	if len(addrs) == 0 {
+	if len(c.hdr) == 0 {
 		return fmt.Errorf("compute ensemble with empty header at %d (%w)", c.pc, ErrEnsembleFault)
 	}
 	bodyStart := c.pc
@@ -533,32 +620,126 @@ func (c *core) runComputeEnsemble() error {
 	if err != nil {
 		return err
 	}
-	if !c.pbuf.Fits(bodyLen) {
+	fits := c.pbuf.Fits(bodyLen)
+	if !fits {
 		// Body exceeds the playback buffer: every replay refetches from the
 		// ISU at one cycle per instruction.
 		c.cycles += int64(bodyLen)
 	}
-	rounds := controlpath.Batches(addrs, c.m.limit)
+	rounds := controlpath.Batches(c.hdr, c.m.limit)
 	c.m.stats.Ensembles++
-	c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(addrs), bodyLen, len(rounds))
+	c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(c.hdr), bodyLen, len(rounds))
+
+	// Spilling bodies replay from the ISU, not the playback buffer, so the
+	// O(1) cycle delta would be wrong; classify everything else before the
+	// first round so the recorder only runs on bodies that can succeed.
+	enabled := c.m.traceEnabled()
+	gate := enabled && fits
+	key := trace.Key{BodyStart: bodyStart, BodyLen: bodyLen}
+	var tr *trace.Trace
+	known := false
+	if gate {
+		if tr, known = c.traces.Get(key); !known {
+			if cl := lint.ClassifyBody(c.prog, bodyStart); cl != lint.BodyStraight && cl != lint.BodyStatic {
+				c.traces.Put(key, nil)
+				tr, known = nil, true
+			}
+		}
+	}
+
 	endPC := bodyStart
 	for ri, batch := range rounds {
 		c.tracef("round %d: %d VRFs active", ri, len(batch))
 		c.m.stats.Rounds++
 		c.cycles += 4 // footer interrupt + batch swap (Fig. 10 lines 11–23)
-		vrfs := make([]*vrf.VRF, len(batch))
+		if cap(c.act) < len(batch) {
+			c.act = make([]*vrf.VRF, len(batch))
+		}
+		vrfs := c.act[:len(batch)]
 		for i, a := range batch {
 			vrfs[i] = c.vrfAt(a)
 			vrfs[i].Unmask() // activation enables every lane
 		}
-		pc, err := c.runBody(bodyStart, vrfs)
-		if err != nil {
-			return err
+		switch {
+		case gate && known && tr != nil && c.replayable(tr):
+			c.m.stats.TraceHits++
+			c.replayRound(tr, vrfs)
+			endPC = tr.EndPC
+		case gate && !known:
+			// First execution: interpret under the recorder. Finish returns
+			// nil if the run proved unreplayable (negative cache entry).
+			c.m.stats.TraceMisses++
+			rec := trace.NewRecorder()
+			pc, err := c.runBody(bodyStart, vrfs, rec)
+			if err != nil {
+				return err
+			}
+			tr = rec.Finish(pc)
+			c.traces.Put(key, tr)
+			known = true
+			endPC = pc
+		default:
+			if enabled {
+				c.m.stats.TraceFallbacks++
+			}
+			pc, err := c.runBody(bodyStart, vrfs, nil)
+			if err != nil {
+				return err
+			}
+			endPC = pc
 		}
-		endPC = pc
 	}
 	c.pc = endPC
 	return nil
+}
+
+// replayable reports whether a compiled body can replay this round: Baseline
+// mode performs no recipe decode inside bodies, while ModeMPU additionally
+// requires every decode the body performs to hit the resident recipe table —
+// otherwise the trace's cycle delta (recorded stall-free) would hide real
+// miss stalls and evictions.
+func (c *core) replayable(t *trace.Trace) bool {
+	return c.m.cfg.Mode == ModeBaseline || c.rcache.ReplayAllHit(t.Lookups)
+}
+
+// replayRound applies a compiled body to one round's activated VRFs: the
+// data-mutating steps run per VRF, and every cost counter advances by the
+// precomputed delta — O(1) accounting regardless of dynamic body length.
+func (c *core) replayRound(t *trace.Trace, batch []*vrf.VRF) {
+	st := &c.m.stats
+	if c.m.cfg.Mode == ModeMPU {
+		// All-hit decode (checked by replayable): charge the hits and touch
+		// the LRU in last-occurrence order, leaving the recipe cache in the
+		// exact state an interpreted round would.
+		c.rcache.ChargeReplayHits(t.NumLookups, t.TouchOrder)
+	} else {
+		st.Offloads += t.Offloads
+		st.OffloadCycles += t.OffloadCycles
+		st.HostEnergyPJ += t.HostEnergyPJ
+	}
+	c.cycles += t.Cycles
+	c.issue += t.Issue
+	st.Instructions += t.Instructions
+	st.ComputeCycles += t.ComputeCycles
+	st.MicroOps += t.MicroOpsPerVRF * uint64(len(batch))
+	st.DatapathEnergyPJ += t.EnergyPerVRF * float64(len(batch))
+	for _, v := range batch {
+		for i := range t.Steps {
+			s := &t.Steps[i]
+			switch s.Kind {
+			case trace.StepExec:
+				v.ExecAllResolved(s.Ops)
+			case trace.StepSetMaskCond:
+				v.SetMaskFromCond()
+			case trace.StepSetMaskReg:
+				v.SetMaskFromReg(int(s.Arg))
+			case trace.StepUnmask:
+				v.Unmask()
+			case trace.StepGetMask:
+				v.GetMaskInto(int(s.Arg))
+			}
+		}
+	}
 }
 
 // findComputeDone returns the linear distance from start to the matching
@@ -577,12 +758,20 @@ func (c *core) findComputeDone(start int) (int, error) {
 }
 
 // runBody interprets one replay of an ensemble body on the active batch,
-// returning the pc just past COMPUTE_DONE.
-func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
+// returning the pc just past COMPUTE_DONE. A non-nil rec compiles the round
+// into a trace as a side effect (nil records nothing).
+//
+// The two float-valued charges — datapath and host energy — accumulate into
+// round-local sums flushed once at COMPUTE_DONE. Float addition is not
+// associative, so charging them per instruction would make the O(1) replay
+// path (one addition per round) drift from the interpreter in the last ulps;
+// summing per round first makes both paths add bit-identical values.
+func (c *core) runBody(start int, batch []*vrf.VRF, rec *trace.Recorder) (int, error) {
 	spec := c.m.cfg.Spec
 	st := &c.m.stats
 	pc := start
 	steps := 0
+	var bodyPJ, hostPJ float64
 	for {
 		if pc < 0 || pc >= len(c.prog) {
 			return 0, fmt.Errorf("ensemble body ran past the program end (pc=%d) (%w)", pc, ErrEnsembleFault)
@@ -593,28 +782,34 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 		}
 		in := c.prog[pc]
 		st.Instructions++
+		rec.Instr()
 		switch {
 		case in.Op == isa.COMPUTEDONE:
+			st.DatapathEnergyPJ += bodyPJ * float64(len(batch))
+			st.HostEnergyPJ += hostPJ
 			return pc + 1, nil
 
 		case recipe.IsDatapathOp(in.Op):
-			ops, err := c.m.expand(in)
+			e, err := c.decodeAt(pc)
 			if err != nil {
 				return 0, err
 			}
 			if c.m.cfg.Mode == ModeMPU {
-				c.cycles += c.rcache.Lookup(uint8(in.Op), len(ops))
+				rec.Lookup(uint8(in.Op), len(e.ops))
+				c.cycles += c.rcache.Lookup(uint8(in.Op), len(e.ops))
 			}
 			for _, v := range batch {
-				v.ExecAll(ops)
+				v.ExecAllResolved(e.rops)
 			}
-			n := int64(len(ops))
+			n := int64(len(e.ops))
 			exec := int64(float64(n*int64(spec.CyclesPerMicroOp)) * c.m.cfg.ComputeScale)
 			c.cycles += exec
 			c.issue += n
 			st.ComputeCycles += exec
 			st.MicroOps += uint64(n) * uint64(len(batch))
-			st.DatapathEnergyPJ += float64(n) * spec.MicroOpEnergyPJ * float64(len(batch)) * c.m.cfg.ComputeScale
+			perVRF := float64(n) * spec.MicroOpEnergyPJ * c.m.cfg.ComputeScale
+			bodyPJ += perVRF
+			rec.Exec(e.rops, exec, perVRF)
 			pc++
 
 		case in.Op == isa.SETMASK:
@@ -626,23 +821,35 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 				}
 			}
 			c.cycles++
+			if in.A == isa.RegCond {
+				rec.Mask(trace.StepSetMaskCond, 0)
+			} else {
+				rec.Mask(trace.StepSetMaskReg, in.A)
+			}
+			rec.Cycles(1)
 			pc++
 		case in.Op == isa.UNMASK:
 			for _, v := range batch {
 				v.Unmask()
 			}
 			c.cycles++
+			rec.Mask(trace.StepUnmask, 0)
+			rec.Cycles(1)
 			pc++
 		case in.Op == isa.GETMASK:
 			for _, v := range batch {
 				v.GetMaskInto(int(in.C))
 			}
 			c.cycles++
+			rec.Mask(trace.StepGetMask, in.C)
+			rec.Cycles(1)
 			pc++
 
 		case in.Op == isa.JUMPCOND:
 			// EFI (§VI-B): read mask registers of the active VRFs; jump
-			// while any lane anywhere in the batch remains enabled.
+			// while any lane anywhere in the batch remains enabled. The
+			// decision depends on lane data, so the round is unrecordable.
+			rec.Abort()
 			any := false
 			for _, v := range batch {
 				if v.MaskAny() {
@@ -652,7 +859,7 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 			}
 			c.cycles += 4 // mask readback into the CC + decision
 			if c.m.cfg.Mode == ModeBaseline {
-				c.offload() // the original datapath asks the CPU instead
+				c.offloadBody(&hostPJ) // the original datapath asks the CPU instead
 			}
 			if any {
 				pc = int(in.Imm)
@@ -661,20 +868,33 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 			}
 
 		case in.Op == isa.JUMP:
-			c.chargeControlRedirect()
+			c.cycles++
+			rec.Cycles(1)
+			if c.m.cfg.Mode == ModeBaseline {
+				lat, pj := c.offloadBody(&hostPJ)
+				rec.Offload(lat, pj)
+			}
 			if err := c.ras.Push(pc + 1); err != nil {
 				return 0, err
 			}
+			rec.Push()
 			pc = int(in.Imm)
 		case in.Op == isa.RETURN:
-			c.chargeControlRedirect()
+			c.cycles++
+			rec.Cycles(1)
+			if c.m.cfg.Mode == ModeBaseline {
+				lat, pj := c.offloadBody(&hostPJ)
+				rec.Offload(lat, pj)
+			}
 			rpc, err := c.ras.Pop()
 			if err != nil {
 				return 0, fmt.Errorf("%v (%w)", err, ErrEnsembleFault)
 			}
+			rec.Pop()
 			pc = rpc
 		case in.Op == isa.NOP:
 			c.cycles++
+			rec.Cycles(1)
 			pc++
 		default:
 			return 0, fmt.Errorf("instruction %s at %d not executable inside a compute ensemble (%w)", in.Op, pc, ErrEnsembleFault)
@@ -684,14 +904,14 @@ func (c *core) runBody(start int, batch []*vrf.VRF) (int, error) {
 
 // runTransferEnsemble executes a local MOVE…MOVE_DONE block on the DTC.
 func (c *core) runTransferEnsemble() error {
-	var tm controlpath.TargetMap
+	c.tm.Reset()
 	for c.pc < len(c.prog) && c.prog[c.pc].Op == isa.MOVE {
 		in := c.prog[c.pc]
-		tm.Add(in.A, in.B)
+		c.tm.Add(in.A, in.B)
 		c.cycles++ // target-map write
 		c.pc++
 	}
-	pairs := tm.Pairs()
+	pairs := c.tm.Pairs()
 	if len(pairs) == 0 {
 		return fmt.Errorf("transfer ensemble with empty header at %d (%w)", c.pc, ErrEnsembleFault)
 	}
@@ -765,13 +985,13 @@ func (m *Machine) rendezvous(s, r *core) error {
 	}
 
 	pc := s.pc + 1 // past SEND
-	var tm controlpath.TargetMap
+	s.tm.Reset()
 	for pc < len(s.prog) && s.prog[pc].Op == isa.MOVE {
-		tm.Add(s.prog[pc].A, s.prog[pc].B)
+		s.tm.Add(s.prog[pc].A, s.prog[pc].B)
 		block++
 		pc++
 	}
-	pairs := tm.Pairs()
+	pairs := s.tm.Pairs()
 	if len(pairs) == 0 {
 		return fmt.Errorf("mpu%d: SEND block without MOVE header at %d (%w)", s.id, pc, ErrEnsembleFault)
 	}

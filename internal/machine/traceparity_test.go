@@ -1,0 +1,118 @@
+package machine_test
+
+// Trace-engine parity difftest: the compile-once/replay-many engine must be
+// invisible in every reported number. Each kernel and application runs twice
+// — engine on (the default) and off (NoTrace) — on every back end in both
+// modes, and the two Stats must match byte for byte, trace counters aside.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mpu/internal/apps"
+	"mpu/internal/backends"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// parityVRFs simulates two VRFs per RFH so that ActiveVRFsOverride 1 forces
+// at least two scheduling rounds on every back end — round one records the
+// trace, round two replays it.
+const parityVRFs = 16
+
+// stripTrace clears the counters that describe simulator execution strategy
+// rather than modeled hardware; everything else must match exactly.
+func stripTrace(st *machine.Stats) machine.Stats {
+	c := *st
+	c.TraceHits, c.TraceMisses, c.TraceFallbacks = 0, 0, 0
+	return c
+}
+
+func requireParity(t *testing.T, name string, on, off *machine.Stats) {
+	t.Helper()
+	a, b := stripTrace(on), stripTrace(off)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: stats diverge between trace engine on and off:\n on: %+v\noff: %+v", name, a, b)
+	}
+	if off.TraceHits+off.TraceMisses+off.TraceFallbacks != 0 {
+		t.Errorf("%s: NoTrace run reported trace counters: %+v", name, off)
+	}
+}
+
+func TestTraceParity(t *testing.T) {
+	var totalHits uint64
+	for _, spec := range backends.All() {
+		for _, mode := range []machine.Mode{machine.ModeMPU, machine.ModeBaseline} {
+			for _, k := range workloads.All() {
+				name := fmt.Sprintf("%s/%s/%s", k.Name, spec.Name, mode)
+				run := func(noTrace bool) *machine.Stats {
+					res, err := workloads.Run(k, workloads.RunConfig{
+						Spec:               spec,
+						Mode:               mode,
+						TotalElements:      spec.BaselineUnits * spec.Lanes * parityVRFs,
+						Seed:               1,
+						MaxSimVRFs:         parityVRFs,
+						ActiveVRFsOverride: 1,
+						NoTrace:            noTrace,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					return res.Stats
+				}
+				on, off := run(false), run(true)
+				requireParity(t, name, on, off)
+				totalHits += on.TraceHits
+
+				// Pin the fallback path: gcd's dynamic while loop (JUMP_COND)
+				// must never replay from a trace.
+				if k.Name == "gcd" {
+					if on.TraceHits != 0 {
+						t.Errorf("%s: dynamic-control-flow body replayed %d rounds from a trace", name, on.TraceHits)
+					}
+					if on.TraceFallbacks == 0 {
+						t.Errorf("%s: dynamic-control-flow body reported no fallback rounds", name)
+					}
+				}
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Error("no kernel round was replayed from a trace — the engine never engaged")
+	}
+}
+
+func TestTraceParityApps(t *testing.T) {
+	type appRun struct {
+		name string
+		run  func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error)
+	}
+	cases := []appRun{
+		{"LLMEncode", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
+			return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		}},
+		{"BlackScholes", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
+			return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		}},
+		{"EditDistance", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
+			return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		}},
+	}
+	for _, spec := range backends.All() {
+		for _, mode := range []machine.Mode{machine.ModeMPU, machine.ModeBaseline} {
+			for _, c := range cases {
+				name := fmt.Sprintf("%s/%s/%s", c.name, spec.Name, mode)
+				on, err := c.run(spec, mode, false)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				off, err := c.run(spec, mode, true)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				requireParity(t, name, on.Stats, off.Stats)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package micro
+
+import "testing"
+
+// TestSlotRoundTrip checks RefOf inverts SlotOf over every addressable plane
+// and that the slot space is dense and collision-free.
+func TestSlotRoundTrip(t *testing.T) {
+	seen := make(map[Slot]bool, NumSlots)
+	var refs []Ref
+	for r := 0; r < SlotNumRegs; r++ {
+		for b := 0; b < SlotWordBits; b++ {
+			refs = append(refs, Reg(r, b))
+		}
+	}
+	for s := 0; s < NumScratchRegs; s++ {
+		for b := 0; b < SlotWordBits; b++ {
+			refs = append(refs, Scratch(s, b))
+		}
+	}
+	for p := 0; p < NumTempPlanes; p++ {
+		refs = append(refs, Temp(p))
+	}
+	refs = append(refs, Cond(), Zero(), One())
+
+	for _, r := range refs {
+		s := SlotOf(r)
+		if int(s) >= NumSlots {
+			t.Fatalf("SlotOf(%v) = %d out of range [0,%d)", r, s, NumSlots)
+		}
+		if seen[s] {
+			t.Fatalf("slot %d assigned twice (at %v)", s, r)
+		}
+		seen[s] = true
+		if got := RefOf(s); got != r {
+			t.Fatalf("RefOf(SlotOf(%v)) = %v", r, got)
+		}
+	}
+	// Every slot except the executor-internal mask slot is an addressable ref.
+	if len(seen) != NumSlots-1 {
+		t.Fatalf("covered %d slots, want %d", len(seen), NumSlots-1)
+	}
+	if seen[SlotMask] {
+		t.Fatal("an addressable ref mapped to the mask slot")
+	}
+}
+
+func TestResolveMapsOperands(t *testing.T) {
+	ops := []Op{
+		{Kind: NOR, Dst: Temp(3), A: Reg(7, 11), B: Scratch(2, 63)},
+		{Kind: FADD, Dst: Temp(0), Dst2: Temp(1), A: Reg(0, 0), B: One(), C: Zero()},
+		{Kind: CONDWR, A: Reg(5, 0)},
+	}
+	rs := Resolve(ops)
+	for i := range ops {
+		if rs[i].Kind != ops[i].Kind {
+			t.Fatalf("op %d: kind %v != %v", i, rs[i].Kind, ops[i].Kind)
+		}
+		if got := rs[i].Op(); got != ops[i] {
+			t.Fatalf("op %d: round-trip %v != %v", i, got, ops[i])
+		}
+	}
+}
+
+func TestResolveRejectsConstantPlaneWrites(t *testing.T) {
+	for _, op := range []Op{
+		{Kind: SET1, Dst: Zero()},
+		{Kind: COPY, Dst: One(), A: Reg(0, 0)},
+		{Kind: FADD, Dst: Temp(0), Dst2: One(), A: Reg(0, 0), B: Reg(1, 0), C: Zero()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Resolve(%v) did not panic", op)
+				}
+			}()
+			Resolve([]Op{op})
+		}()
+	}
+}

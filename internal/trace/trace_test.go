@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"mpu/internal/micro"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Abort()
+	r.Instr()
+	r.Cycles(3)
+	r.Lookup(1, 2)
+	r.Exec(nil, 1, 0.5)
+	r.Mask(StepUnmask, 0)
+	r.Offload(10, 1)
+	r.Push()
+	r.Pop()
+	if r.Aborted() {
+		t.Fatal("nil recorder reports aborted")
+	}
+}
+
+func TestRecorderCompilesBody(t *testing.T) {
+	r := NewRecorder()
+	ops := []micro.ResolvedOp{{Kind: micro.COPY}, {Kind: micro.NOT}}
+
+	r.Instr()
+	r.Lookup(7, len(ops))
+	r.Exec(ops, 4, 1.5)
+	r.Instr()
+	r.Lookup(9, 1)
+	r.Exec(ops[:1], 2, 0.5)
+	r.Instr()
+	r.Mask(StepSetMaskReg, 3)
+	r.Instr()
+	r.Lookup(7, len(ops))
+	r.Exec(ops, 4, 1.5)
+
+	tr := r.Finish(42)
+	if tr == nil {
+		t.Fatal("Finish returned nil for a well-formed recording")
+	}
+	if tr.EndPC != 42 {
+		t.Errorf("EndPC = %d, want 42", tr.EndPC)
+	}
+	if tr.Instructions != 4 {
+		t.Errorf("Instructions = %d, want 4", tr.Instructions)
+	}
+	if tr.Cycles != 10 || tr.ComputeCycles != 10 {
+		t.Errorf("Cycles/ComputeCycles = %d/%d, want 10/10", tr.Cycles, tr.ComputeCycles)
+	}
+	if tr.MicroOpsPerVRF != 5 || tr.Issue != 5 {
+		t.Errorf("MicroOpsPerVRF/Issue = %d/%d, want 5/5", tr.MicroOpsPerVRF, tr.Issue)
+	}
+	if tr.EnergyPerVRF != 1.5+0.5+1.5 {
+		t.Errorf("EnergyPerVRF = %v, want 3.5", tr.EnergyPerVRF)
+	}
+	// Two distinct opcodes, three lookups, opcode 9 touched before 7's
+	// last occurrence.
+	if tr.NumLookups != 3 || len(tr.Lookups) != 2 {
+		t.Errorf("NumLookups/Lookups = %d/%d, want 3/2", tr.NumLookups, len(tr.Lookups))
+	}
+	if want := []uint8{9, 7}; !reflect.DeepEqual(tr.TouchOrder, want) {
+		t.Errorf("TouchOrder = %v, want %v", tr.TouchOrder, want)
+	}
+	// Adjacent Execs merge; the mask step splits them.
+	if len(tr.Steps) != 3 || tr.Steps[0].Kind != StepExec || tr.Steps[1].Kind != StepSetMaskReg || tr.Steps[2].Kind != StepExec {
+		t.Fatalf("Steps = %+v, want [exec mask exec]", tr.Steps)
+	}
+	if len(tr.Steps[0].Ops) != 3 || len(tr.Steps[2].Ops) != 2 {
+		t.Errorf("merged op counts = %d/%d, want 3/2", len(tr.Steps[0].Ops), len(tr.Steps[2].Ops))
+	}
+	if tr.Steps[1].Arg != 3 {
+		t.Errorf("mask step arg = %d, want 3", tr.Steps[1].Arg)
+	}
+}
+
+func TestRecorderExecCopiesSharedExpansion(t *testing.T) {
+	r := NewRecorder()
+	shared := []micro.ResolvedOp{{Kind: micro.COPY}}
+	// Give the shared slice spare capacity so an in-place append would
+	// overwrite the machine-wide expansion cache.
+	shared = append(make([]micro.ResolvedOp, 0, 8), shared...)
+	r.Exec(shared, 1, 0)
+	r.Exec([]micro.ResolvedOp{{Kind: micro.NOT}}, 1, 0)
+	if shared[:cap(shared)][1].Kind == micro.NOT {
+		t.Fatal("merge wrote into the shared expansion slice")
+	}
+}
+
+func TestRecorderAborts(t *testing.T) {
+	t.Run("explicit", func(t *testing.T) {
+		r := NewRecorder()
+		r.Abort()
+		if !r.Aborted() || r.Finish(0) != nil {
+			t.Fatal("aborted recording survived Finish")
+		}
+	})
+	t.Run("pop-below-entry", func(t *testing.T) {
+		r := NewRecorder()
+		r.Pop()
+		if r.Finish(0) != nil {
+			t.Fatal("recording that popped a caller frame survived Finish")
+		}
+	})
+	t.Run("unbalanced-push", func(t *testing.T) {
+		r := NewRecorder()
+		r.Push()
+		if r.Finish(0) != nil {
+			t.Fatal("recording that leaked a frame survived Finish")
+		}
+	})
+	t.Run("expansion-size-conflict", func(t *testing.T) {
+		r := NewRecorder()
+		r.Lookup(7, 2)
+		r.Lookup(7, 3)
+		if r.Finish(0) != nil {
+			t.Fatal("opcode at two expansion sizes survived Finish")
+		}
+	})
+	t.Run("balanced-call", func(t *testing.T) {
+		r := NewRecorder()
+		r.Push()
+		r.Pop()
+		if r.Finish(0) == nil {
+			t.Fatal("balanced push/pop aborted the recording")
+		}
+	})
+}
+
+func TestCacheNegativeEntries(t *testing.T) {
+	c := NewCache()
+	k := Key{BodyStart: 3, BodyLen: 5}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(k, nil)
+	tr, ok := c.Get(k)
+	if !ok || tr != nil {
+		t.Fatalf("negative entry Get = (%v, %v), want (nil, true)", tr, ok)
+	}
+	c.Put(k, &Trace{EndPC: 9})
+	if tr, _ := c.Get(k); tr == nil || tr.EndPC != 9 {
+		t.Fatal("positive entry did not replace negative entry")
+	}
+	c.Reset()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("Reset left an entry behind")
+	}
+}

@@ -1,0 +1,95 @@
+package vrf
+
+import (
+	"fmt"
+
+	"mpu/internal/isa"
+	"mpu/internal/micro"
+)
+
+// Compile-time guards that micro's slot layout mirrors the ISA register
+// file; both pairs fail to build if the constants drift apart.
+var (
+	_ [micro.SlotNumRegs - isa.NumRegs]struct{}
+	_ [isa.NumRegs - micro.SlotNumRegs]struct{}
+	_ [micro.SlotWordBits - isa.WordBits]struct{}
+	_ [isa.WordBits - micro.SlotWordBits]struct{}
+)
+
+// ExecAllResolved applies a resolved micro-op sequence in order, with the
+// same semantics (and the same MicroOps accounting) as ExecAll on the
+// unresolved form. When every plane is a single machine word (lanes == 64,
+// which holds for all shipped backends) it runs a word-level fast path over
+// the flat slot directory that skips per-op plane resolution, bounds
+// checks, and the constant-plane write guard (performed once at Resolve
+// time).
+func (v *VRF) ExecAllResolved(rs []micro.ResolvedOp) {
+	if v.words != nil {
+		v.execResolved64(rs)
+		v.MicroOps += uint64(len(rs))
+		return
+	}
+	for _, r := range rs {
+		v.Exec(r.Op())
+	}
+}
+
+// execResolved64 is the single-word executor: micro.Slot i is backed by
+// v.words[i], so operand access is one index with no plane resolution. Each
+// case reproduces the corresponding bitvec merge expression for a full
+// 64-lane word: with lanes == 64 the tail mask is all-ones, so bitvec's
+// clampTail calls are no-ops, and the constant-one plane is a full word, so
+// the unmasked CONDWR and MASKRD writes reduce to plain stores. Sources are
+// loaded before the destination is written, matching bitvec's aliasing
+// behavior.
+func (v *VRF) execResolved64(rs []micro.ResolvedOp) {
+	ws := v.words
+	m := ws[micro.SlotMask] // no micro-op writes the mask plane
+	for i := range rs {
+		r := &rs[i]
+		switch r.Kind {
+		case micro.NOR:
+			x := ^(ws[r.A] | ws[r.B])
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.AND:
+			x := ws[r.A] & ws[r.B]
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.OR:
+			x := ws[r.A] | ws[r.B]
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.XOR:
+			x := ws[r.A] ^ ws[r.B]
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.NOT:
+			x := ^ws[r.A]
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.COPY:
+			x := ws[r.A]
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.MAJ:
+			a, b, c := ws[r.A], ws[r.B], ws[r.C]
+			x := (a & b) | (b & c) | (a & c)
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.MUX:
+			a, b, c := ws[r.A], ws[r.B], ws[r.C]
+			x := (a & c) | (b &^ c)
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (x & m)
+		case micro.FADD:
+			a, b, c := ws[r.A], ws[r.B], ws[r.C]
+			s := a ^ b ^ c
+			co := (a & b) | (b & c) | (a & c)
+			ws[r.Dst] = (ws[r.Dst] &^ m) | (s & m)
+			ws[r.Dst2] = (ws[r.Dst2] &^ m) | (co & m)
+		case micro.SET0:
+			ws[r.Dst] &^= m
+		case micro.SET1:
+			ws[r.Dst] |= m
+		case micro.CONDWR:
+			ws[micro.SlotCond] = ws[r.A] & m
+		case micro.MASKRD:
+			ws[r.Dst] = m
+		default:
+			panic(fmt.Sprintf("vrf: unknown micro-op kind %d", r.Kind))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package vrf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpu/internal/isa"
+	"mpu/internal/micro"
+	"mpu/internal/recipe"
+)
+
+// capSets mirror the three shipped backends plus a NOR-only worst case, so
+// the resolved executor is exercised against every decomposition style.
+func capSets() map[string]micro.CapabilitySet {
+	return map[string]micro.CapabilitySet{
+		"nor":   micro.NewCapabilitySet(micro.NOR),
+		"maj":   micro.NewCapabilitySet(micro.MAJ, micro.NOT, micro.AND, micro.OR),
+		"fadd":  micro.NewCapabilitySet(micro.AND, micro.OR, micro.XOR, micro.NOT, micro.FADD, micro.MUX),
+		"mixed": micro.NewCapabilitySet(micro.NOR, micro.XOR, micro.MAJ, micro.MUX),
+	}
+}
+
+// sameState compares the complete functional state of two VRFs: every
+// architectural and scratch register plane, every temp plane, and the cond
+// and mask registers. Comparing planes (not just ReadReg) catches divergence
+// recipes would otherwise hide in scratch space.
+func sameState(t *testing.T, ref, got *VRF) {
+	t.Helper()
+	for r := 0; r < isa.NumRegs; r++ {
+		a, b := ref.regPlanes(r), got.regPlanes(r)
+		for bit := 0; bit < isa.WordBits; bit++ {
+			if !a[bit].Equal(b[bit]) {
+				t.Fatalf("reg %d bit %d differs:\nref %s\ngot %s", r, bit, a[bit], b[bit])
+			}
+		}
+	}
+	for s := 0; s < micro.NumScratchRegs; s++ {
+		a, b := ref.scratchPlanes(s), got.scratchPlanes(s)
+		for bit := 0; bit < isa.WordBits; bit++ {
+			if !a[bit].Equal(b[bit]) {
+				t.Fatalf("scratch %d bit %d differs", s, bit)
+			}
+		}
+	}
+	for p := 0; p < micro.NumTempPlanes; p++ {
+		if !ref.temps[p].Equal(got.temps[p]) {
+			t.Fatalf("temp plane %d differs", p)
+		}
+	}
+	if !ref.cond.Equal(got.cond) {
+		t.Fatalf("cond differs:\nref %s\ngot %s", ref.cond, got.cond)
+	}
+	if !ref.mask.Equal(got.mask) {
+		t.Fatalf("mask differs:\nref %s\ngot %s", ref.mask, got.mask)
+	}
+	if ref.MicroOps != got.MicroOps {
+		t.Fatalf("MicroOps %d != %d", got.MicroOps, ref.MicroOps)
+	}
+}
+
+// seedPair returns two identically-seeded VRFs: random values in the operand
+// registers and a random lane mask loaded through the SETMASK path.
+func seedPair(rng *rand.Rand, lanes int) (*VRF, *VRF) {
+	a, b := New(lanes), New(lanes)
+	for _, r := range []int{1, 2, 3} {
+		vals := make([]uint64, lanes)
+		for l := range vals {
+			vals[l] = rng.Uint64()
+		}
+		a.WriteReg(r, vals)
+		b.WriteReg(r, vals)
+	}
+	maskBits := make([]uint64, lanes)
+	for l := range maskBits {
+		maskBits[l] = uint64(rng.Intn(2))
+	}
+	a.WriteReg(9, maskBits)
+	b.WriteReg(9, maskBits)
+	a.SetMaskFromReg(9)
+	b.SetMaskFromReg(9)
+	return a, b
+}
+
+// TestExecAllResolvedMatchesExec runs every datapath instruction's recipe,
+// under every capability style, through both the reference executor and the
+// resolved one, on identical random state, and requires identical VRFs.
+func TestExecAllResolvedMatchesExec(t *testing.T) {
+	for _, lanes := range []int{64, 37, 128} {
+		for name, caps := range capSets() {
+			t.Run(fmt.Sprintf("lanes%d/%s", lanes, name), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(1))
+				for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+					if !recipe.IsDatapathOp(op) {
+						continue
+					}
+					in := isa.Instr{Op: op, A: 1, B: 2, C: 3}
+					ops, rs, err := recipe.ExpandResolved(caps, in)
+					if err != nil {
+						t.Fatalf("%s: %v", op, err)
+					}
+					if len(rs) != len(ops) {
+						t.Fatalf("%s: %d resolved ops for %d ops", op, len(rs), len(ops))
+					}
+					ref, got := seedPair(rng, lanes)
+					ref.ExecAll(ops)
+					got.ExecAllResolved(rs)
+					sameState(t, ref, got)
+				}
+			})
+		}
+	}
+}
+
+// TestExecAllResolvedControlOps covers the executor ops recipes use rarely
+// or never (MASKRD, SET0/SET1 on temps, constant-plane sources) plus the
+// mask-register round trip through SetMaskFromCond.
+func TestExecAllResolvedControlOps(t *testing.T) {
+	ops := []micro.Op{
+		{Kind: micro.MASKRD, Dst: micro.Reg(4, 0)},
+		{Kind: micro.SET1, Dst: micro.Temp(7)},
+		{Kind: micro.SET0, Dst: micro.Scratch(1, 5)},
+		{Kind: micro.MUX, Dst: micro.Reg(6, 1), A: micro.One(), B: micro.Zero(), C: micro.Reg(1, 0)},
+		{Kind: micro.CONDWR, A: micro.Reg(1, 3)},
+		{Kind: micro.NOT, Dst: micro.Temp(0), A: micro.Zero()},
+		{Kind: micro.MAJ, Dst: micro.Reg(8, 2), A: micro.One(), B: micro.Reg(2, 2), C: micro.Cond()},
+	}
+	rs := micro.Resolve(ops)
+	for _, lanes := range []int{64, 37} {
+		rng := rand.New(rand.NewSource(7))
+		ref, got := seedPair(rng, lanes)
+		ref.ExecAll(ops)
+		got.ExecAllResolved(rs)
+		ref.SetMaskFromCond()
+		got.SetMaskFromCond()
+		ref.ExecAll(ops)
+		got.ExecAllResolved(rs)
+		ref.Unmask()
+		got.Unmask()
+		ref.ExecAll(ops)
+		got.ExecAllResolved(rs)
+		sameState(t, ref, got)
+	}
+}

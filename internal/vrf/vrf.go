@@ -27,6 +27,14 @@ type VRF struct {
 	zero    bitvec.Plane
 	one     bitvec.Plane
 
+	// words is the flat word directory backing every plane when each plane
+	// is a single machine word (lanes == 64, every shipped backend): word i
+	// backs micro.Slot i, so the resolved executor (resolved.go) turns a
+	// slot into its storage with a single index. Plane views are lazy
+	// aliases over this directory. nil when lanes != 64; those VRFs take
+	// the per-register slab path below.
+	words []uint64
+
 	// MicroOps counts executed micro-ops, for cross-checking against the
 	// control path's issue accounting.
 	MicroOps uint64
@@ -38,23 +46,41 @@ func New(lanes int) *VRF {
 		panic(fmt.Sprintf("vrf: lane count %d must be positive", lanes))
 	}
 	v := &VRF{lanes: lanes}
-	// One slab covers the fixed planes: cond, mask, zero, one, temps.
-	slab := bitvec.NewSlab(lanes, 4+micro.NumTempPlanes)
-	v.cond = slab[0]
-	v.mask = slab[1]
-	v.mask.Fill(true)
-	v.zero = slab[2]
-	v.one = slab[3]
+	if lanes == isa.WordBits {
+		// One flat directory backs every slot; plane views alias into it.
+		v.words = make([]uint64, micro.NumSlots)
+		slab := bitvec.PlanesOver(lanes, micro.NumTempPlanes+4, v.words[micro.SlotTempBase:])
+		copy(v.temps[:], slab[:micro.NumTempPlanes])
+		v.cond = slab[int(micro.SlotCond)-micro.SlotTempBase]
+		v.zero = slab[int(micro.SlotZero)-micro.SlotTempBase]
+		v.one = slab[int(micro.SlotOne)-micro.SlotTempBase]
+		v.mask = slab[int(micro.SlotMask)-micro.SlotTempBase]
+	} else {
+		// One slab covers the fixed planes: temps, cond, zero, one, mask.
+		slab, _ := bitvec.NewSlabWords(lanes, micro.NumTempPlanes+4)
+		copy(v.temps[:], slab[:micro.NumTempPlanes])
+		v.cond = slab[micro.NumTempPlanes]
+		v.zero = slab[micro.NumTempPlanes+1]
+		v.one = slab[micro.NumTempPlanes+2]
+		v.mask = slab[micro.NumTempPlanes+3]
+	}
 	v.one.Fill(true)
-	copy(v.temps[:], slab[4:])
+	v.mask.Fill(true)
 	return v
 }
 
 // Lanes reports the vector width of this VRF.
 func (v *VRF) Lanes() int { return v.lanes }
 
-func newRegPlanes(lanes int) []bitvec.Plane {
-	return bitvec.NewSlab(lanes, isa.WordBits)
+// newRegPlanes allocates (or, with the flat directory, aliases) the 64
+// planes of one architectural or scratch register. base is the register's
+// first slot.
+func (v *VRF) newRegPlanes(base int) []bitvec.Plane {
+	if v.words != nil {
+		return bitvec.PlanesOver(v.lanes, isa.WordBits, v.words[base:])
+	}
+	planes, _ := bitvec.NewSlabWords(v.lanes, isa.WordBits)
+	return planes
 }
 
 func (v *VRF) regPlanes(r int) []bitvec.Plane {
@@ -62,7 +88,7 @@ func (v *VRF) regPlanes(r int) []bitvec.Plane {
 		panic(fmt.Sprintf("vrf: register %d out of range", r))
 	}
 	if v.regs[r] == nil {
-		v.regs[r] = newRegPlanes(v.lanes)
+		v.regs[r] = v.newRegPlanes(r * isa.WordBits)
 	}
 	return v.regs[r]
 }
@@ -72,7 +98,7 @@ func (v *VRF) scratchPlanes(s int) []bitvec.Plane {
 		panic(fmt.Sprintf("vrf: scratch register %d out of range", s))
 	}
 	if v.scratch[s] == nil {
-		v.scratch[s] = newRegPlanes(v.lanes)
+		v.scratch[s] = v.newRegPlanes(micro.SlotScratchBase + s*isa.WordBits)
 	}
 	return v.scratch[s]
 }

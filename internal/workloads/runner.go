@@ -51,6 +51,10 @@ type RunConfig struct {
 	// RecipeCache overrides the decode model (ablations); zero value means
 	// the default configuration.
 	RecipeCache controlpath.RecipeCacheConfig
+
+	// NoTrace forwards to machine.Config: disable the compile-once/
+	// replay-many trace engine and interpret every scheduling round.
+	NoTrace bool
 }
 
 // Result is one kernel execution on one configuration.
@@ -151,6 +155,7 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 		ComputeScale:       cfg.ComputeScale,
 		ActiveVRFsOverride: cfg.ActiveVRFsOverride,
 		Recipe:             cfg.RecipeCache,
+		NoTrace:            cfg.NoTrace,
 	})
 	if err != nil {
 		return nil, err
