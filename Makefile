@@ -26,10 +26,12 @@ race:
 # The concurrency-sensitive packages only (the sweep worker pool and the
 # linter the machine calls from strict mode) plus the trace-engine parity
 # difftest, whose replay path shares compiled traces and memoized recipe
-# expansions across sweep workers — fast enough for every CI run.
+# expansions across sweep workers, and the parallel-scheduler parity
+# difftest, which fans cores out across scheduler goroutines — fast enough
+# for every CI run.
 race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
-	$(GO) test -race -timeout 30m -run 'TestTraceParity' ./internal/machine
+	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestParallelMachine|TestParallelDeadlock' ./internal/machine
 
 # A bounded run of the lint-soundness oracle: random programs the linter
 # passes must execute without ensemble or capacity faults.

@@ -7,10 +7,12 @@ package mpu_test
 // (`cmd/mastodon` prints the full rows.)
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"mpu"
+	"mpu/internal/apps"
 	"mpu/internal/exp"
 	"mpu/internal/workloads"
 )
@@ -288,6 +290,35 @@ func BenchmarkMachineRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMachineRunMPUs measures ONE machine's phase-based scheduler as
+// its core count grows: the editdistance systolic ring (per-MPU work pinned
+// to two steps, one VRF per MPU) at 2, 16, and 128 MPUs, run /seq (Workers
+// 1, the exact pre-refactor core walk) and /par (Workers 0 = one scheduler
+// goroutine per CPU). Stats are byte-identical between the two (pinned by
+// TestParallelMachineParity); the wall-clock ratio tracks the intra-machine
+// speedup, which approaches min(NumCPU, MPUs)x on multi-core hosts and
+// stays 1.0x on a single-CPU host.
+func BenchmarkMachineRunMPUs(b *testing.B) {
+	for _, n := range []int{2, 16, 128} {
+		for _, sc := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(fmt.Sprintf("%d/%s", n, sc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := apps.RunEditDistance(apps.EditDistanceConfig{
+						Spec: mpu.RACER(), Mode: 0, MPUs: n, VRFs: 1, Steps: 2,
+						Seed: 1, MachineWorkers: sc.workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	mastodon [-scale N] [-seed S] [-j N] [-notrace] <experiment>...
+//	mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] <experiment>...
 //
 // Experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15
-// ablations all. Scale divides the evaluation working-set sizes (1 = paper
-// scale; larger is faster). -j fans independent sweep cells out across N
-// workers (0 = one per CPU; 1 = sequential); output is byte-identical at
-// any worker count. -notrace disables the ensemble trace engine, forcing
-// every scheduling round through the interpreter — also byte-identical,
-// just slower (the parity is test-pinned).
+// scale ablations all. Scale divides the evaluation working-set sizes (1 =
+// paper scale; larger is faster). -j fans independent sweep cells out across
+// N workers (0 = one per CPU; 1 = sequential); -mj sets the scheduler
+// workers running each cell's simulated MPUs concurrently between
+// communication points (0 = share the CPU budget with -j; 1 = sequential).
+// Output is byte-identical at any worker count. -notrace disables the
+// ensemble trace engine, forcing every scheduling round through the
+// interpreter — also byte-identical, just slower (the parity is
+// test-pinned).
 package main
 
 import (
@@ -29,11 +32,12 @@ func main() {
 	scale := flag.Int("scale", 1, "divide working-set sizes by N (1 = full evaluation scale)")
 	seed := flag.Int64("seed", 1, "input generator seed")
 	jobs := flag.Int("j", 0, "sweep worker count (0 = one per CPU, 1 = sequential)")
+	mjobs := flag.Int("mj", 0, "machine scheduler workers per sweep cell (0 = share the CPU budget with -j, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also export machine-readable CSVs into this directory")
 	noTrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-notrace] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 ablations autotune all\n")
+		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,7 +45,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs, NoTrace: *noTrace}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs, MachineWorkers: *mjobs, NoTrace: *noTrace}
 	if *csvDir != "" {
 		if err := exp.ExportAll(*csvDir, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mastodon: csv export: %v\n", err)
@@ -61,7 +65,7 @@ func run(name string, opts exp.Options) error {
 	switch name {
 	case "all":
 		for _, n := range []string{"fig1", "table1", "fig5", "table3", "fig11",
-			"fig12", "fig13", "table4", "fig14", "fig15", "ablations", "autotune"} {
+			"fig12", "fig13", "table4", "fig14", "fig15", "scale", "ablations", "autotune"} {
 			if err := run(n, opts); err != nil {
 				return err
 			}
@@ -115,6 +119,12 @@ func run(name string, opts exp.Options) error {
 			return err
 		}
 		fmt.Println(exp.RenderFig15(rows))
+	case "scale":
+		rows, err := exp.Scale(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderScale(rows))
 	case "autotune":
 		res, err := tune.ActivationLimit(tune.Config{
 			Spec:   backends.RACER(),
@@ -142,7 +152,7 @@ func run(name string, opts exp.Options) error {
 		}
 		fmt.Println(exp.RenderAblationDivergence(r3))
 	default:
-		return fmt.Errorf("unknown experiment (want fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, ablations, autotune, all)")
+		return fmt.Errorf("unknown experiment (want fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, scale, ablations, autotune, all)")
 	}
 	return nil
 }

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N]
+//	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N] [-j N]
 //	       [-nolint] [-notrace] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
 //
 // -set preloads a vector register on MPU 0 before the run; -dump prints one
-// after it. The same binary is loaded into every MPU (SPMD). Before loading,
+// after it. The same binary is loaded into every MPU (SPMD). -j runs the
+// simulated MPUs on N scheduler goroutines between communication points
+// (0 = one per CPU, 1 = sequential); statistics are identical either way. Before loading,
 // the program is preflighted by the static linter against the selected back
 // end — Error findings abort the run (and warnings are printed); -nolint
 // skips the preflight to reproduce raw machine faults.
@@ -35,6 +37,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
 	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
+	jobs := flag.Int("j", 0, "machine scheduler workers running MPUs concurrently (0 = one per CPU, 1 = sequential)")
 	var sets, dumps repeatFlag
 	flag.Var(&sets, "set", "preload a register: rfh.vrf.reg=v1,v2,... (repeatable)")
 	flag.Var(&dumps, "dump", "print a register after the run: rfh.vrf.reg (repeatable)")
@@ -44,13 +47,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace); err != nil {
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *jobs); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool) error {
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool, jobs int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -97,7 +100,7 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
-	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace})
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace, Workers: jobs})
 	if err != nil {
 		return err
 	}

@@ -46,7 +46,7 @@ func TestParseSet(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false, false); err == nil {
+	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false, false, 1); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -57,13 +57,13 @@ func TestRunLintPreflight(t *testing.T) {
 	if err := writeFile(masm, "COMPUTE rfh0 vrf0\nADD r0 r1 r2\n"); err != nil {
 		t.Fatal(err)
 	}
-	err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false)
+	err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, 1)
 	if err == nil {
 		t.Fatal("unbalanced ensemble passed the preflight")
 	}
 	// -nolint must hand the same program to the machine, which faults too —
 	// but through the runtime guard, not the linter.
-	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true, false); err == nil {
+	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true, false, 1); err == nil {
 		t.Fatal("unbalanced ensemble ran cleanly with -nolint")
 	}
 }

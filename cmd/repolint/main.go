@@ -16,6 +16,13 @@
 //     layer; every other package must go through the vrf abstraction so
 //     capacity checks and energy accounting cannot be bypassed.
 //
+//  3. machine-stats-mutation — inside internal/machine, the machine-wide
+//     stats struct may only be written (or have its address taken) by the
+//     reduceStats merge. Everything on the execution path accumulates into
+//     the per-core local counters; a direct mutation of a `.stats` field
+//     would race under the parallel scheduler and break the byte-identical
+//     worker-count parity.
+//
 // Usage: repolint [root]   (default root ".")
 package main
 
@@ -101,6 +108,11 @@ func lintFile(path, rel string) ([]string, error) {
 	// Rule 1 exemption: the workloads package owns the seeding helpers.
 	inWorkloads := strings.HasPrefix(rel, "internal/workloads/")
 
+	// Rule 3: machine-stats-mutation (non-test machine sources only).
+	if strings.HasPrefix(rel, "internal/machine/") && !strings.HasSuffix(rel, "_test.go") {
+		lintStatsMutation(file, addf)
+	}
+
 	randNames := map[string]bool{} // local names bound to math/rand
 	for _, imp := range file.Imports {
 		p, _ := strconv.Unquote(imp.Path.Value)
@@ -145,4 +157,53 @@ func lintFile(path, rel string) ([]string, error) {
 		return true
 	})
 	return findings, nil
+}
+
+// touchesStats reports whether the expression's selector chain goes through
+// a field named "stats" (c.m.stats.Cycles, m.stats, ...).
+func touchesStats(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "stats" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// lintStatsMutation enforces rule 3: within internal/machine, only the
+// reduceStats merge may assign to the machine-wide stats struct or take its
+// address — the execution path must charge the per-core local counters.
+func lintStatsMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
+	const explain = "— accumulate into the core's local Stats; only reduceStats merges into m.stats"
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name == "reduceStats" || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if touchesStats(lhs) {
+						addf(lhs.Pos(), "machine-stats-mutation",
+							"%s assigns through .stats %s", fn.Name.Name, explain)
+					}
+				}
+			case *ast.IncDecStmt:
+				if touchesStats(s.X) {
+					addf(s.X.Pos(), "machine-stats-mutation",
+						"%s increments through .stats %s", fn.Name.Name, explain)
+				}
+			case *ast.UnaryExpr:
+				if s.Op == token.AND && touchesStats(s.X) {
+					addf(s.X.Pos(), "machine-stats-mutation",
+						"%s takes the address of .stats %s", fn.Name.Name, explain)
+				}
+			}
+			return true
+		})
+	}
 }

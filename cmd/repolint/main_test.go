@@ -43,19 +43,37 @@ import _ "mpu/internal/bitvec"
 	write(t, root, "internal/vrf/v.go", `package vrf
 import _ "mpu/internal/bitvec"
 `)
+	// Violations: writing or aliasing the machine-wide stats outside the
+	// reduction; allowed: the reduceStats merge itself and test files.
+	write(t, root, "internal/machine/stats.go", `package machine
+type Stats struct{ Cycles int64 }
+type Machine struct{ stats Stats }
+func (m *Machine) step()  { m.stats.Cycles++ }
+func (m *Machine) alias() { st := &m.stats; st.Cycles = 0 }
+func (m *Machine) reduceStats() *Stats {
+	m.stats = Stats{}
+	return &m.stats
+}
+`)
+	write(t, root, "internal/machine/stats_test.go", `package machine
+func poke(m *Machine) { m.stats.Cycles = 1 }
+`)
 
 	findings, err := lintTree(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
+	}
+	if n := strings.Count(joined, "machine-stats-mutation"); n != 2 {
+		t.Errorf("got %d machine-stats-mutation findings, want 2 (increment + address-taking; reduceStats and tests exempt):\n%s", n, joined)
 	}
 }
 

@@ -108,6 +108,12 @@ type BlackScholesConfig struct {
 
 	// NoTrace forwards to machine.Config: interpret every scheduling round.
 	NoTrace bool
+
+	// MachineWorkers forwards to machine.Config.Workers: scheduler
+	// goroutines executing the two MPUs concurrently between rendezvous
+	// (0 = one per CPU, 1 = sequential; statistics are identical either
+	// way).
+	MachineWorkers int
 }
 
 // bsLayout returns the VRF count and addresses for an option batch, or an
@@ -193,7 +199,8 @@ func RunBlackScholes(cfg BlackScholesConfig) (*Result, error) {
 		return nil, err
 	}
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: 2, NoTrace: cfg.NoTrace})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: 2,
+		NoTrace: cfg.NoTrace, Workers: cfg.MachineWorkers})
 	if err != nil {
 		return nil, err
 	}

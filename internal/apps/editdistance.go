@@ -86,8 +86,21 @@ type EditDistanceConfig struct {
 	Seed  int64
 	Check bool
 
+	// Steps caps the systolic rotation: queries visit Steps consecutive
+	// ring positions instead of completing the full circle. 0 means MPUs
+	// (the full rotation — the paper's configuration). The MPU-count
+	// scaling sweep pins Steps so per-MPU work stays constant while the
+	// ring grows.
+	Steps int
+
 	// NoTrace forwards to machine.Config: interpret every scheduling round.
 	NoTrace bool
+
+	// MachineWorkers forwards to machine.Config.Workers: scheduler
+	// goroutines executing ring positions concurrently between rendezvous
+	// (0 = one per CPU, 1 = sequential; statistics are identical either
+	// way).
+	MachineWorkers int
 }
 
 // normalize applies the ring defaults and checks chip capacity.
@@ -100,6 +113,12 @@ func (cfg *EditDistanceConfig) normalize() error {
 	}
 	if cfg.MPUs > cfg.Spec.MPUs {
 		return fmt.Errorf("apps: ring size %d exceeds chip MPUs %d", cfg.MPUs, cfg.Spec.MPUs)
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = cfg.MPUs
+	}
+	if cfg.Steps < 1 || cfg.Steps > cfg.MPUs {
+		return fmt.Errorf("apps: editdistance steps %d outside [1,%d]", cfg.Steps, cfg.MPUs)
 	}
 	if cfg.VRFs == 0 {
 		cfg.VRFs = 4
@@ -125,9 +144,9 @@ func edLayout(cfg EditDistanceConfig) ([]controlpath.VRFAddr, []controlpath.RFHP
 }
 
 // buildEditDistanceBuilders constructs one builder per ring position for a
-// normalized config: T = MPUs systolic steps; even MPUs send before
-// receiving, odd MPUs receive first (ring deadlock avoidance, the
-// lower-ID-sends-first rule of §V-B).
+// normalized config: T = Steps systolic steps (MPUs for the full rotation);
+// even MPUs send before receiving, odd MPUs receive first (ring deadlock
+// avoidance, the lower-ID-sends-first rule of §V-B).
 func buildEditDistanceBuilders(cfg EditDistanceConfig) []*ezpim.Builder {
 	addrs, pairs := edLayout(cfg)
 	maxVRFID := (cfg.VRFs - 1) / cfg.Spec.RFHsPerMPU
@@ -136,7 +155,7 @@ func buildEditDistanceBuilders(cfg EditDistanceConfig) []*ezpim.Builder {
 		b := ezpim.NewBuilder()
 		next := (id + 1) % cfg.MPUs
 		prev := (id + cfg.MPUs - 1) % cfg.MPUs
-		for step := 0; step < cfg.MPUs; step++ {
+		for step := 0; step < cfg.Steps; step++ {
 			b.Ensemble(addrs, func() { emitEditStep(b) })
 			send := func() {
 				b.Send(next, pairs, func(t *ezpim.Transfer) {
@@ -188,7 +207,8 @@ func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
 	addrs, _ := edLayout(cfg)
 	builders := buildEditDistanceBuilders(cfg)
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: cfg.MPUs, NoTrace: cfg.NoTrace})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: cfg.MPUs,
+		NoTrace: cfg.NoTrace, Workers: cfg.MachineWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +263,7 @@ func RunEditDistance(cfg EditDistanceConfig) (*Result, error) {
 			for i := range want {
 				want[i] = 1 << 20
 			}
-			for step := 0; step < cfg.MPUs; step++ {
+			for step := 0; step < cfg.Steps; step++ {
 				batch := (id - step + cfg.MPUs) % cfg.MPUs
 				for i := range want {
 					want[i] = refEditStep(chunks[id][i], queries[batch][i], want[i])

@@ -182,8 +182,22 @@ type LLMEncodeConfig struct {
 	Seed    int64
 	Check   bool
 
+	// Groups replicates the coordinator+workers pipeline: group g occupies
+	// MPUs g·(Workers+1) … g·(Workers+1)+Workers and runs an independent
+	// batch set. 0 means 1 (the paper's single-pipeline instance). The
+	// staging-capacity bound (Workers < VRFsPerRFH) is per coordinator, so
+	// groups are how the pipeline scales past it — the MPU-count scaling
+	// sweep uses them to reach the full 512-MPU chip.
+	Groups int
+
 	// NoTrace forwards to machine.Config: interpret every scheduling round.
 	NoTrace bool
+
+	// MachineWorkers forwards to machine.Config.Workers: scheduler
+	// goroutines executing participant MPUs concurrently between rendezvous
+	// (0 = one per CPU, 1 = sequential; statistics are identical either
+	// way).
+	MachineWorkers int
 }
 
 // normalize applies the config defaults and checks chip capacity.
@@ -194,8 +208,14 @@ func (cfg *LLMEncodeConfig) normalize() error {
 	if cfg.VRFs == 0 {
 		cfg.VRFs = 2
 	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
+	if cfg.Groups < 0 {
+		return fmt.Errorf("apps: negative group count %d", cfg.Groups)
+	}
 	spec := cfg.Spec
-	if mpus := cfg.Workers + 1; mpus > spec.MPUs {
+	if mpus := cfg.Groups * (cfg.Workers + 1); mpus > spec.MPUs {
 		return fmt.Errorf("apps: %d MPUs exceed chip capacity %d", mpus, spec.MPUs)
 	}
 	if cfg.VRFs > spec.RFHsPerMPU {
@@ -221,58 +241,66 @@ func llmLayout(cfg LLMEncodeConfig) ([]controlpath.VRFAddr, []controlpath.RFHPai
 	return computeAddrs, pairs
 }
 
-// buildLLMEncodeBuilders constructs the coordinator and worker builders for
-// a normalized config.
-func buildLLMEncodeBuilders(cfg LLMEncodeConfig) (cb *ezpim.Builder, wbs []*ezpim.Builder) {
+// buildLLMEncodeBuilders constructs one builder per participant MPU for a
+// normalized config, indexed by MPU id: group g's coordinator sits at
+// g·(Workers+1), its workers right behind it. Groups only ever message
+// within themselves, and every coordinator has the lowest id of its group,
+// so the lower-ID-sends-first rule holds chip-wide.
+func buildLLMEncodeBuilders(cfg LLMEncodeConfig) []*ezpim.Builder {
 	computeAddrs, pairs := llmLayout(cfg)
+	per := cfg.Workers + 1
+	builders := make([]*ezpim.Builder, cfg.Groups*per)
+	for g := 0; g < cfg.Groups; g++ {
+		base := g * per
 
-	// Coordinator program: broadcast weights + scatter batches, compute its
-	// own batch (batch 0), gather results.
-	cb = ezpim.NewBuilder()
-	for w := 1; w <= cfg.Workers; w++ {
-		wID := w
-		cb.Send(w, pairs, func(t *ezpim.Transfer) {
-			for r := 0; r < 2*llmD*llmD; r++ {
-				t.Copy(0, llmW1+r, 0, llmW1+r) // broadcast W1/W2
-			}
-			for f := 0; f < llmD; f++ {
-				t.Copy(wID, llmX+f, 0, llmX+f) // scatter batch w
-			}
-		})
-	}
-	cb.Ensemble(computeAddrs, func() { emitLLMBlock(cb) })
-	for w := 1; w <= cfg.Workers; w++ {
-		cb.Recv(w)
-	}
+		// Coordinator program: broadcast weights + scatter batches, compute
+		// its own batch (batch 0), gather results.
+		cb := ezpim.NewBuilder()
+		for w := 1; w <= cfg.Workers; w++ {
+			wID := w
+			cb.Send(base+w, pairs, func(t *ezpim.Transfer) {
+				for r := 0; r < 2*llmD*llmD; r++ {
+					t.Copy(0, llmW1+r, 0, llmW1+r) // broadcast W1/W2
+				}
+				for f := 0; f < llmD; f++ {
+					t.Copy(wID, llmX+f, 0, llmX+f) // scatter batch w
+				}
+			})
+		}
+		cb.Ensemble(computeAddrs, func() { emitLLMBlock(cb) })
+		for w := 1; w <= cfg.Workers; w++ {
+			cb.Recv(base + w)
+		}
+		builders[base] = cb
 
-	// Worker programs: receive weights+batch, compute, send results back
-	// into the coordinator's staging VRFs.
-	wbs = make([]*ezpim.Builder, cfg.Workers)
-	for w := 1; w <= cfg.Workers; w++ {
-		b := ezpim.NewBuilder()
-		b.Recv(0)
-		b.Ensemble(computeAddrs, func() { emitLLMBlock(b) })
-		wID := w
-		b.Send(0, pairs, func(t *ezpim.Transfer) {
-			for f := 0; f < llmD; f++ {
-				t.Copy(0, llmP+f, wID, llmP+f) // gather
-			}
-		})
-		wbs[w-1] = b
+		// Worker programs: receive weights+batch, compute, send results back
+		// into the coordinator's staging VRFs.
+		for w := 1; w <= cfg.Workers; w++ {
+			b := ezpim.NewBuilder()
+			b.Recv(base)
+			b.Ensemble(computeAddrs, func() { emitLLMBlock(b) })
+			wID := w
+			b.Send(base, pairs, func(t *ezpim.Transfer) {
+				for f := 0; f < llmD; f++ {
+					t.Copy(0, llmP+f, wID, llmP+f) // gather
+				}
+			})
+			builders[base+w] = b
+		}
 	}
-	return cb, wbs
+	return builders
 }
 
-// BuildLLMEncodePrograms assembles the coordinator (index 0) and worker
-// binaries for cfg without running them — the static-verification and
-// inspection entry point.
+// BuildLLMEncodePrograms assembles the participant binaries for cfg without
+// running them — the static-verification and inspection entry point. Index i
+// is MPU i's program; each group's coordinator precedes its workers.
 func BuildLLMEncodePrograms(cfg LLMEncodeConfig) ([]isa.Program, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	cb, wbs := buildLLMEncodeBuilders(cfg)
-	progs := make([]isa.Program, 0, len(wbs)+1)
-	for _, b := range append([]*ezpim.Builder{cb}, wbs...) {
+	builders := buildLLMEncodeBuilders(cfg)
+	progs := make([]isa.Program, 0, len(builders))
+	for _, b := range builders {
 		p, err := b.Program()
 		if err != nil {
 			return nil, err
@@ -282,48 +310,44 @@ func BuildLLMEncodePrograms(cfg LLMEncodeConfig) ([]isa.Program, error) {
 	return progs, nil
 }
 
-// RunLLMEncode executes the encoder block across a coordinator and workers.
+// RunLLMEncode executes the encoder block across coordinator+worker groups.
 //
 // Layout: participant compute VRFs sit at (rfh v, vrf 0) for v < VRFs, so a
 // single MEMCPY under the pair map {(v,v)} addresses all of them at once.
-// The coordinator stages batch w's tokens at (rfh v, vrf w).
+// Each group's coordinator stages its batch w's tokens at (rfh v, vrf w).
 func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 	spec := cfg.Spec
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	mpus := cfg.Workers + 1
+	per := cfg.Workers + 1 // participants per group
+	mpus := cfg.Groups * per
 	lanes := spec.Lanes
 
 	computeAddrs, _ := llmLayout(cfg)
 	stageAddr := func(batch, v int) controlpath.VRFAddr {
 		return controlpath.VRFAddr{RFH: uint8(v), VRF: uint8(batch)}
 	}
-	cb, wbs := buildLLMEncodeBuilders(cfg)
+	builders := buildLLMEncodeBuilders(cfg)
 
-	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: mpus, NoTrace: cfg.NoTrace})
+	m, err := machine.New(machine.Config{Spec: spec, Mode: cfg.Mode, NumMPUs: mpus,
+		NoTrace: cfg.NoTrace, Workers: cfg.MachineWorkers})
 	if err != nil {
 		return nil, err
 	}
-	cp, err := cb.Program()
-	if err != nil {
-		return nil, err
-	}
-	if err := m.LoadProgram(0, cp); err != nil {
-		return nil, err
-	}
-	for w := 1; w <= cfg.Workers; w++ {
-		p, err := wbs[w-1].Program()
+	for id, b := range builders {
+		p, err := b.Program()
 		if err != nil {
 			return nil, err
 		}
-		if err := m.LoadProgram(w, p); err != nil {
+		if err := m.LoadProgram(id, p); err != nil {
 			return nil, err
 		}
 	}
 
-	// Data: weights (small integers) broadcast-resident on the
-	// coordinator's compute VRFs; token features per batch.
+	// Data: weights (small integers, shared by every group)
+	// broadcast-resident on each coordinator's compute VRFs; token features
+	// per group and batch.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var w1, w2 [llmD][llmD]uint64
 	for i := 0; i < llmD; i++ {
@@ -333,41 +357,47 @@ func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 		}
 	}
 	nTok := cfg.VRFs * lanes
-	xs := make([][][llmD]uint64, mpus) // [batch][token][feature]
-	for batch := 0; batch < mpus; batch++ {
-		xs[batch] = make([][llmD]uint64, nTok)
-		for tok := range xs[batch] {
-			for f := 0; f < llmD; f++ {
-				xs[batch][tok][f] = uint64(rng.Intn(2 * Q))
-			}
-		}
-	}
-	for v := 0; v < cfg.VRFs; v++ {
-		a := computeAddrs[v]
-		for i := 0; i < llmD; i++ {
-			for j := 0; j < llmD; j++ {
-				if err := m.WriteVector(0, a, llmW1+i*llmD+j, broadcastLanes(lanes, w1[i][j])); err != nil {
-					return nil, err
-				}
-				if err := m.WriteVector(0, a, llmW2+i*llmD+j, broadcastLanes(lanes, w2[i][j])); err != nil {
-					return nil, err
+	xs := make([][][][llmD]uint64, cfg.Groups) // [group][batch][token][feature]
+	for g := range xs {
+		xs[g] = make([][][llmD]uint64, per)
+		for batch := 0; batch < per; batch++ {
+			xs[g][batch] = make([][llmD]uint64, nTok)
+			for tok := range xs[g][batch] {
+				for f := 0; f < llmD; f++ {
+					xs[g][batch][tok][f] = uint64(rng.Intn(2 * Q))
 				}
 			}
 		}
 	}
-	for batch := 0; batch < mpus; batch++ {
+	for g := 0; g < cfg.Groups; g++ {
+		coord := g * per
 		for v := 0; v < cfg.VRFs; v++ {
 			a := computeAddrs[v]
-			if batch > 0 {
-				a = stageAddr(batch, v)
-			}
-			for f := 0; f < llmD; f++ {
-				vals := make([]uint64, lanes)
-				for l := 0; l < lanes; l++ {
-					vals[l] = xs[batch][v*lanes+l][f]
+			for i := 0; i < llmD; i++ {
+				for j := 0; j < llmD; j++ {
+					if err := m.WriteVector(coord, a, llmW1+i*llmD+j, broadcastLanes(lanes, w1[i][j])); err != nil {
+						return nil, err
+					}
+					if err := m.WriteVector(coord, a, llmW2+i*llmD+j, broadcastLanes(lanes, w2[i][j])); err != nil {
+						return nil, err
+					}
 				}
-				if err := m.WriteVector(0, a, llmX+f, vals); err != nil {
-					return nil, err
+			}
+		}
+		for batch := 0; batch < per; batch++ {
+			for v := 0; v < cfg.VRFs; v++ {
+				a := computeAddrs[v]
+				if batch > 0 {
+					a = stageAddr(batch, v)
+				}
+				for f := 0; f < llmD; f++ {
+					vals := make([]uint64, lanes)
+					for l := 0; l < lanes; l++ {
+						vals[l] = xs[g][batch][v*lanes+l][f]
+					}
+					if err := m.WriteVector(coord, a, llmX+f, vals); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -380,40 +410,42 @@ func RunLLMEncode(cfg LLMEncodeConfig) (*Result, error) {
 
 	checked := 0
 	if cfg.Check {
-		for batch := 0; batch < mpus; batch++ {
-			for v := 0; v < cfg.VRFs; v++ {
-				// Batch 0 results sit in the coordinator's compute VRFs;
-				// gathered worker results in its staging VRFs.
-				a := computeAddrs[v]
-				if batch > 0 {
-					a = stageAddr(batch, v)
-				}
-				var got [llmD][]uint64
-				for f := 0; f < llmD; f++ {
-					vals, err := m.ReadVector(0, a, llmP+f)
-					if err != nil {
-						return nil, err
+		for g := 0; g < cfg.Groups; g++ {
+			coord := g * per
+			for batch := 0; batch < per; batch++ {
+				for v := 0; v < cfg.VRFs; v++ {
+					// Batch 0 results sit in the coordinator's compute VRFs;
+					// gathered worker results in its staging VRFs.
+					a := computeAddrs[v]
+					if batch > 0 {
+						a = stageAddr(batch, v)
 					}
-					got[f] = vals
-				}
-				for l := 0; l < lanes; l++ {
-					tok := v*lanes + l
-					want := refLLMBlock(xs[batch][tok], w1, w2)
+					var got [llmD][]uint64
 					for f := 0; f < llmD; f++ {
-						if got[f][l] != want[f] {
-							return nil, fmt.Errorf("apps: llmencode batch %d token %d feature %d: got %d, want %d",
-								batch, tok, f, got[f][l], want[f])
+						vals, err := m.ReadVector(coord, a, llmP+f)
+						if err != nil {
+							return nil, err
 						}
+						got[f] = vals
 					}
-					checked++
+					for l := 0; l < lanes; l++ {
+						tok := v*lanes + l
+						want := refLLMBlock(xs[g][batch][tok], w1, w2)
+						for f := 0; f < llmD; f++ {
+							if got[f][l] != want[f] {
+								return nil, fmt.Errorf("apps: llmencode group %d batch %d token %d feature %d: got %d, want %d",
+									g, batch, tok, f, got[f][l], want[f])
+							}
+						}
+						checked++
+					}
 				}
 			}
 		}
 	}
 
-	ez := cb.SourceLines()
-	asm := cb.EmittedInstructions()
-	for _, b := range wbs {
+	ez, asm := 0, 0
+	for _, b := range builders {
 		ez += b.SourceLines()
 		asm += b.EmittedInstructions()
 	}

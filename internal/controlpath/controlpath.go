@@ -4,6 +4,14 @@
 // template-lookup optimizations (Fig. 9), the playback buffer, the
 // return-address stack backing JUMP/RETURN, and the data transfer
 // controller's target map. The machine package wires these into a full MPU.
+//
+// Concurrency contract: every stateful structure here (RecipeCache,
+// PlaybackBuffer, the return stack) is owned by exactly ONE core and is
+// never locked — the machine's phase-barrier scheduler runs cores on
+// separate goroutines, and each core touches only its own control path.
+// Batches and the other pure functions are safe from any goroutine. Adding
+// cross-core sharing to this package means adding synchronization AND a
+// deterministic merge, or the worker-count stats parity breaks.
 package controlpath
 
 import "fmt"

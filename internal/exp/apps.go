@@ -22,14 +22,20 @@ const (
 	edVRFs     = 4
 )
 
-func runApp(name string, spec *backends.Spec, mode machine.Mode, seed int64, noTrace bool) (*apps.Result, error) {
+// runApp executes one end-to-end application cell. mw is the intra-machine
+// scheduler worker count — the cell's share of the CPU budget when the
+// enclosing sweep itself fans out (Options.machineWorkers).
+func runApp(name string, spec *backends.Spec, mode machine.Mode, opts Options, mw int) (*apps.Result, error) {
 	switch name {
 	case "LLMEncode":
-		return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Workers: llmWorkers, VRFs: llmVRFs, Seed: seed, NoTrace: noTrace})
+		return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Workers: llmWorkers, VRFs: llmVRFs,
+			Seed: opts.Seed, NoTrace: opts.NoTrace, MachineWorkers: mw})
 	case "BlackScholes":
-		return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Options: bsOptVRFs * spec.Lanes, Seed: seed, NoTrace: noTrace})
+		return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Options: bsOptVRFs * spec.Lanes,
+			Seed: opts.Seed, NoTrace: opts.NoTrace, MachineWorkers: mw})
 	case "EditDistance":
-		return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, MPUs: edRing, VRFs: edVRFs, Seed: seed, NoTrace: noTrace})
+		return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, MPUs: edRing, VRFs: edVRFs,
+			Seed: opts.Seed, NoTrace: opts.NoTrace, MachineWorkers: mw})
 	}
 	return nil, fmt.Errorf("exp: unknown application %q", name)
 }
@@ -92,8 +98,9 @@ func Table4(opts Options) ([]Table4Row, error) {
 	opts = opts.norm()
 	spec := backends.RACER()
 	names := AppNames()
+	mw := opts.machineWorkers()
 	return sweep.Map(opts.Workers, len(names), func(i int) (Table4Row, error) {
-		res, err := runApp(names[i], spec, machine.ModeMPU, opts.Seed, opts.NoTrace)
+		res, err := runApp(names[i], spec, machine.ModeMPU, opts, mw)
 		if err != nil {
 			return Table4Row{}, err
 		}
@@ -140,17 +147,18 @@ func Fig14(opts Options) ([]Fig14Row, error) {
 	gpu := gpumodel.RTX4090()
 	specs := []*backends.Spec{backends.RACER(), backends.MIMDRAM()}
 	names := AppNames()
+	mw := opts.machineWorkers()
 	return sweep.Map(opts.Workers, len(specs)*len(names), func(i int) (Fig14Row, error) {
 		spec, name := specs[i/len(names)], names[i%len(names)]
 		g, err := gpu.Run(appGPUProfile(name, spec))
 		if err != nil {
 			return Fig14Row{}, err
 		}
-		mpu, err := runApp(name, spec, machine.ModeMPU, opts.Seed, opts.NoTrace)
+		mpu, err := runApp(name, spec, machine.ModeMPU, opts, mw)
 		if err != nil {
 			return Fig14Row{}, err
 		}
-		base, err := runApp(name, spec, machine.ModeBaseline, opts.Seed, opts.NoTrace)
+		base, err := runApp(name, spec, machine.ModeBaseline, opts, mw)
 		if err != nil {
 			return Fig14Row{}, err
 		}
@@ -199,11 +207,12 @@ func Fig15(opts Options) ([]Fig15Row, error) {
 	names := AppNames()
 	modes := []machine.Mode{machine.ModeMPU, machine.ModeBaseline}
 	nCells := len(specs) * len(names) * len(modes)
+	mw := opts.machineWorkers()
 	return sweep.Map(opts.Workers, nCells, func(i int) (Fig15Row, error) {
 		spec := specs[i/(len(names)*len(modes))]
 		name := names[i/len(modes)%len(names)]
 		mode := modes[i%len(modes)]
-		res, err := runApp(name, spec, mode, opts.Seed, opts.NoTrace)
+		res, err := runApp(name, spec, mode, opts, mw)
 		if err != nil {
 			return Fig15Row{}, err
 		}

@@ -175,5 +175,12 @@ func ExportAll(dir string, opts Options) error {
 	if err != nil {
 		return fmt.Errorf("fig15: %w", err)
 	}
-	return WriteCSV(dir, "fig15", Fig15CSV(f15))
+	if err := WriteCSV(dir, "fig15", Fig15CSV(f15)); err != nil {
+		return err
+	}
+	sc, err := Scale(opts)
+	if err != nil {
+		return fmt.Errorf("scale: %w", err)
+	}
+	return WriteCSV(dir, "scale", ScaleCSV(sc))
 }

@@ -36,9 +36,24 @@ type Options struct {
 	Seed    int64
 	Workers int
 
+	// MachineWorkers sets the intra-machine scheduler fan-out for the
+	// multi-MPU cells (the apps and the MPU-count scaling sweep): scheduler
+	// goroutines executing cores concurrently between communication points.
+	// 0 divides GOMAXPROCS by the sweep worker count so the two levels of
+	// parallelism share one CPU budget (sweep.MachineWorkers); 1 forces the
+	// sequential core walk (the CLI's -mj 1). Statistics — and thus every
+	// rendered table and CSV — are byte-identical at any value.
+	MachineWorkers int
+
 	// NoTrace forwards to machine.Config: disable the ensemble trace engine
 	// and interpret every scheduling round (the CLI's -notrace).
 	NoTrace bool
+}
+
+// machineWorkers resolves the per-cell scheduler budget for a sweep fanning
+// out at o.Workers (see sweep.MachineWorkers).
+func (o Options) machineWorkers() int {
+	return sweep.MachineWorkers(o.MachineWorkers, sweep.Workers(o.Workers))
 }
 
 func (o Options) norm() Options {

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
@@ -23,6 +25,7 @@ import (
 	"mpu/internal/micro"
 	"mpu/internal/noc"
 	"mpu/internal/recipe"
+	"mpu/internal/sweep"
 	"mpu/internal/trace"
 	"mpu/internal/vrf"
 )
@@ -89,6 +92,14 @@ type Config struct {
 	// ensemble or capacity fault that slips through to a lint-soundness
 	// violation — loaded programs proved clean must not trip those guards.
 	Strict bool
+
+	// Workers bounds the scheduler goroutines that execute cores
+	// concurrently between communication points. 0 means one per CPU
+	// (runtime.GOMAXPROCS), 1 forces the sequential scheduler; the count is
+	// capped at NumMPUs either way. Statistics are byte-identical at any
+	// worker count — callers nesting machines inside a sweep should divide
+	// GOMAXPROCS between the two levels (see sweep.MachineWorkers).
+	Workers int
 
 	// NoTrace disables the ensemble trace engine, forcing every scheduling
 	// round through the interpreter (the escape hatch behind cmd flags and
@@ -168,8 +179,11 @@ type Machine struct {
 	// rounds and replays; re-running the gate-level expander each time
 	// dominated simulation wall clock. The cache is per machine (the
 	// capability set is fixed at construction), so concurrent sweep cells
-	// share nothing.
-	expands map[isa.Instr]*expandEntry
+	// share nothing. It is the one piece of machine state cores touch from
+	// concurrent scheduler goroutines, hence the mutex; entries are
+	// immutable once published, so lookups hand out shared pointers.
+	expandsMu sync.Mutex
+	expands   map[isa.Instr]*expandEntry
 }
 
 // expandEntry pairs a recipe expansion with its slot-resolved form, so the
@@ -193,6 +207,15 @@ type core struct {
 	pbuf    *controlpath.PlaybackBuffer
 	done    bool
 	blocked bool
+	// local accumulates this core's share of the run statistics. Between
+	// communication points each core charges only its own local Stats, so
+	// scheduler goroutines never contend; Run merges the locals in
+	// ascending core-ID order (reduceStats) once every core has finished.
+	// Rendezvous costs are charged to the *sender's* local during the
+	// single-threaded barrier phase, which keeps every core's charge
+	// sequence — including the order of float additions — independent of
+	// the worker count.
+	local Stats
 	// pending rendezvous state
 	sendDst  int
 	recvSrc  int
@@ -371,26 +394,57 @@ func (m *Machine) ReadVector(mpu int, a controlpath.VRFAddr, reg int) ([]uint64,
 // Run executes all loaded programs to completion and returns the statistics.
 // MPUs run concurrently in simulated time, synchronizing at SEND/RECV
 // rendezvous points.
+//
+// The scheduler is phase-based: in the run phase every runnable core
+// executes until it finishes or blocks on a rendezvous — cores are
+// independent between communication points, so with Config.Workers > 1 the
+// run phase fans them out across a bounded goroutine pool; in the barrier
+// phase (always single-threaded) pending SEND/RECV pairs are matched and
+// completed in ascending sender-ID order. Each core's execution — and thus
+// its charge sequence into its local Stats — depends only on its own
+// program and the deterministic barrier sequence, so the reduced statistics
+// are byte-identical at any worker count.
 func (m *Machine) Run() (*Stats, error) {
-	m.stats = Stats{}
+	workers := m.schedWorkers()
+	for _, c := range m.mpus {
+		c.local = Stats{}
+	}
+	runnable := make([]*core, 0, len(m.mpus))
 	for {
-		progress := false
+		runnable = runnable[:0]
 		allDone := true
 		for _, c := range m.mpus {
 			if c.done {
 				continue
 			}
 			allDone = false
-			if c.blocked {
-				continue
+			if !c.blocked {
+				runnable = append(runnable, c)
 			}
-			if err := c.run(); err != nil {
-				return nil, m.faultf(fmt.Errorf("mpu%d: %w", c.id, err))
-			}
-			progress = true
 		}
-		// Try to match pending rendezvous. A blocked sender names its
-		// destination, so the only core that can complete it is
+		if allDone {
+			break
+		}
+		progress := len(runnable) > 0
+		// Run phase. On error both schedules surface the diagnostic of the
+		// lowest-ID failing core: runnable is in ID order, and sweep.Each
+		// reports the lowest failing index.
+		if workers <= 1 || len(runnable) == 1 {
+			for _, c := range runnable {
+				if err := c.run(); err != nil {
+					return nil, m.faultf(fmt.Errorf("mpu%d: %w", c.id, err))
+				}
+			}
+		} else if err := sweep.Each(workers, len(runnable), func(i int) error {
+			if err := runnable[i].run(); err != nil {
+				return fmt.Errorf("mpu%d: %w", runnable[i].id, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, m.faultf(err)
+		}
+		// Barrier phase: match pending rendezvous. A blocked sender names
+		// its destination, so the only core that can complete it is
 		// mpus[s.sendDst] (validated when SEND executed) — an O(n) scan
 		// over senders instead of an O(n²) sender×receiver product.
 		for _, s := range m.mpus {
@@ -405,27 +459,71 @@ func (m *Machine) Run() (*Stats, error) {
 				progress = true
 			}
 		}
-		if allDone {
-			break
-		}
 		if !progress {
 			return nil, fmt.Errorf("machine: deadlock — no MPU can make progress (check SEND/RECV pairing and the lower-ID-sends-first rule)")
 		}
 	}
+	return m.reduceStats(), nil
+}
+
+// schedWorkers resolves the effective run-phase worker count: an explicit
+// Config.Workers wins, 0 means one per CPU, and the result is capped at the
+// core count. A machine writing an execution log always runs sequentially so
+// the log lines keep their deterministic interleaving.
+func (m *Machine) schedWorkers() int {
+	w := m.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(m.mpus) {
+		w = len(m.mpus)
+	}
+	if m.cfg.Trace != nil {
+		w = 1
+	}
+	return w
+}
+
+// reduceStats merges the per-core statistics into the machine totals in
+// ascending core-ID order — the only place m.stats is written (enforced by
+// cmd/repolint's machine-stats-mutation rule). The fixed reduction order
+// makes the float energy sums bit-for-bit reproducible across worker counts,
+// the same discipline runBody's round-local accumulation applies within a
+// core.
+func (m *Machine) reduceStats() *Stats {
+	m.stats = Stats{}
 	st := &m.stats
 	for _, c := range m.mpus {
+		l := &c.local
 		st.PerMPUCycles = append(st.PerMPUCycles, c.cycles)
 		if c.cycles > st.Cycles {
 			st.Cycles = c.cycles
 		}
+		st.Instructions += l.Instructions
+		st.MicroOps += l.MicroOps
+		st.Rounds += l.Rounds
+		st.Ensembles += l.Ensembles
+		st.Transfers += l.Transfers
+		st.Sends += l.Sends
+		st.Offloads += l.Offloads
 		st.RecipeHits += c.rcache.Hits
 		st.RecipeMisses += c.rcache.Misses
-		st.DecodeStalls += c.rcache.StallCycles
 		st.PlaybackSpill += c.pbuf.Overflows
+		st.TraceHits += l.TraceHits
+		st.TraceMisses += l.TraceMisses
+		st.TraceFallbacks += l.TraceFallbacks
+		st.ComputeCycles += l.ComputeCycles
+		st.TransferCycles += l.TransferCycles
+		st.InterMPUCycles += l.InterMPUCycles
+		st.OffloadCycles += l.OffloadCycles
+		st.DecodeStalls += c.rcache.StallCycles
+		st.DatapathEnergyPJ += l.DatapathEnergyPJ
+		st.NoCEnergyPJ += l.NoCEnergyPJ
+		st.HostEnergyPJ += l.HostEnergyPJ
 		st.FrontendDynamicPJ += float64(c.issue) * frontendDynamicPJPerCycle
 	}
 	if m.cfg.Mode == ModeMPU {
-		st.FrontendStaticPJ = float64(len(m.mpus)) * frontendStaticMW * float64(st.Cycles)
+		st.FrontendStaticPJ = float64(len(m.mpus)) * frontendStaticPJPerCycle * float64(st.Cycles)
 	} else {
 		// Baseline: the host is live for the whole run, and the original
 		// datapaths' less efficient micro-op expansion dissipates extra
@@ -437,7 +535,7 @@ func (m *Machine) Run() (*Stats, error) {
 		}
 		st.FrontendDynamicPJ = 0 // no MPU front end exists
 	}
-	return st, nil
+	return st
 }
 
 // faultf escalates tagged faults under strict mode: a strict machine only
@@ -450,27 +548,43 @@ func (m *Machine) faultf(err error) error {
 	return err
 }
 
-// Front-end power constants (see internal/frontend; duplicated here to keep
+// Front-end energy constants (see internal/frontend; duplicated here to keep
 // the dependency graph acyclic: frontend imports nothing, but machine only
-// needs the two scalars).
+// needs the two scalars). Both are per-cycle energies at the 1 GHz clock:
+// 1 mW × 1 ns = 1 pJ, so frontend.StaticPowerMW (1.22 mW) charges 1.22 pJ
+// per cycle per MPU and frontend.DynamicPowerMW (71.72 mW) charges 71.72 pJ
+// per active issue cycle. TestFrontendEnergyUnits pins the equivalence
+// against internal/frontend's reported totals.
 const (
-	frontendStaticMW          = 1.22  // pJ per cycle per MPU at 1 GHz
-	frontendDynamicPJPerCycle = 71.72 // pJ per active issue cycle
+	frontendStaticPJPerCycle  = 1.22  // pJ per cycle per MPU (1.22 mW at 1 GHz)
+	frontendDynamicPJPerCycle = 71.72 // pJ per active issue cycle (71.72 mW at 1 GHz)
 )
 
 // expand returns the decoded recipe for in — the micro-op expansion plus
 // its slot-resolved form — memoized for the machine's capability set. The
-// returned entry is shared and must not be mutated.
+// returned entry is shared and must not be mutated. Cores call this from
+// concurrent scheduler goroutines, so the memo is mutex-guarded; when two
+// cores race to expand the same instruction the first published entry wins,
+// keeping one canonical pointer per instruction.
 func (m *Machine) expand(in isa.Instr) (*expandEntry, error) {
-	if e, ok := m.expands[in]; ok {
+	m.expandsMu.Lock()
+	e, ok := m.expands[in]
+	m.expandsMu.Unlock()
+	if ok {
 		return e, nil
 	}
 	ops, rops, err := recipe.ExpandResolved(m.cfg.Spec.Caps, in)
 	if err != nil {
 		return nil, err
 	}
-	e := &expandEntry{ops: ops, rops: rops}
-	m.expands[in] = e
+	e = &expandEntry{ops: ops, rops: rops}
+	m.expandsMu.Lock()
+	if prev, ok := m.expands[in]; ok {
+		e = prev
+	} else {
+		m.expands[in] = e
+	}
+	m.expandsMu.Unlock()
 	return e, nil
 }
 
@@ -571,9 +685,9 @@ func (c *core) offload() {
 	c.tracef("host offload (control decision)")
 	lat := c.m.cfg.Host.OffloadCycles(c.m.cfg.Spec.Lanes, c.m.cfg.Spec.OnChipCPU)
 	c.cycles += lat
-	c.m.stats.OffloadCycles += lat
-	c.m.stats.Offloads++
-	c.m.stats.HostEnergyPJ += c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
+	c.local.OffloadCycles += lat
+	c.local.Offloads++
+	c.local.HostEnergyPJ += c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
 }
 
 // offloadBody charges one host round trip inside an ensemble body. Unlike
@@ -583,8 +697,8 @@ func (c *core) offloadBody(hostPJ *float64) (lat int64, pj float64) {
 	c.tracef("host offload (control decision)")
 	lat = c.m.cfg.Host.OffloadCycles(c.m.cfg.Spec.Lanes, c.m.cfg.Spec.OnChipCPU)
 	c.cycles += lat
-	c.m.stats.OffloadCycles += lat
-	c.m.stats.Offloads++
+	c.local.OffloadCycles += lat
+	c.local.Offloads++
 	pj = c.m.cfg.Host.OffloadEnergyPJ(c.m.cfg.Spec.Lanes)
 	*hostPJ += pj
 	return lat, pj
@@ -627,7 +741,7 @@ func (c *core) runComputeEnsemble() error {
 		c.cycles += int64(bodyLen)
 	}
 	rounds := controlpath.Batches(c.hdr, c.m.limit)
-	c.m.stats.Ensembles++
+	c.local.Ensembles++
 	c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(c.hdr), bodyLen, len(rounds))
 
 	// Spilling bodies replay from the ISU, not the playback buffer, so the
@@ -650,7 +764,7 @@ func (c *core) runComputeEnsemble() error {
 	endPC := bodyStart
 	for ri, batch := range rounds {
 		c.tracef("round %d: %d VRFs active", ri, len(batch))
-		c.m.stats.Rounds++
+		c.local.Rounds++
 		c.cycles += 4 // footer interrupt + batch swap (Fig. 10 lines 11–23)
 		if cap(c.act) < len(batch) {
 			c.act = make([]*vrf.VRF, len(batch))
@@ -662,13 +776,13 @@ func (c *core) runComputeEnsemble() error {
 		}
 		switch {
 		case gate && known && tr != nil && c.replayable(tr):
-			c.m.stats.TraceHits++
+			c.local.TraceHits++
 			c.replayRound(tr, vrfs)
 			endPC = tr.EndPC
 		case gate && !known:
 			// First execution: interpret under the recorder. Finish returns
 			// nil if the run proved unreplayable (negative cache entry).
-			c.m.stats.TraceMisses++
+			c.local.TraceMisses++
 			rec := trace.NewRecorder()
 			pc, err := c.runBody(bodyStart, vrfs, rec)
 			if err != nil {
@@ -680,7 +794,7 @@ func (c *core) runComputeEnsemble() error {
 			endPC = pc
 		default:
 			if enabled {
-				c.m.stats.TraceFallbacks++
+				c.local.TraceFallbacks++
 			}
 			pc, err := c.runBody(bodyStart, vrfs, nil)
 			if err != nil {
@@ -706,7 +820,7 @@ func (c *core) replayable(t *trace.Trace) bool {
 // data-mutating steps run per VRF, and every cost counter advances by the
 // precomputed delta — O(1) accounting regardless of dynamic body length.
 func (c *core) replayRound(t *trace.Trace, batch []*vrf.VRF) {
-	st := &c.m.stats
+	st := &c.local
 	if c.m.cfg.Mode == ModeMPU {
 		// All-hit decode (checked by replayable): charge the hits and touch
 		// the LRU in last-occurrence order, leaving the recipe cache in the
@@ -768,7 +882,7 @@ func (c *core) findComputeDone(start int) (int, error) {
 // summing per round first makes both paths add bit-identical values.
 func (c *core) runBody(start int, batch []*vrf.VRF, rec *trace.Recorder) (int, error) {
 	spec := c.m.cfg.Spec
-	st := &c.m.stats
+	st := &c.local
 	pc := start
 	steps := 0
 	var bodyPJ, hostPJ float64
@@ -955,21 +1069,23 @@ func (c *core) memcpyLocal(pairs []controlpath.RFHPair, in isa.Instr) error {
 			return err
 		}
 		vrf.CopyRegister(c.vrfAt(src), int(in.B), c.vrfAt(dst), int(in.D))
-		c.m.stats.Transfers++
+		c.local.Transfers++
 	}
 	cyc := int64(16 + spec.Lanes) // setup + one 64-bit word per lane
 	c.cycles += cyc
-	c.m.stats.TransferCycles += cyc
-	// On-chip movement energy: ~0.2 pJ/byte across the RFH interconnect.
-	c.m.stats.NoCEnergyPJ += float64(len(pairs)*spec.Lanes*8) * 0.2
+	c.local.TransferCycles += cyc
+	c.local.NoCEnergyPJ += c.m.mesh.DTCEnergyPJ(len(pairs) * spec.Lanes * 8)
 	return nil
 }
 
 // rendezvous completes a matched SEND/RECV pair: the sender's block
 // (SEND … MOVE/MEMCPY … MOVE_DONE … SEND_DONE) executes with source VRFs on
 // the sender and destination VRFs on the receiver, costed through the mesh.
+// It only runs in the single-threaded barrier phase; its costs are charged
+// to the sender's local Stats, so the charge sequence every core observes is
+// independent of the scheduler's worker count.
 func (m *Machine) rendezvous(s, r *core) error {
-	st := &m.stats
+	st := &s.local
 	t0 := s.cycles
 	if r.cycles > t0 {
 		t0 = r.cycles

@@ -1,0 +1,49 @@
+package machine
+
+// Unit check for the front-end energy constants: the machine charges
+// frontend static/dynamic energy in pJ per cycle, and at the 1 GHz clock a
+// front end drawing P mW spends exactly P pJ each cycle (1 mW × 1 ns =
+// 1 pJ). The per-cycle constants must therefore equal the mW figures
+// published by internal/frontend — numerically, not just by coincidence —
+// and a run's totals must reproduce the frontend package's own energy
+// helpers.
+
+import (
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/frontend"
+)
+
+func TestFrontendEnergyUnits(t *testing.T) {
+	if frontend.ClockGHz != 1.0 {
+		t.Fatalf("frontend clock is %g GHz; the machine's pJ-per-cycle constants assume 1 GHz", frontend.ClockGHz)
+	}
+	if frontendStaticPJPerCycle != frontend.StaticPowerMW {
+		t.Errorf("frontendStaticPJPerCycle = %g, want frontend.StaticPowerMW = %g",
+			frontendStaticPJPerCycle, frontend.StaticPowerMW)
+	}
+	if frontendDynamicPJPerCycle != frontend.DynamicPowerMW {
+		t.Errorf("frontendDynamicPJPerCycle = %g, want frontend.DynamicPowerMW = %g",
+			frontendDynamicPJPerCycle, frontend.DynamicPowerMW)
+	}
+
+	// End to end: a run's static energy must equal the frontend package's
+	// own accounting for the same MPU count and cycle count.
+	const mpus = 3
+	m := newMachine(t, backends.RACER(), ModeMPU, mpus)
+	if err := m.LoadAll(mustAssemble(t, vecAddSrc)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := frontend.StaticEnergyPJ(mpus, st.Cycles); st.FrontendStaticPJ != want {
+		t.Errorf("FrontendStaticPJ = %g, want frontend.StaticEnergyPJ(%d, %d) = %g",
+			st.FrontendStaticPJ, mpus, st.Cycles, want)
+	}
+	if st.FrontendDynamicPJ <= 0 {
+		t.Errorf("FrontendDynamicPJ = %g, want > 0", st.FrontendDynamicPJ)
+	}
+}

@@ -13,17 +13,25 @@ type Config struct {
 	SetupCycles  int     // path setup (circuit-switched datapaths)
 	WordsPerFlit int     // 64-bit words moved per cycle once streaming
 	EnergyPJByte float64 // per byte per hop
+
+	// DTCEnergyPJByte is the intra-MPU movement energy across the RFH
+	// interconnect — the cost of a local MOVE ensemble's pair copies, which
+	// never leave the MPU and so pay no per-hop router energy. The machine
+	// charges it through Mesh.DTCEnergyPJ, making this field the single
+	// source of truth for on-chip DTC transfer energy.
+	DTCEnergyPJByte float64
 }
 
 // Default returns the mesh configuration used in the evaluation: a mesh
 // sized for n MPUs with SST-like router costs.
 func Default(n int) Config {
 	return Config{
-		MPUs:         n,
-		HopCycles:    3,
-		SetupCycles:  12,
-		WordsPerFlit: 1,
-		EnergyPJByte: 1.1,
+		MPUs:            n,
+		HopCycles:       3,
+		SetupCycles:     12,
+		WordsPerFlit:    1,
+		EnergyPJByte:    1.1,
+		DTCEnergyPJByte: 0.2,
 	}
 }
 
@@ -40,6 +48,9 @@ func New(cfg Config) (*Mesh, error) {
 	}
 	if cfg.HopCycles <= 0 || cfg.WordsPerFlit <= 0 {
 		return nil, fmt.Errorf("noc: non-positive cost parameters")
+	}
+	if cfg.DTCEnergyPJByte < 0 {
+		return nil, fmt.Errorf("noc: negative DTC energy %g pJ/byte", cfg.DTCEnergyPJByte)
 	}
 	side := 1
 	for side*side < cfg.MPUs {
@@ -67,6 +78,14 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+// DTCEnergyPJ returns the energy to move the given byte count across one
+// MPU's RFH interconnect (a local DTC transfer, §VI-D): bytes times the
+// configured per-byte cost. Local movement is point-to-point inside the MPU,
+// so no hop count applies.
+func (m *Mesh) DTCEnergyPJ(bytes int) float64 {
+	return float64(bytes) * m.cfg.DTCEnergyPJByte
 }
 
 // TransferCost returns the cycle count and energy (pJ) to move words 64-bit

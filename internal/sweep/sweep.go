@@ -21,6 +21,26 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// MachineWorkers resolves the intra-machine scheduler budget for one cell
+// of a sweep that fans out sweepWorkers cells concurrently. An explicit
+// request (> 0) wins. 0 divides GOMAXPROCS across the sweep — each cell
+// gets floor(GOMAXPROCS / sweepWorkers) scheduler goroutines, at least 1 —
+// so sweep-level and machine-level parallelism together never oversubscribe
+// the host: sweepWorkers × MachineWorkers(0, sweepWorkers) ≤ GOMAXPROCS.
+func MachineWorkers(requested, sweepWorkers int) int {
+	if requested > 0 {
+		return requested
+	}
+	if sweepWorkers < 1 {
+		sweepWorkers = 1
+	}
+	w := runtime.GOMAXPROCS(0) / sweepWorkers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Map evaluates fn(0), …, fn(n-1) and returns the results in index order.
 //
 // The worker count is resolved through Workers. One worker runs the calls

@@ -55,6 +55,13 @@ type RunConfig struct {
 	// NoTrace forwards to machine.Config: disable the compile-once/
 	// replay-many trace engine and interpret every scheduling round.
 	NoTrace bool
+
+	// Workers forwards to machine.Config: scheduler goroutines executing
+	// cores concurrently between communication points (0 = one per CPU,
+	// 1 = sequential). Kernel runs simulate a single MPU, so this only
+	// matters for callers that raise NumMPUs; it is plumbed so sweeps can
+	// hand machines their share of the CPU budget uniformly.
+	Workers int
 }
 
 // Result is one kernel execution on one configuration.
@@ -156,6 +163,7 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 		ActiveVRFsOverride: cfg.ActiveVRFsOverride,
 		Recipe:             cfg.RecipeCache,
 		NoTrace:            cfg.NoTrace,
+		Workers:            cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
