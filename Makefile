@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-short repolint fuzz check bench figures clean
+.PHONY: all build test vet race race-short repolint fuzz check bench bench-serve serve-smoke figures clean
 
 all: check
 
@@ -26,12 +26,13 @@ race:
 # The concurrency-sensitive packages only (the sweep worker pool and the
 # linter the machine calls from strict mode) plus the trace-engine parity
 # difftest, whose replay path shares compiled traces and memoized recipe
-# expansions across sweep workers, and the parallel-scheduler parity
-# difftest, which fans cores out across scheduler goroutines — fast enough
-# for every CI run.
+# expansions across sweep workers, the parallel-scheduler parity difftest,
+# which fans cores out across scheduler goroutines, and the serve-layer
+# parity and warm-pool hammer tests — fast enough for every CI run.
 race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
 	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestParallelMachine|TestParallelDeadlock' ./internal/machine
+	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool' ./internal/serve
 
 # A bounded run of the lint-soundness oracle: random programs the linter
 # passes must execute without ensemble or capacity faults.
@@ -48,6 +49,16 @@ check: build vet test repolint
 # -benchtime.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x
+
+# End-to-end daemon check (also in CI): start mpud on a random port, hit
+# /healthz, execute one kernel, read /metrics, drain on SIGTERM, exit.
+serve-smoke:
+	$(GO) run ./cmd/mpud -smoke -quiet
+
+# The PR 5 load study: 64 closed-loop clients against a self-hosted 4-pool
+# daemon with a mid-run SIGTERM drain; fails if any in-flight request drops.
+bench-serve:
+	$(GO) run ./cmd/mpuload -c 64 -duration 10s -drain -out BENCH_pr5.json
 
 figures:
 	$(GO) run ./cmd/mastodon all

@@ -1,0 +1,190 @@
+// Command mpud runs the MPU simulator as a long-lived execution service:
+// warm machine pools per (backend, mode), a bounded admission queue with
+// 503 backpressure, request batching, per-request deadlines, and an
+// observability plane (/metrics, /healthz, JSON request logs).
+//
+// Usage:
+//
+//	mpud [-addr :8080] [-pools racer:mpu:2,mimdram:mpu:1] [-queue 64]
+//	     [-window 2ms] [-deadline 30s] [-max-elements 1048576]
+//	     [-notrace] [-j N] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/execute   run a catalog workload or an assembled binary
+//	GET  /v1/workloads list the kernel catalog
+//	GET  /healthz      liveness + pool inventory (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+//
+// On SIGTERM/SIGINT the daemon drains: admission stops (503), in-flight
+// requests run to completion, then the pools shut down.
+//
+// -smoke starts the daemon on a random loopback port, exercises /healthz,
+// one /v1/execute, and /metrics against itself, drains, and exits — the CI
+// end-to-end check.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpu/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	pools := flag.String("pools", "racer:mpu:2", "warm pools: backend:mode[:size],... (modes: mpu, baseline)")
+	queue := flag.Int("queue", 64, "admission queue depth per pool, in batches")
+	window := flag.Duration("window", 2*time.Millisecond, "batching window (negative disables coalescing waits)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxElements := flag.Int("max-elements", 1<<20, "per-request element cap for workload runs")
+	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine in pool machines")
+	jobs := flag.Int("j", 0, "machine scheduler workers per pool machine (0 = one per CPU)")
+	quiet := flag.Bool("quiet", false, "suppress JSON request logs")
+	smoke := flag.Bool("smoke", false, "self-test: serve on a random port, run one request, drain, exit")
+	flag.Parse()
+
+	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *jobs, *quiet, *smoke); err != nil {
+		fmt.Fprintf(os.Stderr, "mpud: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace bool, jobs int, quiet, smoke bool) error {
+	specs, err := serve.ParsePoolSpecs(pools)
+	if err != nil {
+		return err
+	}
+	var logs io.Writer = os.Stderr
+	if quiet {
+		logs = nil
+	}
+	srv, err := serve.New(serve.Config{
+		Pools:           specs,
+		QueueDepth:      queue,
+		BatchWindow:     window,
+		MaxElements:     maxElements,
+		DefaultDeadline: deadline,
+		NoTrace:         notrace,
+		MachineWorkers:  jobs,
+		Logs:            logs,
+	})
+	if err != nil {
+		return err
+	}
+
+	if smoke {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Explicit timeouts on every edge: a slow or stalled client must not be
+	// able to pin a connection (repolint rule 4 enforces this shape).
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * deadline,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Printf("mpud: listening on %s (pools %s)\n", ln.Addr(), pools)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	if smoke {
+		go func() {
+			if err := smokeTest("http://" + ln.Addr().String()); err != nil {
+				fmt.Fprintf(os.Stderr, "mpud: smoke: %v\n", err)
+				os.Exit(1)
+			}
+			// Self-deliver the drain signal so the smoke run exercises the
+			// same shutdown path as production.
+			p, _ := os.FindProcess(os.Getpid())
+			p.Signal(syscall.SIGTERM)
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("mpud: %s: draining\n", s)
+	}
+
+	// Drain sequence: stop admitting, let the HTTP layer finish in-flight
+	// handlers (every queued batch has one waiting), then stop the pools.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*deadline)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	fmt.Println("mpud: drained")
+	return nil
+}
+
+// smokeTest is the end-to-end liveness exercise run by -smoke (and CI):
+// healthz, one kernel execution with plausibility checks, and metrics.
+func smokeTest(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"workload": "gcd", "backend": "racer", "elements": 256, "seed": 7, "check": true,
+	})
+	resp, err = client.Post(base+"/v1/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("execute: status %d: %s", resp.StatusCode, out)
+	}
+	var r struct {
+		CheckedLanes int             `json:"checked_lanes"`
+		Stats        json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal(out, &r); err != nil {
+		return fmt.Errorf("execute: bad body %s: %w", out, err)
+	}
+	if r.CheckedLanes <= 0 || len(r.Stats) == 0 {
+		return fmt.Errorf("execute: implausible result %s", out)
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(metrics, []byte(`mpud_requests_total{code="200"} 1`)) {
+		return fmt.Errorf("metrics did not count the request:\n%s", metrics)
+	}
+	fmt.Println("mpud: smoke ok")
+	return nil
+}

@@ -1,0 +1,384 @@
+// Command mpuload is a closed-loop load generator for mpud: N concurrent
+// clients each issue a request, wait for the response, and immediately
+// issue the next, cycling through a workload mix. It reports throughput,
+// latency percentiles, and the admission outcome histogram, and writes the
+// study as JSON.
+//
+// Usage:
+//
+//	mpuload [-url http://host:port] [-c 64] [-duration 10s]
+//	        [-pools racer:mpu:2,...] [-mix gcd:racer,relu:mimdram,...]
+//	        [-elements 128] [-drain] [-out BENCH_pr5.json]
+//
+// With no -url, mpuload self-hosts an in-process serve.Server on a loopback
+// port — the standard way to run the study without a separate daemon.
+// -drain delivers a real SIGTERM to the process at half duration: the
+// server stops admitting (clients see clean 503s) while admitted requests
+// run to completion. The study records how many in-flight requests the
+// drain dropped; the acceptance contract is zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mpu/internal/exp"
+	"mpu/internal/serve"
+)
+
+type mixEntry struct {
+	workload string
+	backend  string
+	mode     string
+}
+
+// study is the BENCH_pr5.json schema.
+type study struct {
+	Config struct {
+		Clients  int      `json:"clients"`
+		Duration string   `json:"duration"`
+		Pools    string   `json:"pools"`
+		Mix      []string `json:"mix"`
+		Elements int      `json:"elements"`
+		Drain    bool     `json:"drain"`
+	} `json:"config"`
+	Totals struct {
+		Requests uint64            `json:"requests"`
+		OK       uint64            `json:"ok"`
+		Refused  uint64            `json:"refused_503"`
+		Dropped  uint64            `json:"dropped"`
+		ByStatus map[string]uint64 `json:"by_status"`
+	} `json:"totals"`
+	Throughput struct {
+		OKPerSec float64 `json:"ok_per_sec"`
+	} `json:"throughput"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	DrainStudy *drainStudy `json:"drain_study,omitempty"`
+}
+
+type drainStudy struct {
+	AtMS              float64 `json:"at_ms"`
+	InflightAtDrain   int64   `json:"inflight_at_drain"`
+	InflightCompleted int64   `json:"inflight_completed"`
+	InflightDropped   int64   `json:"inflight_dropped"`
+	OKAfterDrain      uint64  `json:"ok_after_drain"`
+	RefusedAfterDrain uint64  `json:"refused_after_drain"`
+}
+
+func main() {
+	url := flag.String("url", "", "mpud base URL; empty self-hosts an in-process server")
+	clients := flag.Int("c", 64, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 10*time.Second, "study length")
+	pools := flag.String("pools", "racer:mpu:2,mimdram:mpu:2,dcache:mpu:2,simdram:mpu:2",
+		"self-hosted pools: backend:mode[:size],...")
+	mix := flag.String("mix", "gcd:racer,relu:mimdram,vecadd:dcache,vecxor:simdram",
+		"request mix: workload:backend[:mode],... cycled per client")
+	elements := flag.Int("elements", 128, "elements per request")
+	queue := flag.Int("queue", 64, "self-hosted admission queue depth per pool")
+	window := flag.Duration("window", 2*time.Millisecond, "self-hosted batching window")
+	drain := flag.Bool("drain", false, "SIGTERM the self-hosted server at half duration")
+	out := flag.String("out", "", "write the study JSON to this path")
+	flag.Parse()
+
+	if err := run(*url, *clients, *duration, *pools, *mix, *elements, *queue, *window, *drain, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "mpuload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) < 2 || len(f) > 3 {
+			return nil, fmt.Errorf("mix entry %q: want workload:backend[:mode]", part)
+		}
+		e := mixEntry{workload: f[0], backend: f[1], mode: "mpu"}
+		if len(f) == 3 {
+			e.mode = f[2]
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return out, nil
+}
+
+func run(url string, clients int, duration time.Duration, pools, mixSpec string, elements, queue int, window time.Duration, drain bool, out string) error {
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	if drain && url != "" {
+		return fmt.Errorf("-drain requires the self-hosted server (no -url)")
+	}
+
+	var shutdown func() error
+	if url == "" {
+		url, shutdown, err = selfHost(pools, queue, window)
+		if err != nil {
+			return err
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // seconds, OK requests only
+		byStatus  = map[string]uint64{}
+		requests  uint64
+		ok        uint64
+		refused   uint64
+		dropped   uint64
+
+		drainedAt   atomic.Int64 // unix nanos, 0 = not drained
+		inflight    atomic.Int64
+		inflightAtD atomic.Int64
+		okAfter     atomic.Uint64
+		refAfter    atomic.Uint64
+		straddleOK  atomic.Int64 // requests in flight at drain that completed OK
+		straddleBad atomic.Int64 // ... that were dropped
+	)
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	stop := make(chan struct{})
+	start := time.Now()
+
+	sig := make(chan os.Signal, 1)
+	if drain {
+		signal.Notify(sig, syscall.SIGTERM)
+		go func() {
+			time.Sleep(duration / 2)
+			p, _ := os.FindProcess(os.Getpid())
+			p.Signal(syscall.SIGTERM)
+		}()
+	}
+	go func() {
+		if drain {
+			<-sig
+			// Record the in-flight population the drain must not drop, then
+			// stop admission. The HTTP layer stays up so refused requests get
+			// clean 503s and admitted ones complete.
+			inflightAtD.Store(inflight.Load())
+			drainedAt.Store(time.Now().UnixNano())
+			drainSelfHosted()
+		}
+		time.Sleep(time.Until(start.Add(duration)))
+		close(stop)
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := mix[i%len(mix)]
+				body, _ := json.Marshal(map[string]any{
+					"workload": e.workload, "backend": e.backend, "mode": e.mode,
+					"elements": elements, "seed": int64(i % 8), "check": true,
+				})
+				preDrain := drainedAt.Load() == 0
+				inflight.Add(1)
+				t0 := time.Now()
+				status, err := post(client, url+"/v1/execute", body)
+				sec := time.Since(t0).Seconds()
+				inflight.Add(-1)
+				straddled := preDrain && drainedAt.Load() != 0
+
+				mu.Lock()
+				requests++
+				if err != nil {
+					byStatus["error"]++
+					dropped++
+				} else {
+					byStatus[fmt.Sprint(status)]++
+					switch status {
+					case http.StatusOK:
+						ok++
+						latencies = append(latencies, sec)
+					case http.StatusServiceUnavailable:
+						refused++
+					default:
+						dropped++
+					}
+				}
+				mu.Unlock()
+
+				if drainedAt.Load() != 0 && !straddled {
+					switch status {
+					case http.StatusOK:
+						okAfter.Add(1)
+					case http.StatusServiceUnavailable:
+						refAfter.Add(1)
+					}
+				}
+				if straddled {
+					if err == nil && status == http.StatusOK {
+						straddleOK.Add(1)
+					} else if err != nil || status != http.StatusServiceUnavailable {
+						straddleBad.Add(1)
+					}
+				}
+				if err == nil && status == http.StatusServiceUnavailable {
+					// Honor backpressure: back off instead of hammering a
+					// full (or draining) admission queue.
+					select {
+					case <-stop:
+						return
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return err
+		}
+	}
+
+	var s study
+	s.Config.Clients = clients
+	s.Config.Duration = duration.String()
+	s.Config.Pools = pools
+	for _, e := range mix {
+		s.Config.Mix = append(s.Config.Mix, e.workload+":"+e.backend+":"+e.mode)
+	}
+	s.Config.Elements = elements
+	s.Config.Drain = drain
+	s.Totals.Requests = requests
+	s.Totals.OK = ok
+	s.Totals.Refused = refused
+	s.Totals.Dropped = dropped
+	s.Totals.ByStatus = byStatus
+	s.Throughput.OKPerSec = float64(ok) / elapsed.Seconds()
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i] * 1e3
+	}
+	s.LatencyMS.P50 = pct(0.50)
+	s.LatencyMS.P90 = pct(0.90)
+	s.LatencyMS.P99 = pct(0.99)
+	s.LatencyMS.Max = pct(1.0)
+	if drain {
+		s.DrainStudy = &drainStudy{
+			AtMS:              float64(drainedAt.Load()-start.UnixNano()) / 1e6,
+			InflightAtDrain:   inflightAtD.Load(),
+			InflightCompleted: straddleOK.Load(),
+			InflightDropped:   straddleBad.Load(),
+			OKAfterDrain:      okAfter.Load(),
+			RefusedAfterDrain: refAfter.Load(),
+		}
+	}
+
+	fmt.Printf("mpuload: %d clients, %s: %d requests, %d ok (%.1f/s), %d refused, %d dropped\n",
+		clients, elapsed.Round(time.Millisecond), requests, ok, s.Throughput.OKPerSec, refused, dropped)
+	fmt.Printf("mpuload: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	if s.DrainStudy != nil {
+		d := s.DrainStudy
+		fmt.Printf("mpuload: drain at %.0fms: %d in flight, %d completed, %d dropped; after: %d ok, %d refused\n",
+			d.AtMS, d.InflightAtDrain, d.InflightCompleted, d.InflightDropped, d.OKAfterDrain, d.RefusedAfterDrain)
+		if d.InflightDropped > 0 || dropped > 0 {
+			return fmt.Errorf("drain dropped %d in-flight requests (%d dropped total)", d.InflightDropped, dropped)
+		}
+	}
+	if out != "" {
+		if err := exp.WriteJSON(out, &s); err != nil {
+			return err
+		}
+		fmt.Printf("mpuload: wrote %s\n", out)
+	}
+	return nil
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// Self-hosted server plumbing. drainSelfHosted stops admission only; the
+// HTTP layer and pools shut down in the function returned by selfHost.
+var selfHosted *serve.Server
+
+func drainSelfHosted() {
+	if selfHosted != nil {
+		selfHosted.Drain()
+	}
+}
+
+func selfHost(pools string, queue int, window time.Duration) (string, func() error, error) {
+	specs, err := serve.ParsePoolSpecs(pools)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		Pools:       specs,
+		QueueDepth:  queue,
+		BatchWindow: window,
+		Logs:        nil,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	selfHosted = srv
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+	}
+	go hs.Serve(ln)
+	shutdown := func() error {
+		srv.Drain()
+		if err := hs.Close(); err != nil {
+			return err
+		}
+		srv.Close()
+		return nil
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"mpu"
+	"mpu/internal/exp"
 )
 
 type repeatFlag []string
@@ -38,6 +41,8 @@ func main() {
 	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	jobs := flag.Int("j", 0, "machine scheduler workers running MPUs concurrently (0 = one per CPU, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "print the run statistics as stable JSON instead of text")
+	csvDir := flag.String("csv", "", "also write the run statistics as CSV into this directory (created if missing)")
 	var sets, dumps repeatFlag
 	flag.Var(&sets, "set", "preload a register: rfh.vrf.reg=v1,v2,... (repeatable)")
 	flag.Var(&dumps, "dump", "print a register after the run: rfh.vrf.reg (repeatable)")
@@ -47,13 +52,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *jobs); err != nil {
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *jobs, *jsonOut, *csvDir); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool, jobs int) error {
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool, jobs int, jsonOut bool, csvDir string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -120,17 +125,58 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
-	fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
-		st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
-	if st.TraceHits+st.TraceMisses+st.TraceFallbacks > 0 {
-		fmt.Printf("trace: hits=%d misses=%d fallbacks=%d\n",
-			st.TraceHits, st.TraceMisses, st.TraceFallbacks)
+	if jsonOut {
+		// The stats object uses the stable machine.Stats encoding shared
+		// with mpud responses.
+		env := struct {
+			Backend string     `json:"backend"`
+			Mode    string     `json:"mode"`
+			MPUs    int        `json:"mpus"`
+			Seconds float64    `json:"seconds"`
+			Joules  float64    `json:"joules"`
+			Stats   *mpu.Stats `json:"stats"`
+		}{spec.Name, mode.String(), mpus, st.TimeSeconds(spec.ClockGHz), st.TotalEnergyPJ() * 1e-12, st}
+		b, err := json.Marshal(&env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
+		fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
+			st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
+		if st.TraceHits+st.TraceMisses+st.TraceFallbacks > 0 {
+			fmt.Printf("trace: hits=%d misses=%d fallbacks=%d\n",
+				st.TraceHits, st.TraceMisses, st.TraceFallbacks)
+		}
+		fmt.Printf("offloads=%d energy=%.3gJ (datapath %.3g, frontend %.3g, noc %.3g, host %.3g)\n",
+			st.Offloads, st.TotalEnergyPJ()*1e-12,
+			st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,
+			st.NoCEnergyPJ*1e-12, st.HostEnergyPJ*1e-12)
 	}
-	fmt.Printf("offloads=%d energy=%.3gJ (datapath %.3g, frontend %.3g, noc %.3g, host %.3g)\n",
-		st.Offloads, st.TotalEnergyPJ()*1e-12,
-		st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,
-		st.NoCEnergyPJ*1e-12, st.HostEnergyPJ*1e-12)
+	if csvDir != "" {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		rows := [][]string{
+			{"backend", "mode", "mpus", "cycles", "seconds", "instructions", "micro_ops",
+				"rounds", "trace_hits", "trace_misses", "trace_fallbacks", "offloads", "joules"},
+			{spec.Name, mode.String(), strconv.Itoa(mpus),
+				strconv.FormatInt(st.Cycles, 10),
+				strconv.FormatFloat(st.TimeSeconds(spec.ClockGHz), 'g', -1, 64),
+				strconv.FormatUint(st.Instructions, 10),
+				strconv.FormatUint(st.MicroOps, 10),
+				strconv.FormatUint(st.Rounds, 10),
+				strconv.FormatUint(st.TraceHits, 10),
+				strconv.FormatUint(st.TraceMisses, 10),
+				strconv.FormatUint(st.TraceFallbacks, 10),
+				strconv.FormatUint(st.Offloads, 10),
+				strconv.FormatFloat(st.TotalEnergyPJ()*1e-12, 'g', -1, 64)},
+		}
+		// exp.WriteCSV creates csvDir if missing.
+		if err := exp.WriteCSV(csvDir, name, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mpurun: CSV written to %s\n", filepath.Join(csvDir, name+".csv"))
+	}
 	for _, d := range dumps {
 		addr, reg, err := parseAddr(d)
 		if err != nil {

@@ -23,6 +23,13 @@
 //     would race under the parallel scheduler and break the byte-identical
 //     worker-count parity.
 //
+//  4. http-server-timeouts — no http.ListenAndServe/ListenAndServeTLS
+//     (they build servers with no timeouts at all), and every http.Server
+//     composite literal must set WriteTimeout plus ReadTimeout or
+//     ReadHeaderTimeout. mpud is a long-running daemon; a server without
+//     these lets one stalled client pin a connection forever. Test files
+//     are exempt (they use httptest).
+//
 // Usage: repolint [root]   (default root ".")
 package main
 
@@ -114,6 +121,7 @@ func lintFile(path, rel string) ([]string, error) {
 	}
 
 	randNames := map[string]bool{} // local names bound to math/rand
+	httpNames := map[string]bool{} // local names bound to net/http
 	for _, imp := range file.Imports {
 		p, _ := strconv.Unquote(imp.Path.Value)
 		switch p {
@@ -130,7 +138,20 @@ func lintFile(path, rel string) ([]string, error) {
 			if name != "_" && name != "." {
 				randNames[name] = true
 			}
+		case "net/http":
+			name := "http"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				httpNames[name] = true
+			}
 		}
+	}
+
+	// Rule 4: http-server-timeouts (non-test files).
+	if len(httpNames) > 0 && !strings.HasSuffix(rel, "_test.go") {
+		lintHTTPServers(file, httpNames, addf)
 	}
 
 	if inWorkloads || len(randNames) == 0 {
@@ -157,6 +178,61 @@ func lintFile(path, rel string) ([]string, error) {
 		return true
 	})
 	return findings, nil
+}
+
+// lintHTTPServers enforces rule 4: no bare http.ListenAndServe helpers, and
+// every http.Server literal names WriteTimeout plus a read-side timeout so a
+// stalled client cannot pin a connection on a long-running daemon.
+func lintHTTPServers(file *ast.File, httpNames map[string]bool, addf func(pos token.Pos, rule, format string, args ...any)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !httpNames[id.Name] || id.Obj != nil { // id.Obj != nil: shadowed local
+				return true
+			}
+			if sel.Sel.Name == "ListenAndServe" || sel.Sel.Name == "ListenAndServeTLS" {
+				addf(e.Pos(), "http-server-timeouts",
+					"%s.%s builds a server with no timeouts — construct an http.Server with ReadHeaderTimeout/WriteTimeout",
+					id.Name, sel.Sel.Name)
+			}
+		case *ast.CompositeLit:
+			sel, ok := e.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Server" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !httpNames[id.Name] || id.Obj != nil {
+				return true
+			}
+			var hasRead, hasWrite bool
+			for _, elt := range e.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "ReadTimeout", "ReadHeaderTimeout":
+					hasRead = true
+				case "WriteTimeout":
+					hasWrite = true
+				}
+			}
+			if !hasRead || !hasWrite {
+				addf(e.Pos(), "http-server-timeouts",
+					"http.Server literal without both a read-side timeout (ReadTimeout or ReadHeaderTimeout) and WriteTimeout")
+			}
+		}
+		return true
+	})
 }
 
 // touchesStats reports whether the expression's selector chain goes through

@@ -58,22 +58,48 @@ func (m *Machine) reduceStats() *Stats {
 	write(t, root, "internal/machine/stats_test.go", `package machine
 func poke(m *Machine) { m.stats.Cycles = 1 }
 `)
+	// Violations: the no-timeout helper and a bare http.Server literal;
+	// allowed: a literal with explicit timeouts, and test files.
+	write(t, root, "cmd/bad/main.go", `package main
+import "net/http"
+func main() {
+	http.ListenAndServe(":8080", nil)
+	_ = &http.Server{Addr: ":8081"}
+}
+`)
+	write(t, root, "cmd/good/main.go", `package main
+import (
+	"net/http"
+	"time"
+)
+func main() {
+	s := &http.Server{ReadHeaderTimeout: time.Second, WriteTimeout: time.Second}
+	_ = s
+}
+`)
+	write(t, root, "cmd/good/main_test.go", `package main
+import "net/http"
+func helper() { http.ListenAndServe(":0", nil) }
+`)
 
 	findings, err := lintTree(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 4 {
-		t.Fatalf("got %d findings, want 4:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 6 {
+		t.Fatalf("got %d findings, want 6:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
 	}
 	if n := strings.Count(joined, "machine-stats-mutation"); n != 2 {
 		t.Errorf("got %d machine-stats-mutation findings, want 2 (increment + address-taking; reduceStats and tests exempt):\n%s", n, joined)
+	}
+	if n := strings.Count(joined, "http-server-timeouts"); n != 2 {
+		t.Errorf("got %d http-server-timeouts findings, want 2 (helper call + bare literal; timeouts and tests exempt):\n%s", n, joined)
 	}
 }
 

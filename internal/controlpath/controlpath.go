@@ -147,6 +147,17 @@ func (c *RecipeCache) Lookup(opcode uint8, microOps int) int64 {
 	return stall
 }
 
+// Reset returns the cache to its just-constructed state — contents,
+// recency order, and the accounting counters. Machine.Reset calls it when a
+// pooled machine is recycled, so a warm run charges exactly the stalls a
+// fresh machine would.
+func (c *RecipeCache) Reset() {
+	c.resident = map[uint8]int{}
+	c.lru = nil
+	c.used = 0
+	c.Hits, c.Misses, c.StallCycles = 0, 0, 0
+}
+
 func (c *RecipeCache) touch(opcode uint8) {
 	for i, op := range c.lru {
 		if op == opcode {
@@ -167,6 +178,9 @@ type PlaybackBuffer struct {
 // NewPlaybackBuffer returns a buffer with the Table III capacity.
 func NewPlaybackBuffer() *PlaybackBuffer { return &PlaybackBuffer{Capacity: 1024} }
 
+// Reset clears the overflow count (machine recycling).
+func (b *PlaybackBuffer) Reset() { b.Overflows = 0 }
+
 // Fits records an ensemble body of n instructions and reports whether it can
 // be replayed from the buffer.
 func (b *PlaybackBuffer) Fits(n int) bool {
@@ -185,6 +199,9 @@ type ReturnStack struct {
 
 // NewReturnStack returns a stack with the given depth limit.
 func NewReturnStack(limit int) *ReturnStack { return &ReturnStack{limit: limit} }
+
+// Reset drops every saved frame (machine recycling).
+func (s *ReturnStack) Reset() { s.addrs = s.addrs[:0] }
 
 // Push saves a return address.
 func (s *ReturnStack) Push(pc int) error {

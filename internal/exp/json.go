@@ -1,0 +1,24 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSON marshals v with indentation and writes it to path, creating the
+// parent directory if missing. Shared by the benchmark drivers (BENCH_*.json)
+// and the mpuload study.
+func WriteJSON(path string, v any) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

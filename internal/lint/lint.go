@@ -146,6 +146,15 @@ type Options struct {
 	MaxLiveRegs int
 }
 
+// Preflight is the one-call admission form: it lints p against spec and
+// returns a non-nil error when the report carries Error findings. The mpud
+// service uses it to reject submitted binaries before they consume a queue
+// slot; warnings and observations are dropped (callers that surface them
+// use Lint directly).
+func Preflight(p isa.Program, spec *backends.Spec) error {
+	return Lint(p, Options{Spec: spec}).Err()
+}
+
 // Lint runs every analysis pass over p and returns the findings, severest
 // first and by instruction index within a severity.
 func Lint(p isa.Program, opt Options) *Report {

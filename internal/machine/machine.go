@@ -114,20 +114,24 @@ type Config struct {
 }
 
 // Stats aggregates the costs of one Run.
+//
+// The JSON form (see MarshalJSON in statsjson.go) is a stable wire contract
+// shared by the mpud service responses, mpurun -json, and the experiment
+// exports; the tags below give json.Unmarshal the matching field names.
 type Stats struct {
-	Cycles       int64   // makespan: max cycle count across MPUs
-	PerMPUCycles []int64 // per-MPU clocks
+	Cycles       int64   `json:"cycles"`         // makespan: max cycle count across MPUs
+	PerMPUCycles []int64 `json:"per_mpu_cycles"` // per-MPU clocks
 
-	Instructions  uint64 // dynamic ISA instructions executed (per round)
-	MicroOps      uint64 // micro-ops issued across all MPUs and rounds
-	Rounds        uint64 // scheduler activation rounds (Fig. 10 replays)
-	Ensembles     uint64 // compute ensembles executed
-	Transfers     uint64 // MEMCPY pair-copies performed
-	Sends         uint64 // inter-MPU send blocks completed
-	Offloads      uint64 // Baseline CPU round trips
-	RecipeHits    uint64
-	RecipeMisses  uint64
-	PlaybackSpill uint64 // ensemble bodies exceeding the playback buffer
+	Instructions  uint64 `json:"instructions"` // dynamic ISA instructions executed (per round)
+	MicroOps      uint64 `json:"micro_ops"`    // micro-ops issued across all MPUs and rounds
+	Rounds        uint64 `json:"rounds"`       // scheduler activation rounds (Fig. 10 replays)
+	Ensembles     uint64 `json:"ensembles"`    // compute ensembles executed
+	Transfers     uint64 `json:"transfers"`    // MEMCPY pair-copies performed
+	Sends         uint64 `json:"sends"`        // inter-MPU send blocks completed
+	Offloads      uint64 `json:"offloads"`     // Baseline CPU round trips
+	RecipeHits    uint64 `json:"recipe_hits"`
+	RecipeMisses  uint64 `json:"recipe_misses"`
+	PlaybackSpill uint64 `json:"playback_spill"` // ensemble bodies exceeding the playback buffer
 
 	// Trace-engine round accounting. Every scheduling round increments
 	// exactly one of these while the engine is enabled: TraceHits replayed
@@ -137,21 +141,21 @@ type Stats struct {
 	// or the recipe cache could not guarantee all-hit decode. They describe
 	// simulator execution strategy, not modeled hardware, and are excluded
 	// from trace-on/off parity.
-	TraceHits      uint64
-	TraceMisses    uint64
-	TraceFallbacks uint64
+	TraceHits      uint64 `json:"trace_hits"`
+	TraceMisses    uint64 `json:"trace_misses"`
+	TraceFallbacks uint64 `json:"trace_fallbacks"`
 
-	ComputeCycles  int64 // summed across MPUs
-	TransferCycles int64 // on-chip DTC transfers
-	InterMPUCycles int64 // NoC message passing
-	OffloadCycles  int64 // off-chip CPU interaction (Baseline)
-	DecodeStalls   int64 // recipe-table misses
+	ComputeCycles  int64 `json:"compute_cycles"`   // summed across MPUs
+	TransferCycles int64 `json:"transfer_cycles"`  // on-chip DTC transfers
+	InterMPUCycles int64 `json:"inter_mpu_cycles"` // NoC message passing
+	OffloadCycles  int64 `json:"offload_cycles"`   // off-chip CPU interaction (Baseline)
+	DecodeStalls   int64 `json:"decode_stalls"`    // recipe-table misses
 
-	DatapathEnergyPJ  float64
-	FrontendStaticPJ  float64
-	FrontendDynamicPJ float64
-	NoCEnergyPJ       float64
-	HostEnergyPJ      float64
+	DatapathEnergyPJ  float64 `json:"datapath_energy_pj"`
+	FrontendStaticPJ  float64 `json:"frontend_static_pj"`
+	FrontendDynamicPJ float64 `json:"frontend_dynamic_pj"`
+	NoCEnergyPJ       float64 `json:"noc_energy_pj"`
+	HostEnergyPJ      float64 `json:"host_energy_pj"`
 }
 
 // TimeSeconds converts the makespan to seconds at the back-end clock.

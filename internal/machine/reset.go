@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"mpu/internal/controlpath"
+	"mpu/internal/vrf"
+)
+
+// Reset returns the machine to its just-constructed state so a pooled
+// instance can be reused across LoadProgram calls. It is the one audited
+// place that recycles per-core run state:
+//
+//   - program, pc, cycle and issue counters, and the done/blocked flags
+//   - vector register files (dropped wholesale; vrfAt re-creates zeroed
+//     planes on demand, exactly like a fresh machine)
+//   - the return-address stack, recipe cache (contents AND stall/hit
+//     accounting), and playback-buffer overflow count
+//   - pending SEND/RECV rendezvous state
+//   - the pc-indexed decode cache and the compiled ensemble trace cache
+//   - the per-core local Stats and scratch buffers
+//
+// The only state that survives is the machine's configuration and the
+// recipe-expansion memo (m.expands): expansion is pure decode work keyed by
+// instruction bits, shared by pointer, and charged nowhere, so keeping it
+// warm is what makes pool reuse profitable without perturbing statistics.
+// TestResetReuseMatchesFresh pins that a Reset+LoadAll+Run sequence on a
+// used machine produces byte-identical Stats to a fresh machine's run.
+func (m *Machine) Reset() {
+	for _, c := range m.mpus {
+		c.prog = nil
+		c.pc = 0
+		c.cycles = 0
+		c.issue = 0
+		c.vrfs = map[controlpath.VRFAddr]*vrf.VRF{}
+		c.ras.Reset()
+		c.rcache.Reset()
+		c.pbuf.Reset()
+		c.done = true
+		c.blocked = false
+		c.local = Stats{}
+		c.sendDst = 0
+		c.recvSrc = 0
+		c.waitSend = false
+		c.waitRecv = false
+		c.decode = nil
+		c.traces.Reset()
+		c.hdr = c.hdr[:0]
+		c.act = c.act[:0]
+		c.tm.Reset()
+	}
+}

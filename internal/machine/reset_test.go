@@ -1,0 +1,106 @@
+// Reset/reuse tests live in the external test package: they drive the
+// machine through internal/workloads (which itself imports machine), so an
+// in-package test file would form an import cycle.
+package machine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// statsBytes serializes through the stable encoder; tests compare raw bytes
+// so any drift in any field — including the float energies — fails loudly.
+func statsBytes(t *testing.T, st *machine.Stats) []byte {
+	t.Helper()
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runKernelOn executes the named workload kernel on m (which must match
+// spec/mode) and returns the stable stats bytes.
+func runKernelOn(t *testing.T, m *machine.Machine, spec *backends.Spec, name string, elems int, seed int64) []byte {
+	t.Helper()
+	k := workloads.ByName(name)
+	if k == nil {
+		t.Fatalf("unknown kernel %q", name)
+	}
+	res, err := workloads.RunOn(m, k, workloads.RunConfig{
+		Spec: spec, Mode: machine.ModeMPU, TotalElements: elems, Seed: seed, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return statsBytes(t, res.Stats)
+}
+
+// TestResetReuseMatchesFresh pins the pool-reuse contract: back-to-back
+// loads on one machine (gcd, then relu, then gcd again) produce stats
+// byte-identical to fresh-machine runs of the same requests. A stale recipe
+// cache, RAS frame, compiled trace, or leftover VRF plane would each break
+// a different field.
+func TestResetReuseMatchesFresh(t *testing.T) {
+	spec := backends.RACER()
+	seq := []struct {
+		kernel string
+		elems  int
+		seed   int64
+	}{
+		{"gcd", 256, 1},
+		{"relu", 512, 2},
+		{"gcd", 256, 1},
+	}
+
+	warm, err := machine.New(machine.Config{Spec: spec, Mode: machine.ModeMPU, NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rq := range seq {
+		got := runKernelOn(t, warm, spec, rq.kernel, rq.elems, rq.seed)
+		fresh, err := machine.New(machine.Config{Spec: spec, Mode: machine.ModeMPU, NumMPUs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runKernelOn(t, fresh, spec, rq.kernel, rq.elems, rq.seed)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("request %d (%s): warm-machine stats diverge from fresh\nwarm:  %s\nfresh: %s",
+				i, rq.kernel, got, want)
+		}
+	}
+}
+
+// TestResetClearsArchitecturalState pins the functional half: a register
+// written before Reset must read back zero afterwards, like a fresh machine.
+func TestResetClearsArchitecturalState(t *testing.T) {
+	spec := backends.RACER()
+	m, err := machine.New(machine.Config{Spec: spec, Mode: machine.ModeMPU, NumMPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := controlpath.VRFAddr{RFH: 0, VRF: 0}
+	vals := make([]uint64, spec.Lanes)
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+	}
+	if err := m.WriteVector(0, a, 0, vals); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	got, err := m.ReadVector(0, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("lane %d: register survived Reset with %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package machine
+
+import "strconv"
+
+// MarshalJSON encodes the statistics with an explicit, fixed field order and
+// integer-exact counters (no float round-trip through encoding/json's
+// reflection path for the uint64/int64 fields). The byte sequence is the
+// service-layer determinism contract: the same run must serialize to the
+// same bytes whether it was served cold, from a warm pool, batched, or
+// concurrently, so mpud parity tests compare these bytes directly. Energies
+// use the shortest float64 representation, which round-trips exactly.
+//
+// Decoding needs no custom counterpart: the keys match the struct tags, so
+// json.Unmarshal restores every field (TestStatsJSONRoundTrip pins it).
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 640)
+	b = append(b, '{')
+	appendInt := func(key string, v int64) {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, v, 10)
+	}
+	appendUint := func(key string, v uint64) {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		b = strconv.AppendUint(b, v, 10)
+	}
+	appendFloat := func(key string, v float64) {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, key...)
+		b = append(b, '"', ':')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+
+	appendInt("cycles", s.Cycles)
+	if len(b) > 1 {
+		b = append(b, ',')
+	}
+	b = append(b, `"per_mpu_cycles":[`...)
+	for i, c := range s.PerMPUCycles {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, c, 10)
+	}
+	b = append(b, ']')
+
+	appendUint("instructions", s.Instructions)
+	appendUint("micro_ops", s.MicroOps)
+	appendUint("rounds", s.Rounds)
+	appendUint("ensembles", s.Ensembles)
+	appendUint("transfers", s.Transfers)
+	appendUint("sends", s.Sends)
+	appendUint("offloads", s.Offloads)
+	appendUint("recipe_hits", s.RecipeHits)
+	appendUint("recipe_misses", s.RecipeMisses)
+	appendUint("playback_spill", s.PlaybackSpill)
+	appendUint("trace_hits", s.TraceHits)
+	appendUint("trace_misses", s.TraceMisses)
+	appendUint("trace_fallbacks", s.TraceFallbacks)
+	appendInt("compute_cycles", s.ComputeCycles)
+	appendInt("transfer_cycles", s.TransferCycles)
+	appendInt("inter_mpu_cycles", s.InterMPUCycles)
+	appendInt("offload_cycles", s.OffloadCycles)
+	appendInt("decode_stalls", s.DecodeStalls)
+	appendFloat("datapath_energy_pj", s.DatapathEnergyPJ)
+	appendFloat("frontend_static_pj", s.FrontendStaticPJ)
+	appendFloat("frontend_dynamic_pj", s.FrontendDynamicPJ)
+	appendFloat("noc_energy_pj", s.NoCEnergyPJ)
+	appendFloat("host_energy_pj", s.HostEnergyPJ)
+	b = append(b, '}')
+	return b, nil
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleStats exercises every field with values that would expose encoding
+// bugs: counters above 2^53 (float64-lossy if they ever went through a
+// number round-trip), negative-capable int64s, and energies whose shortest
+// representation needs an exponent.
+func sampleStats() *Stats {
+	return &Stats{
+		Cycles:            (1 << 60) + 3,
+		PerMPUCycles:      []int64{12, (1 << 60) + 3, 7},
+		Instructions:      (1 << 62) + 11,
+		MicroOps:          987654321987654321,
+		Rounds:            42,
+		Ensembles:         7,
+		Transfers:         3,
+		Sends:             2,
+		Offloads:          5,
+		RecipeHits:        1 << 40,
+		RecipeMisses:      9,
+		PlaybackSpill:     1,
+		TraceHits:         100,
+		TraceMisses:       4,
+		TraceFallbacks:    2,
+		ComputeCycles:     123456789,
+		TransferCycles:    55,
+		InterMPUCycles:    66,
+		OffloadCycles:     77,
+		DecodeStalls:      88,
+		DatapathEnergyPJ:  1.2345678901234567e9,
+		FrontendStaticPJ:  0.1 + 0.2, // 0.30000000000000004 — must survive
+		FrontendDynamicPJ: 71.72,
+		NoCEnergyPJ:       3.5e-7,
+		HostEnergyPJ:      0,
+	}
+}
+
+// TestStatsJSONRoundTrip pins that marshal → unmarshal → marshal is the
+// identity on the byte level: the encoder's shortest-float and exact-integer
+// forms must survive the stdlib decoder driven by the struct tags.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	st := sampleStats()
+	first, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip not byte-identical\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if back.Instructions != st.Instructions || back.Cycles != st.Cycles {
+		t.Fatalf("large counters corrupted: %+v", back)
+	}
+	if back.FrontendStaticPJ != st.FrontendStaticPJ {
+		t.Fatalf("float field corrupted: got %v want %v", back.FrontendStaticPJ, st.FrontendStaticPJ)
+	}
+}
+
+// TestStatsJSONFieldOrder pins the wire contract: fixed key order, starting
+// with cycles and ending with host_energy_pj, nothing reflection-ordered.
+func TestStatsJSONFieldOrder(t *testing.T) {
+	b, err := json.Marshal(&Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	keys := []string{
+		"cycles", "per_mpu_cycles", "instructions", "micro_ops", "rounds",
+		"ensembles", "transfers", "sends", "offloads", "recipe_hits",
+		"recipe_misses", "playback_spill", "trace_hits", "trace_misses",
+		"trace_fallbacks", "compute_cycles", "transfer_cycles",
+		"inter_mpu_cycles", "offload_cycles", "decode_stalls",
+		"datapath_energy_pj", "frontend_static_pj", "frontend_dynamic_pj",
+		"noc_energy_pj", "host_energy_pj",
+	}
+	pos := -1
+	for _, k := range keys {
+		i := strings.Index(s, `"`+k+`"`)
+		if i < 0 {
+			t.Fatalf("key %q missing from %s", k, s)
+		}
+		if i < pos {
+			t.Fatalf("key %q out of order in %s", k, s)
+		}
+		pos = i
+	}
+	if !json.Valid(b) {
+		t.Fatalf("encoder produced invalid JSON: %s", s)
+	}
+	var zero Stats
+	if err := json.Unmarshal(b, &zero); err != nil {
+		t.Fatalf("zero-value stats do not decode: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metrics is a hand-rolled Prometheus-text registry: the daemon is
+// stdlib-only, and the handful of series it exposes (request counters by
+// status code, queue-depth gauges, batch-size and latency histograms, and
+// trace-engine counters rolled up from machine.Stats) do not justify a
+// client library. Rendering is deterministic: series are emitted in a fixed
+// order with sorted label values.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[string]uint64 // HTTP status code → count
+	batches  uint64            // executed batches
+	drops    uint64            // admissions refused: queue full or draining
+
+	batchSize histogram // requests coalesced per executed batch
+	latency   histogram // request wall time, seconds (admission → response)
+
+	traceHits      uint64
+	traceMisses    uint64
+	traceFallbacks uint64
+	roundsTotal    uint64
+
+	inflight int64 // admitted requests not yet answered
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  map[string]uint64{},
+		batchSize: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
+		latency:   newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+	}
+}
+
+// histogram is a cumulative-bucket histogram in the Prometheus exposition
+// sense: counts[i] counts observations ≤ bounds[i]; +Inf is implicit.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.n++
+}
+
+func (m *metrics) observeRequest(code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[strconv.Itoa(code)]++
+	m.latency.observe(seconds)
+}
+
+func (m *metrics) observeDrop(code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[strconv.Itoa(code)]++
+	m.drops++
+}
+
+func (m *metrics) observeBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchSize.observe(float64(size))
+}
+
+func (m *metrics) rollupStats(traceHits, traceMisses, traceFallbacks, rounds uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traceHits += traceHits
+	m.traceMisses += traceMisses
+	m.traceFallbacks += traceFallbacks
+	m.roundsTotal += rounds
+}
+
+func (m *metrics) addInflight(d int64) {
+	m.mu.Lock()
+	m.inflight += d
+	m.mu.Unlock()
+}
+
+// queueDepth is sampled at render time from the live pools.
+type queueDepth struct {
+	pool  string
+	depth int
+}
+
+// render emits the Prometheus text exposition format.
+func (m *metrics) render(depths []queueDepth) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sb strings.Builder
+
+	sb.WriteString("# HELP mpud_requests_total Requests answered, by HTTP status code.\n")
+	sb.WriteString("# TYPE mpud_requests_total counter\n")
+	codes := make([]string, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&sb, "mpud_requests_total{code=%q} %d\n", c, m.requests[c])
+	}
+
+	sb.WriteString("# HELP mpud_backpressure_total Admissions refused with 503 (queue full or draining).\n")
+	sb.WriteString("# TYPE mpud_backpressure_total counter\n")
+	fmt.Fprintf(&sb, "mpud_backpressure_total %d\n", m.drops)
+
+	sb.WriteString("# HELP mpud_inflight Admitted requests not yet answered.\n")
+	sb.WriteString("# TYPE mpud_inflight gauge\n")
+	fmt.Fprintf(&sb, "mpud_inflight %d\n", m.inflight)
+
+	sb.WriteString("# HELP mpud_queue_depth Batches waiting in each pool's admission queue.\n")
+	sb.WriteString("# TYPE mpud_queue_depth gauge\n")
+	for _, d := range depths {
+		fmt.Fprintf(&sb, "mpud_queue_depth{pool=%q} %d\n", d.pool, d.depth)
+	}
+
+	sb.WriteString("# HELP mpud_batches_total Coalesced batches executed.\n")
+	sb.WriteString("# TYPE mpud_batches_total counter\n")
+	fmt.Fprintf(&sb, "mpud_batches_total %d\n", m.batches)
+
+	renderHistogram(&sb, "mpud_batch_size", "Requests coalesced into one SPMD run.", &m.batchSize)
+	renderHistogram(&sb, "mpud_request_seconds", "Request wall time from admission to response.", &m.latency)
+
+	sb.WriteString("# HELP mpud_trace_hits_total Trace-engine replay hits rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_trace_hits_total counter\n")
+	fmt.Fprintf(&sb, "mpud_trace_hits_total %d\n", m.traceHits)
+	sb.WriteString("# HELP mpud_trace_misses_total Trace-engine compile rounds rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_trace_misses_total counter\n")
+	fmt.Fprintf(&sb, "mpud_trace_misses_total %d\n", m.traceMisses)
+	sb.WriteString("# HELP mpud_trace_fallbacks_total Interpreted rounds (untraceable bodies) rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_trace_fallbacks_total counter\n")
+	fmt.Fprintf(&sb, "mpud_trace_fallbacks_total %d\n", m.traceFallbacks)
+	sb.WriteString("# HELP mpud_scheduler_rounds_total Machine scheduler rounds rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_scheduler_rounds_total counter\n")
+	fmt.Fprintf(&sb, "mpud_scheduler_rounds_total %d\n", m.roundsTotal)
+
+	return sb.String()
+}
+
+func renderHistogram(sb *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(sb, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(sb, "# TYPE %s histogram\n", name)
+	for i, b := range h.bounds {
+		fmt.Fprintf(sb, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), h.counts[i])
+	}
+	fmt.Fprintf(sb, "%s_bucket{le=\"+Inf\"} %d\n", name, h.n)
+	fmt.Fprintf(sb, "%s_sum %s\n", name, strconv.FormatFloat(h.sum, 'g', -1, 64))
+	fmt.Fprintf(sb, "%s_count %d\n", name, h.n)
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mpu/internal/backends"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// TestServeParityColdWarmBatchedConcurrent is the PR's acceptance test: the
+// same request returns byte-identical machine.Stats JSON whether it is
+// served cold (first request on a fresh pool), warm (a recycled machine),
+// batched (coalesced with identical requests), or under 8 concurrent
+// clients. It runs under -race in CI (make race-short).
+func TestServeParityColdWarmBatchedConcurrent(t *testing.T) {
+	req := Request{Workload: "gcd", Backend: "racer", Elements: 512, Seed: 11, Check: true}
+
+	statsOf := func(t *testing.T, body []byte) []byte {
+		t.Helper()
+		return []byte(decodeResponse(t, body).Stats)
+	}
+
+	// Cold + warm: a single-machine pool, so the second request is
+	// guaranteed to reuse (and Reset) the machine that served the first.
+	_, ts := newTestServer(t, Config{
+		Pools: []PoolSpec{{Backend: "racer", Mode: machine.ModeMPU, Size: 1}},
+	})
+	code, body, _ := postExecute(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("cold: %d %s", code, body)
+	}
+	cold := statsOf(t, body)
+
+	// Interleave a different program so the warm machine's architectural
+	// state is thoroughly dirty before the repeat.
+	if code, body, _ := postExecute(t, ts.URL, Request{
+		Workload: "relu", Backend: "racer", Elements: 256, Seed: 3,
+	}); code != http.StatusOK {
+		t.Fatalf("interleave: %d %s", code, body)
+	}
+	code, body, _ = postExecute(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("warm: %d %s", code, body)
+	}
+	if warm := statsOf(t, body); !bytes.Equal(cold, warm) {
+		t.Fatalf("warm stats diverge from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// Batched: a wide window so concurrent identical requests coalesce into
+	// one SPMD run.
+	_, tsBatch := newTestServer(t, Config{
+		Pools:       []PoolSpec{{Backend: "racer", Mode: machine.ModeMPU, Size: 1}},
+		BatchWindow: 150 * time.Millisecond,
+	})
+	const nBatch = 4
+	var wg sync.WaitGroup
+	batched := make([][]byte, nBatch)
+	sizes := make([]int, nBatch)
+	for i := 0; i < nBatch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := postExecute(t, tsBatch.URL, req)
+			if code != http.StatusOK {
+				t.Errorf("batched: %d %s", code, body)
+				return
+			}
+			r := decodeResponse(t, body)
+			batched[i] = []byte(r.Stats)
+			sizes[i] = r.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range batched {
+		if sizes[i] <= 1 {
+			t.Errorf("request %d was not coalesced (batch_size=%d)", i, sizes[i])
+		}
+		if !bytes.Equal(cold, st) {
+			t.Fatalf("batched stats diverge from cold:\ncold:    %s\nbatched: %s", cold, st)
+		}
+	}
+
+	// Concurrent: 8 clients against a 2-machine pool, coalescing disabled
+	// so every client is a distinct run racing for warm machines.
+	_, tsConc := newTestServer(t, Config{
+		Pools:       []PoolSpec{{Backend: "racer", Mode: machine.ModeMPU, Size: 2}},
+		BatchWindow: -1,
+	})
+	const nConc = 8
+	conc := make([][]byte, nConc)
+	for i := 0; i < nConc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := postExecute(t, tsConc.URL, req)
+			if code != http.StatusOK {
+				t.Errorf("concurrent: %d %s", code, body)
+				return
+			}
+			conc[i] = statsOf(t, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range conc {
+		if !bytes.Equal(cold, st) {
+			t.Fatalf("concurrent client %d stats diverge from cold:\ncold: %s\ngot:  %s", i, cold, st)
+		}
+	}
+}
+
+// TestServePoolHammer drives one warm pool hard under the race detector:
+// many concurrent distinct requests (seeds differ, so nothing coalesces)
+// across a pool smaller than the client count, each response checked
+// against a fresh single-machine reference run. Any sharing of per-core
+// caches between pool entries shows up either as a -race report or as a
+// stats mismatch.
+func TestServePoolHammer(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Pools:       []PoolSpec{{Backend: "racer", Mode: machine.ModeMPU, Size: 4}},
+		QueueDepth:  64,
+		BatchWindow: -1,
+	})
+
+	kernels := []string{"vecadd", "gcd", "relu", "vecxor"}
+	const perKernel = 8 // 32 concurrent requests over 4 machines
+
+	// Fresh-machine reference stats per (kernel, seed).
+	type key struct {
+		kernel string
+		seed   int64
+	}
+	want := map[key][]byte{}
+	for _, name := range kernels {
+		for s := int64(0); s < perKernel; s++ {
+			k := workloads.ByName(name)
+			res, err := workloads.Run(k, workloads.RunConfig{
+				Spec: poolSpecOf(t, ts.URL), Mode: machine.ModeMPU,
+				TotalElements: 128, Seed: s, Check: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := res.Stats.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{name, s}] = b
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, name := range kernels {
+		for s := int64(0); s < perKernel; s++ {
+			wg.Add(1)
+			go func(name string, seed int64) {
+				defer wg.Done()
+				code, body, _ := postExecute(t, ts.URL, Request{
+					Workload: name, Backend: "racer", Elements: 128, Seed: seed, Check: true,
+				})
+				if code != http.StatusOK {
+					t.Errorf("%s/%d: status %d: %s", name, seed, code, body)
+					return
+				}
+				got := []byte(decodeResponse(t, body).Stats)
+				if !bytes.Equal(want[key{name, seed}], got) {
+					t.Errorf("%s/%d: pooled stats diverge from fresh run:\nwant: %s\ngot:  %s",
+						name, seed, want[key{name, seed}], got)
+				}
+			}(name, s)
+		}
+	}
+	wg.Wait()
+}
+
+// poolSpecOf resolves the RACER spec the way the server under test did, so
+// reference runs use the identical backend object.
+func poolSpecOf(t *testing.T, _ string) *backends.Spec {
+	t.Helper()
+	spec, err := backends.ByName("racer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// reqLogger writes one structured JSON line per answered request. It is a
+// deliberate non-dependency logger: the daemon's operational surface is
+// small enough that a mutex around an io.Writer beats pulling a logging
+// framework into a stdlib-only module.
+type reqLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+func newReqLogger(w io.Writer) *reqLogger {
+	return &reqLogger{w: w, now: time.Now}
+}
+
+// logEntry is the request-log schema; field order is the JSON order.
+type logEntry struct {
+	TS        string  `json:"ts"`
+	Msg       string  `json:"msg"`
+	Pool      string  `json:"pool,omitempty"`
+	Workload  string  `json:"workload,omitempty"`
+	Status    int     `json:"status,omitempty"`
+	MS        float64 `json:"ms,omitempty"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	Queue     int     `json:"queue,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+func (l *reqLogger) log(e logEntry) {
+	if l == nil || l.w == nil {
+		return
+	}
+	e.TS = l.now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+}

@@ -1,0 +1,669 @@
+// Package serve turns the simulator into a long-running MPU-as-a-service
+// daemon: warm machine pools per (backend, mode) whose recipe-expansion
+// memos survive across requests, a bounded admission queue with 503
+// backpressure, a batching coalescer that merges identical requests into
+// one SPMD run, per-request deadlines, and an observability plane
+// (/metrics in Prometheus text format, /healthz, structured JSON request
+// logs). The package is stdlib-only.
+//
+// Determinism contract: the same request produces byte-identical
+// machine.Stats JSON whether it is served cold (first request on a fresh
+// pool machine), warm (a recycled machine), batched (coalesced with
+// identical requests), or under concurrent load — the service layer
+// extension of the trace-parity and worker-count-parity discipline. The
+// warm path leans on Machine.Reset, which recycles everything a run can
+// observe while keeping the stats-neutral expansion memo.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// PoolSpec describes one warm machine pool.
+type PoolSpec struct {
+	Backend string       // backends.ByName key ("racer", "mimdram", ...)
+	Mode    machine.Mode // MPU or Baseline
+	Size    int          // warm machines == executor workers (min 1)
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Pools lists the warm machine pools; empty defaults to one two-machine
+	// RACER/MPU pool.
+	Pools []PoolSpec
+
+	// QueueDepth bounds each pool's admission queue, counted in batches
+	// (distinct pieces of work, not coalesced joiners). A full queue refuses
+	// admission with 503 + Retry-After. Default 64.
+	QueueDepth int
+
+	// BatchWindow is how long a dequeued batch keeps accepting identical
+	// requests before it is sealed and executed. Under load batches also
+	// accumulate joiners while queued. Default 2ms; negative disables the
+	// wait (a zero value means the default).
+	BatchWindow time.Duration
+
+	// MaxElements caps a workload request's element count. Default 1<<20.
+	MaxElements int
+
+	// DefaultDeadline applies when a request names no deadline_ms.
+	// Default 30s.
+	DefaultDeadline time.Duration
+
+	// RetryAfter is the hint returned with 503 responses. Default 1s.
+	RetryAfter time.Duration
+
+	// NoTrace builds the pool machines with the trace engine disabled.
+	NoTrace bool
+
+	// MachineWorkers is forwarded to each pool machine's scheduler
+	// (kernel requests simulate one MPU, so this only matters for
+	// submitted multi-MPU binaries).
+	MachineWorkers int
+
+	// Logs receives one JSON line per answered request; nil discards.
+	Logs io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Pools) == 0 {
+		c.Pools = []PoolSpec{{Backend: "racer", Mode: machine.ModeMPU, Size: 2}}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxElements <= 0 {
+		c.MaxElements = 1 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// ParsePoolSpecs parses the mpud/mpuload flag syntax
+// "backend:mode:size[,backend:mode:size...]", e.g. "racer:mpu:2,mimdram:mpu:1".
+// Size defaults to 1 when omitted.
+func ParsePoolSpecs(s string) ([]PoolSpec, error) {
+	var out []PoolSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("serve: pool %q: want backend:mode[:size]", part)
+		}
+		mode, err := ParseMode(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("serve: pool %q: %w", part, err)
+		}
+		size := 1
+		if len(fields) == 3 {
+			size, err = strconv.Atoi(fields[2])
+			if err != nil || size <= 0 {
+				return nil, fmt.Errorf("serve: pool %q: bad size", part)
+			}
+		}
+		out = append(out, PoolSpec{Backend: fields[0], Mode: mode, Size: size})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: no pools in %q", s)
+	}
+	return out, nil
+}
+
+// ParseMode maps the wire spelling to a machine mode.
+func ParseMode(s string) (machine.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mpu":
+		return machine.ModeMPU, nil
+	case "baseline":
+		return machine.ModeBaseline, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want mpu or baseline)", s)
+}
+
+// Request is the /v1/execute body. Exactly one of Workload (a catalog
+// kernel) or Binary (base64 of an assembled, encoded program) must be set.
+type Request struct {
+	Workload   string        `json:"workload,omitempty"`
+	Binary     string        `json:"binary,omitempty"`
+	Backend    string        `json:"backend"`
+	Mode       string        `json:"mode,omitempty"`
+	Elements   int           `json:"elements,omitempty"`
+	Seed       int64         `json:"seed,omitempty"`
+	Check      bool          `json:"check,omitempty"`
+	DeadlineMS int64         `json:"deadline_ms,omitempty"`
+	Sets       []RegisterSet `json:"sets,omitempty"`  // binary requests: preloads
+	Dumps      []RegisterRef `json:"dumps,omitempty"` // binary requests: post-run reads
+}
+
+// RegisterSet preloads one vector register on MPU 0 before a binary run.
+type RegisterSet struct {
+	RFH    uint8    `json:"rfh"`
+	VRF    uint8    `json:"vrf"`
+	Reg    int      `json:"reg"`
+	Values []uint64 `json:"values"`
+}
+
+// RegisterRef names one vector register to read back after a binary run.
+type RegisterRef struct {
+	RFH uint8 `json:"rfh"`
+	VRF uint8 `json:"vrf"`
+	Reg int   `json:"reg"`
+}
+
+// RegisterDump is one post-run register read.
+type RegisterDump struct {
+	RFH    uint8    `json:"rfh"`
+	VRF    uint8    `json:"vrf"`
+	Reg    int      `json:"reg"`
+	Values []uint64 `json:"values"`
+}
+
+// Response is the /v1/execute success body. Stats is the stable
+// machine.Stats encoding and is byte-identical for a given request however
+// it was served; the envelope around it (batch_size) may differ.
+type Response struct {
+	Workload     string          `json:"workload,omitempty"`
+	Backend      string          `json:"backend"`
+	Mode         string          `json:"mode"`
+	Elements     int             `json:"elements,omitempty"`
+	Seed         int64           `json:"seed"`
+	BatchSize    int             `json:"batch_size"`
+	Seconds      float64         `json:"seconds,omitempty"`
+	Joules       float64         `json:"joules,omitempty"`
+	CheckedLanes int             `json:"checked_lanes,omitempty"`
+	Dumps        []RegisterDump  `json:"dumps,omitempty"`
+	Stats        json.RawMessage `json:"stats"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// execReq is a validated request bound to its pool.
+type execReq struct {
+	raw    Request
+	kernel *workloads.Kernel // workload path
+	prog   isa.Program       // binary path
+	key    string            // coalescing identity
+}
+
+// batchResult is the shared outcome fanned out to every coalesced waiter.
+type batchResult struct {
+	status int
+	body   []byte
+}
+
+// batch is one piece of work in a pool's admission queue plus the waiters
+// coalesced onto it.
+type batch struct {
+	key     string
+	req     *execReq
+	created time.Time
+	waiters []chan *batchResult // guarded by the pool mutex until sealed
+}
+
+// pool is one (backend, mode) warm machine pool: Size pre-built machines,
+// each owned by one executor goroutine, fed from a bounded queue.
+type pool struct {
+	name  string
+	spec  *backends.Spec
+	mode  machine.Mode
+	queue chan *batch
+
+	mu   sync.Mutex
+	open map[string]*batch // batches still accepting joiners
+}
+
+// Server implements the daemon's HTTP surface. Create with New, mount as an
+// http.Handler, and on shutdown call Drain (stop admitting), then let the
+// HTTP server finish in-flight handlers, then Close.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	pools    map[string]*pool
+	order    []string // deterministic pool iteration for /metrics, /healthz
+	metrics  *metrics
+	logger   *reqLogger
+	draining atomic.Bool
+	workers  sync.WaitGroup
+	started  time.Time
+}
+
+// New builds the pools (pre-warming Size machines each) and starts their
+// executor workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pools:   map[string]*pool{},
+		metrics: newMetrics(),
+		logger:  newReqLogger(cfg.Logs),
+		started: time.Now(),
+	}
+	for _, ps := range cfg.Pools {
+		spec, err := backends.ByName(ps.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pool %q: %w", ps.Backend, err)
+		}
+		name := poolName(spec, ps.Mode)
+		if _, dup := s.pools[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate pool %s", name)
+		}
+		size := ps.Size
+		if size <= 0 {
+			size = 1
+		}
+		p := &pool{
+			name:  name,
+			spec:  spec,
+			mode:  ps.Mode,
+			queue: make(chan *batch, cfg.QueueDepth),
+			open:  map[string]*batch{},
+		}
+		mc := workloads.MachineConfigFor(workloads.RunConfig{
+			Spec: spec, Mode: ps.Mode, NoTrace: cfg.NoTrace, Workers: cfg.MachineWorkers,
+		})
+		for i := 0; i < size; i++ {
+			m, err := machine.New(mc)
+			if err != nil {
+				return nil, fmt.Errorf("serve: pool %s: %w", name, err)
+			}
+			s.workers.Add(1)
+			go s.runWorker(p, m)
+		}
+		s.pools[name] = p
+		s.order = append(s.order, name)
+	}
+	sort.Strings(s.order)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/execute", s.handleExecute)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	return s, nil
+}
+
+func poolName(spec *backends.Spec, mode machine.Mode) string {
+	return spec.Name + "/" + mode.String()
+}
+
+// ServeHTTP dispatches to the daemon's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting work: /v1/execute and /healthz answer 503 while
+// requests already admitted keep running to completion. Idempotent.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.logger.log(logEntry{Msg: "drain"})
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains, stops the pool workers once their queues empty, and waits
+// for them. Call only after the HTTP layer has finished in-flight handlers
+// (http.Server.Shutdown, or httptest.Server.Close in tests) — every queued
+// batch has a waiting handler, so at that point the queues are empty.
+func (s *Server) Close() {
+	s.Drain()
+	for _, name := range s.order {
+		close(s.pools[name].queue)
+	}
+	s.workers.Wait()
+	s.logger.log(logEntry{Msg: "closed"})
+}
+
+// runWorker owns one warm machine and executes sealed batches from the
+// pool's queue until Close.
+func (s *Server) runWorker(p *pool, m *machine.Machine) {
+	defer s.workers.Done()
+	for b := range p.queue {
+		if s.cfg.BatchWindow > 0 {
+			if d := time.Until(b.created.Add(s.cfg.BatchWindow)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		p.mu.Lock()
+		delete(p.open, b.key) // seal: later identical requests start a new batch
+		waiters := b.waiters
+		p.mu.Unlock()
+		res := s.execute(p, m, b.req, len(waiters))
+		s.metrics.observeBatch(len(waiters))
+		for _, ch := range waiters {
+			ch <- res // buffered: an abandoned (deadline-expired) waiter cannot block the pool
+		}
+	}
+}
+
+// admit places the request in p's queue or joins an open identical batch.
+// Joining consumes no queue slot: backpressure is on distinct work.
+func (p *pool) admit(rq *execReq) (<-chan *batchResult, bool) {
+	ch := make(chan *batchResult, 1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.open[rq.key]; ok {
+		b.waiters = append(b.waiters, ch)
+		return ch, true
+	}
+	b := &batch{key: rq.key, req: rq, created: time.Now(), waiters: []chan *batchResult{ch}}
+	select {
+	case p.queue <- b:
+	default:
+		return nil, false
+	}
+	p.open[rq.key] = b
+	return ch, true
+}
+
+// execute runs one sealed batch on the worker's warm machine and builds the
+// shared response body.
+func (s *Server) execute(p *pool, m *machine.Machine, rq *execReq, size int) *batchResult {
+	resp := Response{
+		Backend:   p.spec.Name,
+		Mode:      p.mode.String(),
+		Seed:      rq.raw.Seed,
+		BatchSize: size,
+	}
+	var st *machine.Stats
+	if rq.kernel != nil {
+		res, err := workloads.RunOn(m, rq.kernel, workloads.RunConfig{
+			Spec:          p.spec,
+			Mode:          p.mode,
+			TotalElements: rq.raw.Elements,
+			Seed:          rq.raw.Seed,
+			Check:         rq.raw.Check,
+			NoTrace:       s.cfg.NoTrace,
+			Workers:       s.cfg.MachineWorkers,
+		})
+		if err != nil {
+			return errResult(http.StatusInternalServerError, err)
+		}
+		resp.Workload = rq.kernel.Name
+		resp.Elements = rq.raw.Elements
+		resp.Seconds = res.Seconds
+		resp.Joules = res.Joules
+		resp.CheckedLanes = res.CheckedLanes
+		st = res.Stats
+	} else {
+		m.Reset()
+		if err := m.LoadAll(rq.prog); err != nil {
+			return errResult(http.StatusInternalServerError, err)
+		}
+		for _, set := range rq.raw.Sets {
+			a := controlpath.VRFAddr{RFH: set.RFH, VRF: set.VRF}
+			if err := m.WriteVector(0, a, set.Reg, set.Values); err != nil {
+				return errResult(http.StatusBadRequest, err)
+			}
+		}
+		run, err := m.Run()
+		if err != nil {
+			return errResult(http.StatusInternalServerError, err)
+		}
+		cp := *run
+		st = &cp
+		for _, d := range rq.raw.Dumps {
+			a := controlpath.VRFAddr{RFH: d.RFH, VRF: d.VRF}
+			vals, err := m.ReadVector(0, a, d.Reg)
+			if err != nil {
+				return errResult(http.StatusBadRequest, err)
+			}
+			resp.Dumps = append(resp.Dumps, RegisterDump{RFH: d.RFH, VRF: d.VRF, Reg: d.Reg, Values: vals})
+		}
+	}
+	s.metrics.rollupStats(st.TraceHits, st.TraceMisses, st.TraceFallbacks, st.Rounds)
+	statsJSON, err := json.Marshal(st)
+	if err != nil {
+		return errResult(http.StatusInternalServerError, err)
+	}
+	resp.Stats = statsJSON
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		return errResult(http.StatusInternalServerError, err)
+	}
+	return &batchResult{status: http.StatusOK, body: body}
+}
+
+func errResult(status int, err error) *batchResult {
+	body, _ := json.Marshal(errorBody{Error: err.Error()})
+	return &batchResult{status: status, body: body}
+}
+
+// validate parses the wire request into an execReq bound to a pool.
+func (s *Server) validate(raw *Request) (*execReq, *pool, error) {
+	mode, err := ParseMode(raw.Mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := backends.ByName(raw.Backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, ok := s.pools[poolName(spec, mode)]
+	if !ok {
+		return nil, nil, fmt.Errorf("no pool for %s (have %s)", poolName(spec, mode), strings.Join(s.order, ", "))
+	}
+	rq := &execReq{raw: *raw}
+	switch {
+	case raw.Workload != "" && raw.Binary != "":
+		return nil, nil, fmt.Errorf("request names both a workload and a binary")
+	case raw.Workload != "":
+		rq.kernel = workloads.ByName(raw.Workload)
+		if rq.kernel == nil {
+			return nil, nil, fmt.Errorf("unknown workload %q (see /v1/workloads)", raw.Workload)
+		}
+		if raw.Elements <= 0 {
+			return nil, nil, fmt.Errorf("workload request needs elements > 0")
+		}
+		if raw.Elements > s.cfg.MaxElements {
+			return nil, nil, fmt.Errorf("elements %d exceeds the per-request cap %d", raw.Elements, s.cfg.MaxElements)
+		}
+		if len(raw.Sets) > 0 || len(raw.Dumps) > 0 {
+			return nil, nil, fmt.Errorf("sets/dumps apply to binary requests only")
+		}
+	case raw.Binary != "":
+		buf, err := base64.StdEncoding.DecodeString(raw.Binary)
+		if err != nil {
+			return nil, nil, fmt.Errorf("binary is not base64: %w", err)
+		}
+		prog, err := isa.DecodeProgram(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("binary does not decode: %w", err)
+		}
+		// Lint preflight at admission: a program with Error findings is
+		// rejected with the report before it can consume a queue slot or
+		// trip a runtime guard on a pooled machine.
+		if err := lint.Preflight(prog, spec); err != nil {
+			return nil, nil, err
+		}
+		rq.prog = prog
+	default:
+		return nil, nil, fmt.Errorf("request needs a workload or a binary")
+	}
+	key, err := json.Marshal(struct {
+		W  string        `json:"w"`
+		B  string        `json:"b"`
+		E  int           `json:"e"`
+		S  int64         `json:"s"`
+		C  bool          `json:"c"`
+		St []RegisterSet `json:"st,omitempty"`
+		D  []RegisterRef `json:"d,omitempty"`
+	}{raw.Workload, raw.Binary, raw.Elements, raw.Seed, raw.Check, raw.Sets, raw.Dumps})
+	if err != nil {
+		return nil, nil, err
+	}
+	rq.key = string(key)
+	return rq, p, nil
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	start := time.Now()
+	var raw Request
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		s.finish(w, nil, "", start, http.StatusBadRequest,
+			errResult(http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)))
+		return
+	}
+	rq, p, err := s.validate(&raw)
+	if err != nil {
+		s.finish(w, nil, raw.Workload, start, http.StatusBadRequest,
+			errResult(http.StatusBadRequest, err))
+		return
+	}
+	if s.Draining() {
+		s.refuse(w, p, rq, start, "draining")
+		return
+	}
+	ch, admitted := p.admit(rq)
+	if !admitted {
+		s.refuse(w, p, rq, start, "queue full")
+		return
+	}
+	s.metrics.addInflight(1)
+	defer s.metrics.addInflight(-1)
+
+	deadline := s.cfg.DefaultDeadline
+	if raw.DeadlineMS > 0 {
+		deadline = time.Duration(raw.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	select {
+	case res := <-ch:
+		s.finish(w, p, raw.Workload, start, res.status, res)
+	case <-ctx.Done():
+		// The batch still executes (its result lands in the buffered
+		// channel); only this waiter gives up.
+		s.finish(w, p, raw.Workload, start, http.StatusGatewayTimeout,
+			errResult(http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded after %s", deadline)))
+	}
+}
+
+// refuse answers 503 + Retry-After: the admission-side backpressure path.
+func (s *Server) refuse(w http.ResponseWriter, p *pool, rq *execReq, start time.Time, why string) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	s.metrics.observeDrop(http.StatusServiceUnavailable)
+	res := errResult(http.StatusServiceUnavailable, fmt.Errorf("not admitted: %s", why))
+	writeBody(w, res.status, res.body)
+	s.logger.log(logEntry{
+		Msg: "refused", Pool: p.name, Workload: rq.raw.Workload,
+		Status: http.StatusServiceUnavailable, MS: msSince(start), Queue: len(p.queue), Err: why,
+	})
+}
+
+// finish writes the response and the request log line, and counts the
+// request in the metrics plane.
+func (s *Server) finish(w http.ResponseWriter, p *pool, workload string, start time.Time, status int, res *batchResult) {
+	elapsed := time.Since(start).Seconds()
+	s.metrics.observeRequest(status, elapsed)
+	writeBody(w, status, res.body)
+	e := logEntry{Msg: "request", Workload: workload, Status: status, MS: elapsed * 1e3}
+	if p != nil {
+		e.Pool = p.name
+		e.Queue = len(p.queue)
+	}
+	if status >= 400 {
+		var eb errorBody
+		if json.Unmarshal(res.body, &eb) == nil {
+			e.Err = eb.Error
+		}
+	}
+	s.logger.log(e)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status string   `json:"status"`
+		Pools  []string `json:"pools"`
+		UpSec  float64  `json:"up_sec"`
+	}
+	h := health{Status: "ok", Pools: s.order, UpSec: time.Since(s.started).Seconds()}
+	code := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depths := make([]queueDepth, 0, len(s.order))
+	for _, name := range s.order {
+		depths = append(depths, queueDepth{pool: name, depth: len(s.pools[name].queue)})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.metrics.render(depths))
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name   string `json:"name"`
+		Group  string `json:"group"`
+		Inputs int    `json:"inputs"`
+	}
+	var out struct {
+		Workloads []entry `json:"workloads"`
+	}
+	for _, k := range workloads.All() {
+		out.Workloads = append(out.Workloads, entry{Name: k.Name, Group: k.Group.String(), Inputs: k.Inputs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, body)
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func msSince(t time.Time) float64 { return time.Since(t).Seconds() * 1e3 }

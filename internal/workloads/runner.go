@@ -107,12 +107,45 @@ func BuildProgram(k *Kernel, spec *backends.Spec, simVRFs int) (isa.Program, []c
 	return prog, addrs, nil
 }
 
-// Run executes kernel k under cfg.
+// MachineConfigFor returns the machine configuration Run would build for
+// cfg. Pool owners (internal/serve) construct warm machines with it once at
+// startup and then feed them to RunOn per request.
+func MachineConfigFor(cfg RunConfig) machine.Config {
+	return machine.Config{
+		Spec:               cfg.Spec,
+		Mode:               cfg.Mode,
+		NumMPUs:            1,
+		ComputeScale:       cfg.ComputeScale,
+		ActiveVRFsOverride: cfg.ActiveVRFsOverride,
+		Recipe:             cfg.RecipeCache,
+		NoTrace:            cfg.NoTrace,
+		Workers:            cfg.Workers,
+	}
+}
+
+// Run executes kernel k under cfg on a machine built for the occasion.
 func Run(k *Kernel, cfg RunConfig) (*Result, error) {
+	m, err := machine.New(MachineConfigFor(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(m, k, cfg)
+}
+
+// RunOn executes kernel k under cfg on an existing machine, Resetting it
+// first so a warm-pool run is byte-identical to a fresh-machine run. The
+// machine must have been built with MachineConfigFor (or an equivalent
+// spec/mode pair); mismatches are rejected rather than silently simulating
+// the wrong chip.
+func RunOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Result, error) {
 	if cfg.TotalElements <= 0 {
 		return nil, fmt.Errorf("workloads: non-positive element count")
 	}
 	spec := cfg.Spec
+	if m.Spec().Name != spec.Name || m.Mode() != cfg.Mode {
+		return nil, fmt.Errorf("workloads: machine built for %s/%s cannot serve %s/%s",
+			m.Spec().Name, m.Mode(), spec.Name, cfg.Mode)
+	}
 	units := spec.MPUs
 	if cfg.Mode == machine.ModeBaseline {
 		units = spec.BaselineUnits
@@ -155,19 +188,7 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 
-	m, err := machine.New(machine.Config{
-		Spec:               spec,
-		Mode:               cfg.Mode,
-		NumMPUs:            1,
-		ComputeScale:       cfg.ComputeScale,
-		ActiveVRFsOverride: cfg.ActiveVRFsOverride,
-		Recipe:             cfg.RecipeCache,
-		NoTrace:            cfg.NoTrace,
-		Workers:            cfg.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
+	m.Reset()
 	if err := m.LoadAll(prog); err != nil {
 		return nil, err
 	}
@@ -193,10 +214,16 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 		}
 	}
 
-	st, err := m.Run()
+	run, err := m.Run()
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s on %s/%s: %w", k.Name, spec.Name, cfg.Mode, err)
 	}
+	// Run returns a pointer into the machine; a pooled machine's next request
+	// would overwrite it, so the Result carries a private copy. (Each Run
+	// rebuilds PerMPUCycles from nil, so the shallow copy shares nothing the
+	// machine will mutate.)
+	st := new(machine.Stats)
+	*st = *run
 
 	checked := 0
 	if cfg.Check {
