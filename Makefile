@@ -31,13 +31,16 @@ race:
 # parity and warm-pool hammer tests — fast enough for every CI run.
 race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
-	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestParallelMachine|TestParallelDeadlock' ./internal/machine
+	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestJITParityRandom|TestParallelMachine|TestParallelDeadlock' ./internal/machine
 	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool' ./internal/serve
 
-# A bounded run of the lint-soundness oracle: random programs the linter
-# passes must execute without ensemble or capacity faults.
+# Bounded runs of the differential oracles: random programs the linter
+# passes must execute without ensemble or capacity faults, and random
+# straight-line bodies must produce identical planes and stats whether
+# rounds run JIT-compiled, step-interpreted, or fully interpreted.
 fuzz:
 	$(GO) test -fuzz=FuzzLintSoundness -fuzztime=30s ./internal/isa
+	$(GO) test -fuzz=FuzzJITParity -fuzztime=30s ./internal/machine
 
 # check is the pre-merge gate: build + vet + full test suite + repo lint.
 # Run `make race` (full suite under the race detector) before touching the

@@ -14,6 +14,7 @@ import (
 	"mpu"
 	"mpu/internal/apps"
 	"mpu/internal/exp"
+	"mpu/internal/machine"
 	"mpu/internal/workloads"
 )
 
@@ -255,9 +256,11 @@ func BenchmarkLintLargestKernel(b *testing.B) {
 // BenchmarkMachineRun measures one machine executing the largest kernel in
 // the suite — the simulator hot path in isolation from the sweep worker
 // pool. The activation limit is pinned to 1 with two VRFs per RFH so every
-// ensemble schedules at least two rounds: the /trace variant (the default
-// engine) records the first and replays the rest, while /notrace interprets
-// every round, so the pair quantifies the compile-once/replay-many win.
+// ensemble schedules at least two rounds: the /jit variant (the default
+// engine) records the first round and replays the rest through compiled
+// closure chains, /nojit replays through the step interpreter, and /notrace
+// interprets every round — the triple quantifies both the
+// compile-once/replay-many win and the JIT's margin on top of it.
 func BenchmarkMachineRun(b *testing.B) {
 	spec := mpu.RACER()
 	var largest *workloads.Kernel
@@ -277,18 +280,79 @@ func BenchmarkMachineRun(b *testing.B) {
 		Seed: 1, MaxSimVRFs: vrfs, ActiveVRFsOverride: 1,
 	}
 	for _, bc := range []struct {
-		name    string
-		noTrace bool
-	}{{"trace", false}, {"notrace", true}} {
+		name           string
+		noTrace, noJIT bool
+	}{{"jit", false, false}, {"nojit", false, true}, {"notrace", true, false}} {
 		b.Run(bc.name, func(b *testing.B) {
 			c := cfg
 			c.NoTrace = bc.noTrace
+			c.NoJIT = bc.noJIT
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := workloads.Run(largest, c); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTraceReplay isolates the replay hot loop in steady state: the
+// machine is built once, a replay-eligible kernel (sobelx) is loaded and run
+// once to record its traces and warm the recipe table, and each iteration
+// then Rewinds and re-runs it — the resident-kernel regime, where every
+// scheduling round is a trace hit and no host data transfer or program load
+// is re-paid. The activation limit is pinned to 1 over many VRFs so one Run
+// replays many rounds. /jit executes the fused closure chains, /nojit the
+// step-interpreted replay, /notrace the plain interpreter; the racer
+// geometry (64 lanes, one word per plane) is where the JIT's dispatch
+// elimination pays, the simdram geometry (256 lanes, 4-word slabs) is where
+// per-word dispatch cost is already amortized and the slab interpreter is
+// competitive — both are tracked.
+func BenchmarkTraceReplay(b *testing.B) {
+	steady := func(b *testing.B, spec *mpu.Backend, vrfs int, noJIT, noTrace bool) {
+		var kern *workloads.Kernel
+		for _, k := range workloads.All() {
+			if k.Name == "sobelx" {
+				kern = k
+			}
+		}
+		cfg := workloads.RunConfig{
+			Spec: spec, Mode: 0, Seed: 1,
+			TotalElements: spec.BaselineUnits * spec.Lanes * vrfs,
+			MaxSimVRFs:    vrfs, ActiveVRFsOverride: 1,
+			NoJIT: noJIT, NoTrace: noTrace, Workers: 1,
+		}
+		m, err := machine.New(workloads.MachineConfigFor(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workloads.RunOn(m, kern, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Rewind()
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, bc := range []struct {
+		name           string
+		noJIT, noTrace bool
+	}{{"jit", false, false}, {"nojit", true, false}, {"notrace", false, true}} {
+		b.Run("racer/"+bc.name, func(b *testing.B) {
+			steady(b, mpu.RACER(), 256, bc.noJIT, bc.noTrace)
+		})
+	}
+	for _, bc := range []struct {
+		name           string
+		noJIT, noTrace bool
+	}{{"jit", false, false}, {"nojit", true, false}} {
+		b.Run("simdram/"+bc.name, func(b *testing.B) {
+			steady(b, mpu.SIMDRAM(), 64, bc.noJIT, bc.noTrace)
 		})
 	}
 }

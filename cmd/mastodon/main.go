@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] <experiment>...
+//	mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...
 //
 // Experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15
 // scale ablations all. Scale divides the evaluation working-set sizes (1 =
@@ -13,8 +13,9 @@
 // communication points (0 = share the CPU budget with -j; 1 = sequential).
 // Output is byte-identical at any worker count. -notrace disables the
 // ensemble trace engine, forcing every scheduling round through the
-// interpreter — also byte-identical, just slower (the parity is
-// test-pinned).
+// interpreter; -nojit keeps the engine but replays traces step-interpreted
+// instead of through JIT-compiled closure chains — both byte-identical,
+// just slower (the parity is test-pinned).
 package main
 
 import (
@@ -35,8 +36,9 @@ func main() {
 	mjobs := flag.Int("mj", 0, "machine scheduler workers per sweep cell (0 = share the CPU budget with -j, 1 = sequential)")
 	csvDir := flag.String("csv", "", "also export machine-readable CSVs into this directory")
 	noTrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
+	noJIT := flag.Bool("nojit", false, "disable trace JIT compilation (replay traces step-interpreted)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune all\n")
 		flag.PrintDefaults()
 	}
@@ -45,7 +47,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs, MachineWorkers: *mjobs, NoTrace: *noTrace}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Workers: *jobs, MachineWorkers: *mjobs, NoTrace: *noTrace, NoJIT: *noJIT}
 	if *csvDir != "" {
 		if err := exp.ExportAll(*csvDir, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mastodon: csv export: %v\n", err)

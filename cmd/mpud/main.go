@@ -7,7 +7,7 @@
 //
 //	mpud [-addr :8080] [-pools racer:mpu:2,mimdram:mpu:1] [-queue 64]
 //	     [-window 2ms] [-deadline 30s] [-max-elements 1048576]
-//	     [-notrace] [-j N] [-quiet]
+//	     [-notrace] [-nojit] [-j N] [-quiet]
 //
 // Endpoints:
 //
@@ -49,18 +49,19 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxElements := flag.Int("max-elements", 1<<20, "per-request element cap for workload runs")
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine in pool machines")
+	nojit := flag.Bool("nojit", false, "disable trace JIT compilation in pool machines (replay step-interpreted)")
 	jobs := flag.Int("j", 0, "machine scheduler workers per pool machine (0 = one per CPU)")
 	quiet := flag.Bool("quiet", false, "suppress JSON request logs")
 	smoke := flag.Bool("smoke", false, "self-test: serve on a random port, run one request, drain, exit")
 	flag.Parse()
 
-	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *jobs, *quiet, *smoke); err != nil {
+	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *quiet, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "mpud: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace bool, jobs int, quiet, smoke bool) error {
+func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, quiet, smoke bool) error {
 	specs, err := serve.ParsePoolSpecs(pools)
 	if err != nil {
 		return err
@@ -76,6 +77,7 @@ func run(addr, pools string, queue int, window, deadline time.Duration, maxEleme
 		MaxElements:     maxElements,
 		DefaultDeadline: deadline,
 		NoTrace:         notrace,
+		NoJIT:           nojit,
 		MachineWorkers:  jobs,
 		Logs:            logs,
 	})

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mpurun [-backend racer|mimdram|dcache] [-mode mpu|baseline] [-mpus N] [-j N]
-//	       [-nolint] [-notrace] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
+//	       [-nolint] [-notrace] [-nojit] [-set rfh.vrf.reg=v1,v2,...]... [-dump rfh.vrf.reg]... file
 //
 // -set preloads a vector register on MPU 0 before the run; -dump prints one
 // after it. The same binary is loaded into every MPU (SPMD). -j runs the
@@ -40,6 +40,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
 	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
+	nojit := flag.Bool("nojit", false, "disable trace JIT compilation (replay traces step-interpreted)")
 	jobs := flag.Int("j", 0, "machine scheduler workers running MPUs concurrently (0 = one per CPU, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "print the run statistics as stable JSON instead of text")
 	csvDir := flag.String("csv", "", "also write the run statistics as CSV into this directory (created if missing)")
@@ -52,13 +53,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *jobs, *jsonOut, *csvDir); err != nil {
+	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *nojit, *jobs, *jsonOut, *csvDir); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace bool, jobs int, jsonOut bool, csvDir string) error {
+func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace, nojit bool, jobs int, jsonOut bool, csvDir string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -105,7 +106,7 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
-	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace, Workers: jobs})
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace, NoJIT: nojit, Workers: jobs})
 	if err != nil {
 		return err
 	}
@@ -149,6 +150,9 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 			fmt.Printf("trace: hits=%d misses=%d fallbacks=%d\n",
 				st.TraceHits, st.TraceMisses, st.TraceFallbacks)
 		}
+		if st.JITCompiles+st.JITReplays > 0 {
+			fmt.Printf("jit: compiles=%d replays=%d\n", st.JITCompiles, st.JITReplays)
+		}
 		fmt.Printf("offloads=%d energy=%.3gJ (datapath %.3g, frontend %.3g, noc %.3g, host %.3g)\n",
 			st.Offloads, st.TotalEnergyPJ()*1e-12,
 			st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,
@@ -158,7 +162,8 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		rows := [][]string{
 			{"backend", "mode", "mpus", "cycles", "seconds", "instructions", "micro_ops",
-				"rounds", "trace_hits", "trace_misses", "trace_fallbacks", "offloads", "joules"},
+				"rounds", "trace_hits", "trace_misses", "trace_fallbacks",
+				"jit_compiles", "jit_replays", "offloads", "joules"},
 			{spec.Name, mode.String(), strconv.Itoa(mpus),
 				strconv.FormatInt(st.Cycles, 10),
 				strconv.FormatFloat(st.TimeSeconds(spec.ClockGHz), 'g', -1, 64),
@@ -168,6 +173,8 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 				strconv.FormatUint(st.TraceHits, 10),
 				strconv.FormatUint(st.TraceMisses, 10),
 				strconv.FormatUint(st.TraceFallbacks, 10),
+				strconv.FormatUint(st.JITCompiles, 10),
+				strconv.FormatUint(st.JITReplays, 10),
 				strconv.FormatUint(st.Offloads, 10),
 				strconv.FormatFloat(st.TotalEnergyPJ()*1e-12, 'g', -1, 64)},
 		}

@@ -47,7 +47,7 @@ func TestParseSet(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false, false, 1, false, ""); err == nil {
+	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -58,13 +58,13 @@ func TestRunLintPreflight(t *testing.T) {
 	if err := writeFile(masm, "COMPUTE rfh0 vrf0\nADD r0 r1 r2\n"); err != nil {
 		t.Fatal(err)
 	}
-	err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, 1, false, "")
+	err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, "")
 	if err == nil {
 		t.Fatal("unbalanced ensemble passed the preflight")
 	}
 	// -nolint must hand the same program to the machine, which faults too —
 	// but through the runtime guard, not the linter.
-	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true, false, 1, false, ""); err == nil {
+	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true, false, false, 1, false, ""); err == nil {
 		t.Fatal("unbalanced ensemble ran cleanly with -nolint")
 	}
 }
@@ -76,7 +76,7 @@ func TestRunCSVCreatesDir(t *testing.T) {
 	}
 	// The target directory (and its parent) do not exist yet.
 	csvDir := filepath.Join(t.TempDir(), "missing", "nested")
-	if err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, 1, false, csvDir); err != nil {
+	if err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, csvDir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "add.csv")); err != nil {

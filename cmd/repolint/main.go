@@ -30,6 +30,13 @@
 //     these lets one stalled client pin a connection forever. Test files
 //     are exempt (they use httptest).
 //
+//  5. jit-counter-mutation — inside internal/machine, the JITCompiles and
+//     JITReplays counters may only be written by the closure-compile path
+//     (compileJIT), the replay loop (replayRound), and the reduceStats
+//     merge. The counters are the observable contract that the JIT engaged;
+//     a write anywhere else could fake engagement without compiling, or
+//     double-charge a round.
+//
 // Usage: repolint [root]   (default root ".")
 package main
 
@@ -115,9 +122,11 @@ func lintFile(path, rel string) ([]string, error) {
 	// Rule 1 exemption: the workloads package owns the seeding helpers.
 	inWorkloads := strings.HasPrefix(rel, "internal/workloads/")
 
-	// Rule 3: machine-stats-mutation (non-test machine sources only).
+	// Rules 3 and 5: machine-stats-mutation and jit-counter-mutation
+	// (non-test machine sources only).
 	if strings.HasPrefix(rel, "internal/machine/") && !strings.HasSuffix(rel, "_test.go") {
 		lintStatsMutation(file, addf)
+		lintJITCounterMutation(file, addf)
 	}
 
 	randNames := map[string]bool{} // local names bound to math/rand
@@ -233,6 +242,61 @@ func lintHTTPServers(file *ast.File, httpNames map[string]bool, addf func(pos to
 		}
 		return true
 	})
+}
+
+// touchesJITCounter reports whether the expression's selector chain ends in
+// one of the trace-JIT counters (c.local.JITCompiles, st.JITReplays, ...).
+func touchesJITCounter(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "JITCompiles" || sel.Sel.Name == "JITReplays") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// jitCounterWriters are the only functions rule 5 lets mutate the JIT
+// counters: the closure-compile path, the replay loop that consumes compiled
+// programs, and the stats merge.
+var jitCounterWriters = map[string]bool{
+	"compileJIT":  true,
+	"replayRound": true,
+	"reduceStats": true,
+}
+
+// lintJITCounterMutation enforces rule 5: within internal/machine, only the
+// designated writers may assign to or increment JITCompiles/JITReplays, so
+// the counters cannot report JIT engagement from anywhere but the compile
+// and replay paths themselves.
+func lintJITCounterMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
+	const explain = "— only compileJIT, replayRound, and reduceStats may write the JIT counters"
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || jitCounterWriters[fn.Name.Name] || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if touchesJITCounter(lhs) {
+						addf(lhs.Pos(), "jit-counter-mutation",
+							"%s assigns a JIT counter %s", fn.Name.Name, explain)
+					}
+				}
+			case *ast.IncDecStmt:
+				if touchesJITCounter(s.X) {
+					addf(s.X.Pos(), "jit-counter-mutation",
+						"%s increments a JIT counter %s", fn.Name.Name, explain)
+				}
+			}
+			return true
+		})
+	}
 }
 
 // touchesStats reports whether the expression's selector chain goes through

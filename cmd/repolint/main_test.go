@@ -58,6 +58,18 @@ func (m *Machine) reduceStats() *Stats {
 	write(t, root, "internal/machine/stats_test.go", `package machine
 func poke(m *Machine) { m.stats.Cycles = 1 }
 `)
+	// Violations: JIT counters written outside the designated paths;
+	// allowed: compileJIT, replayRound, reduceStats, and test files.
+	write(t, root, "internal/machine/jit.go", `package machine
+type local struct{ JITCompiles, JITReplays uint64 }
+func sneak(l *local)       { l.JITCompiles++ }
+func fake(l *local)        { l.JITReplays = 99 }
+func compileJIT(l *local)  { l.JITCompiles++ }
+func replayRound(l *local) { l.JITReplays++ }
+`)
+	write(t, root, "internal/machine/jit_test.go", `package machine
+func pokeJIT(l *local) { l.JITReplays = 1 }
+`)
 	// Violations: the no-timeout helper and a bare http.Server literal;
 	// allowed: a literal with explicit timeouts, and test files.
 	write(t, root, "cmd/bad/main.go", `package main
@@ -86,11 +98,11 @@ func helper() { http.ListenAndServe(":0", nil) }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 6 {
-		t.Fatalf("got %d findings, want 6:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 8 {
+		t.Fatalf("got %d findings, want 8:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
@@ -100,6 +112,9 @@ func helper() { http.ListenAndServe(":0", nil) }
 	}
 	if n := strings.Count(joined, "http-server-timeouts"); n != 2 {
 		t.Errorf("got %d http-server-timeouts findings, want 2 (helper call + bare literal; timeouts and tests exempt):\n%s", n, joined)
+	}
+	if n := strings.Count(joined, "jit-counter-mutation"); n != 2 {
+		t.Errorf("got %d jit-counter-mutation findings, want 2 (increment + assignment; designated writers and tests exempt):\n%s", n, joined)
 	}
 }
 

@@ -158,6 +158,14 @@ func (c *RecipeCache) Reset() {
 	c.Hits, c.Misses, c.StallCycles = 0, 0, 0
 }
 
+// ResetCounters zeroes the hit/miss/stall accounting while keeping the
+// resident recipes and their recency order. Machine.Rewind uses it: a
+// steady-state re-invocation of a resident kernel starts a fresh account
+// but decodes against the table the previous run warmed.
+func (c *RecipeCache) ResetCounters() {
+	c.Hits, c.Misses, c.StallCycles = 0, 0, 0
+}
+
 func (c *RecipeCache) touch(opcode uint8) {
 	for i, op := range c.lru {
 		if op == opcode {

@@ -49,6 +49,10 @@ type Fig12Result struct {
 	// (simulator execution strategy, not modeled hardware; all zero with
 	// -notrace).
 	TraceHits, TraceMisses, TraceFallbacks uint64
+
+	// Trace-JIT accounting: compiled closure-chain programs and the replay
+	// rounds they served (zero with -notrace or -nojit).
+	JITCompiles, JITReplays uint64
 }
 
 // Fig12 runs all 21 kernels on every back end in MPU and Baseline modes and
@@ -66,14 +70,14 @@ func Fig12(opts Options) ([]*Fig12Result, error) {
 		n := elementsFor(spec, opts.Scale)
 		mpu, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace, NoJIT: opts.NoJIT,
 		})
 		if err != nil {
 			return cell{}, fmt.Errorf("fig12 %s MPU:%s: %w", k.Name, spec.Name, err)
 		}
 		base, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace, NoJIT: opts.NoJIT,
 			ComputeScale: baselineComputeScale(k),
 		})
 		if err != nil {
@@ -107,6 +111,8 @@ func Fig12(opts Options) ([]*Fig12Result, error) {
 			res.TraceHits += c.mpu.Stats.TraceHits + c.base.Stats.TraceHits
 			res.TraceMisses += c.mpu.Stats.TraceMisses + c.base.Stats.TraceMisses
 			res.TraceFallbacks += c.mpu.Stats.TraceFallbacks + c.base.Stats.TraceFallbacks
+			res.JITCompiles += c.mpu.Stats.JITCompiles + c.base.Stats.JITCompiles
+			res.JITReplays += c.mpu.Stats.JITReplays + c.base.Stats.JITReplays
 			speeds = append(speeds, row.Speedup)
 			energies = append(energies, row.EnergySavings)
 			groupSpeed[k.Group] = append(groupSpeed[k.Group], row.Speedup)
@@ -140,6 +146,10 @@ func (r *Fig12Result) Render() string {
 	if n := r.TraceHits + r.TraceMisses + r.TraceFallbacks; n > 0 {
 		fmt.Fprintf(&sb, "trace engine: %d/%d rounds replayed (%d recorded, %d interpreted)\n",
 			r.TraceHits, n, r.TraceMisses, r.TraceFallbacks)
+	}
+	if r.JITCompiles+r.JITReplays > 0 {
+		fmt.Fprintf(&sb, "trace JIT: %d compiled bodies served %d replay rounds\n",
+			r.JITCompiles, r.JITReplays)
 	}
 	return sb.String()
 }
@@ -182,14 +192,14 @@ func Fig13(opts Options) ([]*Fig13Result, error) {
 		}
 		mpu, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeMPU, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace, NoJIT: opts.NoJIT,
 		})
 		if err != nil {
 			return GPURow{}, err
 		}
 		base, err := workloads.Run(k, workloads.RunConfig{
 			Spec: spec, Mode: machine.ModeBaseline, TotalElements: n,
-			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace,
+			Seed: opts.Seed, MaxSimVRFs: maxSimVRFs, NoTrace: opts.NoTrace, NoJIT: opts.NoJIT,
 			ComputeScale: baselineComputeScale(k),
 		})
 		if err != nil {

@@ -107,6 +107,13 @@ type Config struct {
 	// so the execution log keeps its per-instruction fidelity.
 	NoTrace bool
 
+	// NoJIT keeps the trace engine but disables JIT compilation of
+	// installed traces, so replayed rounds interpret the step stream
+	// instead of running the fused closure chain (the -nojit escape hatch
+	// and the JIT parity difftest's reference engine). Implied by NoTrace:
+	// without traces there is nothing to compile.
+	NoJIT bool
+
 	// Trace, when non-nil, receives a line per architectural event
 	// (ensemble activation, scheduling round, control transfer, DTC and
 	// inter-MPU traffic) — the MASTODON-style execution log.
@@ -144,6 +151,16 @@ type Stats struct {
 	TraceHits      uint64 `json:"trace_hits"`
 	TraceMisses    uint64 `json:"trace_misses"`
 	TraceFallbacks uint64 `json:"trace_fallbacks"`
+
+	// Trace-JIT accounting, same simulator-strategy caveat as the trace
+	// counters (excluded from parity): JITCompiles counts traces lowered
+	// to fused closure chains at install time, JITReplays the replayed
+	// rounds that ran a compiled chain instead of interpreting the step
+	// stream (every JIT replay is also a TraceHit). Only the closure-
+	// compile path and the replay loop write them (enforced by
+	// cmd/repolint's jit-counter-mutation rule).
+	JITCompiles uint64 `json:"jit_compiles"`
+	JITReplays  uint64 `json:"jit_replays"`
 
 	ComputeCycles  int64 `json:"compute_cycles"`   // summed across MPUs
 	TransferCycles int64 `json:"transfer_cycles"`  // on-chip DTC transfers
@@ -188,6 +205,14 @@ type Machine struct {
 	// immutable once published, so lookups hand out shared pointers.
 	expandsMu sync.Mutex
 	expands   map[isa.Instr]*expandEntry
+
+	// jitMemo caches JIT-compiled closure chains by step-stream content,
+	// under the same contract that lets expands survive Reset: a compiled
+	// program is a pure function of the recorded steps and the lane
+	// geometry, and charges nothing. A pooled machine that re-records a
+	// body after Reset, or several cores recording the same SPMD body,
+	// adopt one compilation instead of lowering per micro-op again.
+	jitMemo *trace.ProgMemo
 }
 
 // expandEntry pairs a recipe expansion with its slot-resolved form, so the
@@ -278,7 +303,8 @@ func New(cfg Config) (*Machine, error) {
 		}
 	}
 	m := &Machine{cfg: cfg, mesh: mesh, nocCfg: nc, limit: limit,
-		expands: map[isa.Instr]*expandEntry{}}
+		expands: map[isa.Instr]*expandEntry{},
+		jitMemo: trace.NewProgMemo()}
 	for i := 0; i < cfg.NumMPUs; i++ {
 		m.mpus = append(m.mpus, &core{
 			id:     i,
@@ -516,6 +542,8 @@ func (m *Machine) reduceStats() *Stats {
 		st.TraceHits += l.TraceHits
 		st.TraceMisses += l.TraceMisses
 		st.TraceFallbacks += l.TraceFallbacks
+		st.JITCompiles += l.JITCompiles
+		st.JITReplays += l.JITReplays
 		st.ComputeCycles += l.ComputeCycles
 		st.TransferCycles += l.TransferCycles
 		st.InterMPUCycles += l.InterMPUCycles
@@ -757,11 +785,16 @@ func (c *core) runComputeEnsemble() error {
 	var tr *trace.Trace
 	known := false
 	if gate {
-		if tr, known = c.traces.Get(key); !known {
-			if cl := lint.ClassifyBody(c.prog, bodyStart); cl != lint.BodyStraight && cl != lint.BodyStatic {
-				c.traces.Put(key, nil)
-				tr, known = nil, true
-			}
+		// The CFG-classification verdict is memoized per key, so a
+		// dynamic body pays for ClassifyBody exactly once per program
+		// load, not once per activation.
+		if !c.traces.Eligible(key, func() bool {
+			cl := lint.ClassifyBody(c.prog, bodyStart)
+			return cl == lint.BodyStraight || cl == lint.BodyStatic
+		}) {
+			tr, known = nil, true
+		} else {
+			tr, known = c.traces.Lookup(key)
 		}
 	}
 
@@ -793,7 +826,7 @@ func (c *core) runComputeEnsemble() error {
 				return err
 			}
 			tr = rec.Finish(pc)
-			c.traces.Put(key, tr)
+			c.traces.Install(key, tr)
 			known = true
 			endPC = pc
 		default:
@@ -820,11 +853,36 @@ func (c *core) replayable(t *trace.Trace) bool {
 	return c.m.cfg.Mode == ModeBaseline || c.rcache.ReplayAllHit(t.Lookups)
 }
 
+// compileJIT lowers an installed trace to its fused closure chain, called
+// lazily from replayRound on the body's first replayed round — bodies that
+// never replay (recipe-cold decode every round) are never lowered. The
+// machine-wide jitMemo dedupes the lowering by step-stream content, so a
+// Reset-recycled pool machine or a sibling SPMD core adopts the existing
+// chain; JITCompiles still counts every trace lowered (memo hits included)
+// so warm-pool stats stay byte-identical to a fresh machine's. A declined
+// compilation — a lane geometry without a flat word directory — leaves
+// Prog nil and replay interprets the step stream as before. This is one of
+// the two sanctioned writers of the JIT counters (cmd/repolint's
+// jit-counter-mutation rule).
+func (c *core) compileJIT(tr *trace.Trace) {
+	tr.Compiled = true
+	if c.m.cfg.NoJIT {
+		return
+	}
+	if p := c.m.jitMemo.Compile(tr, c.m.cfg.Spec.Lanes); p != nil {
+		tr.Prog = p
+		c.local.JITCompiles++
+	}
+}
+
 // replayRound applies a compiled body to one round's activated VRFs: the
 // data-mutating steps run per VRF, and every cost counter advances by the
 // precomputed delta — O(1) accounting regardless of dynamic body length.
 func (c *core) replayRound(t *trace.Trace, batch []*vrf.VRF) {
 	st := &c.local
+	if !t.Compiled {
+		c.compileJIT(t)
+	}
 	if c.m.cfg.Mode == ModeMPU {
 		// All-hit decode (checked by replayable): charge the hits and touch
 		// the LRU in last-occurrence order, leaving the recipe cache in the
@@ -841,6 +899,18 @@ func (c *core) replayRound(t *trace.Trace, batch []*vrf.VRF) {
 	st.ComputeCycles += t.ComputeCycles
 	st.MicroOps += t.MicroOpsPerVRF * uint64(len(batch))
 	st.DatapathEnergyPJ += t.EnergyPerVRF * float64(len(batch))
+	if t.Prog != nil {
+		// JIT path: the closure chain pre-binds everything the step
+		// interpreter below resolves per op; it mutates the same words in
+		// the same order under the same mask, so the paths are
+		// bit-identical (pinned by TestTraceParity's jit dimension and
+		// FuzzJITParity).
+		st.JITReplays++
+		for _, v := range batch {
+			t.Prog.Run(v)
+		}
+		return
+	}
 	for _, v := range batch {
 		for i := range t.Steps {
 			s := &t.Steps[i]

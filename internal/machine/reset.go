@@ -18,12 +18,15 @@ import (
 //   - the pc-indexed decode cache and the compiled ensemble trace cache
 //   - the per-core local Stats and scratch buffers
 //
-// The only state that survives is the machine's configuration and the
-// recipe-expansion memo (m.expands): expansion is pure decode work keyed by
-// instruction bits, shared by pointer, and charged nowhere, so keeping it
-// warm is what makes pool reuse profitable without perturbing statistics.
-// TestResetReuseMatchesFresh pins that a Reset+LoadAll+Run sequence on a
-// used machine produces byte-identical Stats to a fresh machine's run.
+// The only state that survives is the machine's configuration and two
+// content-keyed memos: the recipe-expansion memo (m.expands) and the JIT
+// program memo (m.jitMemo). Both cache pure functions — expansion is decode
+// work keyed by instruction bits, a compiled closure chain is keyed by the
+// recorded step stream and lane count — shared by pointer and charged
+// nowhere, so keeping them warm is what makes pool reuse profitable without
+// perturbing statistics. TestResetReuseMatchesFresh pins that a
+// Reset+LoadAll+Run sequence on a used machine produces byte-identical
+// Stats to a fresh machine's run.
 func (m *Machine) Reset() {
 	for _, c := range m.mpus {
 		c.prog = nil
@@ -43,6 +46,40 @@ func (m *Machine) Reset() {
 		c.waitRecv = false
 		c.decode = nil
 		c.traces.Reset()
+		c.hdr = c.hdr[:0]
+		c.act = c.act[:0]
+		c.tm.Reset()
+	}
+}
+
+// Rewind re-arms every core to execute its loaded program again from the
+// top, keeping everything the completed run learned: vector register
+// contents, recipe-table residency, installed traces and their compiled
+// closure chains, and the decode caches. Where Reset models handing a
+// pooled machine to a new request (fresh-machine stats equivalence),
+// Rewind models the steady state of a resident kernel invoked again — the
+// next Run's ensemble rounds replay warm traces against a warm recipe
+// table, so its Stats legitimately differ from a cold run's (trace hits
+// where the cold run recorded, recipe hits where it stalled on decode).
+// Per-run accounting (cycle and issue counters, recipe and playback-buffer
+// tallies) restarts at zero; BenchmarkTraceReplay uses Rewind to measure
+// the replay hot loop without re-paying program load and host data
+// transfer every iteration.
+func (m *Machine) Rewind() {
+	for _, c := range m.mpus {
+		c.pc = 0
+		c.cycles = 0
+		c.issue = 0
+		c.ras.Reset()
+		c.rcache.ResetCounters()
+		c.pbuf.Reset()
+		c.done = len(c.prog) == 0
+		c.blocked = false
+		c.local = Stats{}
+		c.sendDst = 0
+		c.recvSrc = 0
+		c.waitSend = false
+		c.waitRecv = false
 		c.hdr = c.hdr[:0]
 		c.act = c.act[:0]
 		c.tm.Reset()

@@ -69,6 +69,8 @@ func (s *Stats) MarshalJSON() ([]byte, error) {
 	appendUint("trace_hits", s.TraceHits)
 	appendUint("trace_misses", s.TraceMisses)
 	appendUint("trace_fallbacks", s.TraceFallbacks)
+	appendUint("jit_compiles", s.JITCompiles)
+	appendUint("jit_replays", s.JITReplays)
 	appendInt("compute_cycles", s.ComputeCycles)
 	appendInt("transfer_cycles", s.TransferCycles)
 	appendInt("inter_mpu_cycles", s.InterMPUCycles)

@@ -28,6 +28,8 @@ func sampleStats() *Stats {
 		TraceHits:         100,
 		TraceMisses:       4,
 		TraceFallbacks:    2,
+		JITCompiles:       3,
+		JITReplays:        97,
 		ComputeCycles:     123456789,
 		TransferCycles:    55,
 		InterMPUCycles:    66,
@@ -81,7 +83,8 @@ func TestStatsJSONFieldOrder(t *testing.T) {
 		"cycles", "per_mpu_cycles", "instructions", "micro_ops", "rounds",
 		"ensembles", "transfers", "sends", "offloads", "recipe_hits",
 		"recipe_misses", "playback_spill", "trace_hits", "trace_misses",
-		"trace_fallbacks", "compute_cycles", "transfer_cycles",
+		"trace_fallbacks", "jit_compiles", "jit_replays",
+		"compute_cycles", "transfer_cycles",
 		"inter_mpu_cycles", "offload_cycles", "decode_stalls",
 		"datapath_energy_pj", "frontend_static_pj", "frontend_dynamic_pj",
 		"noc_energy_pj", "host_energy_pj",

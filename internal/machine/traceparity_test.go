@@ -1,9 +1,11 @@
 package machine_test
 
-// Trace-engine parity difftest: the compile-once/replay-many engine must be
-// invisible in every reported number. Each kernel and application runs twice
-// — engine on (the default) and off (NoTrace) — on every back end in both
-// modes, and the two Stats must match byte for byte, trace counters aside.
+// Trace-engine and trace-JIT parity difftest: neither the compile-once/
+// replay-many engine nor the JIT'd closure-chain replay may be visible in
+// any reported number. Each kernel and application runs three times — JIT
+// (the default), NoJIT (trace engine with step-interpreted replay), and
+// NoTrace (pure interpreter) — on every back end in both modes, and the
+// three Stats must match byte for byte, engine-strategy counters aside.
 
 import (
 	"fmt"
@@ -21,32 +23,58 @@ import (
 // trace, round two replays it.
 const parityVRFs = 16
 
+// engine selects which execution strategies to disable for one parity leg.
+type engine struct {
+	name    string
+	noTrace bool
+	noJIT   bool
+}
+
+var engines = []engine{
+	{"jit", false, false},
+	{"nojit", false, true},
+	{"notrace", true, false},
+}
+
 // stripTrace clears the counters that describe simulator execution strategy
 // rather than modeled hardware; everything else must match exactly.
 func stripTrace(st *machine.Stats) machine.Stats {
 	c := *st
 	c.TraceHits, c.TraceMisses, c.TraceFallbacks = 0, 0, 0
+	c.JITCompiles, c.JITReplays = 0, 0
 	return c
 }
 
-func requireParity(t *testing.T, name string, on, off *machine.Stats) {
+func requireParity(t *testing.T, name string, jit, nojit, notrace *machine.Stats) {
 	t.Helper()
-	a, b := stripTrace(on), stripTrace(off)
+	a, b, c := stripTrace(jit), stripTrace(nojit), stripTrace(notrace)
 	if !reflect.DeepEqual(a, b) {
-		t.Errorf("%s: stats diverge between trace engine on and off:\n on: %+v\noff: %+v", name, a, b)
+		t.Errorf("%s: stats diverge between JIT and step-interpreted replay:\n  jit: %+v\nnojit: %+v", name, a, b)
 	}
-	if off.TraceHits+off.TraceMisses+off.TraceFallbacks != 0 {
-		t.Errorf("%s: NoTrace run reported trace counters: %+v", name, off)
+	if !reflect.DeepEqual(b, c) {
+		t.Errorf("%s: stats diverge between trace engine on and off:\n  nojit: %+v\nnotrace: %+v", name, b, c)
+	}
+	if notrace.TraceHits+notrace.TraceMisses+notrace.TraceFallbacks != 0 {
+		t.Errorf("%s: NoTrace run reported trace counters: %+v", name, notrace)
+	}
+	if notrace.JITCompiles+notrace.JITReplays != 0 {
+		t.Errorf("%s: NoTrace run reported JIT counters: %+v", name, notrace)
+	}
+	if nojit.JITCompiles+nojit.JITReplays != 0 {
+		t.Errorf("%s: NoJIT run reported JIT counters: %+v", name, nojit)
+	}
+	if jit.JITReplays > jit.TraceHits {
+		t.Errorf("%s: more JIT replays (%d) than trace hits (%d)", name, jit.JITReplays, jit.TraceHits)
 	}
 }
 
 func TestTraceParity(t *testing.T) {
-	var totalHits uint64
+	var totalHits, totalJITReplays uint64
 	for _, spec := range backends.All() {
 		for _, mode := range []machine.Mode{machine.ModeMPU, machine.ModeBaseline} {
 			for _, k := range workloads.All() {
 				name := fmt.Sprintf("%s/%s/%s", k.Name, spec.Name, mode)
-				run := func(noTrace bool) *machine.Stats {
+				run := func(e engine) *machine.Stats {
 					res, err := workloads.Run(k, workloads.RunConfig{
 						Spec:               spec,
 						Mode:               mode,
@@ -54,25 +82,30 @@ func TestTraceParity(t *testing.T) {
 						Seed:               1,
 						MaxSimVRFs:         parityVRFs,
 						ActiveVRFsOverride: 1,
-						NoTrace:            noTrace,
+						NoTrace:            e.noTrace,
+						NoJIT:              e.noJIT,
 					})
 					if err != nil {
 						t.Fatalf("%s: %v", name, err)
 					}
 					return res.Stats
 				}
-				on, off := run(false), run(true)
-				requireParity(t, name, on, off)
-				totalHits += on.TraceHits
+				jit, nojit, notrace := run(engines[0]), run(engines[1]), run(engines[2])
+				requireParity(t, name, jit, nojit, notrace)
+				totalHits += jit.TraceHits
+				totalJITReplays += jit.JITReplays
 
 				// Pin the fallback path: gcd's dynamic while loop (JUMP_COND)
 				// must never replay from a trace.
 				if k.Name == "gcd" {
-					if on.TraceHits != 0 {
-						t.Errorf("%s: dynamic-control-flow body replayed %d rounds from a trace", name, on.TraceHits)
+					if jit.TraceHits != 0 {
+						t.Errorf("%s: dynamic-control-flow body replayed %d rounds from a trace", name, jit.TraceHits)
 					}
-					if on.TraceFallbacks == 0 {
+					if jit.TraceFallbacks == 0 {
 						t.Errorf("%s: dynamic-control-flow body reported no fallback rounds", name)
+					}
+					if jit.JITCompiles != 0 {
+						t.Errorf("%s: dynamic-control-flow body compiled %d JIT progs", name, jit.JITCompiles)
 					}
 				}
 			}
@@ -81,37 +114,40 @@ func TestTraceParity(t *testing.T) {
 	if totalHits == 0 {
 		t.Error("no kernel round was replayed from a trace — the engine never engaged")
 	}
+	if totalJITReplays == 0 {
+		t.Error("no kernel round ran a JIT'd closure chain — the JIT never engaged")
+	}
 }
 
 func TestTraceParityApps(t *testing.T) {
 	type appRun struct {
 		name string
-		run  func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error)
+		run  func(spec *backends.Spec, mode machine.Mode, e engine) (*apps.Result, error)
 	}
 	cases := []appRun{
-		{"LLMEncode", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
-			return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		{"LLMEncode", func(spec *backends.Spec, mode machine.Mode, e engine) (*apps.Result, error) {
+			return apps.RunLLMEncode(apps.LLMEncodeConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: e.noTrace, NoJIT: e.noJIT})
 		}},
-		{"BlackScholes", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
-			return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		{"BlackScholes", func(spec *backends.Spec, mode machine.Mode, e engine) (*apps.Result, error) {
+			return apps.RunBlackScholes(apps.BlackScholesConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: e.noTrace, NoJIT: e.noJIT})
 		}},
-		{"EditDistance", func(spec *backends.Spec, mode machine.Mode, noTrace bool) (*apps.Result, error) {
-			return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: noTrace})
+		{"EditDistance", func(spec *backends.Spec, mode machine.Mode, e engine) (*apps.Result, error) {
+			return apps.RunEditDistance(apps.EditDistanceConfig{Spec: spec, Mode: mode, Seed: 1, NoTrace: e.noTrace, NoJIT: e.noJIT})
 		}},
 	}
 	for _, spec := range backends.All() {
 		for _, mode := range []machine.Mode{machine.ModeMPU, machine.ModeBaseline} {
 			for _, c := range cases {
 				name := fmt.Sprintf("%s/%s/%s", c.name, spec.Name, mode)
-				on, err := c.run(spec, mode, false)
-				if err != nil {
-					t.Fatalf("%s: %v", name, err)
+				var st [3]*machine.Stats
+				for i, e := range engines {
+					r, err := c.run(spec, mode, e)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", name, e.name, err)
+					}
+					st[i] = r.Stats
 				}
-				off, err := c.run(spec, mode, true)
-				if err != nil {
-					t.Fatalf("%s: %v", name, err)
-				}
-				requireParity(t, name, on.Stats, off.Stats)
+				requireParity(t, name, st[0], st[1], st[2])
 			}
 		}
 	}

@@ -1,0 +1,26 @@
+package micro
+
+// Run is a maximal stretch of consecutive same-Kind ops inside a resolved
+// stream: rs[Start : Start+Len] all share Kind. The trace JIT fuses each
+// run into one closure whose loop body is the kind's merge expression, so
+// the per-op kind dispatch of the interpreting executor disappears from
+// replay entirely.
+type Run struct {
+	Kind       Kind
+	Start, Len int
+}
+
+// Runs segments a resolved stream into maximal same-kind runs, in order.
+// Concatenating the runs reproduces the stream exactly.
+func Runs(rs []ResolvedOp) []Run {
+	var out []Run
+	for i := 0; i < len(rs); {
+		j := i + 1
+		for j < len(rs) && rs[j].Kind == rs[i].Kind {
+			j++
+		}
+		out = append(out, Run{Kind: rs[i].Kind, Start: i, Len: j - i})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package micro
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRuns(t *testing.T) {
+	if Runs(nil) != nil {
+		t.Error("Runs(nil) != nil")
+	}
+	rs := []ResolvedOp{
+		{Kind: XOR}, {Kind: XOR}, {Kind: FADD}, {Kind: FADD}, {Kind: FADD},
+		{Kind: COPY}, {Kind: XOR},
+	}
+	got := Runs(rs)
+	want := []Run{
+		{Kind: XOR, Start: 0, Len: 2},
+		{Kind: FADD, Start: 2, Len: 3},
+		{Kind: COPY, Start: 5, Len: 1},
+		{Kind: XOR, Start: 6, Len: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Runs = %+v, want %+v", got, want)
+	}
+	// The runs must tile the stream.
+	n := 0
+	for _, r := range got {
+		if r.Start != n {
+			t.Errorf("run starts at %d, want %d", r.Start, n)
+		}
+		n += r.Len
+	}
+	if n != len(rs) {
+		t.Errorf("runs cover %d ops, want %d", n, len(rs))
+	}
+}

@@ -27,6 +27,8 @@ type metrics struct {
 	traceHits      uint64
 	traceMisses    uint64
 	traceFallbacks uint64
+	jitCompiles    uint64
+	jitReplays     uint64
 	roundsTotal    uint64
 
 	inflight int64 // admitted requests not yet answered
@@ -84,12 +86,14 @@ func (m *metrics) observeBatch(size int) {
 	m.batchSize.observe(float64(size))
 }
 
-func (m *metrics) rollupStats(traceHits, traceMisses, traceFallbacks, rounds uint64) {
+func (m *metrics) rollupStats(traceHits, traceMisses, traceFallbacks, jitCompiles, jitReplays, rounds uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.traceHits += traceHits
 	m.traceMisses += traceMisses
 	m.traceFallbacks += traceFallbacks
+	m.jitCompiles += jitCompiles
+	m.jitReplays += jitReplays
 	m.roundsTotal += rounds
 }
 
@@ -152,6 +156,12 @@ func (m *metrics) render(depths []queueDepth) string {
 	sb.WriteString("# HELP mpud_trace_fallbacks_total Interpreted rounds (untraceable bodies) rolled up from run stats.\n")
 	sb.WriteString("# TYPE mpud_trace_fallbacks_total counter\n")
 	fmt.Fprintf(&sb, "mpud_trace_fallbacks_total %d\n", m.traceFallbacks)
+	sb.WriteString("# HELP mpud_jit_compiles_total Trace bodies JIT-compiled to closure chains, rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_jit_compiles_total counter\n")
+	fmt.Fprintf(&sb, "mpud_jit_compiles_total %d\n", m.jitCompiles)
+	sb.WriteString("# HELP mpud_jit_replays_total Replay rounds served by JIT-compiled closure chains, rolled up from run stats.\n")
+	sb.WriteString("# TYPE mpud_jit_replays_total counter\n")
+	fmt.Fprintf(&sb, "mpud_jit_replays_total %d\n", m.jitReplays)
 	sb.WriteString("# HELP mpud_scheduler_rounds_total Machine scheduler rounds rolled up from run stats.\n")
 	sb.WriteString("# TYPE mpud_scheduler_rounds_total counter\n")
 	fmt.Fprintf(&sb, "mpud_scheduler_rounds_total %d\n", m.roundsTotal)

@@ -74,6 +74,10 @@ type Config struct {
 	// NoTrace builds the pool machines with the trace engine disabled.
 	NoTrace bool
 
+	// NoJIT builds the pool machines with trace JIT compilation disabled
+	// (traces replay step-interpreted).
+	NoJIT bool
+
 	// MachineWorkers is forwarded to each pool machine's scheduler
 	// (kernel requests simulate one MPU, so this only matters for
 	// submitted multi-MPU binaries).
@@ -295,7 +299,7 @@ func New(cfg Config) (*Server, error) {
 			open:  map[string]*batch{},
 		}
 		mc := workloads.MachineConfigFor(workloads.RunConfig{
-			Spec: spec, Mode: ps.Mode, NoTrace: cfg.NoTrace, Workers: cfg.MachineWorkers,
+			Spec: spec, Mode: ps.Mode, NoTrace: cfg.NoTrace, NoJIT: cfg.NoJIT, Workers: cfg.MachineWorkers,
 		})
 		for i := 0; i < size; i++ {
 			m, err := machine.New(mc)
@@ -409,6 +413,7 @@ func (s *Server) execute(p *pool, m *machine.Machine, rq *execReq, size int) *ba
 			Seed:          rq.raw.Seed,
 			Check:         rq.raw.Check,
 			NoTrace:       s.cfg.NoTrace,
+			NoJIT:         s.cfg.NoJIT,
 			Workers:       s.cfg.MachineWorkers,
 		})
 		if err != nil {
@@ -446,7 +451,7 @@ func (s *Server) execute(p *pool, m *machine.Machine, rq *execReq, size int) *ba
 			resp.Dumps = append(resp.Dumps, RegisterDump{RFH: d.RFH, VRF: d.VRF, Reg: d.Reg, Values: vals})
 		}
 	}
-	s.metrics.rollupStats(st.TraceHits, st.TraceMisses, st.TraceFallbacks, st.Rounds)
+	s.metrics.rollupStats(st.TraceHits, st.TraceMisses, st.TraceFallbacks, st.JITCompiles, st.JITReplays, st.Rounds)
 	statsJSON, err := json.Marshal(st)
 	if err != nil {
 		return errResult(http.StatusInternalServerError, err)

@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+// TestProgMemoReuse pins the memo contract: structurally equal step streams
+// share one compiled program (pointer-identical), while a different lane
+// geometry or a different stream compiles separately, and a declined
+// compilation is memoized as the nil it returned.
+func TestProgMemoReuse(t *testing.T) {
+	pm := NewProgMemo()
+
+	a, b := jitBody(), jitBody() // equal content, distinct backing arrays
+	pa := pm.Compile(a, 64)
+	if pa == nil {
+		t.Fatal("CompileJIT declined a straight-line body at 64 lanes")
+	}
+	if pb := pm.Compile(b, 64); pb != pa {
+		t.Fatalf("structurally equal streams compiled to distinct programs: %p vs %p", pa, pb)
+	}
+
+	wide := pm.Compile(a, 256)
+	if wide == nil {
+		t.Fatal("CompileJIT declined the same body at 256 lanes")
+	}
+	if wide == pa {
+		t.Fatal("lane geometries 64 and 256 shared one compiled program")
+	}
+
+	c := jitBody()
+	c.Steps[0].Ops[0].Dst++ // same shape, different operand slot
+	if pc := pm.Compile(c, 64); pc == pa {
+		t.Fatal("distinct streams aliased one compiled program")
+	}
+
+	// 48 lanes has no flat word directory, so compilation declines; the
+	// decline must be memoized (same nil on the second call, no re-probe).
+	if p := pm.Compile(a, 48); p != nil {
+		t.Fatalf("expected nil program for 48 lanes, got %p", p)
+	}
+	if p := pm.Compile(a, 48); p != nil {
+		t.Fatalf("memoized decline returned non-nil on second call: %p", p)
+	}
+
+	if p := pm.Compile(nil, 64); p != nil {
+		t.Fatalf("nil trace compiled to %p", p)
+	}
+}

@@ -80,32 +80,82 @@ type Trace struct {
 	Lookups    []controlpath.LookupPair
 	NumLookups uint64
 	TouchOrder []uint8
+
+	// Prog, when non-nil, is the JIT-compiled form of Steps (jit.go):
+	// replay runs the closure chain instead of interpreting the steps. The
+	// machine compiles it lazily — on the body's first replayed round, not
+	// at install time — so bodies that never replay (recipe-cold decode,
+	// NoJIT) are never lowered. Compiled records that the lowering attempt
+	// concluded; Prog nil after that means the JIT declined (unsupported
+	// lane geometry or micro-op, or disabled) and replay interprets Steps.
+	Prog     *Prog
+	Compiled bool
 }
 
-// Cache holds one core's compiled bodies. A present-but-nil entry is a
-// negative result: the body was classified or observed untraceable, so
-// later executions skip straight to the interpreter.
+// Cache holds one core's compiled bodies, each entry carrying the
+// memoized CFG-classification verdict separately from the recording
+// outcome. The split matters for ineligible (dynamic) bodies: their
+// verdict is computed once and every later activation skips straight to
+// the interpreter without re-running lint.ClassifyBody or consulting the
+// recorder.
 type Cache struct {
-	m map[Key]*Trace
+	m map[Key]*cacheEntry
+}
+
+type cacheEntry struct {
+	classified bool // Eligible's verdict has been memoized
+	eligible   bool // ClassifyBody proved the body straight-line/static
+	done       bool // a recording attempt concluded (tr may still be nil)
+	tr         *Trace
 }
 
 // NewCache returns an empty trace cache.
-func NewCache() *Cache { return &Cache{m: map[Key]*Trace{}} }
+func NewCache() *Cache { return &Cache{m: map[Key]*cacheEntry{}} }
 
-// Get returns the cached trace (which may be nil) and whether the body has
-// been compiled — or negatively cached — before.
-func (c *Cache) Get(k Key) (*Trace, bool) {
-	t, ok := c.m[k]
-	return t, ok
+func (c *Cache) entry(k Key) *cacheEntry {
+	e := c.m[k]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[k] = e
+	}
+	return e
 }
 
-// Put stores a compiled trace, or nil to mark the body untraceable.
-func (c *Cache) Put(k Key, t *Trace) { c.m[k] = t }
+// Eligible reports whether the body may be traced at all, invoking
+// classify at most once per key — the verdict is memoized for the life of
+// the cache (a program reload Resets it).
+func (c *Cache) Eligible(k Key, classify func() bool) bool {
+	e := c.entry(k)
+	if !e.classified {
+		e.eligible = classify()
+		e.classified = true
+	}
+	return e.eligible
+}
+
+// Lookup returns the cached trace and whether a recording attempt has
+// concluded. A (nil, true) result is a negative entry: the recording
+// proved the body unreplayable, so later executions skip straight to the
+// interpreter.
+func (c *Cache) Lookup(k Key) (*Trace, bool) {
+	e := c.m[k]
+	if e == nil {
+		return nil, false
+	}
+	return e.tr, e.done
+}
+
+// Install records the outcome of a recording attempt: a compiled trace, or
+// nil to mark the body unreplayable.
+func (c *Cache) Install(k Key, t *Trace) {
+	e := c.entry(k)
+	e.tr, e.done = t, true
+}
 
 // Reset drops every entry (program reload).
 func (c *Cache) Reset() {
 	if len(c.m) > 0 {
-		c.m = map[Key]*Trace{}
+		c.m = map[Key]*cacheEntry{}
 	}
 }
 

@@ -134,20 +134,54 @@ func TestRecorderAborts(t *testing.T) {
 func TestCacheNegativeEntries(t *testing.T) {
 	c := NewCache()
 	k := Key{BodyStart: 3, BodyLen: 5}
-	if _, ok := c.Get(k); ok {
+	if _, ok := c.Lookup(k); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.Put(k, nil)
-	tr, ok := c.Get(k)
+	c.Install(k, nil)
+	tr, ok := c.Lookup(k)
 	if !ok || tr != nil {
-		t.Fatalf("negative entry Get = (%v, %v), want (nil, true)", tr, ok)
+		t.Fatalf("negative entry Lookup = (%v, %v), want (nil, true)", tr, ok)
 	}
-	c.Put(k, &Trace{EndPC: 9})
-	if tr, _ := c.Get(k); tr == nil || tr.EndPC != 9 {
+	c.Install(k, &Trace{EndPC: 9})
+	if tr, _ := c.Lookup(k); tr == nil || tr.EndPC != 9 {
 		t.Fatal("positive entry did not replace negative entry")
 	}
 	c.Reset()
-	if _, ok := c.Get(k); ok {
+	if _, ok := c.Lookup(k); ok {
 		t.Fatal("Reset left an entry behind")
+	}
+}
+
+// The classification verdict is computed at most once per key: ineligible
+// bodies must not re-run the CFG walk on every activation.
+func TestCacheMemoizesClassification(t *testing.T) {
+	c := NewCache()
+	k := Key{BodyStart: 1, BodyLen: 2}
+	calls := 0
+	classify := func() bool { calls++; return false }
+	for i := 0; i < 5; i++ {
+		if c.Eligible(k, classify) {
+			t.Fatal("classify returned false but Eligible reported true")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("classify ran %d times, want 1", calls)
+	}
+	// A different key classifies independently.
+	k2 := Key{BodyStart: 9, BodyLen: 2}
+	ok := c.Eligible(k2, func() bool { return true })
+	if !ok {
+		t.Fatal("second key inherited the first key's verdict")
+	}
+	// Eligibility and recording outcome are independent: installing a
+	// trace must not disturb the memoized verdict.
+	c.Install(k2, &Trace{EndPC: 4})
+	if !c.Eligible(k2, func() bool { t.Fatal("verdict recomputed"); return false }) {
+		t.Fatal("verdict lost after Install")
+	}
+	// Reset clears verdicts along with traces (program reload).
+	c.Reset()
+	if c.Eligible(k, func() bool { calls++; return true }) != true || calls != 2 {
+		t.Fatal("Reset did not clear the memoized verdict")
 	}
 }

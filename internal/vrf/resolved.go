@@ -3,6 +3,7 @@ package vrf
 import (
 	"fmt"
 
+	"mpu/internal/bitvec"
 	"mpu/internal/isa"
 	"mpu/internal/micro"
 )
@@ -18,14 +19,19 @@ var (
 
 // ExecAllResolved applies a resolved micro-op sequence in order, with the
 // same semantics (and the same MicroOps accounting) as ExecAll on the
-// unresolved form. When every plane is a single machine word (lanes == 64,
-// which holds for all shipped backends) it runs a word-level fast path over
-// the flat slot directory that skips per-op plane resolution, bounds
-// checks, and the constant-plane write guard (performed once at Resolve
-// time).
+// unresolved form. When every plane is a whole number of machine words
+// (lanes % 64 == 0, which holds for all shipped backends) it runs a
+// word-level fast path over the flat slot directory that skips per-op
+// plane resolution, bounds checks, and the constant-plane write guard
+// (performed once at Resolve time): single-word planes get the fully
+// inlined 64-lane executor, wider planes the multi-word slab kernels.
 func (v *VRF) ExecAllResolved(rs []micro.ResolvedOp) {
 	if v.words != nil {
-		v.execResolved64(rs)
+		if v.wpl == 1 {
+			v.execResolved64(rs)
+		} else {
+			v.execResolvedWide(rs)
+		}
 		v.MicroOps += uint64(len(rs))
 		return
 	}
@@ -88,6 +94,56 @@ func (v *VRF) execResolved64(rs []micro.ResolvedOp) {
 			ws[micro.SlotCond] = ws[r.A] & m
 		case micro.MASKRD:
 			ws[r.Dst] = m
+		default:
+			panic(fmt.Sprintf("vrf: unknown micro-op kind %d", r.Kind))
+		}
+	}
+}
+
+// span returns the word-directory storage of one slot: wpl consecutive
+// words starting at s*wpl.
+func (v *VRF) span(s micro.Slot) []uint64 {
+	base := int(s) * v.wpl
+	return v.words[base : base+v.wpl]
+}
+
+// execResolvedWide is the multi-word executor for lanes that span several
+// words per plane (lanes % 64 == 0, lanes > 64 — e.g. SIMDRAM's 256). Each
+// op runs one bitvec slab kernel over the operand spans; the kernels
+// reproduce the plane path bit for bit (every word is fully populated, so
+// there is no tail to clamp, and word i of one plane only ever combines
+// with word i of another).
+func (v *VRF) execResolvedWide(rs []micro.ResolvedOp) {
+	m := v.span(micro.SlotMask) // no micro-op writes the mask plane
+	for i := range rs {
+		r := &rs[i]
+		switch r.Kind {
+		case micro.NOR:
+			bitvec.NorWords(v.span(r.Dst), v.span(r.A), v.span(r.B), m)
+		case micro.AND:
+			bitvec.AndWords(v.span(r.Dst), v.span(r.A), v.span(r.B), m)
+		case micro.OR:
+			bitvec.OrWords(v.span(r.Dst), v.span(r.A), v.span(r.B), m)
+		case micro.XOR:
+			bitvec.XorWords(v.span(r.Dst), v.span(r.A), v.span(r.B), m)
+		case micro.NOT:
+			bitvec.NotWords(v.span(r.Dst), v.span(r.A), m)
+		case micro.COPY:
+			bitvec.CopyWords(v.span(r.Dst), v.span(r.A), m)
+		case micro.MAJ:
+			bitvec.MajWords(v.span(r.Dst), v.span(r.A), v.span(r.B), v.span(r.C), m)
+		case micro.MUX:
+			bitvec.MuxWords(v.span(r.Dst), v.span(r.A), v.span(r.B), v.span(r.C), m)
+		case micro.FADD:
+			bitvec.FullAddWords(v.span(r.Dst), v.span(r.Dst2), v.span(r.A), v.span(r.B), v.span(r.C), m)
+		case micro.SET0:
+			bitvec.ClearWords(v.span(r.Dst), m)
+		case micro.SET1:
+			bitvec.SetWords(v.span(r.Dst), m)
+		case micro.CONDWR:
+			bitvec.AndIntoWords(v.span(micro.SlotCond), v.span(r.A), m)
+		case micro.MASKRD:
+			copy(v.span(r.Dst), m)
 		default:
 			panic(fmt.Sprintf("vrf: unknown micro-op kind %d", r.Kind))
 		}

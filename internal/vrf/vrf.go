@@ -27,13 +27,15 @@ type VRF struct {
 	zero    bitvec.Plane
 	one     bitvec.Plane
 
-	// words is the flat word directory backing every plane when each plane
-	// is a single machine word (lanes == 64, every shipped backend): word i
-	// backs micro.Slot i, so the resolved executor (resolved.go) turns a
-	// slot into its storage with a single index. Plane views are lazy
-	// aliases over this directory. nil when lanes != 64; those VRFs take
-	// the per-register slab path below.
+	// words is the flat word directory backing every plane whenever each
+	// plane is a whole number of machine words (lanes % 64 == 0, every
+	// shipped backend): micro.Slot s occupies words[s*wpl : (s+1)*wpl], so
+	// the resolved executor (resolved.go) and the trace JIT (kernel.go)
+	// turn a slot into its storage with one multiply. Plane views are lazy
+	// aliases over this directory. nil for ragged lane counts; those VRFs
+	// take the per-register slab path below.
 	words []uint64
+	wpl   int // words per plane: lanes / 64 when words != nil
 
 	// MicroOps counts executed micro-ops, for cross-checking against the
 	// control path's issue accounting.
@@ -46,10 +48,11 @@ func New(lanes int) *VRF {
 		panic(fmt.Sprintf("vrf: lane count %d must be positive", lanes))
 	}
 	v := &VRF{lanes: lanes}
-	if lanes == isa.WordBits {
+	if lanes%isa.WordBits == 0 {
 		// One flat directory backs every slot; plane views alias into it.
-		v.words = make([]uint64, micro.NumSlots)
-		slab := bitvec.PlanesOver(lanes, micro.NumTempPlanes+4, v.words[micro.SlotTempBase:])
+		v.wpl = lanes / isa.WordBits
+		v.words = make([]uint64, micro.NumSlots*v.wpl)
+		slab := bitvec.PlanesOver(lanes, micro.NumTempPlanes+4, v.words[micro.SlotTempBase*v.wpl:])
 		copy(v.temps[:], slab[:micro.NumTempPlanes])
 		v.cond = slab[int(micro.SlotCond)-micro.SlotTempBase]
 		v.zero = slab[int(micro.SlotZero)-micro.SlotTempBase]
@@ -77,7 +80,7 @@ func (v *VRF) Lanes() int { return v.lanes }
 // first slot.
 func (v *VRF) newRegPlanes(base int) []bitvec.Plane {
 	if v.words != nil {
-		return bitvec.PlanesOver(v.lanes, isa.WordBits, v.words[base:])
+		return bitvec.PlanesOver(v.lanes, isa.WordBits, v.words[base*v.wpl:])
 	}
 	planes, _ := bitvec.NewSlabWords(v.lanes, isa.WordBits)
 	return planes
