@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet race race-short repolint fuzz check bench bench-serve serve-smoke figures clean
+.PHONY: all build test vet race race-short repolint staticcheck preflight fuzz check bench bench-serve serve-smoke figures clean
+
+# Pinned staticcheck release — CI installs exactly this version so findings
+# are reproducible; locally the target is skipped (with a note) when the
+# binary is not on PATH, because the build must stay stdlib-only offline.
+STATICCHECK_VERSION ?= 2025.1.1
 
 all: check
 
@@ -17,6 +22,21 @@ vet:
 # bit-plane mutation stays behind internal/vrf).
 repolint:
 	$(GO) run ./cmd/repolint
+
+# Pinned staticcheck, if installed (CI pins $(STATICCHECK_VERSION) via
+# `go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`).
+# Offline checkouts without the binary skip the target instead of failing.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
+# Machine-level static verification (commlint) of every shipped kernel and
+# application — the same sweep `mastodon preflight` runs before figures.
+preflight:
+	$(GO) run ./cmd/mastodon preflight
 
 # The race detector slows the simulator ~10x, so the full-suite run needs
 # more than `go test`'s default 10m per-package timeout.
@@ -37,15 +57,18 @@ race-short:
 # Bounded runs of the differential oracles: random programs the linter
 # passes must execute without ensemble or capacity faults, and random
 # straight-line bodies must produce identical planes and stats whether
-# rounds run JIT-compiled, step-interpreted, or fully interpreted.
+# rounds run JIT-compiled, step-interpreted, or fully interpreted. The comm
+# oracle cross-checks commlint against the real scheduler: verdict-clean
+# program sets must run, flagged ones must deadlock.
 fuzz:
 	$(GO) test -fuzz=FuzzLintSoundness -fuzztime=30s ./internal/isa
 	$(GO) test -fuzz=FuzzJITParity -fuzztime=30s ./internal/machine
+	$(GO) test -fuzz=FuzzCommSoundness -fuzztime=30s ./internal/lint/comm
 
-# check is the pre-merge gate: build + vet + full test suite + repo lint.
-# Run `make race` (full suite under the race detector) before touching the
-# sweep engine's concurrency.
-check: build vet test repolint
+# check is the pre-merge gate: build + vet + full test suite + repo lint +
+# staticcheck (when installed). Run `make race` (full suite under the race
+# detector) before touching the sweep engine's concurrency.
+check: build vet test repolint staticcheck
 
 # One iteration of every benchmark — a smoke run (also in CI) that keeps the
 # reproduction harness executable; steady-state numbers need larger

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	ezpim [-bin] [-O] [-lint] [-o out] file.ez
+//	ezpim [-bin] [-O] [-lint] [-json] [-o out] file.ez
 //
 // Without -o the MPU assembly is printed to stdout along with the Table IV
 // style code-size accounting on stderr. The compiled (and, with -O,
 // optimized) program is always verified by the static linter — Error
 // findings abort the compile; -lint additionally prints the full report,
-// warnings and observations included.
+// warnings and observations included. -lint -json switches to lint-only
+// mode: instead of compiled output, the findings are printed to stdout as
+// the stable JSON envelope {"ok": bool, "findings": [...]} for CI
+// consumption, and the process exits 1 when the report carries errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +28,10 @@ func main() {
 	bin := flag.Bool("bin", false, "emit the binary ISU image instead of assembly text")
 	opt := flag.Bool("O", false, "run the peephole optimizer on the output")
 	lintFlag := flag.Bool("lint", false, "print the full lint report (warnings and observations included)")
+	jsonOut := flag.Bool("json", false, "with -lint: emit findings as stable JSON to stdout and skip code output")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ezpim [-bin] [-O] [-lint] [-o out] file.ez\n")
+		fmt.Fprintf(os.Stderr, "usage: ezpim [-bin] [-O] [-lint] [-json] [-o out] file.ez\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +57,26 @@ func main() {
 	// Verify the final program — with -O this re-checks the optimizer's
 	// output, not just the builder's.
 	report := mpu.Lint(res.Program, mpu.LintOptions{})
+	if *lintFlag && *jsonOut {
+		findings := report.Findings
+		if findings == nil {
+			findings = []mpu.LintFinding{}
+		}
+		env := struct {
+			OK       bool              `json:"ok"`
+			Findings []mpu.LintFinding `json:"findings"`
+		}{report.Ok(), findings}
+		b, err := json.Marshal(&env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ezpim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		if !report.Ok() {
+			os.Exit(1)
+		}
+		return
+	}
 	if *lintFlag {
 		fmt.Fprint(os.Stderr, report)
 	}

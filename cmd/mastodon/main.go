@@ -5,8 +5,10 @@
 //
 //	mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...
 //
-// Experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15
-// scale ablations all. Scale divides the evaluation working-set sizes (1 =
+// Experiments: preflight fig1 table1 fig5 table3 fig11 fig12 fig13 table4
+// fig14 fig15 scale ablations all. preflight statically verifies every
+// kernel and application with the machine-level linter (commlint) before
+// any cycles are simulated. Scale divides the evaluation working-set sizes (1 =
 // paper scale; larger is faster). -j fans independent sweep cells out across
 // N workers (0 = one per CPU; 1 = sequential); -mj sets the scheduler
 // workers running each cell's simulated MPUs concurrently between
@@ -39,7 +41,7 @@ func main() {
 	noJIT := flag.Bool("nojit", false, "disable trace JIT compilation (replay traces step-interpreted)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune all\n")
+		fmt.Fprintf(os.Stderr, "experiments: preflight fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,13 +68,22 @@ func main() {
 func run(name string, opts exp.Options) error {
 	switch name {
 	case "all":
-		for _, n := range []string{"fig1", "table1", "fig5", "table3", "fig11",
+		for _, n := range []string{"preflight", "fig1", "table1", "fig5", "table3", "fig11",
 			"fig12", "fig13", "table4", "fig14", "fig15", "scale", "ablations", "autotune"} {
 			if err := run(n, opts); err != nil {
 				return err
 			}
 		}
 		return nil
+	case "preflight":
+		r, err := exp.Preflight(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		if !r.Clean() {
+			return fmt.Errorf("static verification found problems (see table above)")
+		}
 	case "fig1":
 		r, err := exp.Fig1(opts)
 		if err != nil {
@@ -154,7 +165,7 @@ func run(name string, opts exp.Options) error {
 		}
 		fmt.Println(exp.RenderAblationDivergence(r3))
 	default:
-		return fmt.Errorf("unknown experiment (want fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, scale, ablations, autotune, all)")
+		return fmt.Errorf("unknown experiment (want preflight, fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, scale, ablations, autotune, all)")
 	}
 	return nil
 }

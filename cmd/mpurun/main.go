@@ -9,10 +9,14 @@
 // -set preloads a vector register on MPU 0 before the run; -dump prints one
 // after it. The same binary is loaded into every MPU (SPMD). -j runs the
 // simulated MPUs on N scheduler goroutines between communication points
-// (0 = one per CPU, 1 = sequential); statistics are identical either way. Before loading,
-// the program is preflighted by the static linter against the selected back
-// end — Error findings abort the run (and warnings are printed); -nolint
-// skips the preflight to reproduce raw machine faults.
+// (0 = one per CPU, 1 = sequential); statistics are identical either way.
+// Before loading, the program is preflighted by the machine-level linter
+// against the selected back end and MPU count: per-core structural checks
+// plus the cross-MPU communication checks (rendezvous matching, route
+// legality, deadlock-freedom — see docs/LINT.md). Error findings abort the
+// run (and warnings are printed); -nolint skips the preflight to reproduce
+// raw machine faults. -lint stops after the preflight and prints the full
+// report; with -json the findings are emitted as stable JSON for CI.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	mode := flag.String("mode", "mpu", "execution mode: mpu or baseline")
 	mpus := flag.Int("mpus", 1, "number of MPUs to instantiate")
 	stats := flag.Bool("stats", false, "print a static analysis of the binary before running")
+	lintOnly := flag.Bool("lint", false, "preflight only: print the machine-level lint report and exit without running")
 	nolint := flag.Bool("nolint", false, "skip the static lint preflight")
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	nojit := flag.Bool("nojit", false, "disable trace JIT compilation (replay traces step-interpreted)")
@@ -53,13 +58,32 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *backend, *mode, *mpus, sets, dumps, *stats, *nolint, *notrace, *nojit, *jobs, *jsonOut, *csvDir); err != nil {
+	opts := runOpts{
+		backend: *backend, mode: *mode, mpus: *mpus, sets: sets, dumps: dumps,
+		stats: *stats, lintOnly: *lintOnly, nolint: *nolint, notrace: *notrace,
+		nojit: *nojit, jobs: *jobs, jsonOut: *jsonOut, csvDir: *csvDir,
+	}
+	if err := run(flag.Arg(0), opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mpurun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, nolint, notrace, nojit bool, jobs int, jsonOut bool, csvDir string) error {
+// runOpts mirrors the command-line flags.
+type runOpts struct {
+	backend, mode  string
+	mpus           int
+	sets, dumps    []string
+	stats          bool
+	lintOnly       bool
+	nolint         bool
+	notrace, nojit bool
+	jobs           int
+	jsonOut        bool
+	csvDir         string
+}
+
+func run(path string, o runOpts) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -77,15 +101,20 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 			return err
 		}
 	}
-	if stats {
+	if o.stats {
 		fmt.Print(mpu.Analyze(prog))
 	}
-	spec, err := mpu.BackendByName(backend)
+	spec, err := mpu.BackendByName(o.backend)
 	if err != nil {
 		return err
 	}
-	if !nolint {
-		report := mpu.Lint(prog, mpu.LintOptions{Spec: spec, Lines: lines})
+	if !o.nolint || o.lintOnly {
+		// Machine-level preflight: per-core structural lint plus the commlint
+		// composition over the SPMD set the machine will actually load.
+		report := mpu.LintSPMD(prog, o.mpus, mpu.MachineLintOptions{Spec: spec, Lines: [][]int{lines}})
+		if o.lintOnly {
+			return emitLintReport(report, o.jsonOut)
+		}
 		// Warnings are surfaced; Info observations (e.g. reads of -set
 		// preloaded registers) stay quiet.
 		for _, f := range report.Findings {
@@ -98,22 +127,22 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 		}
 	}
 	var mode mpu.Mode
-	switch strings.ToLower(modeName) {
+	switch strings.ToLower(o.mode) {
 	case "mpu":
 		mode = mpu.ModeMPU
 	case "baseline":
 		mode = mpu.ModeBaseline
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
-	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: mpus, NoTrace: notrace, NoJIT: nojit, Workers: jobs})
+	m, err := mpu.NewMachine(mpu.MachineConfig{Spec: spec, Mode: mode, NumMPUs: o.mpus, NoTrace: o.notrace, NoJIT: o.nojit, Workers: o.jobs})
 	if err != nil {
 		return err
 	}
 	if err := m.LoadAll(prog); err != nil {
 		return err
 	}
-	for _, s := range sets {
+	for _, s := range o.sets {
 		addr, reg, vals, err := parseSet(s)
 		if err != nil {
 			return err
@@ -126,7 +155,7 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	if o.jsonOut {
 		// The stats object uses the stable machine.Stats encoding shared
 		// with mpud responses.
 		env := struct {
@@ -136,14 +165,14 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 			Seconds float64    `json:"seconds"`
 			Joules  float64    `json:"joules"`
 			Stats   *mpu.Stats `json:"stats"`
-		}{spec.Name, mode.String(), mpus, st.TimeSeconds(spec.ClockGHz), st.TotalEnergyPJ() * 1e-12, st}
+		}{spec.Name, mode.String(), o.mpus, st.TimeSeconds(spec.ClockGHz), st.TotalEnergyPJ() * 1e-12, st}
 		b, err := json.Marshal(&env)
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(b))
 	} else {
-		fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
+		fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, o.mpus)
 		fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
 			st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
 		if st.TraceHits+st.TraceMisses+st.TraceFallbacks > 0 {
@@ -158,13 +187,13 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 			st.DatapathEnergyPJ*1e-12, (st.FrontendStaticPJ+st.FrontendDynamicPJ)*1e-12,
 			st.NoCEnergyPJ*1e-12, st.HostEnergyPJ*1e-12)
 	}
-	if csvDir != "" {
+	if o.csvDir != "" {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		rows := [][]string{
 			{"backend", "mode", "mpus", "cycles", "seconds", "instructions", "micro_ops",
 				"rounds", "trace_hits", "trace_misses", "trace_fallbacks",
 				"jit_compiles", "jit_replays", "offloads", "joules"},
-			{spec.Name, mode.String(), strconv.Itoa(mpus),
+			{spec.Name, mode.String(), strconv.Itoa(o.mpus),
 				strconv.FormatInt(st.Cycles, 10),
 				strconv.FormatFloat(st.TimeSeconds(spec.ClockGHz), 'g', -1, 64),
 				strconv.FormatUint(st.Instructions, 10),
@@ -179,12 +208,12 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 				strconv.FormatFloat(st.TotalEnergyPJ()*1e-12, 'g', -1, 64)},
 		}
 		// exp.WriteCSV creates csvDir if missing.
-		if err := exp.WriteCSV(csvDir, name, rows); err != nil {
+		if err := exp.WriteCSV(o.csvDir, name, rows); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "mpurun: CSV written to %s\n", filepath.Join(csvDir, name+".csv"))
+		fmt.Fprintf(os.Stderr, "mpurun: CSV written to %s\n", filepath.Join(o.csvDir, name+".csv"))
 	}
-	for _, d := range dumps {
+	for _, d := range o.dumps {
 		addr, reg, err := parseAddr(d)
 		if err != nil {
 			return err
@@ -202,6 +231,34 @@ func run(path, backend, modeName string, mpus int, sets, dumps []string, stats, 
 			fmt.Printf(" ... (%d lanes)", len(vals))
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// emitLintReport prints the -lint mode result: the full text report, or —
+// with -json — the stable findings envelope {"ok": bool, "findings": [...]}
+// CI pipelines consume. The returned error is non-nil when the report
+// carries Error findings, so the process exits 1 on a rejected program.
+func emitLintReport(report *mpu.LintReport, jsonOut bool) error {
+	if jsonOut {
+		findings := report.Findings
+		if findings == nil {
+			findings = []mpu.LintFinding{}
+		}
+		env := struct {
+			OK       bool              `json:"ok"`
+			Findings []mpu.LintFinding `json:"findings"`
+		}{report.Ok(), findings}
+		b, err := json.Marshal(&env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(report)
+	}
+	if !report.Ok() {
+		return fmt.Errorf("lint: %d error finding(s)", len(report.Errs()))
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -46,8 +47,13 @@ func TestParseSet(t *testing.T) {
 	}
 }
 
+// baseOpts is the flag default set the tests perturb.
+func baseOpts() runOpts {
+	return runOpts{backend: "racer", mode: "mpu", mpus: 1, jobs: 1}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("/nonexistent.masm", "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, ""); err == nil {
+	if err := run("/nonexistent.masm", baseOpts()); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -58,14 +64,40 @@ func TestRunLintPreflight(t *testing.T) {
 	if err := writeFile(masm, "COMPUTE rfh0 vrf0\nADD r0 r1 r2\n"); err != nil {
 		t.Fatal(err)
 	}
-	err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, "")
-	if err == nil {
+	if err := run(masm, baseOpts()); err == nil {
 		t.Fatal("unbalanced ensemble passed the preflight")
 	}
 	// -nolint must hand the same program to the machine, which faults too —
 	// but through the runtime guard, not the linter.
-	if err := run(masm, "racer", "mpu", 1, nil, nil, false, true, false, false, 1, false, ""); err == nil {
+	nolint := baseOpts()
+	nolint.nolint = true
+	if err := run(masm, nolint); err == nil {
 		t.Fatal("unbalanced ensemble ran cleanly with -nolint")
+	}
+}
+
+func TestRunCommPreflight(t *testing.T) {
+	// An SPMD binary where every core receives from mpu0 and no one sends:
+	// on 2 MPUs core 0 waits on itself and core 1 waits on a core that never
+	// sends — statically broken communication. The machine-level preflight
+	// must reject it before the machine is even built.
+	masm := t.TempDir() + "/orphan.masm"
+	if err := writeFile(masm, "RECV mpu0\n"); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts()
+	o.mpus = 2
+	err := run(masm, o)
+	if err == nil {
+		t.Fatal("statically deadlocking SPMD binary passed the preflight")
+	}
+	if !strings.Contains(err.Error(), "preflight failed") {
+		t.Fatalf("rejection did not come from the preflight: %v", err)
+	}
+	// -lint stops after the report without running.
+	o.lintOnly = true
+	if err := run(masm, o); err == nil {
+		t.Fatal("-lint exited clean on a rejected program")
 	}
 }
 
@@ -76,7 +108,9 @@ func TestRunCSVCreatesDir(t *testing.T) {
 	}
 	// The target directory (and its parent) do not exist yet.
 	csvDir := filepath.Join(t.TempDir(), "missing", "nested")
-	if err := run(masm, "racer", "mpu", 1, nil, nil, false, false, false, false, 1, false, csvDir); err != nil {
+	o := baseOpts()
+	o.csvDir = csvDir
+	if err := run(masm, o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "add.csv")); err != nil {

@@ -37,6 +37,15 @@
 //     a write anywhere else could fake engagement without compiling, or
 //     double-charge a round.
 //
+//  6. rendezvous-state-mutation — inside internal/machine, the NoC matching
+//     state (waitSend/waitRecv/sendDst/recvSrc) may only be written by the
+//     core dispatch that parks on SEND/RECV (core.run), the barrier-phase
+//     matcher (rendezvous), and the lifecycle resets (Reset, Rewind). The
+//     deadlock detector and the commlint soundness oracle both read this
+//     state as ground truth for who waits on whom; a write anywhere else
+//     could unblock a core without a matching transfer or fake a pending
+//     rendezvous that never existed.
+//
 // Usage: repolint [root]   (default root ".")
 package main
 
@@ -122,11 +131,12 @@ func lintFile(path, rel string) ([]string, error) {
 	// Rule 1 exemption: the workloads package owns the seeding helpers.
 	inWorkloads := strings.HasPrefix(rel, "internal/workloads/")
 
-	// Rules 3 and 5: machine-stats-mutation and jit-counter-mutation
-	// (non-test machine sources only).
+	// Rules 3, 5, and 6: machine-stats-mutation, jit-counter-mutation, and
+	// rendezvous-state-mutation (non-test machine sources only).
 	if strings.HasPrefix(rel, "internal/machine/") && !strings.HasSuffix(rel, "_test.go") {
 		lintStatsMutation(file, addf)
 		lintJITCounterMutation(file, addf)
+		lintRendezvousMutation(file, addf)
 	}
 
 	randNames := map[string]bool{} // local names bound to math/rand
@@ -292,6 +302,69 @@ func lintJITCounterMutation(file *ast.File, addf func(pos token.Pos, rule, forma
 				if touchesJITCounter(s.X) {
 					addf(s.X.Pos(), "jit-counter-mutation",
 						"%s increments a JIT counter %s", fn.Name.Name, explain)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rendezvousFields is the per-core NoC matching state rule 6 guards.
+var rendezvousFields = map[string]bool{
+	"waitSend": true,
+	"waitRecv": true,
+	"sendDst":  true,
+	"recvSrc":  true,
+}
+
+// touchesRendezvousState reports whether the expression's selector chain
+// ends in one of the rendezvous fields (c.waitSend, r.recvSrc, ...).
+func touchesRendezvousState(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && rendezvousFields[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rendezvousWriters are the only functions rule 6 lets mutate the matching
+// state: the dispatch that parks a core on SEND/RECV, the barrier-phase
+// matcher that completes the transfer, and the lifecycle resets.
+var rendezvousWriters = map[string]bool{
+	"run":        true,
+	"rendezvous": true,
+	"Reset":      true,
+	"Rewind":     true,
+}
+
+// lintRendezvousMutation enforces rule 6: within internal/machine, only the
+// designated writers may assign to or increment the rendezvous fields, so
+// the wait-for relation the deadlock diagnostic and commlint verify against
+// cannot be forged from anywhere else.
+func lintRendezvousMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
+	const explain = "— only core.run, rendezvous, Reset, and Rewind may write the NoC matching state"
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || rendezvousWriters[fn.Name.Name] || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if touchesRendezvousState(lhs) {
+						addf(lhs.Pos(), "rendezvous-state-mutation",
+							"%s assigns rendezvous state %s", fn.Name.Name, explain)
+					}
+				}
+			case *ast.IncDecStmt:
+				if touchesRendezvousState(s.X) {
+					addf(s.X.Pos(), "rendezvous-state-mutation",
+						"%s increments rendezvous state %s", fn.Name.Name, explain)
 				}
 			}
 			return true

@@ -70,6 +70,23 @@ func replayRound(l *local) { l.JITReplays++ }
 	write(t, root, "internal/machine/jit_test.go", `package machine
 func pokeJIT(l *local) { l.JITReplays = 1 }
 `)
+	// Violations: rendezvous matching state written outside the designated
+	// writers; allowed: run, rendezvous, Reset, Rewind, reads, and tests.
+	write(t, root, "internal/machine/rdv.go", `package machine
+type core struct {
+	waitSend, waitRecv bool
+	sendDst, recvSrc   int
+}
+func forge(c *core)      { c.waitSend = false }
+func retarget(c *core)   { c.recvSrc++ }
+func peek(c *core) bool  { return c.waitRecv }
+func run(c *core)        { c.waitSend = true; c.sendDst = 1 }
+func rendezvous(c *core) { c.waitSend, c.waitRecv = false, false }
+func (c *core) Reset()   { c.sendDst, c.recvSrc = -1, -1 }
+`)
+	write(t, root, "internal/machine/rdv_test.go", `package machine
+func pokeRdv(c *core) { c.waitRecv = true }
+`)
 	// Violations: the no-timeout helper and a bare http.Server literal;
 	// allowed: a literal with explicit timeouts, and test files.
 	write(t, root, "cmd/bad/main.go", `package main
@@ -98,11 +115,11 @@ func helper() { http.ListenAndServe(":0", nil) }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 8 {
-		t.Fatalf("got %d findings, want 8:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 10 {
+		t.Fatalf("got %d findings, want 10:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation", "rendezvous-state-mutation"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
@@ -115,6 +132,9 @@ func helper() { http.ListenAndServe(":0", nil) }
 	}
 	if n := strings.Count(joined, "jit-counter-mutation"); n != 2 {
 		t.Errorf("got %d jit-counter-mutation findings, want 2 (increment + assignment; designated writers and tests exempt):\n%s", n, joined)
+	}
+	if n := strings.Count(joined, "rendezvous-state-mutation"); n != 2 {
+		t.Errorf("got %d rendezvous-state-mutation findings, want 2 (assignment + increment; designated writers, reads, and tests exempt):\n%s", n, joined)
 	}
 }
 

@@ -171,15 +171,10 @@ func BuildBlackScholesPrograms(cfg BlackScholesConfig) ([]isa.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	progs := make([]isa.Program, 2)
-	for i := range progs {
-		p, err := buildBlackScholesBuilder(cfg.Spec, vrfs, addrs, i == 1).Program()
-		if err != nil {
-			return nil, err
-		}
-		progs[i] = p
-	}
-	return progs, nil
+	return ezpim.ProgramSet([]*ezpim.Builder{
+		buildBlackScholesBuilder(cfg.Spec, vrfs, addrs, false),
+		buildBlackScholesBuilder(cfg.Spec, vrfs, addrs, true),
+	})
 }
 
 // RunBlackScholes executes the application and verifies it.

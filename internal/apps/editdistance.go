@@ -188,16 +188,10 @@ func BuildEditDistancePrograms(cfg EditDistanceConfig) ([]isa.Program, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	builders := buildEditDistanceBuilders(cfg)
-	progs := make([]isa.Program, len(builders))
-	for i, b := range builders {
-		p, err := b.Program()
-		if err != nil {
-			return nil, err
-		}
-		progs[i] = p
-	}
-	return progs, nil
+	// ProgramSet runs the commlint composition over the finished ring, so a
+	// mis-phased send/recv schedule fails here with a counterexample rather
+	// than deadlocking the machine.
+	return ezpim.ProgramSet(buildEditDistanceBuilders(cfg))
 }
 
 // RunEditDistance executes the systolic application and verifies it.

@@ -301,16 +301,7 @@ func BuildLLMEncodePrograms(cfg LLMEncodeConfig) ([]isa.Program, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	builders := buildLLMEncodeBuilders(cfg)
-	progs := make([]isa.Program, 0, len(builders))
-	for _, b := range builders {
-		p, err := b.Program()
-		if err != nil {
-			return nil, err
-		}
-		progs = append(progs, p)
-	}
-	return progs, nil
+	return ezpim.ProgramSet(buildLLMEncodeBuilders(cfg))
 }
 
 // RunLLMEncode executes the encoder block across coordinator+worker groups.

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mpu/internal/apps"
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// preflightSPMD is the SPMD width the kernel rows are verified at: wide
+// enough to exercise mesh geometry, small enough to keep the composed state
+// space trivial.
+const preflightSPMD = 4
+
+// PreflightRow is one verified target of the preflight experiment.
+type PreflightRow struct {
+	Target   string // kernel or application name
+	Backend  string
+	MPUs     int
+	Errors   int
+	Warnings int
+}
+
+// PreflightResult is the full static-verification sweep.
+type PreflightResult struct {
+	Rows []PreflightRow
+}
+
+// Preflight statically verifies every shipped kernel (SPMD) and application
+// program set with the machine-level linter — the commlint gate the paper's
+// experiments sit behind. It is the batch counterpart of `mpurun -lint`: a
+// failure here means a figure regeneration would deadlock or fault
+// mid-sweep, so mastodon surfaces it up front without burning any simulated
+// cycles.
+func Preflight(opts Options) (*PreflightResult, error) {
+	opts = opts.norm()
+	res := &PreflightResult{}
+	add := func(target, backend string, mpus int, rep *lint.Report) {
+		res.Rows = append(res.Rows, PreflightRow{
+			Target: target, Backend: backend, MPUs: mpus,
+			Errors: rep.Count(lint.Error), Warnings: rep.Count(lint.Warning),
+		})
+	}
+	specs := append(backends.All(), backends.SIMDRAM())
+	for _, spec := range specs {
+		for _, k := range workloads.All() {
+			p, _, err := workloads.BuildProgram(k, spec, 1)
+			if err != nil {
+				return nil, fmt.Errorf("exp: preflight %s/%s: %w", spec.Name, k.Name, err)
+			}
+			add(k.Name, spec.Name, preflightSPMD,
+				comm.LintSPMD(p, preflightSPMD, comm.Options{Spec: spec}))
+		}
+	}
+	spec := backends.RACER()
+	appBuilds := []struct {
+		name  string
+		progs func() ([]isa.Program, error)
+	}{
+		{"LLMEncode", func() ([]isa.Program, error) {
+			return apps.BuildLLMEncodePrograms(apps.LLMEncodeConfig{Spec: spec, Mode: machine.ModeMPU,
+				Workers: llmWorkers, VRFs: llmVRFs})
+		}},
+		{"BlackScholes", func() ([]isa.Program, error) {
+			return apps.BuildBlackScholesPrograms(apps.BlackScholesConfig{Spec: spec, Mode: machine.ModeMPU,
+				Options: bsOptVRFs * spec.Lanes})
+		}},
+		{"EditDistance", func() ([]isa.Program, error) {
+			return apps.BuildEditDistancePrograms(apps.EditDistanceConfig{Spec: spec, Mode: machine.ModeMPU,
+				MPUs: edRing, VRFs: edVRFs})
+		}},
+	}
+	for _, b := range appBuilds {
+		progs, err := b.progs()
+		if err != nil {
+			return nil, fmt.Errorf("exp: preflight %s: %w", b.name, err)
+		}
+		add(b.name, spec.Name, len(progs),
+			comm.LintMachine(progs, comm.Options{Spec: spec}))
+	}
+	return res, nil
+}
+
+// Clean reports whether every target verified without errors or warnings.
+func (r *PreflightResult) Clean() bool {
+	for _, row := range r.Rows {
+		if row.Errors > 0 || row.Warnings > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the sweep as the preflight table: one summary line, then
+// only the offending rows (a clean sweep prints no per-row noise).
+func (r *PreflightResult) Render() string {
+	var sb strings.Builder
+	dirty := 0
+	for _, row := range r.Rows {
+		if row.Errors > 0 || row.Warnings > 0 {
+			dirty++
+		}
+	}
+	fmt.Fprintf(&sb, "Preflight: machine-level static verification (commlint)\n")
+	fmt.Fprintf(&sb, "%d targets verified, %d with findings\n", len(r.Rows), dirty)
+	if dirty > 0 {
+		fmt.Fprintf(&sb, "%-16s %-10s %5s %7s %9s\n", "target", "backend", "mpus", "errors", "warnings")
+		for _, row := range r.Rows {
+			if row.Errors == 0 && row.Warnings == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-16s %-10s %5d %7d %9d\n", row.Target, row.Backend, row.MPUs, row.Errors, row.Warnings)
+		}
+	}
+	return sb.String()
+}

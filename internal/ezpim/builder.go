@@ -16,6 +16,7 @@ import (
 	"mpu/internal/controlpath"
 	"mpu/internal/isa"
 	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
 )
 
 // UserRegs is the number of registers available to user code; higher
@@ -579,6 +580,32 @@ func (b *Builder) Program() (isa.Program, error) {
 // LintReport returns the static-verification report of the last successful
 // Program() call (nil before the first call).
 func (b *Builder) LintReport() *lint.Report { return b.lintReport }
+
+// ProgramSet finalizes one builder per MPU and verifies the set as a
+// machine: after each per-core Program() build, the commlint composition
+// checks cross-MPU communication (rendezvous matching, route legality,
+// deadlock-freedom), so a multi-MPU application that would stall at runtime
+// fails at build time with a concrete counterexample. builders[i] runs on
+// mpu i; a nil builder contributes an empty program (a core that only
+// terminates).
+func ProgramSet(builders []*Builder) ([]isa.Program, error) {
+	progs := make([]isa.Program, len(builders))
+	for i, b := range builders {
+		if b == nil {
+			continue
+		}
+		p, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("mpu%d: %w", i, err)
+		}
+		progs[i] = p
+	}
+	rep := comm.LintMachine(progs, comm.Options{MPUs: len(builders)})
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("ezpim: program set fails machine verification: %w", err)
+	}
+	return progs, nil
+}
 
 // SourceLines reports the number of high-level statements the builder was
 // driven with — the "Lines of Code ezpim" column of Table IV.

@@ -1,0 +1,31 @@
+package lint
+
+import "mpu/internal/isa"
+
+// The exported Seg* hooks below expose the lexical segmenters to the
+// lint/comm machine-composition pass, so its per-core abstract interpreter
+// consumes ensembles with exactly the same scans as the CFG walker and the
+// machine — one source of truth for where a block ends.
+
+// SegCompute segments the compute ensemble opening at pc (p[pc] must be
+// COMPUTE): bodyStart is the first instruction after the COMPUTE header run,
+// done the lexical COMPUTE_DONE index (-1 if missing), bad the index of an
+// illegal opener inside the body scan (-1 if none).
+func SegCompute(p isa.Program, pc int) (bodyStart, done, bad int) {
+	seg := scanCompute(p, pc)
+	return seg.bodyStart, seg.done, seg.bad
+}
+
+// SegTransfer segments the transfer ensemble opening at pc (p[pc] must be
+// MOVE): end is the index just past MOVE_DONE (-1 if the footer is missing),
+// bad as in SegCompute.
+func SegTransfer(p isa.Program, pc int) (end, bad int) {
+	return scanTransfer(p, pc)
+}
+
+// SegSend segments the inter-MPU send block opening at pc (p[pc] must be
+// SEND): end is the index just past SEND_DONE (-1 if missing); noHeader
+// reports a block with no MOVE run after the SEND.
+func SegSend(p isa.Program, pc int) (end, bad int, noHeader bool) {
+	return scanSend(p, pc)
+}

@@ -1,0 +1,71 @@
+package comm_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpu/internal/apps"
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
+	"mpu/internal/machine"
+	"mpu/internal/workloads"
+)
+
+// requireCommClean fails on any comm-* finding at Warning or above: shipped
+// programs must be fully analyzable and free of communication errors.
+func requireCommClean(t *testing.T, rep *lint.Report, what string) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		if f.Severity >= lint.Warning && strings.HasPrefix(f.Check, "comm-") {
+			t.Errorf("%s: %s", what, f)
+		}
+	}
+}
+
+// TestKernelsCommClean sweeps every shipped kernel on every back end, SPMD
+// across 4 cores — the Machine.LoadAll model mpurun uses.
+func TestKernelsCommClean(t *testing.T) {
+	specs := append(backends.All(), backends.SIMDRAM())
+	for _, spec := range specs {
+		for _, k := range workloads.All() {
+			p, _, err := workloads.BuildProgram(k, spec, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", spec.Name, k.Name, err)
+			}
+			rep := comm.LintSPMD(p, 4, comm.Options{Spec: spec})
+			requireCommClean(t, rep, spec.Name+"/"+k.Name)
+		}
+	}
+}
+
+// TestAppsCommClean verifies the three multi-MPU applications: the
+// editdistance ring (with its wrap-around send-order inversion), the
+// llmencode coordinator/worker pipeline, and the two-core blackscholes
+// splitter.
+func TestAppsCommClean(t *testing.T) {
+	spec := backends.RACER()
+	builds := []struct {
+		name  string
+		progs func() ([]isa.Program, error)
+	}{
+		{"editdistance", func() ([]isa.Program, error) {
+			return apps.BuildEditDistancePrograms(apps.EditDistanceConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+		{"llmencode", func() ([]isa.Program, error) {
+			return apps.BuildLLMEncodePrograms(apps.LLMEncodeConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+		{"blackscholes", func() ([]isa.Program, error) {
+			return apps.BuildBlackScholesPrograms(apps.BlackScholesConfig{Spec: spec, Mode: machine.ModeMPU})
+		}},
+	}
+	for _, b := range builds {
+		progs, err := b.progs()
+		if err != nil {
+			t.Fatalf("%s: build: %v", b.name, err)
+		}
+		rep := comm.LintMachine(progs, comm.Options{Spec: spec})
+		requireCommClean(t, rep, b.name)
+	}
+}

@@ -1,0 +1,353 @@
+// Package comm statically verifies cross-MPU communication — the "commlint"
+// pass. Where package lint checks one binary in isolation, comm checks a
+// whole machine: per-core abstract interpretation over the shared
+// segmentation machinery extracts each program's communication summary (the
+// ordered automaton of SEND/RECV/MPU_SYNC events it can emit, with partner
+// ids, transfer-ensemble shapes, and branch-induced alternatives), and a
+// machine-level composition checks the program set against the NoC topology:
+// every SEND must find its matching RECV (and vice versa), partners must be
+// routable in the instantiated mesh, the lower-ID-sends-first rule must hold
+// for pairwise exchanges, and the composed event graph must be deadlock-free.
+// Violations come with a concrete counterexample: the rendezvous path that
+// reaches the stall and the who-waits-on-whom list, in the same format the
+// machine's runtime deadlock diagnostic uses.
+//
+// Soundness contract (the FuzzCommSoundness oracle): a program set whose
+// machine report has no Error findings and no comm-unanalyzable warnings
+// never trips the runtime deadlock detector; conversely, every runtime
+// deadlock is statically flagged. For programs without data-dependent
+// communication (no JUMPCOND body can reach more than one COMPUTE_DONE) the
+// analysis is exact; dynamic bodies make it a conservative
+// over-approximation.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/recipe"
+)
+
+// EventKind classifies one communication action.
+type EventKind uint8
+
+const (
+	// EvSend is a SEND…SEND_DONE block naming a destination MPU.
+	EvSend EventKind = iota
+	// EvRecv is a RECV naming a source MPU.
+	EvRecv
+	// EvSync is an MPU_SYNC fence — a local pipeline drain that never
+	// blocks on another core, kept in the summary for completeness.
+	EvSync
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "SEND"
+	case EvRecv:
+		return "RECV"
+	default:
+		return "SYNC"
+	}
+}
+
+// Event is one communication action a core can take.
+type Event struct {
+	Kind    EventKind
+	Partner int // SEND destination / RECV source MPU id; -1 for SYNC
+	PC      int // instruction index of the SEND/RECV/MPU_SYNC
+	Pairs   int // SEND only: RFH pairs in the MOVE header (the transfer shape)
+	Copies  int // SEND only: MEMCPY count in the block
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvSend:
+		return fmt.Sprintf("SEND→mpu%d@pc%d", e.Partner, e.PC)
+	case EvRecv:
+		return fmt.Sprintf("RECV←mpu%d@pc%d", e.Partner, e.PC)
+	default:
+		return fmt.Sprintf("SYNC@pc%d", e.PC)
+	}
+}
+
+// Edge emits Event and continues at node To.
+type Edge struct {
+	Event Event
+	To    int
+}
+
+// Node is one stable point between communication events. A node with more
+// than one edge carries branch-induced alternatives (a dynamic ensemble body
+// that can resume at different top-level pcs); a node with End set can also
+// run to completion without further communication.
+type Node struct {
+	Edges []Edge
+	End   bool
+}
+
+// Summary is the communication automaton extracted from one program:
+// Nodes[0] is the entry. Complete is false when extraction hit an analysis
+// bound (or the program is structurally broken), in which case the machine
+// composition must not claim the program set clean.
+type Summary struct {
+	Nodes    []Node
+	Complete bool
+}
+
+// Events returns every distinct communication event in the summary, in
+// deterministic node/edge discovery order.
+func (s *Summary) Events() []Event {
+	var out []Event
+	seen := map[Event]bool{}
+	for _, nd := range s.Nodes {
+		for _, e := range nd.Edges {
+			if !seen[e.Event] {
+				seen[e.Event] = true
+				out = append(out, e.Event)
+			}
+		}
+	}
+	return out
+}
+
+const (
+	// maxStack mirrors the machine's return-address stack depth (64): a
+	// deeper call chain faults at runtime before it could communicate.
+	maxStack = 64
+	// maxStates bounds the abstract-state exploration per program.
+	maxStates = 1 << 14
+)
+
+// position is one abstract execution state: a top-level pc plus the encoded
+// return-address stack.
+type position struct {
+	pc    int
+	stack string
+}
+
+func (q position) key() string { return strconv.Itoa(q.pc) + "|" + q.stack }
+
+func pushStack(stack string, ret int) string {
+	if stack == "" {
+		return strconv.Itoa(ret)
+	}
+	return stack + "," + strconv.Itoa(ret)
+}
+
+func popStack(stack string) (ret int, rest string, ok bool) {
+	if stack == "" {
+		return 0, "", false
+	}
+	if i := strings.LastIndexByte(stack, ','); i >= 0 {
+		n, err := strconv.Atoi(stack[i+1:])
+		return n, stack[:i], err == nil
+	}
+	n, err := strconv.Atoi(stack)
+	return n, "", err == nil
+}
+
+func stackDepth(stack string) int {
+	if stack == "" {
+		return 0
+	}
+	return strings.Count(stack, ",") + 1
+}
+
+// Extract computes the communication summary of p by abstract interpretation
+// of the top-level dispatch (machine.core.run): ensembles are consumed with
+// the same lexical scans the machine uses, JUMP/RETURN thread an explicit
+// abstract return stack, and a compute ensemble whose body can reach more
+// than one COMPUTE_DONE (via JUMPCOND) contributes one successor per exit —
+// the branch-induced alternatives. Programs should already pass the base
+// linter; on structurally broken programs extraction marks the summary
+// incomplete instead of guessing.
+func Extract(p isa.Program) *Summary {
+	s := &Summary{Complete: true}
+	if len(p) == 0 {
+		s.Nodes = []Node{{End: true}}
+		return s
+	}
+	nodeIdx := map[string]int{}
+	var queue []position
+	nodeFor := func(q position) int {
+		k := q.key()
+		if i, ok := nodeIdx[k]; ok {
+			return i
+		}
+		i := len(s.Nodes)
+		s.Nodes = append(s.Nodes, Node{})
+		nodeIdx[k] = i
+		queue = append(queue, q)
+		return i
+	}
+	exitMemo := map[int][]int{}
+	exitKnown := map[int]bool{}
+	states := 0
+	nodeFor(position{pc: 0})
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		ni := nodeIdx[q.key()]
+		// ε-closure: run the non-communicating execution forward until the
+		// next event, program completion, or a dead end.
+		seen := map[string]bool{}
+		work := []position{q}
+		for len(work) > 0 {
+			cur := work[len(work)-1]
+			work = work[:len(work)-1]
+			k := cur.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if states++; states > maxStates {
+				s.Complete = false
+				return s
+			}
+			if cur.pc < 0 || cur.pc >= len(p) {
+				s.Nodes[ni].End = true
+				continue
+			}
+			in := p[cur.pc]
+			switch in.Op {
+			case isa.NOP:
+				work = append(work, position{cur.pc + 1, cur.stack})
+			case isa.MPUSYNC:
+				to := nodeFor(position{cur.pc + 1, cur.stack})
+				s.addEdge(ni, Event{Kind: EvSync, Partner: -1, PC: cur.pc}, to)
+			case isa.COMPUTE:
+				exits, ok := ensembleExits(p, cur.pc, exitMemo, exitKnown)
+				if !ok {
+					s.Complete = false
+					continue
+				}
+				for _, e := range exits {
+					work = append(work, position{e, cur.stack})
+				}
+			case isa.MOVE:
+				end, bad := lint.SegTransfer(p, cur.pc)
+				if bad >= 0 || end < 0 {
+					s.Complete = false
+					continue
+				}
+				work = append(work, position{end, cur.stack})
+			case isa.SEND:
+				end, bad, noHeader := lint.SegSend(p, cur.pc)
+				if bad >= 0 || end < 0 || noHeader {
+					s.Complete = false
+					continue
+				}
+				ev := Event{Kind: EvSend, Partner: int(in.Imm), PC: cur.pc}
+				ev.Pairs, ev.Copies = sendShape(p, cur.pc)
+				to := nodeFor(position{end, cur.stack})
+				s.addEdge(ni, ev, to)
+			case isa.RECV:
+				to := nodeFor(position{cur.pc + 1, cur.stack})
+				s.addEdge(ni, Event{Kind: EvRecv, Partner: int(in.Imm), PC: cur.pc}, to)
+			case isa.JUMP:
+				if stackDepth(cur.stack) >= maxStack {
+					// The return-address stack overflows here at runtime; no
+					// deeper path can reach a rendezvous.
+					continue
+				}
+				work = append(work, position{int(in.Imm), pushStack(cur.stack, cur.pc+1)})
+			case isa.RETURN:
+				if ret, rest, ok := popStack(cur.stack); ok {
+					work = append(work, position{ret, rest})
+				}
+				// Underflow is a runtime fault the base linter flags as
+				// return-unbalanced; a dead end for the summary.
+			default:
+				// Not executable at the top level (outside-ensemble Error in
+				// the base linter): the core faults before communicating.
+			}
+		}
+	}
+	return s
+}
+
+// addEdge appends the edge unless an identical one exists (ε-paths can reach
+// the same event more than once).
+func (s *Summary) addEdge(from int, ev Event, to int) {
+	for _, e := range s.Nodes[from].Edges {
+		if e.Event == ev && e.To == to {
+			return
+		}
+	}
+	s.Nodes[from].Edges = append(s.Nodes[from].Edges, Edge{Event: ev, To: to})
+}
+
+// ensembleExits returns the top-level resumption pcs of the compute ensemble
+// opening at header: the pc just past every COMPUTE_DONE its body can reach.
+// The walk mirrors machine.core.runBody's dispatch but is
+// call-structure-insensitive (a JUMP explores both the callee and the
+// fall-through), an over-approximation covering every runtime path. ok is
+// false when the ensemble is not well-bracketed — impossible for programs
+// the base linter passes with no Errors.
+func ensembleExits(p isa.Program, header int, memo map[int][]int, known map[int]bool) ([]int, bool) {
+	if known[header] {
+		exits, ok := memo[header]
+		return exits, ok
+	}
+	known[header] = true
+	bodyStart, done, bad := lint.SegCompute(p, header)
+	if bad >= 0 || done < 0 {
+		return nil, false
+	}
+	var exits []int
+	seen := make([]bool, len(p))
+	work := []int{bodyStart}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc < 0 || pc >= len(p) || seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		in := p[pc]
+		switch {
+		case in.Op == isa.COMPUTEDONE:
+			exits = append(exits, pc+1)
+		case recipe.IsDatapathOp(in.Op),
+			in.Op == isa.SETMASK, in.Op == isa.UNMASK, in.Op == isa.GETMASK,
+			in.Op == isa.NOP:
+			work = append(work, pc+1)
+		case in.Op == isa.JUMPCOND, in.Op == isa.JUMP:
+			work = append(work, int(in.Imm), pc+1)
+		case in.Op == isa.RETURN:
+			// Returns within the body context; the JUMP fall-through above
+			// already covers the continuation.
+		default:
+			// Illegal inside a body (illegal-in-ensemble Error): the core
+			// faults before reaching a rendezvous.
+		}
+	}
+	sort.Ints(exits)
+	memo[header] = exits
+	return exits, true
+}
+
+// sendShape reports the transfer-ensemble shape of the SEND block at pc:
+// the MOVE-header pair count and the MEMCPY count before SEND_DONE.
+func sendShape(p isa.Program, pc int) (pairs, copies int) {
+	i := pc + 1
+	for i < len(p) && p[i].Op == isa.MOVE {
+		pairs++
+		i++
+	}
+	for ; i < len(p); i++ {
+		switch p[i].Op {
+		case isa.MEMCPY:
+			copies++
+		case isa.SENDDONE:
+			return pairs, copies
+		}
+	}
+	return pairs, copies
+}

@@ -1,0 +1,239 @@
+package comm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
+)
+
+// asm assembles src or fails the test.
+func asm(t *testing.T, src string) isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	return p
+}
+
+// sendBlock is a minimal well-formed inter-MPU send block.
+func sendBlock(dst int) string {
+	return fmt.Sprintf("SEND mpu%d\nMOVE rfh0 rfh0\nMEMCPY vrf0 r0 vrf0 r0\nMOVE_DONE\nSEND_DONE\n", dst)
+}
+
+func recvOp(src int) string { return fmt.Sprintf("RECV mpu%d\n", src) }
+
+// checkIDs returns the distinct check ids of the report's Error findings.
+func checkIDs(rep *lint.Report) map[string]bool {
+	ids := map[string]bool{}
+	for _, f := range rep.Errs() {
+		ids[f.Check] = true
+	}
+	return ids
+}
+
+func TestExtractSummary(t *testing.T) {
+	t.Run("empty program ends immediately", func(t *testing.T) {
+		s := comm.Extract(nil)
+		if !s.Complete || len(s.Nodes) != 1 || !s.Nodes[0].End || len(s.Nodes[0].Edges) != 0 {
+			t.Fatalf("unexpected summary for empty program: %+v", s)
+		}
+	})
+	t.Run("send then recv chain", func(t *testing.T) {
+		s := comm.Extract(asm(t, sendBlock(1)+recvOp(1)))
+		if !s.Complete {
+			t.Fatal("summary incomplete")
+		}
+		evs := s.Events()
+		if len(evs) != 2 {
+			t.Fatalf("want 2 events, got %v", evs)
+		}
+		if evs[0].Kind != comm.EvSend || evs[0].Partner != 1 || evs[0].PC != 0 {
+			t.Errorf("first event = %v, want SEND→mpu1@pc0", evs[0])
+		}
+		if evs[0].Pairs != 1 || evs[0].Copies != 1 {
+			t.Errorf("send shape = %d pairs %d copies, want 1/1", evs[0].Pairs, evs[0].Copies)
+		}
+		if evs[1].Kind != comm.EvRecv || evs[1].Partner != 1 {
+			t.Errorf("second event = %v, want RECV←mpu1", evs[1])
+		}
+	})
+	t.Run("sync is an event", func(t *testing.T) {
+		s := comm.Extract(asm(t, "MPU_SYNC\n"))
+		evs := s.Events()
+		if len(evs) != 1 || evs[0].Kind != comm.EvSync {
+			t.Fatalf("want one SYNC event, got %v", evs)
+		}
+	})
+}
+
+// TestCommCounterexamples is the seeded corpus from the issue: every
+// statically broken communication pattern must be flagged with its dedicated
+// check id and a concrete core→op→partner counterexample.
+func TestCommCounterexamples(t *testing.T) {
+	build := func(srcs ...string) []isa.Program {
+		var out []isa.Program
+		for _, s := range srcs {
+			out = append(out, asm(t, s))
+		}
+		return out
+	}
+
+	tests := []struct {
+		name  string
+		progs []isa.Program
+		mpus  int
+		check string
+		trace []string // substrings the finding message must carry
+	}{
+		{
+			name:  "crossed partners",
+			progs: build(sendBlock(2), recvOp(3), "", ""),
+			mpus:  4,
+			check: "comm-unmatched-send",
+			trace: []string{
+				"mpu0: SEND to mpu2 at pc 0 (waits on mpu2)",
+				"mpu1: RECV from mpu3 at pc 0 (waits on mpu3)",
+				"never issues a matching RECV",
+			},
+		},
+		{
+			name:  "orphan RECV",
+			progs: build(recvOp(1), ""),
+			mpus:  2,
+			check: "comm-unmatched-recv",
+			trace: []string{
+				"mpu0: RECV from mpu1 at pc 0 (waits on mpu1)",
+				"never issues a matching SEND",
+			},
+		},
+		{
+			name:  "send-order-rule violation",
+			progs: build(sendBlock(1)+recvOp(1), sendBlock(0)+recvOp(0)),
+			mpus:  2,
+			check: "comm-send-order",
+			trace: []string{
+				"mpu0: SEND to mpu1 at pc 0 (waits on mpu1)",
+				"mpu1: SEND to mpu0 at pc 0 (waits on mpu0)",
+				"lower-ID-sends-first",
+			},
+		},
+		{
+			name:  "three-core cycle",
+			progs: build(sendBlock(1)+recvOp(2), sendBlock(2)+recvOp(0), sendBlock(0)+recvOp(1)),
+			mpus:  3,
+			check: "comm-deadlock",
+			trace: []string{
+				"wait-for cycle mpu0 → mpu1 → mpu2 → mpu0",
+				"mpu0: SEND to mpu1 at pc 0 (waits on mpu1)",
+				"mpu1: SEND to mpu2 at pc 0 (waits on mpu2)",
+				"mpu2: SEND to mpu0 at pc 0 (waits on mpu0)",
+			},
+		},
+		{
+			name:  "self rendezvous",
+			progs: build(sendBlock(0) + recvOp(0)),
+			mpus:  1,
+			check: "comm-self",
+		},
+		{
+			name:  "partner outside mesh",
+			progs: build(sendBlock(5)),
+			mpus:  2,
+			check: "comm-partner-range",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := comm.LintMachine(tc.progs, comm.Options{MPUs: tc.mpus})
+			if rep.Ok() {
+				t.Fatalf("expected %s error, report clean:\n%s", tc.check, rep)
+			}
+			if ids := checkIDs(rep); !ids[tc.check] {
+				t.Fatalf("expected check %s, got %v:\n%s", tc.check, ids, rep)
+			}
+			for _, want := range tc.trace {
+				if !strings.Contains(rep.String(), want) {
+					t.Errorf("counterexample missing %q:\n%s", want, rep)
+				}
+			}
+		})
+	}
+}
+
+func TestCommCleanExchange(t *testing.T) {
+	// mpu0 sends to mpu1, computes nothing else; mpu1 receives then replies;
+	// mpu0 receives the reply. Lower-ID core sends first — the legal pattern.
+	progs := []isa.Program{
+		asm(t, sendBlock(1)+recvOp(1)),
+		asm(t, recvOp(0)+sendBlock(0)),
+	}
+	rep := comm.LintMachine(progs, comm.Options{MPUs: 2})
+	for _, f := range rep.Findings {
+		if f.Severity >= lint.Warning && strings.HasPrefix(f.Check, "comm-") {
+			t.Errorf("unexpected comm finding on clean exchange: %s", f)
+		}
+	}
+}
+
+func TestCommRingWrapAroundClean(t *testing.T) {
+	// A 4-core ring in the editdistance pattern: even cores send first, odd
+	// cores receive first. The wrap-around pair (3 → 0) necessarily has the
+	// higher-ID core sending first; commlint must accept it — any ring must
+	// break the lower-ID-sends-first convention somewhere without deadlock.
+	n := 4
+	progs := make([]isa.Program, n)
+	for i := 0; i < n; i++ {
+		next, prev := (i+1)%n, (i+n-1)%n
+		var src string
+		if i%2 == 0 {
+			src = sendBlock(next) + recvOp(prev)
+		} else {
+			src = recvOp(prev) + sendBlock(next)
+		}
+		progs[i] = asm(t, src)
+	}
+	rep := comm.LintMachine(progs, comm.Options{MPUs: n})
+	for _, f := range rep.Findings {
+		if f.Severity >= lint.Warning && strings.HasPrefix(f.Check, "comm-") {
+			t.Errorf("unexpected comm finding on ring: %s", f)
+		}
+	}
+}
+
+func TestCommCounterexampleTrace(t *testing.T) {
+	// The stall happens only after one rendezvous completes: the trace must
+	// show it.
+	progs := []isa.Program{
+		asm(t, sendBlock(1)+sendBlock(1)),
+		asm(t, recvOp(0)),
+	}
+	rep := comm.LintMachine(progs, comm.Options{MPUs: 2})
+	if rep.Ok() {
+		t.Fatalf("expected unmatched send, report clean:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "reached after: mpu0→mpu1@pc0") {
+		t.Errorf("missing rendezvous trace:\n%s", rep)
+	}
+}
+
+func TestCommGeometry(t *testing.T) {
+	progs := []isa.Program{asm(t, recvOp(1)), asm(t, sendBlock(0)), asm(t, "NOP\n")}
+	rep := comm.LintMachine(progs, comm.Options{MPUs: 2})
+	if ids := checkIDs(rep); !ids["comm-geometry"] {
+		t.Fatalf("expected comm-geometry for 3 programs on 2 MPUs, got:\n%s", rep)
+	}
+}
+
+func TestLintSPMDSelfSend(t *testing.T) {
+	// An SPMD binary where every core sends to mpu0: on core 0 that is a
+	// self-rendezvous, flagged per core.
+	rep := comm.LintSPMD(asm(t, sendBlock(0)), 2, comm.Options{})
+	if ids := checkIDs(rep); !ids["comm-self"] {
+		t.Fatalf("expected comm-self, got:\n%s", rep)
+	}
+}

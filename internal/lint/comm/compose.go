@@ -1,0 +1,466 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/noc"
+)
+
+// Waiter describes one blocked core in a wait-for snapshot: the operation it
+// is parked on, the partner it waits for, and the program counter of the
+// blocking instruction. The machine's runtime deadlock diagnostic and
+// commlint's static counterexamples share this type and format, so a static
+// finding reads exactly like the runtime failure it predicts.
+type Waiter struct {
+	Core    int
+	Op      string // "SEND" or "RECV"
+	Partner int
+	PC      int
+}
+
+func (w Waiter) String() string {
+	prep := "to"
+	if w.Op == "RECV" {
+		prep = "from"
+	}
+	return fmt.Sprintf("mpu%d: %s %s mpu%d at pc %d (waits on mpu%d)",
+		w.Core, w.Op, prep, w.Partner, w.PC, w.Partner)
+}
+
+// FormatWaiters renders the who-waits-on-whom list, one indented line per
+// blocked core in ascending core order.
+func FormatWaiters(ws []Waiter) string {
+	sorted := make([]Waiter, len(ws))
+	copy(sorted, ws)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Core < sorted[j].Core })
+	lines := make([]string, len(sorted))
+	for i, w := range sorted {
+		lines[i] = "  " + w.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Options configures LintMachine.
+type Options struct {
+	// MPUs is the core count the program set will be loaded onto; 0 means
+	// len(progs). Partner ids are checked against this count — the geometry
+	// the machine instantiates, not the back end's total capacity.
+	MPUs int
+
+	// NoC overrides the mesh used for route-legality checks; the zero value
+	// means noc.Default(MPUs), the geometry machine.New builds.
+	NoC noc.Config
+
+	// Spec forwards the per-program back-end capacity checks to the base
+	// linter; nil runs structural and communication checks only.
+	Spec *backends.Spec
+
+	// Lines maps each core's instruction index to a 1-based source line,
+	// indexed like progs; nil (or shorter) leaves findings without lines.
+	Lines [][]int
+}
+
+const (
+	// maxConfigs bounds the composed-state exploration across all cores.
+	maxConfigs = 1 << 15
+	// maxStallFindings caps reported stalls per run; distinct stalls beyond
+	// this share a root cause in practice and drown the report.
+	maxStallFindings = 4
+	// maxTraceSteps caps the rendezvous prefix shown in a counterexample.
+	maxTraceSteps = 8
+)
+
+// LintMachine statically verifies the program set as one machine. Per-core
+// base lint findings come first (identical program slices are linted once and
+// reported against the lowest core id running them), then the communication
+// checks: comm-self and comm-partner-range against the mesh geometry, and —
+// when every summary is complete and no Error was found — composed-graph
+// exploration reporting comm-unmatched-send, comm-unmatched-recv,
+// comm-send-order, and comm-deadlock stalls with concrete counterexamples.
+// An analysis bound degrades to a comm-unanalyzable Warning, never to a
+// silent pass.
+func LintMachine(progs []isa.Program, opt Options) *lint.Report {
+	rep := &lint.Report{}
+	n := opt.MPUs
+	if n <= 0 {
+		n = len(progs)
+	}
+	if n == 0 {
+		return rep
+	}
+	if len(progs) > n {
+		addf(rep, lint.Error, "comm-geometry", -1, -1, 0,
+			"%d programs for a %d-MPU machine — core %d has nowhere to load", len(progs), n, n)
+		return rep
+	}
+	cfg := opt.NoC
+	if cfg == (noc.Config{}) {
+		cfg = noc.Default(n)
+	}
+	mesh, err := noc.New(cfg)
+	if err != nil || cfg.MPUs < n {
+		if err == nil {
+			err = fmt.Errorf("mesh has %d MPUs but the machine instantiates %d", cfg.MPUs, n)
+		}
+		addf(rep, lint.Error, "comm-geometry", -1, -1, 0, "NoC configuration unusable: %v", err)
+		return rep
+	}
+
+	// Per-core base lint, deduplicated by program identity so SPMD machines
+	// (every core running the same slice) lint the shared binary once.
+	type progKey struct {
+		head *isa.Instr
+		n    int
+	}
+	keyOf := func(p isa.Program) progKey {
+		k := progKey{n: len(p)}
+		if len(p) > 0 {
+			k.head = &p[0]
+		}
+		return k
+	}
+	linted := map[progKey]bool{}
+	for i, p := range progs {
+		k := keyOf(p)
+		if linted[k] {
+			continue
+		}
+		linted[k] = true
+		var lines []int
+		if i < len(opt.Lines) {
+			lines = opt.Lines[i]
+		}
+		r := lint.Lint(p, lint.Options{Spec: opt.Spec, Lines: lines})
+		for _, f := range r.Findings {
+			f.MPU = i
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	if !rep.Ok() {
+		// A structurally broken program faults before its communication
+		// matters; summaries over it would be guesswork.
+		finish(rep)
+		return rep
+	}
+
+	// Communication summaries, deduplicated the same way. Cores beyond the
+	// program list run nothing and are trivially finished.
+	sums := make([]*Summary, n)
+	sumCache := map[progKey]*Summary{}
+	for i := 0; i < n; i++ {
+		if i >= len(progs) {
+			sums[i] = &Summary{Nodes: []Node{{End: true}}, Complete: true}
+			continue
+		}
+		k := keyOf(progs[i])
+		if s, ok := sumCache[k]; ok {
+			sums[i] = s
+			continue
+		}
+		s := Extract(progs[i])
+		sumCache[k] = s
+		sums[i] = s
+	}
+
+	analyzable := true
+	for i, s := range sums {
+		if !s.Complete {
+			addf(rep, lint.Warning, "comm-unanalyzable", i, -1, 0,
+				"communication summary hit an analysis bound — machine-level verification skipped")
+			analyzable = false
+			continue
+		}
+		for _, nd := range s.Nodes {
+			for _, e := range nd.Edges {
+				if e.Event.Kind == EvSync {
+					continue
+				}
+				op := e.Event.Kind.String()
+				switch {
+				case e.Event.Partner == i:
+					addf(rep, lint.Error, "comm-self", i, e.Event.PC, lineAt(opt, i, e.Event.PC),
+						"%s names the executing core mpu%d — a core cannot rendezvous with itself", op, i)
+				case e.Event.Partner < 0 || e.Event.Partner >= n:
+					addf(rep, lint.Error, "comm-partner-range", i, e.Event.PC, lineAt(opt, i, e.Event.PC),
+						"%s names mpu%d, outside the %d-MPU mesh (side %d) — no route exists", op, e.Event.Partner, n, mesh.Side())
+				}
+			}
+		}
+	}
+
+	if analyzable && rep.Ok() {
+		simulate(rep, sums, n, opt)
+	}
+	finish(rep)
+	return rep
+}
+
+// LintSPMD lints n copies of one program composed as a machine — the
+// Machine.LoadAll model mpurun and mpud use for submitted binaries. A single
+// Lines table (the shared listing) is replicated across cores.
+func LintSPMD(p isa.Program, n int, opt Options) *lint.Report {
+	if n <= 0 {
+		n = 1
+	}
+	progs := make([]isa.Program, n)
+	for i := range progs {
+		progs[i] = p
+	}
+	if opt.MPUs == 0 {
+		opt.MPUs = n
+	}
+	if len(opt.Lines) == 1 && n > 1 {
+		lines := make([][]int, n)
+		for i := range lines {
+			lines[i] = opt.Lines[0]
+		}
+		opt.Lines = lines
+	}
+	return LintMachine(progs, opt)
+}
+
+// simulate explores the composed event graph: a configuration is one
+// automaton node per core, and transitions are matched SEND/RECV rendezvous
+// (plus free SYNC advances) — the same matching rule the machine's barrier
+// phase applies. A configuration with no enabled transition where some core
+// still has a pending event is a statically reachable stall; its wait-for
+// snapshot is classified and reported with the rendezvous path reaching it.
+func simulate(rep *lint.Report, sums []*Summary, n int, opt Options) {
+	enc := func(nodes []int) string {
+		var sb strings.Builder
+		for i, nd := range nodes {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(fmt.Sprintf("%d", nd))
+		}
+		return sb.String()
+	}
+	start := make([]int, n)
+	startKey := enc(start)
+	visited := map[string][]int{startKey: start}
+	paths := map[string]pathStep{}
+	queue := []string{startKey}
+	reported := map[string]bool{}
+	stalls := 0
+
+	push := func(fromKey string, nodes []int, desc string) {
+		k := enc(nodes)
+		if _, ok := visited[k]; ok {
+			return
+		}
+		visited[k] = nodes
+		paths[k] = pathStep{prev: fromKey, desc: desc}
+		queue = append(queue, k)
+	}
+
+	for len(queue) > 0 {
+		if len(visited) > maxConfigs {
+			addf(rep, lint.Warning, "comm-unanalyzable", -1, -1, 0,
+				"composed state space exceeds %d configurations — exploration truncated", maxConfigs)
+			return
+		}
+		k := queue[0]
+		queue = queue[1:]
+		nodes := visited[k]
+		enabled := false
+
+		// Free SYNC advances: MPU_SYNC drains the local pipeline and never
+		// blocks on a partner.
+		for c := 0; c < n; c++ {
+			for _, e := range sums[c].Nodes[nodes[c]].Edges {
+				if e.Event.Kind != EvSync {
+					continue
+				}
+				enabled = true
+				next := make([]int, n)
+				copy(next, nodes)
+				next[c] = e.To
+				push(k, next, fmt.Sprintf("mpu%d SYNC@pc%d", c, e.Event.PC))
+			}
+		}
+		// Matched rendezvous, ascending sender id — the barrier's order.
+		for s := 0; s < n; s++ {
+			for _, se := range sums[s].Nodes[nodes[s]].Edges {
+				if se.Event.Kind != EvSend {
+					continue
+				}
+				r := se.Event.Partner
+				for _, re := range sums[r].Nodes[nodes[r]].Edges {
+					if re.Event.Kind != EvRecv || re.Event.Partner != s {
+						continue
+					}
+					enabled = true
+					next := make([]int, n)
+					copy(next, nodes)
+					next[s], next[r] = se.To, re.To
+					push(k, next, fmt.Sprintf("mpu%d→mpu%d@pc%d (%d pairs, %d copies)",
+						s, r, se.Event.PC, se.Event.Pairs, se.Event.Copies))
+				}
+			}
+		}
+		if enabled {
+			continue
+		}
+
+		// No transition fires. Cores with pending SEND/RECV edges are
+		// blocked forever — the runtime deadlock detector would trip here.
+		ws := configWaiters(sums, nodes)
+		if len(ws) == 0 {
+			continue // quiescent: every core finished (or spins locally)
+		}
+		check, headline, anchor := classifyStall(ws)
+		key := check + "|" + FormatWaiters(ws)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		msg := headline + "\n" + FormatWaiters(ws)
+		if trace := tracePath(paths, k); trace != "" {
+			msg += "\nreached after: " + trace
+		}
+		addf(rep, lint.Error, check, anchor.Core, anchor.PC, lineAt(opt, anchor.Core, anchor.PC), "%s", msg)
+		if stalls++; stalls >= maxStallFindings {
+			return
+		}
+	}
+}
+
+// configWaiters snapshots the blocked cores of a stuck configuration: each
+// core with at least one pending SEND/RECV edge, described by its first such
+// edge (extraction order is deterministic, so so is the snapshot).
+func configWaiters(sums []*Summary, nodes []int) []Waiter {
+	var ws []Waiter
+	for c, nd := range nodes {
+		for _, e := range sums[c].Nodes[nd].Edges {
+			if e.Event.Kind == EvSync {
+				continue
+			}
+			ws = append(ws, Waiter{Core: c, Op: e.Event.Kind.String(), Partner: e.Event.Partner, PC: e.Event.PC})
+			break
+		}
+	}
+	return ws
+}
+
+// classifyStall names the stall by following the wait-for chain from the
+// lowest blocked core: a cycle is a deadlock (a 2-cycle of crossed SENDs is
+// the lower-ID-sends-first violation); a chain ending at a core that is not
+// blocked is an unmatched SEND or RECV — the partner already finished or
+// never communicates back.
+func classifyStall(ws []Waiter) (check, headline string, anchor Waiter) {
+	byCore := map[int]Waiter{}
+	for _, w := range ws {
+		byCore[w.Core] = w
+	}
+	cur := ws[0]
+	for _, w := range ws {
+		if w.Core < cur.Core {
+			cur = w
+		}
+	}
+	seen := map[int]int{} // core → position in chain
+	var chain []Waiter
+	for {
+		if pos, ok := seen[cur.Core]; ok {
+			cycle := chain[pos:]
+			if len(cycle) == 2 && cycle[0].Op == "SEND" && cycle[1].Op == "SEND" {
+				return "comm-send-order",
+					fmt.Sprintf("crossed sends: mpu%d and mpu%d both SEND first — the lower-ID core must send and the higher-ID core must RECV before its own SEND (lower-ID-sends-first rule)",
+						cycle[0].Core, cycle[1].Core),
+					cycle[0]
+			}
+			cores := make([]string, len(cycle))
+			for i, w := range cycle {
+				cores[i] = fmt.Sprintf("mpu%d", w.Core)
+			}
+			return "comm-deadlock",
+				fmt.Sprintf("wait-for cycle %s → %s: no core in the cycle can make progress", strings.Join(cores, " → "), cores[0]),
+				cycle[0]
+		}
+		seen[cur.Core] = len(chain)
+		chain = append(chain, cur)
+		next, blocked := byCore[cur.Partner]
+		if !blocked {
+			last := chain[len(chain)-1]
+			if last.Op == "SEND" {
+				return "comm-unmatched-send",
+					fmt.Sprintf("mpu%d SENDs to mpu%d, which never issues a matching RECV", last.Core, last.Partner),
+					last
+			}
+			return "comm-unmatched-recv",
+				fmt.Sprintf("mpu%d RECVs from mpu%d, which never issues a matching SEND", last.Core, last.Partner),
+				last
+		}
+		cur = next
+	}
+}
+
+// pathStep records how the composed-graph exploration reached a
+// configuration: the predecessor key and the transition description.
+type pathStep struct {
+	prev string
+	desc string
+}
+
+// tracePath reconstructs the rendezvous prefix that reached the stall,
+// trimmed to the last maxTraceSteps steps. Empty when the stall is the start
+// configuration (the machine blocks before any rendezvous completes).
+func tracePath(paths map[string]pathStep, key string) string {
+	var steps []string
+	for {
+		st, ok := paths[key]
+		if !ok {
+			break
+		}
+		steps = append(steps, st.desc)
+		key = st.prev
+	}
+	if len(steps) == 0 {
+		return ""
+	}
+	// steps are stall→start; reverse into execution order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	trimmed := ""
+	if len(steps) > maxTraceSteps {
+		trimmed = fmt.Sprintf("… %d earlier rendezvous, then ", len(steps)-maxTraceSteps)
+		steps = steps[len(steps)-maxTraceSteps:]
+	}
+	return trimmed + strings.Join(steps, ", ")
+}
+
+func addf(rep *lint.Report, sev lint.Severity, check string, mpu, idx, line int, format string, args ...any) {
+	rep.Findings = append(rep.Findings, lint.Finding{
+		Severity: sev, Check: check, MPU: mpu, Index: idx, Line: line,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func lineAt(opt Options, mpu, idx int) int {
+	if mpu >= 0 && mpu < len(opt.Lines) && idx >= 0 && idx < len(opt.Lines[mpu]) {
+		return opt.Lines[mpu][idx]
+	}
+	return 0
+}
+
+// finish orders findings like the base linter: severest first, then by core,
+// then by instruction index.
+func finish(rep *lint.Report) {
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.MPU != b.MPU {
+			return a.MPU < b.MPU
+		}
+		return a.Index < b.Index
+	})
+}

@@ -1,0 +1,115 @@
+package comm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
+	"mpu/internal/machine"
+)
+
+// FuzzCommSoundness is the differential oracle between commlint and the
+// machine's runtime deadlock detector. The fuzzer drives a structured
+// generator — 2–4 cores, each running a chain of SEND/RECV/MPU_SYNC/COMPUTE
+// events with in-range partners — so every generated set is base-lint-clean
+// and branch-free, where commlint is exact. The oracle is bidirectional:
+//
+//   - a commlint-clean set must run to completion (no runtime deadlock);
+//   - a set commlint rejects must deadlock at runtime, proving every static
+//     finding corresponds to a real failure (no false positives either).
+func FuzzCommSoundness(f *testing.F) {
+	// Seeds covering the interesting regimes: clean exchange, crossed sends,
+	// orphan recv, a 3-core cycle, sync/compute noise.
+	f.Add([]byte{2, 0, 1, 1, 0})                   // mpu0 SEND→1, mpu1 RECV←0: clean
+	f.Add([]byte{2, 0, 1, 0, 0, 1, 0, 1, 1})       // crossed sends
+	f.Add([]byte{2, 1, 1, 2, 0})                   // orphan recv + sync
+	f.Add([]byte{3, 0, 1, 0, 2, 0, 0, 1, 0, 1, 1}) // ring-ish
+	f.Add([]byte{4, 3, 0, 2, 0, 0, 3, 1, 2, 3, 0, 0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		progs, n := genPrograms(data)
+		if progs == nil {
+			t.Skip()
+		}
+		rep := comm.LintMachine(progs, comm.Options{MPUs: n, Spec: backends.RACER()})
+		for _, fd := range rep.Findings {
+			if fd.Check == "comm-unanalyzable" {
+				t.Fatalf("generator produced an unanalyzable set:\n%s", rep)
+			}
+			if fd.Severity == lint.Error && !strings.HasPrefix(fd.Check, "comm-") {
+				t.Fatalf("generator produced a base-lint-broken program: %s", fd)
+			}
+		}
+		m, err := machine.New(machine.Config{Spec: backends.RACER(), Mode: machine.ModeMPU, NumMPUs: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range progs {
+			if len(p) == 0 {
+				continue
+			}
+			if err := m.LoadProgram(i, p); err != nil {
+				t.Fatalf("load mpu%d: %v", i, err)
+			}
+		}
+		_, runErr := m.Run()
+		switch {
+		case rep.Ok() && runErr != nil:
+			t.Fatalf("commlint-clean set failed at runtime: %v\nreport:\n%s", runErr, rep)
+		case !rep.Ok() && runErr == nil:
+			t.Fatalf("commlint flagged a set that runs clean:\n%s", rep)
+		case runErr != nil && !strings.Contains(runErr.Error(), "deadlock"):
+			t.Fatalf("runtime failure is not a deadlock (generator bug): %v", runErr)
+		}
+	})
+}
+
+// genPrograms decodes fuzz bytes into a program set: data[0] picks the core
+// count (2–4), then (op, operand) byte pairs round-robin across cores. Ops:
+// 0 = SEND block, 1 = RECV, 2 = MPU_SYNC, 3 = compute ensemble. Partners are
+// reduced mod the core count, so every program is base-lint-clean and every
+// runtime failure can only be a rendezvous deadlock.
+func genPrograms(data []byte) ([]isa.Program, int) {
+	if len(data) < 3 {
+		return nil, 0
+	}
+	n := int(data[0])%3 + 2
+	srcs := make([]strings.Builder, n)
+	events := make([]int, n)
+	core := 0
+	for i := 1; i+1 < len(data); i += 2 {
+		op, arg := data[i]%4, int(data[i+1])%n
+		if events[core] >= 6 {
+			break // cap chain length to keep each run fast
+		}
+		sb := &srcs[core]
+		switch op {
+		case 0:
+			fmt.Fprintf(sb, "SEND mpu%d\nMOVE rfh0 rfh0\nMEMCPY vrf0 r0 vrf0 r0\nMOVE_DONE\nSEND_DONE\n", arg)
+		case 1:
+			fmt.Fprintf(sb, "RECV mpu%d\n", arg)
+		case 2:
+			sb.WriteString("MPU_SYNC\n")
+		case 3:
+			sb.WriteString("COMPUTE rfh0 vrf0\nADD r0 r0 r1\nCOMPUTE_DONE\n")
+		}
+		events[core]++
+		core = (core + 1) % n
+	}
+	progs := make([]isa.Program, n)
+	for i := range progs {
+		src := srcs[i].String()
+		if src == "" {
+			continue
+		}
+		p, err := isa.Assemble(src)
+		if err != nil {
+			return nil, 0
+		}
+		progs[i] = p
+	}
+	return progs, n
+}

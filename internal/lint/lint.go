@@ -15,6 +15,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,14 +49,43 @@ func (s Severity) String() string {
 	}
 }
 
+// MarshalJSON encodes the severity as its stable string form ("info",
+// "warning", "error") so findings emitted for CI consumption do not depend
+// on the enum's numeric values.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
 // Finding is one diagnostic, anchored to an instruction index and, when the
-// program came from an assembly listing, a 1-based source line.
+// program came from an assembly listing, a 1-based source line. The JSON
+// encoding is the stable machine-readable form `mpurun -lint -json` and
+// `ezpim -lint -json` emit for CI.
 type Finding struct {
-	Severity Severity
-	Check    string // stable check identifier (docs/LINT.md catalog)
-	Index    int    // instruction index, -1 for program-level findings
-	Line     int    // 1-based source line, 0 when unknown
-	Message  string
+	Severity Severity `json:"severity"`
+	Check    string   `json:"check"` // stable check identifier (docs/LINT.md catalog)
+	MPU      int      `json:"mpu"`   // core id for machine-level lint runs, -1 for single-program runs
+	Index    int      `json:"index"` // instruction index, -1 for program-level findings
+	Line     int      `json:"line,omitempty"` // 1-based source line, 0 when unknown
+	Message  string   `json:"message"`
 }
 
 func (f Finding) String() string {
@@ -65,6 +95,9 @@ func (f Finding) String() string {
 		if f.Line > 0 {
 			loc = fmt.Sprintf("line %d (instr %d)", f.Line, f.Index)
 		}
+	}
+	if f.MPU >= 0 {
+		loc = fmt.Sprintf("mpu%d %s", f.MPU, loc)
 	}
 	return fmt.Sprintf("%s: %s: %s [%s]", f.Severity, loc, f.Message, f.Check)
 }

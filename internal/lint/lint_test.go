@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -444,5 +445,41 @@ func TestLintFindingOrder(t *testing.T) {
 	}
 	if r.Findings[0].Severity != Error {
 		t.Fatalf("first finding should be the Error:\n%s", r)
+	}
+}
+
+// The JSON encoding of findings is the stable contract `mpurun -lint -json`
+// and mpud's rejection body rely on: severities as strings, every field
+// surviving a round trip.
+func TestFindingJSONRoundTrip(t *testing.T) {
+	in := []Finding{
+		{Severity: Error, Check: "comm-deadlock", MPU: 2, Index: 7, Line: 13, Message: "wait-for cycle"},
+		{Severity: Warning, Check: "unreachable", MPU: -1, Index: 3, Message: "dead code"},
+		{Severity: Info, Check: "read-before-write", MPU: 0, Index: -1, Message: "host input"},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sev := range []string{`"error"`, `"warning"`, `"info"`} {
+		if !strings.Contains(string(b), sev) {
+			t.Errorf("encoding does not use string severity %s: %s", sev, b)
+		}
+	}
+	var out []Finding
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed length: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("finding %d changed in round trip:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+	var bad Severity
+	if err := bad.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
+		t.Error("unknown severity accepted")
 	}
 }

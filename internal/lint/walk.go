@@ -102,7 +102,7 @@ func (w *walker) addf(sev Severity, check string, idx int, format string, args .
 		line = w.opt.Lines[idx]
 	}
 	w.report.Findings = append(w.report.Findings, Finding{
-		Severity: sev, Check: check, Index: idx, Line: line, Message: msg,
+		Severity: sev, Check: check, MPU: -1, Index: idx, Line: line, Message: msg,
 	})
 }
 

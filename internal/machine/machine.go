@@ -22,6 +22,7 @@ import (
 	"mpu/internal/hostcpu"
 	"mpu/internal/isa"
 	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
 	"mpu/internal/micro"
 	"mpu/internal/noc"
 	"mpu/internal/recipe"
@@ -490,10 +491,31 @@ func (m *Machine) Run() (*Stats, error) {
 			}
 		}
 		if !progress {
-			return nil, fmt.Errorf("machine: deadlock — no MPU can make progress (check SEND/RECV pairing and the lower-ID-sends-first rule)")
+			return nil, fmt.Errorf("machine: deadlock — no MPU can make progress (check SEND/RECV pairing and the lower-ID-sends-first rule)\n%s",
+				comm.FormatWaiters(m.waiters()))
 		}
 	}
 	return m.reduceStats(), nil
+}
+
+// waiters snapshots every blocked core's pending rendezvous for the deadlock
+// diagnostic: who waits on whom, at which pc. Built in ascending core order
+// from the single-threaded barrier phase, so the list is identical at any
+// worker count.
+func (m *Machine) waiters() []comm.Waiter {
+	var ws []comm.Waiter
+	for _, c := range m.mpus {
+		if !c.blocked {
+			continue
+		}
+		switch {
+		case c.waitSend:
+			ws = append(ws, comm.Waiter{Core: c.id, Op: "SEND", Partner: c.sendDst, PC: c.pc})
+		case c.waitRecv:
+			ws = append(ws, comm.Waiter{Core: c.id, Op: "RECV", Partner: c.recvSrc, PC: c.pc})
+		}
+	}
+	return ws
 }
 
 // schedWorkers resolves the effective run-phase worker count: an explicit

@@ -142,16 +142,28 @@ func TestParallelDeadlockDetection(t *testing.T) {
 	cases := []struct {
 		name string
 		mpus []comm
+		want []string // who-waits-on-whom lines the diagnostic must carry
 	}{
 		// Every MPU sends to its ring successor before receiving: a cyclic
 		// wait no rendezvous can break.
-		{"cyclic send chain", []comm{{dst: 1, src: 2}, {dst: 2, src: 0}, {dst: 0, src: 1}}},
+		{"cyclic send chain", []comm{{dst: 1, src: 2}, {dst: 2, src: 0}, {dst: 0, src: 1}},
+			[]string{
+				"mpu0: SEND to mpu1 at pc 0 (waits on mpu1)",
+				"mpu1: SEND to mpu2 at pc 0 (waits on mpu2)",
+				"mpu2: SEND to mpu0 at pc 0 (waits on mpu0)",
+			}},
 		// A core that sends to itself can never reach its own RECV.
-		{"self send", []comm{{dst: 0, src: 0}, {dst: -1, src: -1}}},
+		{"self send", []comm{{dst: 0, src: 0}, {dst: -1, src: -1}},
+			[]string{"mpu0: SEND to mpu0 at pc 0 (waits on mpu0)"}},
 		// Sender and receiver each name a third, finished core.
-		{"mismatched pair", []comm{{dst: 1, src: -1}, {dst: -1, src: 2}, {dst: -1, src: -1}}},
+		{"mismatched pair", []comm{{dst: 1, src: -1}, {dst: -1, src: 2}, {dst: -1, src: -1}},
+			[]string{
+				"mpu0: SEND to mpu1 at pc 0 (waits on mpu1)",
+				"mpu1: RECV from mpu2 at pc 0 (waits on mpu2)",
+			}},
 		// A receiver whose named source never sends.
-		{"recv without sender", []comm{{dst: -1, src: 1}, {dst: -1, src: -1}}},
+		{"recv without sender", []comm{{dst: -1, src: 1}, {dst: -1, src: -1}},
+			[]string{"mpu0: RECV from mpu1 at pc 0 (waits on mpu1)"}},
 	}
 	for _, c := range cases {
 		var errs []string
@@ -172,6 +184,11 @@ func TestParallelDeadlockDetection(t *testing.T) {
 			_, err = m.Run()
 			if err == nil || !strings.Contains(err.Error(), "deadlock") {
 				t.Fatalf("%s (workers %d): expected deadlock error, got %v", c.name, workers, err)
+			}
+			for _, line := range c.want {
+				if !strings.Contains(err.Error(), line) {
+					t.Errorf("%s (workers %d): diagnostic missing waiter %q:\n%s", c.name, workers, line, err)
+				}
 			}
 			errs = append(errs, err.Error())
 		}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -33,6 +34,7 @@ import (
 	"mpu/internal/controlpath"
 	"mpu/internal/isa"
 	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
 	"mpu/internal/machine"
 	"mpu/internal/workloads"
 )
@@ -211,9 +213,30 @@ type Response struct {
 	Stats        json.RawMessage `json:"stats"`
 }
 
-// errorBody is every non-2xx JSON payload.
+// errorBody is every non-2xx JSON payload. Findings carries the lint report
+// when admission rejected the program statically (422), so clients see the
+// same machine-readable diagnostics `mpurun -lint -json` emits.
 type errorBody struct {
-	Error string `json:"error"`
+	Error    string         `json:"error"`
+	Findings []lint.Finding `json:"findings,omitempty"`
+}
+
+// poolMPUs is the core count of every pooled machine (MachineConfigFor
+// builds single-MPU machines); the admission-time commlint preflight checks
+// submitted binaries against the same geometry they will run on.
+const poolMPUs = 1
+
+// admissionError is a statically rejected submission: the commlint preflight
+// proved the program would stall or fault the pooled machine. It maps to
+// 422 Unprocessable Entity with the finding report attached — distinct from
+// 400 (malformed request) and from the base-lint rejection, which predates
+// the communication checks and stays a 400.
+type admissionError struct {
+	report *lint.Report
+}
+
+func (e *admissionError) Error() string {
+	return fmt.Sprintf("program rejected by commlint preflight: %d error finding(s)", len(e.report.Errs()))
 }
 
 // execReq is a validated request bound to its pool.
@@ -516,6 +539,14 @@ func (s *Server) validate(raw *Request) (*execReq, *pool, error) {
 		if err := lint.Preflight(prog, spec); err != nil {
 			return nil, nil, err
 		}
+		// Communication preflight: pool machines run the binary SPMD, so a
+		// program whose rendezvous cannot complete (self-send, out-of-mesh
+		// partner, unmatched or deadlocking exchange) would park a warm
+		// machine until the deadlock detector fires. Reject it statically
+		// with the finding report instead — before pool admission.
+		if rep := comm.LintSPMD(prog, poolMPUs, comm.Options{Spec: spec}); !rep.Ok() {
+			return nil, nil, &admissionError{report: rep}
+		}
 		rq.prog = prog
 	default:
 		return nil, nil, fmt.Errorf("request needs a workload or a binary")
@@ -551,6 +582,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	rq, p, err := s.validate(&raw)
 	if err != nil {
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			body, _ := json.Marshal(errorBody{Error: adm.Error(), Findings: adm.report.Findings})
+			s.finish(w, nil, raw.Workload, start, http.StatusUnprocessableEntity,
+				&batchResult{status: http.StatusUnprocessableEntity, body: body})
+			return
+		}
 		s.finish(w, nil, raw.Workload, start, http.StatusBadRequest,
 			errResult(http.StatusBadRequest, err))
 		return

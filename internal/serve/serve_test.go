@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mpu/internal/isa"
+	"mpu/internal/lint"
 	"mpu/internal/machine"
 )
 
@@ -162,6 +163,45 @@ func TestExecuteBinaryLintPreflight(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "lint") {
 		t.Fatalf("error does not carry the lint report: %s", body)
+	}
+}
+
+// TestExecuteBinaryCommPreflight pins the commlint admission contract: a
+// base-lint-clean binary whose communication can never complete on the pool
+// geometry is rejected 422 with the finding report — before it occupies a
+// pool slot and parks a warm machine until the runtime deadlock detector
+// fires.
+func TestExecuteBinaryCommPreflight(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// RECV from a partner outside the single-MPU pool mesh: structurally
+	// fine, statically guaranteed never to rendezvous.
+	prog := isa.Program{isa.Recv(1)}
+	req := Request{
+		Binary:  base64.StdEncoding.EncodeToString(isa.EncodeProgram(prog)),
+		Backend: "racer",
+	}
+	code, body, _ := postExecute(t, ts.URL, req)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("statically deadlocking binary got %d, want 422: %s", code, body)
+	}
+	var eb struct {
+		Error    string         `json:"error"`
+		Findings []lint.Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("422 body is not the error envelope: %v\n%s", err, body)
+	}
+	if !strings.Contains(eb.Error, "commlint") {
+		t.Errorf("error does not name the commlint preflight: %s", eb.Error)
+	}
+	found := false
+	for _, f := range eb.Findings {
+		if f.Check == "comm-partner-range" && f.Severity == lint.Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("422 body lacks the comm-partner-range finding: %s", body)
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"mpu/internal/hlops"
 	"mpu/internal/isa"
 	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
 	"mpu/internal/machine"
 	"mpu/internal/tune"
 	"mpu/internal/workloads"
@@ -253,6 +254,27 @@ const (
 // limits. A program whose report has no Error findings cannot trip the
 // machine's runtime ensemble guards (see docs/LINT.md).
 func Lint(p Program, opts LintOptions) *LintReport { return lint.Lint(p, opts) }
+
+// MachineLintOptions configures LintMachine: core count, NoC geometry
+// override, back-end spec, and per-core source-line tables.
+type MachineLintOptions = comm.Options
+
+// LintMachine statically verifies a whole machine's program set — the
+// "commlint" pass: per-core base lint plus cross-MPU communication checks
+// (rendezvous matching, route legality for the mesh, the
+// lower-ID-sends-first rule, and deadlock-freedom of the composed event
+// graph). A set whose report has no Error findings cannot trip the runtime
+// deadlock detector; violations carry a concrete who-waits-on-whom
+// counterexample (see docs/LINT.md).
+func LintMachine(progs []Program, opts MachineLintOptions) *LintReport {
+	return comm.LintMachine(progs, opts)
+}
+
+// LintSPMD verifies n copies of one program composed as a machine — the
+// LoadAll model mpurun and mpud use for submitted binaries.
+func LintSPMD(p Program, n int, opts MachineLintOptions) *LintReport {
+	return comm.LintSPMD(p, n, opts)
+}
 
 // TuneResult is an activation-limit autotuning sweep (§VI-C).
 type TuneResult = tune.Result
