@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-short repolint staticcheck preflight fuzz check bench bench-serve serve-smoke figures clean
+.PHONY: all build test vet race race-short repolint staticcheck preflight fuzz check bench bench-serve bench-cluster serve-smoke cluster-smoke figures clean
 
 # Pinned staticcheck release — CI installs exactly this version so findings
 # are reproducible; locally the target is skipped (with a note) when the
@@ -53,6 +53,7 @@ race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
 	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestJITParityRandom|TestParallelMachine|TestParallelDeadlock' ./internal/machine
 	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool' ./internal/serve
+	$(GO) test -race -timeout 30m -run 'TestRouterParity|TestRollingDrain|TestFairAdmission' ./internal/router
 
 # Bounded runs of the differential oracles: random programs the linter
 # passes must execute without ensemble or capacity faults, and random
@@ -81,10 +82,24 @@ bench:
 serve-smoke:
 	$(GO) run ./cmd/mpud -smoke -quiet
 
+# End-to-end cluster check (also in CI): the mpurouter self-test (2-node
+# in-process cluster, routed/direct stats parity), then ~5s of open-loop
+# Poisson load through a routed 2-node cluster — any dropped request or
+# transport error fails the run.
+cluster-smoke:
+	$(GO) run ./cmd/mpurouter -smoke
+	$(GO) run ./cmd/mpuload -nodes 2 -rate 150 -tenants 2 -duration 5s -elements 64 -strict
+
 # The PR 5 load study: 64 closed-loop clients against a self-hosted 4-pool
 # daemon with a mid-run SIGTERM drain; fails if any in-flight request drops.
 bench-serve:
 	$(GO) run ./cmd/mpuload -c 64 -duration 10s -drain -out BENCH_pr5.json
+
+# The PR 8 cluster study: 1/2/4-node throughput scaling, hedged-vs-unhedged
+# p99 under one slow node, and a rolling node drain under open-loop load;
+# fails below the acceptance floors (1.8x on 1->2 nodes, 30% p99 reduction).
+bench-cluster:
+	$(GO) run ./cmd/mpuload -cluster-bench -out BENCH_pr8.json
 
 figures:
 	$(GO) run ./cmd/mastodon all

@@ -7,7 +7,7 @@
 //
 //	mpud [-addr :8080] [-pools racer:mpu:2,mimdram:mpu:1] [-queue 64]
 //	     [-window 2ms] [-deadline 30s] [-max-elements 1048576]
-//	     [-notrace] [-nojit] [-j N] [-quiet]
+//	     [-notrace] [-nojit] [-j N] [-node-id node0] [-quiet]
 //
 // Endpoints:
 //
@@ -51,17 +51,18 @@ func main() {
 	notrace := flag.Bool("notrace", false, "disable the ensemble trace engine in pool machines")
 	nojit := flag.Bool("nojit", false, "disable trace JIT compilation in pool machines (replay step-interpreted)")
 	jobs := flag.Int("j", 0, "machine scheduler workers per pool machine (0 = one per CPU)")
+	nodeID := flag.String("node-id", "", "cluster node label on /metrics gauges and request logs (empty = standalone)")
 	quiet := flag.Bool("quiet", false, "suppress JSON request logs")
 	smoke := flag.Bool("smoke", false, "self-test: serve on a random port, run one request, drain, exit")
 	flag.Parse()
 
-	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *quiet, *smoke); err != nil {
+	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *nodeID, *quiet, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "mpud: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, quiet, smoke bool) error {
+func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, nodeID string, quiet, smoke bool) error {
 	specs, err := serve.ParsePoolSpecs(pools)
 	if err != nil {
 		return err
@@ -79,6 +80,7 @@ func run(addr, pools string, queue int, window, deadline time.Duration, maxEleme
 		NoTrace:         notrace,
 		NoJIT:           nojit,
 		MachineWorkers:  jobs,
+		NodeID:          nodeID,
 		Logs:            logs,
 	})
 	if err != nil {

@@ -1,21 +1,39 @@
-// Command mpuload is a closed-loop load generator for mpud: N concurrent
-// clients each issue a request, wait for the response, and immediately
-// issue the next, cycling through a workload mix. It reports throughput,
-// latency percentiles, and the admission outcome histogram, and writes the
-// study as JSON.
+// Command mpuload is a load generator for mpud and mpurouter. By default it
+// runs closed-loop: N concurrent clients each issue a request, wait for the
+// response, and immediately issue the next, cycling through a workload mix.
+// With -rate it runs open-loop instead: request arrivals follow a Poisson
+// process at the given aggregate rate regardless of how fast responses come
+// back, the honest way to measure tail latency under offered load. It
+// reports throughput, latency percentiles, and the admission outcome
+// histogram, and writes the study as JSON.
 //
 // Usage:
 //
 //	mpuload [-url http://host:port] [-c 64] [-duration 10s]
 //	        [-pools racer:mpu:2,...] [-mix gcd:racer,relu:mimdram,...]
-//	        [-elements 128] [-drain] [-out BENCH_pr5.json]
+//	        [-elements 128] [-rate 200] [-tenants 4] [-drain] [-strict]
+//	        [-nodes 3] [-hedge=false] [-slow 1:25ms] [-out BENCH.json]
+//	mpuload -cluster-bench [-out BENCH_pr8.json]
 //
 // With no -url, mpuload self-hosts an in-process serve.Server on a loopback
-// port — the standard way to run the study without a separate daemon.
+// port — the standard way to run the study without a separate daemon. With
+// -nodes N it self-hosts an N-node cluster instead: N serve.Servers fronted
+// by an in-process mpurouter tier, so multi-node studies need no external
+// processes. -slow idx:dur (idx "all" for every node) adds an artificial
+// per-batch delay to a node, the slow-node fixture for hedging studies.
+//
 // -drain delivers a real SIGTERM to the process at half duration: the
-// server stops admitting (clients see clean 503s) while admitted requests
-// run to completion. The study records how many in-flight requests the
-// drain dropped; the acceptance contract is zero.
+// drained server (node 0 in cluster mode) stops admitting while admitted
+// requests run to completion and, in cluster mode, the router re-routes
+// around it. The study records how many in-flight requests the drain
+// dropped; the acceptance contract is zero.
+//
+// On 503/429 the closed loop honors the Retry-After header before retrying
+// instead of hammering a full admission queue.
+//
+// -cluster-bench runs the PR 8 acceptance suite: 1→2→4-node throughput
+// scaling, p99 with and without hedging under one slow node, and a rolling
+// node drain under open-loop load, written as one JSON study.
 package main
 
 import (
@@ -24,11 +42,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +55,7 @@ import (
 	"time"
 
 	"mpu/internal/exp"
+	"mpu/internal/router"
 	"mpu/internal/serve"
 )
 
@@ -45,7 +65,8 @@ type mixEntry struct {
 	mode     string
 }
 
-// study is the BENCH_pr5.json schema.
+// study is the per-run JSON schema (BENCH_pr5.json and the components of
+// BENCH_pr8.json).
 type study struct {
 	Config struct {
 		Clients  int      `json:"clients"`
@@ -54,13 +75,20 @@ type study struct {
 		Mix      []string `json:"mix"`
 		Elements int      `json:"elements"`
 		Drain    bool     `json:"drain"`
+		Nodes    int      `json:"nodes,omitempty"`
+		RateHz   float64  `json:"rate_hz,omitempty"`
+		Tenants  int      `json:"tenants,omitempty"`
+		Hedge    bool     `json:"hedge,omitempty"`
+		Slow     string   `json:"slow,omitempty"`
 	} `json:"config"`
 	Totals struct {
-		Requests uint64            `json:"requests"`
-		OK       uint64            `json:"ok"`
-		Refused  uint64            `json:"refused_503"`
-		Dropped  uint64            `json:"dropped"`
-		ByStatus map[string]uint64 `json:"by_status"`
+		Requests   uint64            `json:"requests"`
+		OK         uint64            `json:"ok"`
+		Refused    uint64            `json:"refused_503"`
+		Refused429 uint64            `json:"refused_429,omitempty"`
+		Dropped    uint64            `json:"dropped"`
+		Shed       uint64            `json:"shed_open_loop,omitempty"`
+		ByStatus   map[string]uint64 `json:"by_status"`
 	} `json:"totals"`
 	Throughput struct {
 		OKPerSec float64 `json:"ok_per_sec"`
@@ -71,7 +99,18 @@ type study struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
-	DrainStudy *drainStudy `json:"drain_study,omitempty"`
+	Cluster    *clusterStats `json:"cluster,omitempty"`
+	DrainStudy *drainStudy   `json:"drain_study,omitempty"`
+}
+
+// clusterStats is the router-side accounting for a cluster-mode run; the
+// hedge rate is reported honestly alongside whatever p99 it bought.
+type clusterStats struct {
+	Nodes     int     `json:"nodes"`
+	Hedges    uint64  `json:"hedges"`
+	HedgeWins uint64  `json:"hedge_wins"`
+	Retries   uint64  `json:"retries"`
+	HedgeRate float64 `json:"hedge_rate"`
 }
 
 type drainStudy struct {
@@ -83,22 +122,65 @@ type drainStudy struct {
 	RefusedAfterDrain uint64  `json:"refused_after_drain"`
 }
 
+// opts collects one run's knobs.
+type opts struct {
+	url      string
+	clients  int
+	duration time.Duration
+	pools    string
+	mixSpec  string
+	elements int
+	queue    int
+	window   time.Duration
+	drain    bool
+	strict   bool
+	seeds    int // distinct seed values cycled per request (1 maximizes coalescing)
+	nodes    int // 0 = single self-host without router; >=1 = routed cluster
+	rate     float64
+	tenants  int
+	hedge    bool
+	hedgeMax time.Duration
+	slowSpec string
+}
+
 func main() {
-	url := flag.String("url", "", "mpud base URL; empty self-hosts an in-process server")
-	clients := flag.Int("c", 64, "concurrent closed-loop clients")
-	duration := flag.Duration("duration", 10*time.Second, "study length")
-	pools := flag.String("pools", "racer:mpu:2,mimdram:mpu:2,dcache:mpu:2,simdram:mpu:2",
-		"self-hosted pools: backend:mode[:size],...")
-	mix := flag.String("mix", "gcd:racer,relu:mimdram,vecadd:dcache,vecxor:simdram",
+	var o opts
+	flag.StringVar(&o.url, "url", "", "target base URL; empty self-hosts an in-process server (or cluster with -nodes)")
+	flag.IntVar(&o.clients, "c", 64, "concurrent closed-loop clients (ignored with -rate)")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "study length")
+	flag.StringVar(&o.pools, "pools", "racer:mpu:2,mimdram:mpu:2,dcache:mpu:2,simdram:mpu:2",
+		"self-hosted pools per node: backend:mode[:size],...")
+	flag.StringVar(&o.mixSpec, "mix", "gcd:racer,relu:mimdram,vecadd:dcache,vecxor:simdram",
 		"request mix: workload:backend[:mode],... cycled per client")
-	elements := flag.Int("elements", 128, "elements per request")
-	queue := flag.Int("queue", 64, "self-hosted admission queue depth per pool")
-	window := flag.Duration("window", 2*time.Millisecond, "self-hosted batching window")
-	drain := flag.Bool("drain", false, "SIGTERM the self-hosted server at half duration")
+	flag.IntVar(&o.elements, "elements", 128, "elements per request")
+	flag.IntVar(&o.queue, "queue", 64, "self-hosted admission queue depth per pool")
+	flag.DurationVar(&o.window, "window", 2*time.Millisecond, "self-hosted batching window")
+	flag.BoolVar(&o.drain, "drain", false, "SIGTERM the self-hosted server (node 0 in cluster mode) at half duration")
+	flag.BoolVar(&o.strict, "strict", false, "exit non-zero on any dropped request or transport error")
+	flag.IntVar(&o.seeds, "seeds", 8, "distinct seed values cycled across requests (higher defeats batch coalescing)")
+	flag.IntVar(&o.nodes, "nodes", 0, "self-host an N-node cluster behind an in-process router (0 = plain single server)")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop Poisson arrival rate, requests/sec (0 = closed loop)")
+	flag.IntVar(&o.tenants, "tenants", 0, "spread requests across N tenant names via X-Tenant")
+	flag.BoolVar(&o.hedge, "hedge", true, "cluster mode: enable hedged retries in the router")
+	flag.DurationVar(&o.hedgeMax, "hedge-max", 250*time.Millisecond, "cluster mode: hedge trigger delay ceiling")
+	flag.StringVar(&o.slowSpec, "slow", "", "cluster mode: artificial per-batch node delay, idx:dur[,idx:dur] (idx 'all' = every node)")
+	bench := flag.Bool("cluster-bench", false, "run the scaling + hedging + rolling-drain acceptance suite")
 	out := flag.String("out", "", "write the study JSON to this path")
 	flag.Parse()
 
-	if err := run(*url, *clients, *duration, *pools, *mix, *elements, *queue, *window, *drain, *out); err != nil {
+	var err error
+	if *bench {
+		err = clusterBench(*out)
+	} else {
+		var s *study
+		s, err = runStudy(o)
+		if err == nil && *out != "" {
+			if err = exp.WriteJSON(*out, s); err == nil {
+				fmt.Printf("mpuload: wrote %s\n", *out)
+			}
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mpuload: %v\n", err)
 		os.Exit(1)
 	}
@@ -127,20 +209,62 @@ func parseMix(s string) ([]mixEntry, error) {
 	return out, nil
 }
 
-func run(url string, clients int, duration time.Duration, pools, mixSpec string, elements, queue int, window time.Duration, drain bool, out string) error {
-	mix, err := parseMix(mixSpec)
-	if err != nil {
-		return err
+// parseSlow parses "idx:dur[,idx:dur]"; index -1 means every node.
+func parseSlow(s string) (map[int]time.Duration, error) {
+	out := map[int]time.Duration{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idxStr, durStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("slow entry %q: want idx:duration", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("slow entry %q: %v", part, err)
+		}
+		if idxStr == "all" {
+			out[-1] = d
+			continue
+		}
+		i, err := strconv.Atoi(idxStr)
+		if err != nil || i < 0 {
+			return nil, fmt.Errorf("slow entry %q: bad node index", part)
+		}
+		out[i] = d
 	}
-	if drain && url != "" {
-		return fmt.Errorf("-drain requires the self-hosted server (no -url)")
+	return out, nil
+}
+
+func runStudy(o opts) (*study, error) {
+	mix, err := parseMix(o.mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := parseSlow(o.slowSpec)
+	if err != nil {
+		return nil, err
+	}
+	if o.drain && o.url != "" {
+		return nil, fmt.Errorf("-drain requires a self-hosted target (no -url)")
+	}
+	if o.url != "" && o.nodes > 0 {
+		return nil, fmt.Errorf("-nodes and -url are mutually exclusive")
 	}
 
+	url := o.url
 	var shutdown func() error
+	var rt *router.Router
 	if url == "" {
-		url, shutdown, err = selfHost(pools, queue, window)
+		if o.nodes > 0 {
+			url, rt, shutdown, err = selfHostCluster(o, slow)
+		} else {
+			url, shutdown, err = selfHost(o.pools, o.queue, o.window, slow[-1]+slow[0])
+		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -151,7 +275,9 @@ func run(url string, clients int, duration time.Duration, pools, mixSpec string,
 		requests  uint64
 		ok        uint64
 		refused   uint64
+		saturated uint64
 		dropped   uint64
+		shed      uint64
 
 		drainedAt   atomic.Int64 // unix nanos, 0 = not drained
 		inflight    atomic.Int64
@@ -162,139 +288,218 @@ func run(url string, clients int, duration time.Duration, pools, mixSpec string,
 		straddleBad atomic.Int64 // ... that were dropped
 	)
 
-	client := &http.Client{Timeout: 2 * time.Minute}
+	// A dedicated transport per run: studies back to back (cluster-bench)
+	// must not share idle connections to a previous run's dead cluster.
+	transport := &http.Transport{MaxIdleConnsPerHost: 64}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Timeout: 2 * time.Minute, Transport: transport}
 	stop := make(chan struct{})
 	start := time.Now()
 
 	sig := make(chan os.Signal, 1)
-	if drain {
+	if o.drain {
 		signal.Notify(sig, syscall.SIGTERM)
+		defer signal.Stop(sig)
 		go func() {
-			time.Sleep(duration / 2)
+			time.Sleep(o.duration / 2)
 			p, _ := os.FindProcess(os.Getpid())
 			p.Signal(syscall.SIGTERM)
 		}()
 	}
 	go func() {
-		if drain {
+		if o.drain {
 			<-sig
 			// Record the in-flight population the drain must not drop, then
-			// stop admission. The HTTP layer stays up so refused requests get
-			// clean 503s and admitted ones complete.
+			// stop admission on the drained node. The HTTP layer stays up so
+			// refused requests get clean 503s and admitted ones complete; in
+			// cluster mode the router re-routes around the node.
 			inflightAtD.Store(inflight.Load())
 			drainedAt.Store(time.Now().UnixNano())
 			drainSelfHosted()
 		}
-		time.Sleep(time.Until(start.Add(duration)))
+		time.Sleep(time.Until(start.Add(o.duration)))
 		close(stop)
 	}()
 
+	// issue runs one request and does all outcome accounting; it returns the
+	// status and Retry-After hint so the closed loop can back off.
+	seeds := o.seeds
+	if seeds <= 0 {
+		seeds = 8
+	}
+	issue := func(i int) (int, string, error) {
+		e := mix[i%len(mix)]
+		body, _ := json.Marshal(map[string]any{
+			"workload": e.workload, "backend": e.backend, "mode": e.mode,
+			"elements": o.elements, "seed": int64(i % seeds), "check": true,
+		})
+		tenant := ""
+		if o.tenants > 0 {
+			tenant = fmt.Sprintf("tenant%d", i%o.tenants)
+		}
+		preDrain := drainedAt.Load() == 0
+		inflight.Add(1)
+		t0 := time.Now()
+		status, retryAfter, err := post(client, url+"/v1/execute", tenant, body)
+		sec := time.Since(t0).Seconds()
+		inflight.Add(-1)
+		straddled := preDrain && drainedAt.Load() != 0
+
+		mu.Lock()
+		requests++
+		if err != nil {
+			byStatus["error"]++
+			dropped++
+		} else {
+			byStatus[fmt.Sprint(status)]++
+			switch status {
+			case http.StatusOK:
+				ok++
+				latencies = append(latencies, sec)
+			case http.StatusServiceUnavailable:
+				refused++
+			case http.StatusTooManyRequests:
+				saturated++
+			default:
+				dropped++
+			}
+		}
+		mu.Unlock()
+
+		refusal := status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+		if drainedAt.Load() != 0 && !straddled {
+			if status == http.StatusOK {
+				okAfter.Add(1)
+			} else if refusal {
+				refAfter.Add(1)
+			}
+		}
+		if straddled {
+			if err == nil && status == http.StatusOK {
+				straddleOK.Add(1)
+			} else if err != nil || !refusal {
+				straddleBad.Add(1)
+			}
+		}
+		return status, retryAfter, err
+	}
+
 	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
+	if o.rate > 0 {
+		// Open loop: Poisson arrivals at the configured aggregate rate; each
+		// arrival is an independent one-shot request, never a retry. A
+		// bounded outstanding set keeps an overloaded target from exploding
+		// the generator; skipped arrivals are counted as shed, not dropped.
 		wg.Add(1)
-		go func(c int) {
+		go func() {
 			defer wg.Done()
-			for i := c; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				e := mix[i%len(mix)]
-				body, _ := json.Marshal(map[string]any{
-					"workload": e.workload, "backend": e.backend, "mode": e.mode,
-					"elements": elements, "seed": int64(i % 8), "check": true,
-				})
-				preDrain := drainedAt.Load() == 0
-				inflight.Add(1)
-				t0 := time.Now()
-				status, err := post(client, url+"/v1/execute", body)
-				sec := time.Since(t0).Seconds()
-				inflight.Add(-1)
-				straddled := preDrain && drainedAt.Load() != 0
-
-				mu.Lock()
-				requests++
-				if err != nil {
-					byStatus["error"]++
-					dropped++
-				} else {
-					byStatus[fmt.Sprint(status)]++
-					switch status {
-					case http.StatusOK:
-						ok++
-						latencies = append(latencies, sec)
-					case http.StatusServiceUnavailable:
-						refused++
-					default:
-						dropped++
-					}
-				}
-				mu.Unlock()
-
-				if drainedAt.Load() != 0 && !straddled {
-					switch status {
-					case http.StatusOK:
-						okAfter.Add(1)
-					case http.StatusServiceUnavailable:
-						refAfter.Add(1)
-					}
-				}
-				if straddled {
-					if err == nil && status == http.StatusOK {
-						straddleOK.Add(1)
-					} else if err != nil || status != http.StatusServiceUnavailable {
-						straddleBad.Add(1)
-					}
-				}
-				if err == nil && status == http.StatusServiceUnavailable {
-					// Honor backpressure: back off instead of hammering a
-					// full (or draining) admission queue.
+			rng := rand.New(rand.NewSource(1))
+			sem := make(chan struct{}, 4096)
+			var owg sync.WaitGroup
+			defer owg.Wait()
+			next := time.Now()
+			for i := 0; ; i++ {
+				next = next.Add(time.Duration(rng.ExpFloat64() / o.rate * float64(time.Second)))
+				if d := time.Until(next); d > 0 {
 					select {
 					case <-stop:
 						return
-					case <-time.After(100 * time.Millisecond):
+					case <-time.After(d):
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
 					}
 				}
+				select {
+				case sem <- struct{}{}:
+					owg.Add(1)
+					go func(i int) {
+						defer owg.Done()
+						defer func() { <-sem }()
+						issue(i)
+					}(i)
+				default:
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				}
 			}
-		}(c)
+		}()
+	} else {
+		for c := 0; c < o.clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Stride by the client count so no two clients ever issue the
+				// same (workload, seed) pair concurrently — overlapping
+				// sequences would let the server coalesce what are meant to
+				// be independent requests.
+				for i := c; ; i += o.clients {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					status, retryAfter, err := issue(i)
+					if err == nil && (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) {
+						// Honor backpressure: wait out the server's own
+						// Retry-After hint instead of hammering a full (or
+						// draining) admission queue.
+						select {
+						case <-stop:
+							return
+						case <-time.After(retryDelay(retryAfter)):
+						}
+					}
+				}
+			}(c)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if shutdown != nil {
-		if err := shutdown(); err != nil {
-			return err
-		}
-	}
 
 	var s study
-	s.Config.Clients = clients
-	s.Config.Duration = duration.String()
-	s.Config.Pools = pools
+	s.Config.Clients = o.clients
+	if o.rate > 0 {
+		s.Config.Clients = 0
+	}
+	s.Config.Duration = o.duration.String()
+	s.Config.Pools = o.pools
 	for _, e := range mix {
 		s.Config.Mix = append(s.Config.Mix, e.workload+":"+e.backend+":"+e.mode)
 	}
-	s.Config.Elements = elements
-	s.Config.Drain = drain
+	s.Config.Elements = o.elements
+	s.Config.Drain = o.drain
+	s.Config.Nodes = o.nodes
+	s.Config.RateHz = o.rate
+	s.Config.Tenants = o.tenants
+	s.Config.Hedge = o.nodes > 0 && o.hedge
+	s.Config.Slow = o.slowSpec
 	s.Totals.Requests = requests
 	s.Totals.OK = ok
 	s.Totals.Refused = refused
+	s.Totals.Refused429 = saturated
 	s.Totals.Dropped = dropped
+	s.Totals.Shed = shed
 	s.Totals.ByStatus = byStatus
 	s.Throughput.OKPerSec = float64(ok) / elapsed.Seconds()
-	sort.Float64s(latencies)
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i] * 1e3
-	}
+	pct := func(p float64) float64 { return exp.Percentile(latencies, p) * 1e3 }
 	s.LatencyMS.P50 = pct(0.50)
 	s.LatencyMS.P90 = pct(0.90)
 	s.LatencyMS.P99 = pct(0.99)
 	s.LatencyMS.Max = pct(1.0)
-	if drain {
+	if rt != nil {
+		hedges, wins, retries := rt.Hedging()
+		cs := &clusterStats{Nodes: o.nodes, Hedges: hedges, HedgeWins: wins, Retries: retries}
+		if requests > 0 {
+			cs.HedgeRate = float64(hedges) / float64(requests)
+		}
+		s.Cluster = cs
+	}
+	if o.drain {
 		s.DrainStudy = &drainStudy{
 			AtMS:              float64(drainedAt.Load()-start.UnixNano()) / 1e6,
 			InflightAtDrain:   inflightAtD.Load(),
@@ -305,39 +510,68 @@ func run(url string, clients int, duration time.Duration, pools, mixSpec string,
 		}
 	}
 
-	fmt.Printf("mpuload: %d clients, %s: %d requests, %d ok (%.1f/s), %d refused, %d dropped\n",
-		clients, elapsed.Round(time.Millisecond), requests, ok, s.Throughput.OKPerSec, refused, dropped)
+	if shutdown != nil {
+		if err := shutdown(); err != nil {
+			return nil, err
+		}
+	}
+
+	fmt.Printf("mpuload: %s: %d requests, %d ok (%.1f/s), %d refused, %d saturated, %d dropped, %d shed\n",
+		elapsed.Round(time.Millisecond), requests, ok, s.Throughput.OKPerSec, refused, saturated, dropped, shed)
 	fmt.Printf("mpuload: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	if s.Cluster != nil {
+		fmt.Printf("mpuload: cluster %d nodes: %d hedges (%d won, rate %.3f), %d retries\n",
+			s.Cluster.Nodes, s.Cluster.Hedges, s.Cluster.HedgeWins, s.Cluster.HedgeRate, s.Cluster.Retries)
+	}
 	if s.DrainStudy != nil {
 		d := s.DrainStudy
 		fmt.Printf("mpuload: drain at %.0fms: %d in flight, %d completed, %d dropped; after: %d ok, %d refused\n",
 			d.AtMS, d.InflightAtDrain, d.InflightCompleted, d.InflightDropped, d.OKAfterDrain, d.RefusedAfterDrain)
 		if d.InflightDropped > 0 || dropped > 0 {
-			return fmt.Errorf("drain dropped %d in-flight requests (%d dropped total)", d.InflightDropped, dropped)
+			return nil, fmt.Errorf("drain dropped %d in-flight requests (%d dropped total)", d.InflightDropped, dropped)
 		}
 	}
-	if out != "" {
-		if err := exp.WriteJSON(out, &s); err != nil {
-			return err
-		}
-		fmt.Printf("mpuload: wrote %s\n", out)
+	if o.strict && (dropped > 0 || byStatus["error"] > 0) {
+		return nil, fmt.Errorf("strict: %d dropped, %d transport errors", dropped, byStatus["error"])
 	}
-	return nil
+	return &s, nil
 }
 
-func post(client *http.Client, url string, body []byte) (int, error) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+// retryDelay turns a Retry-After header into a backoff, bounded so a
+// misbehaving hint cannot stall the loop.
+func retryDelay(retryAfter string) time.Duration {
+	d := 100 * time.Millisecond
+	if sec, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && sec > 0 {
+		d = time.Duration(sec) * time.Second
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func post(client *http.Client, url, tenant string, body []byte) (int, string, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
 }
 
-// Self-hosted server plumbing. drainSelfHosted stops admission only; the
-// HTTP layer and pools shut down in the function returned by selfHost.
+// Self-hosted server plumbing. drainSelfHosted stops admission only (on
+// node 0 in cluster mode); the HTTP layer and pools shut down in the
+// function returned by selfHost/selfHostCluster.
 var selfHosted *serve.Server
 
 func drainSelfHosted() {
@@ -346,7 +580,24 @@ func drainSelfHosted() {
 	}
 }
 
-func selfHost(pools string, queue int, window time.Duration) (string, func() error, error) {
+// hostServe puts a serve.Server behind a loopback http.Server with the
+// repolint-mandated timeouts and returns its base URL and closer.
+func hostServe(h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+	}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), hs.Close, nil
+}
+
+func selfHost(pools string, queue int, window, debugDelay time.Duration) (string, func() error, error) {
 	specs, err := serve.ParsePoolSpecs(pools)
 	if err != nil {
 		return "", nil, err
@@ -355,30 +606,307 @@ func selfHost(pools string, queue int, window time.Duration) (string, func() err
 		Pools:       specs,
 		QueueDepth:  queue,
 		BatchWindow: window,
+		DebugDelay:  debugDelay,
 		Logs:        nil,
 	})
 	if err != nil {
 		return "", nil, err
 	}
 	selfHosted = srv
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	url, closeHTTP, err := hostServe(srv)
 	if err != nil {
+		srv.Close()
 		return "", nil, err
 	}
-	hs := &http.Server{
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      2 * time.Minute,
-	}
-	go hs.Serve(ln)
 	shutdown := func() error {
 		srv.Drain()
-		if err := hs.Close(); err != nil {
+		if err := closeHTTP(); err != nil {
 			return err
 		}
 		srv.Close()
 		return nil
 	}
-	return "http://" + ln.Addr().String(), shutdown, nil
+	return url, shutdown, nil
+}
+
+// selfHostCluster builds an N-node in-process cluster — N serve.Servers on
+// loopback ports behind one router — and returns the router's base URL, the
+// router handle (for hedge accounting), and a shutdown closure. Node 0 is
+// registered as the drain target.
+func selfHostCluster(o opts, slow map[int]time.Duration) (string, *router.Router, func() error, error) {
+	specs, err := serve.ParsePoolSpecs(o.pools)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var (
+		servers  []*serve.Server
+		closers  []func() error
+		nodeURLs []string
+		closeAll = func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+			for _, s := range servers {
+				s.Drain()
+				s.Close()
+			}
+		}
+	)
+	for i := 0; i < o.nodes; i++ {
+		delay := slow[i]
+		if d, ok := slow[-1]; ok {
+			delay += d
+		}
+		srv, err := serve.New(serve.Config{
+			Pools:       specs,
+			QueueDepth:  o.queue,
+			BatchWindow: o.window,
+			NodeID:      fmt.Sprintf("node%d", i),
+			DebugDelay:  delay,
+			Logs:        nil,
+		})
+		if err != nil {
+			closeAll()
+			return "", nil, nil, err
+		}
+		servers = append(servers, srv)
+		url, closeHTTP, err := hostServe(srv)
+		if err != nil {
+			closeAll()
+			return "", nil, nil, err
+		}
+		closers = append(closers, closeHTTP)
+		nodeURLs = append(nodeURLs, url)
+	}
+	selfHosted = servers[0]
+
+	rt, err := router.New(router.Config{
+		Nodes:          nodeURLs,
+		Hedge:          o.hedge,
+		HedgeMax:       o.hedgeMax,
+		ScrapeInterval: 50 * time.Millisecond,
+		Logs:           nil,
+	})
+	if err != nil {
+		closeAll()
+		return "", nil, nil, err
+	}
+	url, closeRouterHTTP, err := hostServe(rt)
+	if err != nil {
+		rt.Close()
+		closeAll()
+		return "", nil, nil, err
+	}
+	shutdown := func() error {
+		if err := closeRouterHTTP(); err != nil {
+			return err
+		}
+		rt.Close()
+		closeAll()
+		return nil
+	}
+	return url, rt, shutdown, nil
+}
+
+// clusterBench is the PR 8 acceptance suite. Every node carries a 4ms
+// emulated device service time per batch (DebugDelay) so throughput is
+// device-bound rather than host-CPU-bound, the regime the scaling claim is
+// about; the knob and its value are recorded in the study.
+func clusterBench(out string) error {
+	// The emulated service delay must be large enough that even the 4-node
+	// cluster's aggregate capacity (nodes × machines / delay) stays below
+	// what the host CPU can push through the in-process HTTP stack —
+	// otherwise every configuration saturates the host and scaling flattens.
+	const (
+		serviceDelay = 6 * time.Millisecond
+		scalePools   = "racer:mpu:1"
+		hedgePools   = "racer:mpu:2"
+		scaleMix     = "gcd:racer,relu:racer,vecadd:racer,vecxor:racer,vecand:racer,vecsub:racer," +
+			"vecmul:racer,abs:racer,clamp:racer,sign:racer,threshold:racer,mac:racer," +
+			"conv1d3:racer,jacobi1d:racer,manhattan:racer,euclidean:racer"
+		hedgeMix = scaleMix
+	)
+	type scalePoint struct {
+		Nodes     int     `json:"nodes"`
+		OKPerSec  float64 `json:"ok_per_sec"`
+		P99MS     float64 `json:"p99_ms"`
+		SpeedupV1 float64 `json:"speedup_vs_1_node"`
+	}
+	type hedgeArm struct {
+		OK        uint64  `json:"ok"`
+		P50MS     float64 `json:"p50_ms"`
+		P99MS     float64 `json:"p99_ms"`
+		Hedges    uint64  `json:"hedges"`
+		HedgeWins uint64  `json:"hedge_wins"`
+		HedgeRate float64 `json:"hedge_rate"`
+	}
+	var bench struct {
+		Config struct {
+			Pools          string  `json:"pools_per_node"`
+			Mix            string  `json:"mix"`
+			Elements       int     `json:"elements"`
+			ServiceDelayMS float64 `json:"emulated_service_delay_ms"`
+		} `json:"config"`
+		Scaling []scalePoint `json:"scaling"`
+		Hedging struct {
+			SlowNodeDelayMS float64  `json:"slow_node_delay_ms"`
+			HedgeMaxMS      float64  `json:"hedge_max_ms"`
+			RateHz          float64  `json:"rate_hz"`
+			Baseline        hedgeArm `json:"baseline"`
+			Hedged          hedgeArm `json:"hedged"`
+			P99ReductionPct float64  `json:"p99_reduction_pct"`
+		} `json:"hedging"`
+		RollingDrain struct {
+			Nodes    int     `json:"nodes"`
+			RateHz   float64 `json:"rate_hz"`
+			Requests uint64  `json:"requests"`
+			OK       uint64  `json:"ok"`
+			Refused  uint64  `json:"refused"`
+			Dropped  uint64  `json:"dropped"`
+			Balanced bool    `json:"accounting_balanced"`
+		} `json:"rolling_drain"`
+	}
+	// settle lets one arm's cluster finish tearing down (pool goroutines,
+	// connection close) before the next arm's latency measurements start.
+	settle := func() { time.Sleep(time.Second) }
+	base := opts{
+		clients:  96,
+		duration: 3 * time.Second,
+		pools:    scalePools,
+		mixSpec:  scaleMix,
+		elements: 64,
+		queue:    128,
+		window:   2 * time.Millisecond,
+		hedge:    true,
+		hedgeMax: 250 * time.Millisecond,
+	}
+	bench.Config.Pools = scalePools
+	bench.Config.Mix = scaleMix
+	bench.Config.Elements = base.elements
+	bench.Config.ServiceDelayMS = float64(serviceDelay) / 1e6
+
+	// 1: throughput scaling 1 -> 2 -> 4 nodes, closed loop at saturation.
+	// Seeds are diversified so every request is a distinct batch — the
+	// coalescer would otherwise let one overloaded node merge its deep queue
+	// into giant batches and masquerade as faster than a spread cluster.
+	// Hedging is off here: this arm measures sharding capacity, not tail
+	// rescue (the hedging arm below measures that).
+	var okPerSec1 float64
+	for _, n := range []int{1, 2, 4} {
+		o := base
+		o.nodes = n
+		o.clients = 96
+		o.duration = 4 * time.Second
+		o.seeds = 1 << 16
+		o.hedge = false
+		o.slowSpec = fmt.Sprintf("all:%s", serviceDelay)
+		fmt.Printf("== scaling: %d node(s) ==\n", n)
+		settle()
+		s, err := runStudy(o)
+		if err != nil {
+			return fmt.Errorf("scaling %d nodes: %w", n, err)
+		}
+		p := scalePoint{Nodes: n, OKPerSec: s.Throughput.OKPerSec, P99MS: s.LatencyMS.P99}
+		if n == 1 {
+			okPerSec1 = p.OKPerSec
+		}
+		if okPerSec1 > 0 {
+			p.SpeedupV1 = p.OKPerSec / okPerSec1
+		}
+		bench.Scaling = append(bench.Scaling, p)
+	}
+
+	// 2: p99 with and without hedging, one node slow, open loop. The hedge
+	// ceiling is dropped to 8ms so the duplicate fires well before the slow
+	// node's 25ms service time; the hedge rate lands near the slow node's
+	// share of the key space and is recorded as-is.
+	const (
+		slowDelay = 40 * time.Millisecond
+		hedgeMax  = 8 * time.Millisecond
+		hedgeRate = 100.0
+	)
+	bench.Hedging.SlowNodeDelayMS = float64(slowDelay) / 1e6
+	bench.Hedging.HedgeMaxMS = float64(hedgeMax) / 1e6
+	bench.Hedging.RateHz = hedgeRate
+	for _, hedged := range []bool{false, true} {
+		o := base
+		o.nodes = 2
+		o.pools = hedgePools
+		o.mixSpec = hedgeMix
+		o.rate = hedgeRate
+		o.duration = 4 * time.Second
+		o.slowSpec = fmt.Sprintf("1:%s", slowDelay)
+		o.hedge = hedged
+		o.hedgeMax = hedgeMax
+		fmt.Printf("== hedging: hedge=%v ==\n", hedged)
+		settle()
+		s, err := runStudy(o)
+		if err != nil {
+			return fmt.Errorf("hedging (hedge=%v): %w", hedged, err)
+		}
+		arm := hedgeArm{OK: s.Totals.OK, P50MS: s.LatencyMS.P50, P99MS: s.LatencyMS.P99}
+		if s.Cluster != nil {
+			arm.Hedges = s.Cluster.Hedges
+			arm.HedgeWins = s.Cluster.HedgeWins
+			arm.HedgeRate = s.Cluster.HedgeRate
+		}
+		if hedged {
+			bench.Hedging.Hedged = arm
+		} else {
+			bench.Hedging.Baseline = arm
+		}
+	}
+	if b := bench.Hedging.Baseline.P99MS; b > 0 {
+		bench.Hedging.P99ReductionPct = 100 * (b - bench.Hedging.Hedged.P99MS) / b
+	}
+
+	// 3: rolling drain under open-loop load: node 0 drains at half duration,
+	// the router re-routes, and the accounting must balance with zero lost.
+	{
+		o := base
+		o.nodes = 3
+		o.pools = hedgePools
+		o.mixSpec = hedgeMix
+		o.rate = 150
+		o.duration = 4 * time.Second
+		o.drain = true
+		o.tenants = 3
+		fmt.Printf("== rolling drain: 3 nodes ==\n")
+		settle()
+		s, err := runStudy(o)
+		if err != nil {
+			return fmt.Errorf("rolling drain: %w", err)
+		}
+		d := &bench.RollingDrain
+		d.Nodes = 3
+		d.RateHz = o.rate
+		d.Requests = s.Totals.Requests
+		d.OK = s.Totals.OK
+		d.Refused = s.Totals.Refused + s.Totals.Refused429
+		d.Dropped = s.Totals.Dropped
+		d.Balanced = d.OK+d.Refused == d.Requests && d.Dropped == 0
+		if !d.Balanced {
+			return fmt.Errorf("rolling drain accounting does not balance: %+v", *d)
+		}
+	}
+
+	if out == "" {
+		out = "BENCH_pr8.json"
+	}
+	if err := exp.WriteJSON(out, &bench); err != nil {
+		return err
+	}
+	fmt.Printf("mpuload: wrote %s\n", out)
+	speedup2 := bench.Scaling[1].SpeedupV1
+	fmt.Printf("mpuload: scaling 1->2 nodes: %.2fx; 1->4: %.2fx\n", speedup2, bench.Scaling[2].SpeedupV1)
+	fmt.Printf("mpuload: hedging p99: %.2fms -> %.2fms (%.0f%% reduction, hedge rate %.3f)\n",
+		bench.Hedging.Baseline.P99MS, bench.Hedging.Hedged.P99MS,
+		bench.Hedging.P99ReductionPct, bench.Hedging.Hedged.HedgeRate)
+	if speedup2 < 1.8 {
+		return fmt.Errorf("scaling 1->2 nodes is %.2fx, below the 1.8x acceptance floor", speedup2)
+	}
+	if bench.Hedging.P99ReductionPct < 30 {
+		return fmt.Errorf("hedging reduced p99 by %.0f%%, below the 30%% acceptance floor", bench.Hedging.P99ReductionPct)
+	}
+	return nil
 }

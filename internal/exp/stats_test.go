@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 3}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	if vals[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}

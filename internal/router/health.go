@@ -1,0 +1,184 @@
+package router
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// nodeState is the router's live view of one mpud node, updated by the
+// scrape loop and (on transport failure) by the forwarding path.
+type nodeState struct {
+	name        string // display name: host:port
+	base        string // base URL
+	ready       atomic.Bool
+	loadBits    atomic.Uint64 // math.Float64bits of the EWMA load score
+	queueDepth  atomic.Int64  // last scraped sum over pools
+	inflight    atomic.Int64  // last scraped gauge
+	outstanding atomic.Int64  // attempts this router has in flight right now
+
+	// Scrape-loop-local state (single goroutine, no locking needed).
+	hotScrapes int  // consecutive scrapes with queue depth over the advisory threshold
+	advised    bool // advisory already logged for the current hot episode
+}
+
+func (n *nodeState) load() float64     { return math.Float64frombits(n.loadBits.Load()) }
+func (n *nodeState) setLoad(v float64) { n.loadBits.Store(math.Float64bits(v)) }
+
+// effLoad is the spill signal: the scraped EWMA plus the attempts this
+// router has in flight to the node right now. The scrape alone is up to one
+// interval stale — deciding on it herds traffic onto whichever node looked
+// idle at the last sample and oscillates; the live outstanding count makes
+// each routed request immediately visible to the next decision.
+func (n *nodeState) effLoad() float64 {
+	return n.load() + float64(n.outstanding.Load())
+}
+
+// ewmaAlpha weights the newest scrape sample; ~3 scrapes to converge.
+const ewmaAlpha = 0.3
+
+// scrapeLoop polls every node's /healthz and /metrics on the configured
+// interval until stop closes. Readiness comes from /healthz (a draining mpud
+// answers 503 and is immediately routed around); the load score is an EWMA
+// of queue depth + inflight from the gauges mpud already exports, used as
+// the least-loaded tiebreak inside a key's candidate set. Sustained queue
+// depth above the advisory threshold emits a pool-autoscale advisory log
+// line — the router cannot grow a node's pools, but it can tell the
+// operator which node needs it.
+func (rt *Router) scrapeLoop(stop <-chan struct{}) {
+	defer rt.scrapeWG.Done()
+	t := time.NewTicker(rt.cfg.ScrapeInterval)
+	defer t.Stop()
+	rt.scrapeAll()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			rt.scrapeAll()
+		}
+	}
+}
+
+func (rt *Router) scrapeAll() {
+	for _, n := range rt.nodes {
+		rt.scrapeNode(n)
+	}
+}
+
+func (rt *Router) scrapeNode(n *nodeState) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ScrapeInterval)
+	defer cancel()
+
+	wasReady := n.ready.Load()
+	ready := rt.probe(ctx, n.base+"/healthz") == http.StatusOK
+	n.ready.Store(ready)
+	if wasReady && !ready {
+		rt.metrics.nodeUnready(n.name)
+		rt.logf(routerLog{Msg: "node-unready", Node: n.name})
+	}
+	if !wasReady && ready {
+		rt.logf(routerLog{Msg: "node-ready", Node: n.name})
+	}
+	if !ready {
+		// Don't decay the load score while unready: the node keeps its last
+		// known score and rejoins the tiebreak where it left off.
+		n.hotScrapes, n.advised = 0, false
+		return
+	}
+
+	depth, inflight, ok := rt.scrapeGauges(ctx, n.base+"/metrics")
+	if !ok {
+		return
+	}
+	n.queueDepth.Store(depth)
+	n.inflight.Store(inflight)
+	sample := float64(depth + inflight)
+	n.setLoad(ewmaAlpha*sample + (1-ewmaAlpha)*n.load())
+
+	// Pool-autoscale advisory: sustained admission-queue depth means the
+	// node's warm pools are undersized for its shard of the key space.
+	if rt.cfg.AutoscaleDepth > 0 && depth >= int64(rt.cfg.AutoscaleDepth) {
+		n.hotScrapes++
+		if n.hotScrapes >= rt.cfg.AutoscaleSustain && !n.advised {
+			n.advised = true
+			rt.metrics.autoscaleAdvisory(n.name)
+			rt.logf(routerLog{
+				Msg: "autoscale-advice", Node: n.name, Queue: int(depth),
+				Err: "sustained queue depth: grow this node's warm pools (-pools size) or add nodes",
+			})
+		}
+	} else {
+		n.hotScrapes, n.advised = 0, false
+	}
+}
+
+// probe GETs url and returns the status code (0 on transport failure).
+func (rt *Router) probe(ctx context.Context, url string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// scrapeGauges fetches a Prometheus text exposition and sums the
+// mpud_queue_depth and mpud_inflight gauges, tolerating any label set (a
+// node may or may not carry node="..." labels).
+func (rt *Router) scrapeGauges(ctx context.Context, url string) (depth, inflight int64, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 0, 0, false
+	}
+	d, dok := sumSeries(string(body), "mpud_queue_depth")
+	f, fok := sumSeries(string(body), "mpud_inflight")
+	return d, f, dok && fok
+}
+
+// sumSeries sums the values of every sample whose metric name matches
+// exactly (label sets differ per node/pool; histogram series like
+// name_bucket do not match).
+func sumSeries(exposition, name string) (int64, bool) {
+	var sum float64
+	found := false
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != ' ' && rest[0] != '{') {
+			continue // a longer metric name sharing the prefix
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		found = true
+	}
+	return int64(sum), found
+}

@@ -17,6 +17,12 @@ import (
 type metrics struct {
 	mu sync.Mutex
 
+	// node is the cluster node label ("" on a standalone daemon). Only the
+	// gauges carry it — multi-node scrapes need to distinguish live state
+	// per node, and keeping the counters label-free keeps single-node
+	// dashboards stable.
+	node string
+
 	requests map[string]uint64 // HTTP status code → count
 	batches  uint64            // executed batches
 	drops    uint64            // admissions refused: queue full or draining
@@ -34,8 +40,9 @@ type metrics struct {
 	inflight int64 // admitted requests not yet answered
 }
 
-func newMetrics() *metrics {
+func newMetrics(node string) *metrics {
 	return &metrics{
+		node:      node,
 		requests:  map[string]uint64{},
 		batchSize: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
 		latency:   newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
@@ -132,12 +139,20 @@ func (m *metrics) render(depths []queueDepth) string {
 
 	sb.WriteString("# HELP mpud_inflight Admitted requests not yet answered.\n")
 	sb.WriteString("# TYPE mpud_inflight gauge\n")
-	fmt.Fprintf(&sb, "mpud_inflight %d\n", m.inflight)
+	if m.node != "" {
+		fmt.Fprintf(&sb, "mpud_inflight{node=%q} %d\n", m.node, m.inflight)
+	} else {
+		fmt.Fprintf(&sb, "mpud_inflight %d\n", m.inflight)
+	}
 
 	sb.WriteString("# HELP mpud_queue_depth Batches waiting in each pool's admission queue.\n")
 	sb.WriteString("# TYPE mpud_queue_depth gauge\n")
 	for _, d := range depths {
-		fmt.Fprintf(&sb, "mpud_queue_depth{pool=%q} %d\n", d.pool, d.depth)
+		if m.node != "" {
+			fmt.Fprintf(&sb, "mpud_queue_depth{node=%q,pool=%q} %d\n", m.node, d.pool, d.depth)
+		} else {
+			fmt.Fprintf(&sb, "mpud_queue_depth{pool=%q} %d\n", d.pool, d.depth)
+		}
 	}
 
 	sb.WriteString("# HELP mpud_batches_total Coalesced batches executed.\n")

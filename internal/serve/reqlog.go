@@ -12,19 +12,21 @@ import (
 // small enough that a mutex around an io.Writer beats pulling a logging
 // framework into a stdlib-only module.
 type reqLogger struct {
-	mu  sync.Mutex
-	w   io.Writer
-	now func() time.Time
+	mu   sync.Mutex
+	w    io.Writer
+	node string // cluster node label, stamped on every entry when non-empty
+	now  func() time.Time
 }
 
-func newReqLogger(w io.Writer) *reqLogger {
-	return &reqLogger{w: w, now: time.Now}
+func newReqLogger(w io.Writer, node string) *reqLogger {
+	return &reqLogger{w: w, node: node, now: time.Now}
 }
 
 // logEntry is the request-log schema; field order is the JSON order.
 type logEntry struct {
 	TS        string  `json:"ts"`
 	Msg       string  `json:"msg"`
+	Node      string  `json:"node,omitempty"`
 	Pool      string  `json:"pool,omitempty"`
 	Workload  string  `json:"workload,omitempty"`
 	Status    int     `json:"status,omitempty"`
@@ -39,6 +41,9 @@ func (l *reqLogger) log(e logEntry) {
 		return
 	}
 	e.TS = l.now().UTC().Format(time.RFC3339Nano)
+	if e.Node == "" {
+		e.Node = l.node
+	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		return

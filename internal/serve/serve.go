@@ -85,6 +85,18 @@ type Config struct {
 	// submitted multi-MPU binaries).
 	MachineWorkers int
 
+	// NodeID labels this daemon in a multi-node cluster: when non-empty it
+	// appears as a node="..." label on the /metrics gauges and as a "node"
+	// field in the JSON request log, so a router scraping several mpuds can
+	// tell the series apart. Metric names are unchanged either way.
+	NodeID string
+
+	// DebugDelay artificially delays each batch execution by the given
+	// duration. It exists for the cluster studies and tests that need one
+	// deliberately slow node (hedging p99 experiments); it never changes
+	// machine.Stats, only wall time. Zero disables it.
+	DebugDelay time.Duration
+
 	// Logs receives one JSON line per answered request; nil discards.
 	Logs io.Writer
 }
@@ -297,8 +309,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		pools:   map[string]*pool{},
-		metrics: newMetrics(),
-		logger:  newReqLogger(cfg.Logs),
+		metrics: newMetrics(cfg.NodeID),
+		logger:  newReqLogger(cfg.Logs, cfg.NodeID),
 		started: time.Now(),
 	}
 	for _, ps := range cfg.Pools {
@@ -390,6 +402,9 @@ func (s *Server) runWorker(p *pool, m *machine.Machine) {
 		delete(p.open, b.key) // seal: later identical requests start a new batch
 		waiters := b.waiters
 		p.mu.Unlock()
+		if s.cfg.DebugDelay > 0 {
+			time.Sleep(s.cfg.DebugDelay)
+		}
 		res := s.execute(p, m, b.req, len(waiters))
 		s.metrics.observeBatch(len(waiters))
 		for _, ch := range waiters {
@@ -658,10 +673,11 @@ func (s *Server) finish(w http.ResponseWriter, p *pool, workload string, start t
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
 		Status string   `json:"status"`
+		Node   string   `json:"node,omitempty"`
 		Pools  []string `json:"pools"`
 		UpSec  float64  `json:"up_sec"`
 	}
-	h := health{Status: "ok", Pools: s.order, UpSec: time.Since(s.started).Seconds()}
+	h := health{Status: "ok", Node: s.cfg.NodeID, Pools: s.order, UpSec: time.Since(s.started).Seconds()}
 	code := http.StatusOK
 	if s.Draining() {
 		h.Status = "draining"

@@ -441,6 +441,76 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestNodeLabel pins the multi-node scrape contract: with NodeID set the
+// /metrics gauges carry a node label (names unchanged), /healthz and the
+// request log name the node; without it the exposition is label-free so
+// single-node dashboards are untouched.
+func TestNodeLabel(t *testing.T) {
+	var logs bytes.Buffer
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return logs.Write(p)
+	})
+	_, ts := newTestServer(t, Config{NodeID: "node7", Logs: w})
+	if code, body, _ := postExecute(t, ts.URL, Request{
+		Workload: "vecadd", Backend: "racer", Elements: 64,
+	}); code != http.StatusOK {
+		t.Fatalf("execute: %d %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, series := range []string{
+		`mpud_inflight{node="node7"} 0`,
+		`mpud_queue_depth{node="node7",pool="RACER/MPU"} 0`,
+		`mpud_requests_total{code="200"} 1`, // counters stay label-free
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q:\n%s", series, text)
+		}
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var h struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Node != "node7" {
+		t.Errorf("healthz node = %q, want node7", h.Node)
+	}
+	mu.Lock()
+	logged := logs.String()
+	mu.Unlock()
+	if !strings.Contains(logged, `"node":"node7"`) {
+		t.Errorf("request log lacks the node field: %s", logged)
+	}
+
+	// Standalone daemons keep the historical label-free gauges.
+	_, tsPlain := newTestServer(t, Config{})
+	resp2, err := http.Get(tsPlain.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf.Reset()
+	buf.ReadFrom(resp2.Body)
+	if !strings.Contains(buf.String(), "mpud_inflight 0") {
+		t.Errorf("standalone exposition grew a label:\n%s", buf.String())
+	}
+}
+
 func TestParsePoolSpecs(t *testing.T) {
 	specs, err := ParsePoolSpecs("racer:mpu:2, mimdram:mpu ,dcache:baseline:1")
 	if err != nil {
