@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-short repolint staticcheck preflight fuzz check bench bench-serve bench-cluster serve-smoke cluster-smoke figures clean
+.PHONY: all build test vet race race-short repolint staticcheck govulncheck preflight fuzz check bench bench-serve bench-cluster bench-qos serve-smoke cluster-smoke figures clean
 
 # Pinned staticcheck release — CI installs exactly this version so findings
 # are reproducible; locally the target is skipped (with a note) when the
@@ -33,6 +33,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
 	fi
 
+# Known-vulnerability scan over the module graph (stdlib-only here, so it
+# effectively audits the toolchain). CI installs the scanner; offline
+# checkouts without the binary skip the target instead of failing.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI installs golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Machine-level static verification (commlint) of every shipped kernel and
 # application — the same sweep `mastodon preflight` runs before figures.
 preflight:
@@ -51,8 +61,8 @@ race:
 # parity and warm-pool hammer tests — fast enough for every CI run.
 race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
-	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestJITParityRandom|TestParallelMachine|TestParallelDeadlock' ./internal/machine
-	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool' ./internal/serve
+	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestJITParityRandom|TestParallelMachine|TestParallelDeadlock|TestSnapshotResumeParity' ./internal/machine
+	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool|TestServePreempt|TestServeNoPreempt|TestParkedGauges' ./internal/serve
 	$(GO) test -race -timeout 30m -run 'TestRouterParity|TestRollingDrain|TestFairAdmission' ./internal/router
 
 # Bounded runs of the differential oracles: random programs the linter
@@ -65,11 +75,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzLintSoundness -fuzztime=30s ./internal/isa
 	$(GO) test -fuzz=FuzzJITParity -fuzztime=30s ./internal/machine
 	$(GO) test -fuzz=FuzzCommSoundness -fuzztime=30s ./internal/lint/comm
+	$(GO) test -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s -fuzzminimizetime=2s ./internal/machine
 
 # check is the pre-merge gate: build + vet + full test suite + repo lint +
-# staticcheck (when installed). Run `make race` (full suite under the race
-# detector) before touching the sweep engine's concurrency.
-check: build vet test repolint staticcheck
+# staticcheck + govulncheck (each when installed). Run `make race` (full
+# suite under the race detector) before touching the sweep engine's
+# concurrency.
+check: build vet test repolint staticcheck govulncheck
 
 # One iteration of every benchmark — a smoke run (also in CI) that keeps the
 # reproduction harness executable; steady-state numbers need larger
@@ -100,6 +112,12 @@ bench-serve:
 # fails below the acceptance floors (1.8x on 1->2 nodes, 30% p99 reduction).
 bench-cluster:
 	$(GO) run ./cmd/mpuload -cluster-bench -out BENCH_pr8.json
+
+# The PR 9 QoS study: one machine under a resident heavy batch-class job with
+# open-loop latency-class arrivals, preemption on vs off; fails below the
+# acceptance floors (5x latency p99 improvement, <=15% batch slowdown).
+bench-qos:
+	$(GO) run ./cmd/mpuload -qos-bench -out BENCH_pr9.json
 
 figures:
 	$(GO) run ./cmd/mastodon all

@@ -8,6 +8,13 @@
 //	mpud [-addr :8080] [-pools racer:mpu:2,mimdram:mpu:1] [-queue 64]
 //	     [-window 2ms] [-deadline 30s] [-max-elements 1048576]
 //	     [-notrace] [-nojit] [-j N] [-node-id node0] [-quiet]
+//	     [-nopreempt] [-max-parked 8]
+//
+// QoS: the X-QoS request header selects a class — "latency" (strict queue
+// priority; preempts running batch jobs at ensemble boundaries) or "batch"
+// (the default). -nopreempt keeps the priority queues but never interrupts a
+// running job; -max-parked bounds each pool's parking lot of preempted-job
+// snapshots.
 //
 // Endpoints:
 //
@@ -53,16 +60,18 @@ func main() {
 	jobs := flag.Int("j", 0, "machine scheduler workers per pool machine (0 = one per CPU)")
 	nodeID := flag.String("node-id", "", "cluster node label on /metrics gauges and request logs (empty = standalone)")
 	quiet := flag.Bool("quiet", false, "suppress JSON request logs")
+	nopreempt := flag.Bool("nopreempt", false, "disable ensemble-boundary preemption (latency keeps queue priority only)")
+	maxParked := flag.Int("max-parked", 8, "parking-lot bound per pool for preempted-job snapshots")
 	smoke := flag.Bool("smoke", false, "self-test: serve on a random port, run one request, drain, exit")
 	flag.Parse()
 
-	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *nodeID, *quiet, *smoke); err != nil {
+	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *nodeID, *quiet, *nopreempt, *maxParked, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "mpud: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, nodeID string, quiet, smoke bool) error {
+func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, nodeID string, quiet, nopreempt bool, maxParked int, smoke bool) error {
 	specs, err := serve.ParsePoolSpecs(pools)
 	if err != nil {
 		return err
@@ -81,6 +90,8 @@ func run(addr, pools string, queue int, window, deadline time.Duration, maxEleme
 		NoJIT:           nojit,
 		MachineWorkers:  jobs,
 		NodeID:          nodeID,
+		NoPreempt:       nopreempt,
+		MaxParked:       maxParked,
 		Logs:            logs,
 	})
 	if err != nil {
@@ -188,6 +199,9 @@ func smokeTest(base string) error {
 	resp.Body.Close()
 	if !bytes.Contains(metrics, []byte(`mpud_requests_total{code="200"} 1`)) {
 		return fmt.Errorf("metrics did not count the request:\n%s", metrics)
+	}
+	if !bytes.Contains(metrics, []byte("mpud_preemptions_total")) {
+		return fmt.Errorf("metrics missing the QoS preemption plane:\n%s", metrics)
 	}
 	fmt.Println("mpud: smoke ok")
 	return nil

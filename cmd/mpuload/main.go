@@ -13,7 +13,16 @@
 //	        [-pools racer:mpu:2,...] [-mix gcd:racer,relu:mimdram,...]
 //	        [-elements 128] [-rate 200] [-tenants 4] [-drain] [-strict]
 //	        [-nodes 3] [-hedge=false] [-slow 1:25ms] [-out BENCH.json]
+//	        [-classes latency=2,batch=20] [-nopreempt] [-max-parked 8]
 //	mpuload -cluster-bench [-out BENCH_pr8.json]
+//	mpuload -qos-bench [-out BENCH_pr9.json]
+//
+// -classes runs a mixed-QoS open-loop study: each entry is an independent
+// Poisson arrival stream at the given rate (requests/sec) tagged with that
+// X-QoS class, and the study reports per-class latency percentiles and shed
+// counts. With -strict the run exits non-zero if any class shed arrivals
+// (the generator could not keep its offered load honest). -nopreempt and
+// -max-parked forward to the self-hosted daemon's QoS scheduler.
 //
 // With no -url, mpuload self-hosts an in-process serve.Server on a loopback
 // port — the standard way to run the study without a separate daemon. With
@@ -34,6 +43,10 @@
 // -cluster-bench runs the PR 8 acceptance suite: 1→2→4-node throughput
 // scaling, p99 with and without hedging under one slow node, and a rolling
 // node drain under open-loop load, written as one JSON study.
+//
+// -qos-bench runs the PR 9 acceptance suite: one resident heavy batch job
+// on a single-machine pool with open-loop latency-class arrivals, measured
+// with ensemble-boundary preemption enabled and disabled.
 package main
 
 import (
@@ -77,6 +90,7 @@ type study struct {
 		Drain    bool     `json:"drain"`
 		Nodes    int      `json:"nodes,omitempty"`
 		RateHz   float64  `json:"rate_hz,omitempty"`
+		Classes  string   `json:"classes,omitempty"`
 		Tenants  int      `json:"tenants,omitempty"`
 		Hedge    bool     `json:"hedge,omitempty"`
 		Slow     string   `json:"slow,omitempty"`
@@ -99,8 +113,66 @@ type study struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
-	Cluster    *clusterStats `json:"cluster,omitempty"`
-	DrainStudy *drainStudy   `json:"drain_study,omitempty"`
+	Classes    map[string]*classStudy `json:"classes,omitempty"`
+	Cluster    *clusterStats          `json:"cluster,omitempty"`
+	DrainStudy *drainStudy            `json:"drain_study,omitempty"`
+}
+
+// classStudy is the per-QoS-class slice of a mixed -classes run. Shed counts
+// arrivals the generator had to skip for that class (outstanding-set full);
+// a non-zero shed means the offered per-class rate was not honestly applied.
+type classStudy struct {
+	RateHz    float64 `json:"rate_hz"`
+	Requests  uint64  `json:"requests"`
+	OK        uint64  `json:"ok"`
+	Shed      uint64  `json:"shed,omitempty"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+// classRate is one parsed -classes entry; order follows the flag so the
+// arrival-stream mixing is deterministic.
+type classRate struct {
+	class string
+	rate  float64
+}
+
+// parseClasses parses "latency=2,batch=20" into per-class open-loop Poisson
+// rates, validating each class name against the daemon's QoS vocabulary.
+func parseClasses(s string) ([]classRate, error) {
+	var out []classRate
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rateStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("classes entry %q: want class=rate", part)
+		}
+		class, err := serve.ParseClass(name)
+		if err != nil {
+			return nil, fmt.Errorf("classes entry %q: %v", part, err)
+		}
+		if seen[class] {
+			return nil, fmt.Errorf("classes entry %q: class %s repeated", part, class)
+		}
+		seen[class] = true
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("classes entry %q: rate must be a positive requests/sec value", part)
+		}
+		out = append(out, classRate{class: class, rate: rate})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty classes spec %q", s)
+	}
+	return out, nil
 }
 
 // clusterStats is the router-side accounting for a cluster-mode run; the
@@ -141,6 +213,11 @@ type opts struct {
 	hedge    bool
 	hedgeMax time.Duration
 	slowSpec string
+
+	classesSpec string // per-class open-loop rates ("latency=2,batch=20")
+	maxElements int    // self-hosted per-request element cap (0 = serve default)
+	nopreempt   bool   // self-hosted: disable ensemble-boundary preemption
+	maxParked   int    // self-hosted: parking-lot bound per pool
 }
 
 func main() {
@@ -164,14 +241,22 @@ func main() {
 	flag.BoolVar(&o.hedge, "hedge", true, "cluster mode: enable hedged retries in the router")
 	flag.DurationVar(&o.hedgeMax, "hedge-max", 250*time.Millisecond, "cluster mode: hedge trigger delay ceiling")
 	flag.StringVar(&o.slowSpec, "slow", "", "cluster mode: artificial per-batch node delay, idx:dur[,idx:dur] (idx 'all' = every node)")
+	flag.StringVar(&o.classesSpec, "classes", "", "mixed-QoS open loop: per-class Poisson rates, class=hz[,class=hz]")
+	flag.IntVar(&o.maxElements, "max-elements", 0, "self-hosted per-request element cap (0 = daemon default)")
+	flag.BoolVar(&o.nopreempt, "nopreempt", false, "self-hosted: disable ensemble-boundary preemption")
+	flag.IntVar(&o.maxParked, "max-parked", 8, "self-hosted: parking-lot bound per pool for preempted-job snapshots")
 	bench := flag.Bool("cluster-bench", false, "run the scaling + hedging + rolling-drain acceptance suite")
+	qosb := flag.Bool("qos-bench", false, "run the QoS preemption acceptance suite (latency tails vs batch throughput)")
 	out := flag.String("out", "", "write the study JSON to this path")
 	flag.Parse()
 
 	var err error
-	if *bench {
+	switch {
+	case *bench:
 		err = clusterBench(*out)
-	} else {
+	case *qosb:
+		err = qosBench(*out)
+	default:
 		var s *study
 		s, err = runStudy(o)
 		if err == nil && *out != "" {
@@ -253,6 +338,18 @@ func runStudy(o opts) (*study, error) {
 	if o.url != "" && o.nodes > 0 {
 		return nil, fmt.Errorf("-nodes and -url are mutually exclusive")
 	}
+	var classes []classRate
+	if o.classesSpec != "" {
+		if o.rate > 0 {
+			return nil, fmt.Errorf("-classes carries its own per-class rates; drop -rate")
+		}
+		if classes, err = parseClasses(o.classesSpec); err != nil {
+			return nil, err
+		}
+		for _, c := range classes {
+			o.rate += c.rate
+		}
+	}
 
 	url := o.url
 	var shutdown func() error
@@ -261,11 +358,23 @@ func runStudy(o opts) (*study, error) {
 		if o.nodes > 0 {
 			url, rt, shutdown, err = selfHostCluster(o, slow)
 		} else {
-			url, shutdown, err = selfHost(o.pools, o.queue, o.window, slow[-1]+slow[0])
+			url, shutdown, err = selfHost(o, slow[-1]+slow[0])
 		}
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// perClass aggregates the -classes slices; guarded by mu like the totals.
+	type classAcc struct {
+		requests  uint64
+		ok        uint64
+		shed      uint64
+		latencies []float64
+	}
+	perClass := map[string]*classAcc{}
+	for _, c := range classes {
+		perClass[c.class] = &classAcc{}
 	}
 
 	var (
@@ -327,7 +436,7 @@ func runStudy(o opts) (*study, error) {
 	if seeds <= 0 {
 		seeds = 8
 	}
-	issue := func(i int) (int, string, error) {
+	issue := func(i int, class string) (int, string, error) {
 		e := mix[i%len(mix)]
 		body, _ := json.Marshal(map[string]any{
 			"workload": e.workload, "backend": e.backend, "mode": e.mode,
@@ -340,13 +449,17 @@ func runStudy(o opts) (*study, error) {
 		preDrain := drainedAt.Load() == 0
 		inflight.Add(1)
 		t0 := time.Now()
-		status, retryAfter, err := post(client, url+"/v1/execute", tenant, body)
+		status, retryAfter, err := post(client, url+"/v1/execute", tenant, class, body)
 		sec := time.Since(t0).Seconds()
 		inflight.Add(-1)
 		straddled := preDrain && drainedAt.Load() != 0
 
 		mu.Lock()
 		requests++
+		cs := perClass[class]
+		if cs != nil {
+			cs.requests++
+		}
 		if err != nil {
 			byStatus["error"]++
 			dropped++
@@ -356,6 +469,10 @@ func runStudy(o opts) (*study, error) {
 			case http.StatusOK:
 				ok++
 				latencies = append(latencies, sec)
+				if cs != nil {
+					cs.ok++
+					cs.latencies = append(cs.latencies, sec)
+				}
 			case http.StatusServiceUnavailable:
 				refused++
 			case http.StatusTooManyRequests:
@@ -413,17 +530,33 @@ func runStudy(o opts) (*study, error) {
 					default:
 					}
 				}
+				// With -classes the merged stream is thinned probabilistically
+				// by rate share — equivalent to independent per-class Poisson
+				// processes at each configured rate.
+				class := ""
+				if len(classes) > 0 {
+					pick := rng.Float64() * o.rate
+					for _, c := range classes {
+						if pick -= c.rate; pick < 0 || c.class == classes[len(classes)-1].class {
+							class = c.class
+							break
+						}
+					}
+				}
 				select {
 				case sem <- struct{}{}:
 					owg.Add(1)
-					go func(i int) {
+					go func(i int, class string) {
 						defer owg.Done()
 						defer func() { <-sem }()
-						issue(i)
-					}(i)
+						issue(i, class)
+					}(i, class)
 				default:
 					mu.Lock()
 					shed++
+					if cs := perClass[class]; cs != nil {
+						cs.shed++
+					}
 					mu.Unlock()
 				}
 			}
@@ -443,7 +576,7 @@ func runStudy(o opts) (*study, error) {
 						return
 					default:
 					}
-					status, retryAfter, err := issue(i)
+					status, retryAfter, err := issue(i, "")
 					if err == nil && (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) {
 						// Honor backpressure: wait out the server's own
 						// Retry-After hint instead of hammering a full (or
@@ -475,6 +608,7 @@ func runStudy(o opts) (*study, error) {
 	s.Config.Drain = o.drain
 	s.Config.Nodes = o.nodes
 	s.Config.RateHz = o.rate
+	s.Config.Classes = o.classesSpec
 	s.Config.Tenants = o.tenants
 	s.Config.Hedge = o.nodes > 0 && o.hedge
 	s.Config.Slow = o.slowSpec
@@ -491,6 +625,19 @@ func runStudy(o opts) (*study, error) {
 	s.LatencyMS.P90 = pct(0.90)
 	s.LatencyMS.P99 = pct(0.99)
 	s.LatencyMS.Max = pct(1.0)
+	if len(classes) > 0 {
+		s.Classes = map[string]*classStudy{}
+		for _, c := range classes {
+			acc := perClass[c.class]
+			cs := &classStudy{RateHz: c.rate, Requests: acc.requests, OK: acc.ok, Shed: acc.shed}
+			cpct := func(p float64) float64 { return exp.Percentile(acc.latencies, p) * 1e3 }
+			cs.LatencyMS.P50 = cpct(0.50)
+			cs.LatencyMS.P90 = cpct(0.90)
+			cs.LatencyMS.P99 = cpct(0.99)
+			cs.LatencyMS.Max = cpct(1.0)
+			s.Classes[c.class] = cs
+		}
+	}
 	if rt != nil {
 		hedges, wins, retries := rt.Hedging()
 		cs := &clusterStats{Nodes: o.nodes, Hedges: hedges, HedgeWins: wins, Retries: retries}
@@ -520,6 +667,11 @@ func runStudy(o opts) (*study, error) {
 		elapsed.Round(time.Millisecond), requests, ok, s.Throughput.OKPerSec, refused, saturated, dropped, shed)
 	fmt.Printf("mpuload: latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	for _, c := range classes {
+		cs := s.Classes[c.class]
+		fmt.Printf("mpuload: class %-8s %.1f/s offered: %d ok, %d shed; ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			c.class, c.rate, cs.OK, cs.Shed, cs.LatencyMS.P50, cs.LatencyMS.P90, cs.LatencyMS.P99, cs.LatencyMS.Max)
+	}
 	if s.Cluster != nil {
 		fmt.Printf("mpuload: cluster %d nodes: %d hedges (%d won, rate %.3f), %d retries\n",
 			s.Cluster.Nodes, s.Cluster.Hedges, s.Cluster.HedgeWins, s.Cluster.HedgeRate, s.Cluster.Retries)
@@ -534,6 +686,16 @@ func runStudy(o opts) (*study, error) {
 	}
 	if o.strict && (dropped > 0 || byStatus["error"] > 0) {
 		return nil, fmt.Errorf("strict: %d dropped, %d transport errors", dropped, byStatus["error"])
+	}
+	if o.strict {
+		// A shed arrival means the generator silently under-offered that
+		// class, so its percentiles are not trustworthy — per-class runs
+		// treat any shed as a failed study.
+		for _, c := range classes {
+			if n := perClass[c.class].shed; n > 0 {
+				return nil, fmt.Errorf("strict: class %s shed %d arrivals", c.class, n)
+			}
+		}
 	}
 	return &s, nil
 }
@@ -551,7 +713,7 @@ func retryDelay(retryAfter string) time.Duration {
 	return d
 }
 
-func post(client *http.Client, url, tenant string, body []byte) (int, string, error) {
+func post(client *http.Client, url, tenant, qos string, body []byte) (int, string, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, "", err
@@ -559,6 +721,9 @@ func post(client *http.Client, url, tenant string, body []byte) (int, string, er
 	req.Header.Set("Content-Type", "application/json")
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
+	}
+	if qos != "" {
+		req.Header.Set("X-QoS", qos)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -597,15 +762,18 @@ func hostServe(h http.Handler) (string, func() error, error) {
 	return "http://" + ln.Addr().String(), hs.Close, nil
 }
 
-func selfHost(pools string, queue int, window, debugDelay time.Duration) (string, func() error, error) {
-	specs, err := serve.ParsePoolSpecs(pools)
+func selfHost(o opts, debugDelay time.Duration) (string, func() error, error) {
+	specs, err := serve.ParsePoolSpecs(o.pools)
 	if err != nil {
 		return "", nil, err
 	}
 	srv, err := serve.New(serve.Config{
 		Pools:       specs,
-		QueueDepth:  queue,
-		BatchWindow: window,
+		QueueDepth:  o.queue,
+		BatchWindow: o.window,
+		MaxElements: o.maxElements,
+		NoPreempt:   o.nopreempt,
+		MaxParked:   o.maxParked,
 		DebugDelay:  debugDelay,
 		Logs:        nil,
 	})
@@ -661,6 +829,9 @@ func selfHostCluster(o opts, slow map[int]time.Duration) (string, *router.Router
 			Pools:       specs,
 			QueueDepth:  o.queue,
 			BatchWindow: o.window,
+			MaxElements: o.maxElements,
+			NoPreempt:   o.nopreempt,
+			MaxParked:   o.maxParked,
 			NodeID:      fmt.Sprintf("node%d", i),
 			DebugDelay:  delay,
 			Logs:        nil,
@@ -907,6 +1078,266 @@ func clusterBench(out string) error {
 	}
 	if bench.Hedging.P99ReductionPct < 30 {
 		return fmt.Errorf("hedging reduced p99 by %.0f%%, below the 30%% acceptance floor", bench.Hedging.P99ReductionPct)
+	}
+	return nil
+}
+
+// qosArm is one -qos-bench measurement: the same resident-batch-plus-latency
+// load with preemption either enabled or disabled.
+type qosArm struct {
+	Preempt      bool    `json:"preempt"`
+	LatencyOK    uint64  `json:"latency_ok"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+	BatchJobs    uint64  `json:"batch_jobs"`
+	BatchMeanMS  float64 `json:"batch_mean_ms"`
+	BatchPerSec  float64 `json:"batch_per_sec"`
+	Preemptions  uint64  `json:"preemptions"`
+	Spills       uint64  `json:"preempt_spills"`
+	Restores     uint64  `json:"restores"`
+}
+
+// scrapeCounter reads one unlabeled counter (or histogram _count) value from
+// the daemon's /metrics exposition.
+func scrapeCounter(client *http.Client, base, name string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return 0, fmt.Errorf("metric %s: bad value %q", name, rest)
+			}
+			return uint64(v), nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// qosBench is the PR 9 acceptance suite. One machine runs a closed-loop
+// stream of heavy batch-class jobs — sized so each run spans many thermal
+// rounds, the granularity preemption can exploit — while small latency-class
+// requests arrive open-loop. The same load is measured with ensemble-boundary
+// preemption enabled and disabled (queue priority only); the floors encode
+// the tentpole claim: preemption must cut the latency-class p99 at least 5x
+// while costing the batch stream at most 15% throughput (closed-loop single
+// stream, so throughput is the inverse of mean job service time).
+func qosBench(out string) error {
+	const (
+		batchWorkload = "gcd"
+		batchElems    = 1 << 23 // ~35 thermal rounds/job on racer: preemption waits one round, not one job
+		latWorkload   = "vecadd"
+		latElems      = 256
+		latRate       = 0.8 // arrivals/sec; keeps the snapshot+restore tax well inside the batch budget
+		measure       = 24 * time.Second
+	)
+	var bench struct {
+		Config struct {
+			Pools         string  `json:"pools"`
+			BatchWorkload string  `json:"batch_workload"`
+			BatchElements int     `json:"batch_elements"`
+			LatWorkload   string  `json:"latency_workload"`
+			LatElements   int     `json:"latency_elements"`
+			LatRateHz     float64 `json:"latency_rate_hz"`
+			Duration      string  `json:"duration_per_arm"`
+		} `json:"config"`
+		Preempt          qosArm  `json:"preempt"`
+		NoPreempt        qosArm  `json:"nopreempt"`
+		P99ImprovementX  float64 `json:"latency_p99_improvement_x"`
+		BatchSlowdownPct float64 `json:"batch_slowdown_pct"`
+	}
+	bench.Config.Pools = "racer:mpu:1"
+	bench.Config.BatchWorkload = batchWorkload
+	bench.Config.BatchElements = batchElems
+	bench.Config.LatWorkload = latWorkload
+	bench.Config.LatElements = latElems
+	bench.Config.LatRateHz = latRate
+	bench.Config.Duration = measure.String()
+
+	runArm := func(nopreempt bool) (*qosArm, error) {
+		o := opts{
+			pools:       bench.Config.Pools,
+			queue:       16,
+			window:      time.Millisecond,
+			maxElements: batchElems,
+			nopreempt:   nopreempt,
+			maxParked:   8,
+		}
+		url, shutdown, err := selfHost(o, 0)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		transport := &http.Transport{MaxIdleConnsPerHost: 16}
+		defer transport.CloseIdleConnections()
+		client := &http.Client{Timeout: 2 * time.Minute, Transport: transport}
+		execURL := url + "/v1/execute"
+
+		batchBody, _ := json.Marshal(map[string]any{
+			"workload": batchWorkload, "backend": "racer", "elements": batchElems, "seed": 7,
+		})
+		latBody := func(i int) []byte {
+			b, _ := json.Marshal(map[string]any{
+				"workload": latWorkload, "backend": "racer", "elements": latElems, "seed": i,
+			})
+			return b
+		}
+		// Warm both program paths (trace recording, lane allocation) before
+		// the measured window so arm one and arm two start equally warm.
+		for _, warm := range [][]byte{batchBody, latBody(0)} {
+			if status, _, err := post(client, execURL, "", serve.ClassBatch, warm); err != nil || status != http.StatusOK {
+				return nil, fmt.Errorf("warmup: status %d, err %v", status, err)
+			}
+		}
+
+		var (
+			stop      = make(chan struct{})
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			batchSecs []float64
+			latSecs   []float64
+			armErr    error
+		)
+		fail := func(err error) {
+			mu.Lock()
+			if armErr == nil {
+				armErr = err
+			}
+			mu.Unlock()
+		}
+		start := time.Now()
+		wg.Add(1)
+		go func() { // the resident batch stream: one job always in flight
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				status, _, err := post(client, execURL, "", serve.ClassBatch, batchBody)
+				if err != nil || status != http.StatusOK {
+					fail(fmt.Errorf("batch job: status %d, err %v", status, err))
+					return
+				}
+				sec := time.Since(t0).Seconds()
+				mu.Lock()
+				batchSecs = append(batchSecs, sec)
+				mu.Unlock()
+			}
+		}()
+
+		rng := rand.New(rand.NewSource(9))
+		var lwg sync.WaitGroup
+		deadline := start.Add(measure)
+		for i := 0; time.Now().Before(deadline); i++ {
+			time.Sleep(time.Duration(rng.ExpFloat64() / latRate * float64(time.Second)))
+			lwg.Add(1)
+			go func(i int) {
+				defer lwg.Done()
+				t0 := time.Now()
+				status, _, err := post(client, execURL, "", serve.ClassLatency, latBody(i))
+				if err != nil || status != http.StatusOK {
+					fail(fmt.Errorf("latency request: status %d, err %v", status, err))
+					return
+				}
+				sec := time.Since(t0).Seconds()
+				mu.Lock()
+				latSecs = append(latSecs, sec)
+				mu.Unlock()
+			}(i)
+		}
+		lwg.Wait()
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+		if armErr != nil {
+			return nil, armErr
+		}
+
+		arm := &qosArm{Preempt: !nopreempt}
+		if arm.Preemptions, err = scrapeCounter(client, url, "mpud_preemptions_total"); err != nil {
+			return nil, err
+		}
+		if arm.Spills, err = scrapeCounter(client, url, "mpud_preempt_spills_total"); err != nil {
+			return nil, err
+		}
+		if arm.Restores, err = scrapeCounter(client, url, "mpud_restore_seconds_count"); err != nil {
+			return nil, err
+		}
+		arm.LatencyOK = uint64(len(latSecs))
+		arm.LatencyP50MS = exp.Percentile(latSecs, 0.50) * 1e3
+		arm.LatencyP90MS = exp.Percentile(latSecs, 0.90) * 1e3
+		arm.LatencyP99MS = exp.Percentile(latSecs, 0.99) * 1e3
+		arm.LatencyMaxMS = exp.Percentile(latSecs, 1.0) * 1e3
+		arm.BatchJobs = uint64(len(batchSecs))
+		if len(batchSecs) > 0 {
+			var sum float64
+			for _, s := range batchSecs {
+				sum += s
+			}
+			arm.BatchMeanMS = sum / float64(len(batchSecs)) * 1e3
+			arm.BatchPerSec = float64(len(batchSecs)) / elapsed.Seconds()
+		}
+		fmt.Printf("mpuload: qos arm preempt=%v: latency p99 %.1fms (%d ok), batch mean %.0fms (%d jobs), %d preemptions, %d spills\n",
+			arm.Preempt, arm.LatencyP99MS, arm.LatencyOK, arm.BatchMeanMS, arm.BatchJobs, arm.Preemptions, arm.Spills)
+		return arm, nil
+	}
+
+	for _, nopreempt := range []bool{true, false} {
+		fmt.Printf("== qos: preempt=%v ==\n", !nopreempt)
+		arm, err := runArm(nopreempt)
+		if err != nil {
+			return fmt.Errorf("qos arm (nopreempt=%v): %w", nopreempt, err)
+		}
+		if nopreempt {
+			bench.NoPreempt = *arm
+		} else {
+			bench.Preempt = *arm
+		}
+	}
+	if p := bench.Preempt.LatencyP99MS; p > 0 {
+		bench.P99ImprovementX = bench.NoPreempt.LatencyP99MS / p
+	}
+	if m := bench.NoPreempt.BatchMeanMS; m > 0 {
+		bench.BatchSlowdownPct = 100 * (bench.Preempt.BatchMeanMS - m) / m
+	}
+
+	if out == "" {
+		out = "BENCH_pr9.json"
+	}
+	if err := exp.WriteJSON(out, &bench); err != nil {
+		return err
+	}
+	fmt.Printf("mpuload: wrote %s\n", out)
+	fmt.Printf("mpuload: qos: latency p99 %.1fms -> %.1fms (%.1fx), batch mean %.0fms -> %.0fms (%.1f%% slower)\n",
+		bench.NoPreempt.LatencyP99MS, bench.Preempt.LatencyP99MS, bench.P99ImprovementX,
+		bench.NoPreempt.BatchMeanMS, bench.Preempt.BatchMeanMS, bench.BatchSlowdownPct)
+
+	// Acceptance floors: the latency-class tail must improve at least 5x, the
+	// batch stream must keep at least 85% of its uncontended-arm throughput,
+	// and the win must actually come from preemption (not an idle machine).
+	if bench.NoPreempt.Preemptions != 0 {
+		return fmt.Errorf("nopreempt arm recorded %d preemptions; the knob did not take", bench.NoPreempt.Preemptions)
+	}
+	if bench.Preempt.Preemptions < 5 {
+		return fmt.Errorf("preempt arm recorded only %d preemptions; the latency load never contended", bench.Preempt.Preemptions)
+	}
+	if bench.P99ImprovementX < 5 {
+		return fmt.Errorf("preemption improved latency p99 %.1fx, below the 5x acceptance floor", bench.P99ImprovementX)
+	}
+	if bench.BatchSlowdownPct > 15 {
+		return fmt.Errorf("preemption slowed the batch stream %.1f%%, above the 15%% acceptance ceiling", bench.BatchSlowdownPct)
 	}
 	return nil
 }

@@ -40,11 +40,23 @@
 //  6. rendezvous-state-mutation — inside internal/machine, the NoC matching
 //     state (waitSend/waitRecv/sendDst/recvSrc) may only be written by the
 //     core dispatch that parks on SEND/RECV (core.run), the barrier-phase
-//     matcher (rendezvous), and the lifecycle resets (Reset, Rewind). The
-//     deadlock detector and the commlint soundness oracle both read this
-//     state as ground truth for who waits on whom; a write anywhere else
-//     could unblock a core without a matching transfer or fake a pending
-//     rendezvous that never existed.
+//     matcher (rendezvous), the lifecycle resets (Reset, Rewind), and the
+//     snapshot restore path (Restore, decodeCore). The deadlock detector
+//     and the commlint soundness oracle both read this state as ground
+//     truth for who waits on whom; a write anywhere else could unblock a
+//     core without a matching transfer or fake a pending rendezvous that
+//     never existed.
+//
+//  7. snapshot-resume-state-mutation — inside internal/machine, the
+//     preemption resume state (the mid-ensemble ens cursor, the seg
+//     progress counter, and the machine-level midRun flag) may only be
+//     written by the execution path that advances it (core.run,
+//     runComputeEnsemble, runEnsembleRounds, Machine.Run), the lifecycle
+//     resets (Reset, Rewind), and the snapshot restore path (Restore,
+//     decodeCore). Snapshot/resume parity is byte-exact because exactly
+//     these writers agree on the cursor's meaning; a write anywhere else
+//     could fast-forward rounds that were never charged or mark a
+//     mid-flight run as quiesced.
 //
 // Usage: repolint [root]   (default root ".")
 package main
@@ -131,12 +143,14 @@ func lintFile(path, rel string) ([]string, error) {
 	// Rule 1 exemption: the workloads package owns the seeding helpers.
 	inWorkloads := strings.HasPrefix(rel, "internal/workloads/")
 
-	// Rules 3, 5, and 6: machine-stats-mutation, jit-counter-mutation, and
-	// rendezvous-state-mutation (non-test machine sources only).
+	// Rules 3, 5, 6, and 7: machine-stats-mutation, jit-counter-mutation,
+	// rendezvous-state-mutation, and snapshot-resume-state-mutation
+	// (non-test machine sources only).
 	if strings.HasPrefix(rel, "internal/machine/") && !strings.HasSuffix(rel, "_test.go") {
 		lintStatsMutation(file, addf)
 		lintJITCounterMutation(file, addf)
 		lintRendezvousMutation(file, addf)
+		lintSnapshotStateMutation(file, addf)
 	}
 
 	randNames := map[string]bool{} // local names bound to math/rand
@@ -271,11 +285,13 @@ func touchesJITCounter(e ast.Expr) bool {
 
 // jitCounterWriters are the only functions rule 5 lets mutate the JIT
 // counters: the closure-compile path, the replay loop that consumes compiled
-// programs, and the stats merge.
+// programs, the stats merge, and the snapshot decoder that reinstates a
+// serialized Stats block verbatim.
 var jitCounterWriters = map[string]bool{
 	"compileJIT":  true,
 	"replayRound": true,
 	"reduceStats": true,
+	"decodeStats": true,
 }
 
 // lintJITCounterMutation enforces rule 5: within internal/machine, only the
@@ -283,7 +299,7 @@ var jitCounterWriters = map[string]bool{
 // the counters cannot report JIT engagement from anywhere but the compile
 // and replay paths themselves.
 func lintJITCounterMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
-	const explain = "— only compileJIT, replayRound, and reduceStats may write the JIT counters"
+	const explain = "— only compileJIT, replayRound, reduceStats, and decodeStats may write the JIT counters"
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || jitCounterWriters[fn.Name.Name] || fn.Body == nil {
@@ -333,12 +349,15 @@ func touchesRendezvousState(e ast.Expr) bool {
 
 // rendezvousWriters are the only functions rule 6 lets mutate the matching
 // state: the dispatch that parks a core on SEND/RECV, the barrier-phase
-// matcher that completes the transfer, and the lifecycle resets.
+// matcher that completes the transfer, the lifecycle resets, and the
+// snapshot restore path that reinstates serialized wait state.
 var rendezvousWriters = map[string]bool{
 	"run":        true,
 	"rendezvous": true,
 	"Reset":      true,
 	"Rewind":     true,
+	"Restore":    true,
+	"decodeCore": true,
 }
 
 // lintRendezvousMutation enforces rule 6: within internal/machine, only the
@@ -346,7 +365,7 @@ var rendezvousWriters = map[string]bool{
 // the wait-for relation the deadlock diagnostic and commlint verify against
 // cannot be forged from anywhere else.
 func lintRendezvousMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
-	const explain = "— only core.run, rendezvous, Reset, and Rewind may write the NoC matching state"
+	const explain = "— only core.run, rendezvous, Reset, Rewind, and the snapshot restore path may write the NoC matching state"
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || rendezvousWriters[fn.Name.Name] || fn.Body == nil {
@@ -365,6 +384,75 @@ func lintRendezvousMutation(file *ast.File, addf func(pos token.Pos, rule, forma
 				if touchesRendezvousState(s.X) {
 					addf(s.X.Pos(), "rendezvous-state-mutation",
 						"%s increments rendezvous state %s", fn.Name.Name, explain)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// snapshotStateFields is the preemption resume state rule 7 guards: the
+// mid-ensemble cursor, the per-run segment progress counter, and the
+// machine-level mid-run flag.
+var snapshotStateFields = map[string]bool{
+	"ens":    true,
+	"seg":    true,
+	"midRun": true,
+}
+
+// touchesSnapshotState reports whether the expression's selector chain goes
+// through one of the resume-state fields (c.ens.round, c.seg, m.midRun, ...).
+func touchesSnapshotState(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && snapshotStateFields[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// snapshotStateWriters are the only functions rule 7 lets mutate the resume
+// state: the execution path that advances the cursor, the lifecycle resets,
+// and the snapshot restore path.
+var snapshotStateWriters = map[string]bool{
+	"run":                true,
+	"runComputeEnsemble": true,
+	"runEnsembleRounds":  true,
+	"Run":                true,
+	"Reset":              true,
+	"Rewind":             true,
+	"Restore":            true,
+	"decodeCore":         true,
+}
+
+// lintSnapshotStateMutation enforces rule 7: within internal/machine, only
+// the designated writers may assign to or increment the preemption resume
+// state, so a snapshot taken at an ensemble boundary always describes work
+// that was actually charged — nothing can fast-forward the round cursor or
+// flip the mid-run flag from outside the audited paths.
+func lintSnapshotStateMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
+	const explain = "— only the run path (core.run, runComputeEnsemble, runEnsembleRounds, Machine.Run), the resets (Reset, Rewind), and the restore path (Restore, decodeCore) may write the preemption resume state"
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || snapshotStateWriters[fn.Name.Name] || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if touchesSnapshotState(lhs) {
+						addf(lhs.Pos(), "snapshot-resume-state-mutation",
+							"%s assigns preemption resume state %s", fn.Name.Name, explain)
+					}
+				}
+			case *ast.IncDecStmt:
+				if touchesSnapshotState(s.X) {
+					addf(s.X.Pos(), "snapshot-resume-state-mutation",
+						"%s increments preemption resume state %s", fn.Name.Name, explain)
 				}
 			}
 			return true

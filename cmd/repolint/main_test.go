@@ -87,6 +87,26 @@ func (c *core) Reset()   { c.sendDst, c.recvSrc = -1, -1 }
 	write(t, root, "internal/machine/rdv_test.go", `package machine
 func pokeRdv(c *core) { c.waitRecv = true }
 `)
+	// Violations: preemption resume state written outside the designated
+	// writers; allowed: the run path, resets, restore path, reads, tests.
+	write(t, root, "internal/machine/snapstate.go", `package machine
+type ensState struct{ round int }
+type core2 struct {
+	ens ensState
+	seg int64
+}
+type Machine2 struct{ midRun bool }
+func fastForward(c *core2)        { c.ens.round = 99 }
+func fakeProgress(c *core2)       { c.seg++ }
+func quiesce(m *Machine2)         { m.midRun = false }
+func observe(c *core2) int        { return c.ens.round }
+func runEnsembleRounds(c *core2)  { c.ens.round++; c.seg++ }
+func Reset(c *core2, m *Machine2) { c.ens = ensState{}; c.seg = 0; m.midRun = false }
+func Restore(m *Machine2)         { m.midRun = true }
+`)
+	write(t, root, "internal/machine/snapstate_test.go", `package machine
+func pokeSnap(c *core2) { c.seg = 7 }
+`)
 	// Violations: the no-timeout helper and a bare http.Server literal;
 	// allowed: a literal with explicit timeouts, and test files.
 	write(t, root, "cmd/bad/main.go", `package main
@@ -115,11 +135,11 @@ func helper() { http.ListenAndServe(":0", nil) }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 10 {
-		t.Fatalf("got %d findings, want 10:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 13 {
+		t.Fatalf("got %d findings, want 13:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation", "rendezvous-state-mutation"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation", "rendezvous-state-mutation", "snapshot-resume-state-mutation"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
@@ -135,6 +155,9 @@ func helper() { http.ListenAndServe(":0", nil) }
 	}
 	if n := strings.Count(joined, "rendezvous-state-mutation"); n != 2 {
 		t.Errorf("got %d rendezvous-state-mutation findings, want 2 (assignment + increment; designated writers, reads, and tests exempt):\n%s", n, joined)
+	}
+	if n := strings.Count(joined, "snapshot-resume-state-mutation"); n != 3 {
+		t.Errorf("got %d snapshot-resume-state-mutation findings, want 3 (cursor fast-forward + seg increment + midRun flip; designated writers, reads, and tests exempt):\n%s", n, joined)
 	}
 }
 

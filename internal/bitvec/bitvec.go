@@ -365,6 +365,29 @@ func (p Plane) GatherFrom(vals []uint64, bit uint) {
 	}
 }
 
+// AppendWords appends the plane's backing words (lane 0 in bit 0 of the
+// first word) to dst and returns the extended slice — the serialization
+// path of machine snapshots. Exposing a copy rather than the backing slice
+// keeps plane mutation behind the package's masked kernels.
+func (p Plane) AppendWords(dst []uint64) []uint64 {
+	return append(dst, p.w...)
+}
+
+// LoadWords overwrites the plane's backing from src, which must hold
+// exactly the plane's word count with no bits set at or beyond the lane
+// count. Rejecting a dirty tail instead of clamping it keeps snapshot
+// decoding canonical: every accepted stream re-encodes byte-identically.
+func (p Plane) LoadWords(src []uint64) error {
+	if len(src) != len(p.w) {
+		return fmt.Errorf("bitvec: plane of %d words loaded from %d", len(p.w), len(src))
+	}
+	if len(src) > 0 && src[len(src)-1]&^p.tailMask() != 0 {
+		return fmt.Errorf("bitvec: tail bits set beyond lane %d", p.n)
+	}
+	copy(p.w, src)
+	return nil
+}
+
 // String renders the plane as lane bits, lane 0 first, for debugging.
 func (p Plane) String() string {
 	buf := make([]byte, p.n)

@@ -1,0 +1,70 @@
+package controlpath
+
+import "fmt"
+
+// Snapshot accessors: the machine snapshot (internal/machine/snapshot.go)
+// serializes the control path's mutable state — return-stack frames and the
+// recipe table's residency, recency order, and counters — through these
+// instead of reaching into the structs, so the package keeps its invariants
+// (lru ↔ resident consistency, used = Σ stored) on the restore path too.
+
+// Frames returns a copy of the return stack's saved addresses, oldest first.
+func (s *ReturnStack) Frames() []int {
+	return append([]int(nil), s.addrs...)
+}
+
+// SetFrames replaces the saved addresses (oldest first). The frame count
+// must respect the stack's depth limit.
+func (s *ReturnStack) SetFrames(frames []int) error {
+	if len(frames) > s.limit {
+		return fmt.Errorf("controlpath: %d frames exceed return-stack depth %d", len(frames), s.limit)
+	}
+	s.addrs = append(s.addrs[:0], frames...)
+	return nil
+}
+
+// ResidentEntry is one recipe-table entry in recency order.
+type ResidentEntry struct {
+	Opcode uint8
+	Stored int // resident size in micro-op templates
+}
+
+// SnapshotEntries returns the resident recipes in recency order, least
+// recently used first — the order RestoreEntries needs to rebuild an
+// LRU-identical table.
+func (c *RecipeCache) SnapshotEntries() []ResidentEntry {
+	out := make([]ResidentEntry, 0, len(c.lru))
+	for _, op := range c.lru {
+		out = append(out, ResidentEntry{Opcode: op, Stored: c.resident[op]})
+	}
+	return out
+}
+
+// RestoreEntries replaces the table contents with entries (least recently
+// used first), rebuilding the residency map, recency order, and used total.
+// The counters (Hits/Misses/StallCycles) are exported fields the caller
+// restores directly.
+func (c *RecipeCache) RestoreEntries(entries []ResidentEntry) error {
+	resident := make(map[uint8]int, len(entries))
+	used := 0
+	for _, e := range entries {
+		if _, dup := resident[e.Opcode]; dup {
+			return fmt.Errorf("controlpath: duplicate resident opcode %d", e.Opcode)
+		}
+		if e.Stored <= 0 {
+			return fmt.Errorf("controlpath: resident opcode %d with non-positive size %d", e.Opcode, e.Stored)
+		}
+		resident[e.Opcode] = e.Stored
+		used += e.Stored
+	}
+	if used > c.cfg.CapacityMicroOps {
+		return fmt.Errorf("controlpath: restored residency %d exceeds capacity %d", used, c.cfg.CapacityMicroOps)
+	}
+	c.resident = resident
+	c.lru = c.lru[:0]
+	for _, e := range entries {
+		c.lru = append(c.lru, e.Opcode)
+	}
+	c.used = used
+	return nil
+}

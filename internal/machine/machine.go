@@ -16,6 +16,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
@@ -214,6 +215,17 @@ type Machine struct {
 	// body after Reset, or several cores recording the same SPMD body,
 	// adopt one compilation instead of lowering per micro-op again.
 	jitMemo *trace.ProgMemo
+
+	// preempt is the cooperative-yield request flag (Preempt/ErrPreempted,
+	// preempt.go). It is the only machine field a foreign goroutine writes
+	// while Run executes, hence the atomic; cores poll it between
+	// instructions and between ensemble rounds.
+	preempt atomic.Bool
+	// midRun records that the previous Run returned ErrPreempted: the next
+	// Run resumes the paused program instead of starting a fresh account
+	// (per-core local Stats are preserved, not zeroed). Cleared by Run,
+	// Reset, Rewind, and Restore.
+	midRun bool
 }
 
 // expandEntry pairs a recipe expansion with its slot-resolved form, so the
@@ -260,9 +272,20 @@ type core struct {
 	traces *trace.Cache
 	// hdr, act, and tm are per-core scratch reused across ensembles to keep
 	// header scans, round activation, and DTC target maps allocation-free.
+	// While ens.active, hdr doubles as live state: it holds the paused
+	// ensemble's activation list until the rounds finish, and snapshots
+	// serialize it alongside ens.
 	hdr []controlpath.VRFAddr
 	act []*vrf.VRF
 	tm  controlpath.TargetMap
+
+	// ens is the resumable mid-ensemble position after a preemption yield
+	// (preempt.go); seg counts this Run call's completed execution units so
+	// a yield never fires before the core has made progress. Both are
+	// serialized machine state: only the run path, Run, Reset, Rewind, and
+	// Restore may write them (cmd/repolint's snapshot-state rule).
+	ens ensState
+	seg int64
 }
 
 // New builds a machine. NumMPUs defaults to 1.
@@ -437,8 +460,14 @@ func (m *Machine) ReadVector(mpu int, a controlpath.VRFAddr, reg int) ([]uint64,
 // are byte-identical at any worker count.
 func (m *Machine) Run() (*Stats, error) {
 	workers := m.schedWorkers()
+	if !m.midRun {
+		for _, c := range m.mpus {
+			c.local = Stats{}
+		}
+	}
+	m.midRun = false
 	for _, c := range m.mpus {
-		c.local = Stats{}
+		c.seg = 0
 	}
 	runnable := make([]*core, 0, len(m.mpus))
 	for {
@@ -490,11 +519,33 @@ func (m *Machine) Run() (*Stats, error) {
 				progress = true
 			}
 		}
+		// Honor a pending preemption request after the barrier phase: every
+		// runnable core has reached a consistent pause point (yielded at an
+		// ensemble boundary, finished, or blocked on rendezvous). The check
+		// precedes the deadlock test so a pause request on a stuck machine
+		// defers the diagnosis to the resuming Run rather than masking it.
+		if m.preempt.Load() {
+			stillRunning := false
+			for _, c := range m.mpus {
+				if !c.done {
+					stillRunning = true
+					break
+				}
+			}
+			if stillRunning {
+				m.preempt.Store(false)
+				m.midRun = true
+				return nil, ErrPreempted
+			}
+		}
 		if !progress {
 			return nil, fmt.Errorf("machine: deadlock — no MPU can make progress (check SEND/RECV pairing and the lower-ID-sends-first rule)\n%s",
 				comm.FormatWaiters(m.waiters()))
 		}
 	}
+	// A request that raced the run's completion is consumed, not carried
+	// into the next Run.
+	m.preempt.Store(false)
 	return m.reduceStats(), nil
 }
 
@@ -656,14 +707,32 @@ func (c *core) decodeAt(pc int) (*expandEntry, error) {
 	return e, nil
 }
 
-// run executes instructions until the MPU finishes or blocks on rendezvous.
+// run executes instructions until the MPU finishes, blocks on rendezvous,
+// or yields to a pending preemption request at an ensemble boundary (a
+// yield leaves done and blocked false; Run surfaces it as ErrPreempted
+// after the barrier phase).
 func (c *core) run() error {
 	for !c.done && !c.blocked {
+		if c.ens.active {
+			// Resuming a preempted ensemble: finish its remaining rounds
+			// before decoding anything new.
+			if c.shouldYield() {
+				return nil
+			}
+			if err := c.runEnsembleRounds(); err != nil {
+				return err
+			}
+			continue
+		}
+		if c.shouldYield() {
+			return nil
+		}
 		if c.pc < 0 || c.pc >= len(c.prog) {
 			c.done = true
 			return nil
 		}
 		in := c.prog[c.pc]
+		c.seg++
 		switch in.Op {
 		case isa.NOP:
 			c.cycles++
@@ -768,6 +837,11 @@ func (c *core) offloadBody(hostPJ *float64) (lat int64, pj float64) {
 // it into a flat trace; later rounds replay the trace — data-mutating plane
 // ops plus one aggregated charge — instead of re-interpreting instruction by
 // instruction.
+//
+// The entry charges (header walk, playback-buffer probe, ensemble count)
+// happen exactly once here; the rounds themselves run in runEnsembleRounds
+// (preempt.go), which can yield between rounds and resume without repeating
+// them.
 func (c *core) runComputeEnsemble() error {
 	c.hdr = c.hdr[:0]
 	for c.pc < len(c.prog) && c.prog[c.pc].Op == isa.COMPUTE {
@@ -794,76 +868,9 @@ func (c *core) runComputeEnsemble() error {
 		// ISU at one cycle per instruction.
 		c.cycles += int64(bodyLen)
 	}
-	rounds := controlpath.Batches(c.hdr, c.m.limit)
 	c.local.Ensembles++
-	c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(c.hdr), bodyLen, len(rounds))
-
-	// Spilling bodies replay from the ISU, not the playback buffer, so the
-	// O(1) cycle delta would be wrong; classify everything else before the
-	// first round so the recorder only runs on bodies that can succeed.
-	enabled := c.m.traceEnabled()
-	gate := enabled && fits
-	key := trace.Key{BodyStart: bodyStart, BodyLen: bodyLen}
-	var tr *trace.Trace
-	known := false
-	if gate {
-		// The CFG-classification verdict is memoized per key, so a
-		// dynamic body pays for ClassifyBody exactly once per program
-		// load, not once per activation.
-		if !c.traces.Eligible(key, func() bool {
-			cl := lint.ClassifyBody(c.prog, bodyStart)
-			return cl == lint.BodyStraight || cl == lint.BodyStatic
-		}) {
-			tr, known = nil, true
-		} else {
-			tr, known = c.traces.Lookup(key)
-		}
-	}
-
-	endPC := bodyStart
-	for ri, batch := range rounds {
-		c.tracef("round %d: %d VRFs active", ri, len(batch))
-		c.local.Rounds++
-		c.cycles += 4 // footer interrupt + batch swap (Fig. 10 lines 11–23)
-		if cap(c.act) < len(batch) {
-			c.act = make([]*vrf.VRF, len(batch))
-		}
-		vrfs := c.act[:len(batch)]
-		for i, a := range batch {
-			vrfs[i] = c.vrfAt(a)
-			vrfs[i].Unmask() // activation enables every lane
-		}
-		switch {
-		case gate && known && tr != nil && c.replayable(tr):
-			c.local.TraceHits++
-			c.replayRound(tr, vrfs)
-			endPC = tr.EndPC
-		case gate && !known:
-			// First execution: interpret under the recorder. Finish returns
-			// nil if the run proved unreplayable (negative cache entry).
-			c.local.TraceMisses++
-			rec := trace.NewRecorder()
-			pc, err := c.runBody(bodyStart, vrfs, rec)
-			if err != nil {
-				return err
-			}
-			tr = rec.Finish(pc)
-			c.traces.Install(key, tr)
-			known = true
-			endPC = pc
-		default:
-			if enabled {
-				c.local.TraceFallbacks++
-			}
-			pc, err := c.runBody(bodyStart, vrfs, nil)
-			if err != nil {
-				return err
-			}
-			endPC = pc
-		}
-	}
-	c.pc = endPC
-	return nil
+	c.ens = ensState{active: true, bodyStart: bodyStart, bodyLen: bodyLen, fits: fits, endPC: bodyStart}
+	return c.runEnsembleRounds()
 }
 
 // replayable reports whether a compiled body can replay this round: Baseline

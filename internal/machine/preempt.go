@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"errors"
+
+	"mpu/internal/controlpath"
+	"mpu/internal/lint"
+	"mpu/internal/trace"
+	"mpu/internal/vrf"
+)
+
+// ErrPreempted reports that Run paused at an ensemble boundary in response
+// to Preempt. The machine is left mid-run but architecturally consistent:
+// the caller may Snapshot it, call Run again to resume in place, or Restore
+// the snapshot into any compatible machine and resume there. A resumed run
+// produces Stats byte-identical to an uninterrupted one.
+var ErrPreempted = errors.New("machine: run preempted at ensemble boundary")
+
+// Preempt asks a running machine to pause at the next ensemble boundary.
+// It is safe to call from any goroutine, including while Run executes; the
+// flag is consumed by the Run call that honors (or outlives) it, so a
+// request landing after the run completed does not poison the next run.
+func (m *Machine) Preempt() { m.preempt.Store(true) }
+
+// ensState is the resumable position inside one compute ensemble. A yield
+// between thermal rounds records the round index and the body end pc here
+// (the header scratch c.hdr keeps the activation list); the next Run
+// re-enters runEnsembleRounds without re-charging the header walk, the
+// playback-buffer probe, or the ensemble count.
+type ensState struct {
+	active    bool
+	bodyStart int
+	bodyLen   int
+	fits      bool // body fit the playback buffer (charged at entry)
+	round     int  // next thermal round to execute
+	endPC     int  // body end pc recorded by the rounds run so far
+}
+
+// shouldYield reports whether the core should pause for a pending
+// preemption request. The seg guard makes every Run call execute at least
+// one instruction per runnable core before honoring the flag, so a caller
+// that preempts in a tight loop still drives the program forward.
+func (c *core) shouldYield() bool {
+	return c.seg > 0 && c.m.preempt.Load()
+}
+
+// runEnsembleRounds executes the active ensemble's remaining thermal
+// rounds, yielding between rounds when preemption is pending. The
+// trace-engine gate (classification verdict, installed trace, recipe
+// residency) is recomputed from the memoized caches on every entry, so a
+// resumed ensemble replays, records, or falls back exactly as the
+// uninterrupted run would — the caches are part of the snapshot.
+func (c *core) runEnsembleRounds() error {
+	bodyStart, bodyLen, fits := c.ens.bodyStart, c.ens.bodyLen, c.ens.fits
+	rounds := controlpath.Batches(c.hdr, c.m.limit)
+	if c.ens.round == 0 {
+		c.tracef("ensemble: %d VRFs, %d instruction body, %d rounds", len(c.hdr), bodyLen, len(rounds))
+	}
+
+	// Spilling bodies replay from the ISU, not the playback buffer, so the
+	// O(1) cycle delta would be wrong; classify everything else before the
+	// first round so the recorder only runs on bodies that can succeed.
+	enabled := c.m.traceEnabled()
+	gate := enabled && fits
+	key := trace.Key{BodyStart: bodyStart, BodyLen: bodyLen}
+	var tr *trace.Trace
+	known := false
+	if gate {
+		// The CFG-classification verdict is memoized per key, so a
+		// dynamic body pays for ClassifyBody exactly once per program
+		// load, not once per activation.
+		if !c.traces.Eligible(key, func() bool {
+			cl := lint.ClassifyBody(c.prog, bodyStart)
+			return cl == lint.BodyStraight || cl == lint.BodyStatic
+		}) {
+			tr, known = nil, true
+		} else {
+			tr, known = c.traces.Lookup(key)
+		}
+	}
+
+	endPC := c.ens.endPC
+	for ri := c.ens.round; ri < len(rounds); ri++ {
+		if c.shouldYield() {
+			c.ens.round = ri
+			c.ens.endPC = endPC
+			return nil
+		}
+		batch := rounds[ri]
+		c.tracef("round %d: %d VRFs active", ri, len(batch))
+		c.local.Rounds++
+		c.cycles += 4 // footer interrupt + batch swap (Fig. 10 lines 11–23)
+		if cap(c.act) < len(batch) {
+			c.act = make([]*vrf.VRF, len(batch))
+		}
+		vrfs := c.act[:len(batch)]
+		for i, a := range batch {
+			vrfs[i] = c.vrfAt(a)
+			vrfs[i].Unmask() // activation enables every lane
+		}
+		switch {
+		case gate && known && tr != nil && c.replayable(tr):
+			c.local.TraceHits++
+			c.replayRound(tr, vrfs)
+			endPC = tr.EndPC
+		case gate && !known:
+			// First execution: interpret under the recorder. Finish returns
+			// nil if the run proved unreplayable (negative cache entry).
+			c.local.TraceMisses++
+			rec := trace.NewRecorder()
+			pc, err := c.runBody(bodyStart, vrfs, rec)
+			if err != nil {
+				return err
+			}
+			tr = rec.Finish(pc)
+			c.traces.Install(key, tr)
+			known = true
+			endPC = pc
+		default:
+			if enabled {
+				c.local.TraceFallbacks++
+			}
+			pc, err := c.runBody(bodyStart, vrfs, nil)
+			if err != nil {
+				return err
+			}
+			endPC = pc
+		}
+		c.seg++
+	}
+	c.pc = endPC
+	c.ens = ensState{}
+	return nil
+}

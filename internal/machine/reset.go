@@ -28,6 +28,8 @@ import (
 // Reset+LoadAll+Run sequence on a used machine produces byte-identical
 // Stats to a fresh machine's run.
 func (m *Machine) Reset() {
+	m.preempt.Store(false)
+	m.midRun = false
 	for _, c := range m.mpus {
 		c.prog = nil
 		c.pc = 0
@@ -49,6 +51,8 @@ func (m *Machine) Reset() {
 		c.hdr = c.hdr[:0]
 		c.act = c.act[:0]
 		c.tm.Reset()
+		c.ens = ensState{}
+		c.seg = 0
 	}
 }
 
@@ -66,6 +70,8 @@ func (m *Machine) Reset() {
 // the replay hot loop without re-paying program load and host data
 // transfer every iteration.
 func (m *Machine) Rewind() {
+	m.preempt.Store(false)
+	m.midRun = false
 	for _, c := range m.mpus {
 		c.pc = 0
 		c.cycles = 0
@@ -83,5 +89,7 @@ func (m *Machine) Rewind() {
 		c.hdr = c.hdr[:0]
 		c.act = c.act[:0]
 		c.tm.Reset()
+		c.ens = ensState{}
+		c.seg = 0
 	}
 }

@@ -1,0 +1,30 @@
+package router
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRouterQoSPassthrough pins that the X-QoS header crosses the router to
+// the serving node: a valid class is accepted end-to-end, and an invalid one
+// comes back as the node's deterministic 400 (relayed, never retried) —
+// which can only happen if the header survived the forward.
+func TestRouterQoSPassthrough(t *testing.T) {
+	cluster := startCluster(t, 1, nil)
+	_, rts := startRouter(t, cluster, nil)
+
+	req := map[string]any{"workload": "vecadd", "backend": "racer", "elements": 64, "seed": 1}
+	code, body, _ := postJSON(t, rts.URL, req, map[string]string{"X-QoS": "latency"})
+	if code != http.StatusOK {
+		t.Fatalf("latency class through router: %d %s", code, body)
+	}
+
+	code, body, _ = postJSON(t, rts.URL, req, map[string]string{"X-QoS": "turbo"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid class through router: %d %s, want the node's 400", code, body)
+	}
+	if !strings.Contains(string(body), "QoS") {
+		t.Fatalf("400 body does not name the QoS header: %s", body)
+	}
+}

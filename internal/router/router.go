@@ -319,7 +319,7 @@ func retryable(a attempt) bool {
 // target list and returns the winning attempt (or the last retryable
 // failure). started counts attempts launched; hedgeWon reports whether the
 // speculative duplicate answered first.
-func (rt *Router) forward(ctx context.Context, body []byte, targets []*nodeState, hedge bool) (win attempt, started int, hedged, hedgeWon bool) {
+func (rt *Router) forward(ctx context.Context, body []byte, qos string, targets []*nodeState, hedge bool) (win attempt, started int, hedged, hedgeWon bool) {
 	results := make(chan attempt, len(targets))
 	var cancels []context.CancelFunc
 	defer func() {
@@ -334,7 +334,7 @@ func (rt *Router) forward(ctx context.Context, body []byte, targets []*nodeState
 		n.outstanding.Add(1)
 		go func() {
 			defer n.outstanding.Add(-1)
-			st, b, ra, err := rt.post(actx, n, body)
+			st, b, ra, err := rt.post(actx, n, body, qos)
 			results <- attempt{idx: i, node: n, status: st, body: b, retryAfter: ra, err: err}
 		}()
 	}
@@ -397,12 +397,17 @@ func (rt *Router) forward(ctx context.Context, body []byte, targets []*nodeState
 }
 
 // post forwards one attempt and feeds the p95 tracker on success.
-func (rt *Router) post(ctx context.Context, n *nodeState, body []byte) (status int, respBody []byte, retryAfter string, err error) {
+func (rt *Router) post(ctx context.Context, n *nodeState, body []byte, qos string) (status int, respBody []byte, retryAfter string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/execute", strings.NewReader(string(body)))
 	if err != nil {
 		return 0, nil, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if qos != "" {
+		// Relay the QoS class verbatim: the node validates it, and a 400 for
+		// a bad class is deterministic, so it is relayed, never retried.
+		req.Header.Set("X-QoS", qos)
+	}
 	t0 := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -462,7 +467,7 @@ func (rt *Router) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hedge := rt.cfg.Hedge && r.Header.Get("X-No-Hedge") == ""
-	win, attempts, hedged, hedgeWon := rt.forward(r.Context(), body, targets, hedge)
+	win, attempts, hedged, hedgeWon := rt.forward(r.Context(), body, r.Header.Get("X-QoS"), targets, hedge)
 	if win.err != nil {
 		status := http.StatusBadGateway
 		if errors.Is(win.err, context.Canceled) || errors.Is(win.err, context.DeadlineExceeded) {

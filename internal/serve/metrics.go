@@ -38,15 +38,36 @@ type metrics struct {
 	roundsTotal    uint64
 
 	inflight int64 // admitted requests not yet answered
+
+	// QoS plane: preemption accounting and per-class latency. The parked
+	// gauges track jobs sitting in pool parking lots (and their snapshot
+	// bytes); restore is the wall time of Machine.Restore on resumption.
+	preemptions   uint64
+	preemptSpills uint64
+	parkedJobs    int64
+	parkedBytes   int64
+	restore       histogram
+	classSeconds  map[string]*histogram // ClassLatency / ClassBatch
 }
 
 func newMetrics(node string) *metrics {
+	requestBounds := []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 	return &metrics{
 		node:      node,
 		requests:  map[string]uint64{},
 		batchSize: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64}),
-		latency:   newHistogram([]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		latency:   newHistogram(requestBounds),
+		restore:   newHistogram([]float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1}),
+		classSeconds: map[string]*histogram{
+			ClassBatch:   newHistogramPtr(requestBounds),
+			ClassLatency: newHistogramPtr(requestBounds),
+		},
 	}
+}
+
+func newHistogramPtr(bounds []float64) *histogram {
+	h := newHistogram(bounds)
+	return &h
 }
 
 // histogram is a cumulative-bucket histogram in the Prometheus exposition
@@ -108,6 +129,46 @@ func (m *metrics) addInflight(d int64) {
 	m.mu.Lock()
 	m.inflight += d
 	m.mu.Unlock()
+}
+
+// observeClass records one answered request's wall time under its QoS class.
+func (m *metrics) observeClass(class string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.classSeconds[class]; ok {
+		h.observe(seconds)
+	}
+}
+
+// observePark counts one batch job preempted into a parking lot.
+func (m *metrics) observePark(bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preemptions++
+	m.parkedJobs++
+	m.parkedBytes += int64(bytes)
+}
+
+// observeSpill counts one preemption boundary where the parking lot was full.
+func (m *metrics) observeSpill() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.preemptSpills++
+}
+
+// observeUnpark removes one job from the parked gauges as a worker picks it up.
+func (m *metrics) observeUnpark(bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parkedJobs--
+	m.parkedBytes -= int64(bytes)
+}
+
+// observeRestore records the wall time of one Machine.Restore on resumption.
+func (m *metrics) observeRestore(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.restore.observe(seconds)
 }
 
 // queueDepth is sampled at render time from the live pools.
@@ -181,7 +242,55 @@ func (m *metrics) render(depths []queueDepth) string {
 	sb.WriteString("# TYPE mpud_scheduler_rounds_total counter\n")
 	fmt.Fprintf(&sb, "mpud_scheduler_rounds_total %d\n", m.roundsTotal)
 
+	sb.WriteString("# HELP mpud_preemptions_total Batch jobs parked at an ensemble boundary to admit latency work.\n")
+	sb.WriteString("# TYPE mpud_preemptions_total counter\n")
+	fmt.Fprintf(&sb, "mpud_preemptions_total %d\n", m.preemptions)
+
+	sb.WriteString("# HELP mpud_preempt_spills_total Preemption boundaries where the parking lot was full and the job resumed in place.\n")
+	sb.WriteString("# TYPE mpud_preempt_spills_total counter\n")
+	fmt.Fprintf(&sb, "mpud_preempt_spills_total %d\n", m.preemptSpills)
+
+	sb.WriteString("# HELP mpud_parked_jobs Preempted batch jobs currently held in parking lots.\n")
+	sb.WriteString("# TYPE mpud_parked_jobs gauge\n")
+	if m.node != "" {
+		fmt.Fprintf(&sb, "mpud_parked_jobs{node=%q} %d\n", m.node, m.parkedJobs)
+	} else {
+		fmt.Fprintf(&sb, "mpud_parked_jobs %d\n", m.parkedJobs)
+	}
+
+	sb.WriteString("# HELP mpud_parked_bytes Snapshot bytes currently held in parking lots.\n")
+	sb.WriteString("# TYPE mpud_parked_bytes gauge\n")
+	if m.node != "" {
+		fmt.Fprintf(&sb, "mpud_parked_bytes{node=%q} %d\n", m.node, m.parkedBytes)
+	} else {
+		fmt.Fprintf(&sb, "mpud_parked_bytes %d\n", m.parkedBytes)
+	}
+
+	renderHistogram(&sb, "mpud_restore_seconds", "Machine.Restore wall time when resuming a parked job.", &m.restore)
+	renderClassHistogram(&sb, "mpud_class_request_seconds", "Request wall time from admission to response, by QoS class.", m.classSeconds)
+
 	return sb.String()
+}
+
+// renderClassHistogram emits one histogram per QoS class under a shared
+// metric name, classes in sorted order.
+func renderClassHistogram(sb *strings.Builder, name, help string, classes map[string]*histogram) {
+	fmt.Fprintf(sb, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(sb, "# TYPE %s histogram\n", name)
+	keys := make([]string, 0, len(classes))
+	for c := range classes {
+		keys = append(keys, c)
+	}
+	sort.Strings(keys)
+	for _, c := range keys {
+		h := classes[c]
+		for i, b := range h.bounds {
+			fmt.Fprintf(sb, "%s_bucket{class=%q,le=%q} %d\n", name, c, strconv.FormatFloat(b, 'g', -1, 64), h.counts[i])
+		}
+		fmt.Fprintf(sb, "%s_bucket{class=%q,le=\"+Inf\"} %d\n", name, c, h.n)
+		fmt.Fprintf(sb, "%s_sum{class=%q} %s\n", name, c, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(sb, "%s_count{class=%q} %d\n", name, c, h.n)
+	}
 }
 
 func renderHistogram(sb *strings.Builder, name, help string, h *histogram) {

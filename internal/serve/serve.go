@@ -13,6 +13,18 @@
 // extension of the trace-parity and worker-count-parity discipline. The
 // warm path leans on Machine.Reset, which recycles everything a run can
 // observe while keeping the stats-neutral expansion memo.
+//
+// QoS classes: the X-QoS header sorts requests into two classes — "latency"
+// (interactive, strict queue priority) and "batch" (the default). When a
+// latency request arrives and every pool worker is busy, the scheduler asks
+// the longest-running preemptible batch job to yield at its next ensemble
+// boundary; the job's complete architectural state is captured with
+// Machine.Snapshot into a bounded in-memory parking lot, the latency request
+// runs on the freed machine, and the parked job is restored (on any pool
+// machine — the snapshot fingerprint covers configuration, not worker
+// identity) and resumed. Preemption extends rather than weakens the
+// determinism contract: a parked-and-resumed run answers with byte-identical
+// machine.Stats to an uninterrupted one.
 package serve
 
 import (
@@ -97,6 +109,16 @@ type Config struct {
 	// machine.Stats, only wall time. Zero disables it.
 	DebugDelay time.Duration
 
+	// NoPreempt disables ensemble-boundary preemption: latency requests
+	// still get strict queue priority over batch work, but never interrupt
+	// a running batch job.
+	NoPreempt bool
+
+	// MaxParked bounds each pool's parking lot of preempted batch jobs
+	// (snapshots held in memory). When the lot is full a preempted job
+	// resumes in place and the miss is counted as a spill. Default 8.
+	MaxParked int
+
 	// Logs receives one JSON line per answered request; nil discards.
 	Logs io.Writer
 }
@@ -122,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxParked <= 0 {
+		c.MaxParked = 8
 	}
 	return c
 }
@@ -168,6 +193,23 @@ func ParseMode(s string) (machine.Mode, error) {
 		return machine.ModeBaseline, nil
 	}
 	return 0, fmt.Errorf("unknown mode %q (want mpu or baseline)", s)
+}
+
+// The QoS classes carried by the X-QoS request header.
+const (
+	ClassLatency = "latency"
+	ClassBatch   = "batch"
+)
+
+// ParseClass maps the X-QoS header to a class; an absent header means batch.
+func ParseClass(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", ClassBatch:
+		return ClassBatch, nil
+	case ClassLatency:
+		return ClassLatency, nil
+	}
+	return "", fmt.Errorf("unknown QoS class %q (want latency or batch)", s)
 }
 
 // Request is the /v1/execute body. Exactly one of Workload (a catalog
@@ -256,7 +298,8 @@ type execReq struct {
 	raw    Request
 	kernel *workloads.Kernel // workload path
 	prog   isa.Program       // binary path
-	key    string            // coalescing identity
+	class  string            // QoS class (ClassLatency or ClassBatch)
+	key    string            // coalescing identity (class-inclusive)
 }
 
 // batchResult is the shared outcome fanned out to every coalesced waiter.
@@ -269,21 +312,61 @@ type batchResult struct {
 // coalesced onto it.
 type batch struct {
 	key     string
+	class   string
 	req     *execReq
 	created time.Time
 	waiters []chan *batchResult // guarded by the pool mutex until sealed
 }
 
-// pool is one (backend, mode) warm machine pool: Size pre-built machines,
-// each owned by one executor goroutine, fed from a bounded queue.
-type pool struct {
-	name  string
-	spec  *backends.Spec
-	mode  machine.Mode
-	queue chan *batch
+// workerState is the scheduler's view of one executor goroutine and its
+// warm machine. All fields except m are guarded by the pool mutex; the
+// preemption path may call m.Preempt (an atomic flag) while the worker's
+// Run is in flight.
+type workerState struct {
+	m           *machine.Machine
+	busy        bool      // between take and the next take
+	preemptible bool      // running a batch-class kernel job that can park
+	preempting  bool      // a preemption request is outstanding
+	started     time.Time // when the current job was taken
+}
 
-	mu   sync.Mutex
-	open map[string]*batch // batches still accepting joiners
+// parkedJob is one preempted batch job: its sealed batch, the prepared-run
+// bookkeeping needed to finish it, and the machine snapshot to resume from.
+type parkedJob struct {
+	b    *batch
+	prep *workloads.Prepared
+	snap []byte
+}
+
+// pool is one (backend, mode) warm machine pool: Size pre-built machines,
+// each owned by one executor goroutine, fed from two class queues (latency
+// has strict priority) plus a parking lot of preempted batch jobs.
+type pool struct {
+	name string
+	spec *backends.Spec
+	mode machine.Mode
+
+	queueDepth int  // shared bound across both class queues
+	maxParked  int  // parking-lot bound, in jobs
+	preempt    bool // ensemble-boundary preemption enabled
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled on new work and on close
+	latQ    []*batch   // latency-class admission queue (strict priority)
+	batQ    []*batch   // batch-class admission queue
+	parked  []*parkedJob
+	open    map[string]*batch // batches still accepting joiners
+	workers []*workerState
+	closed  bool
+}
+
+// depth is the admission-queue occupancy across both classes — the value
+// backpressure is computed from and the one /metrics exports, keeping the
+// mpud_queue_depth series shape identical to the pre-QoS daemon.
+func (p *pool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.latQ) + len(p.batQ)
 }
 
 // Server implements the daemon's HTTP surface. Create with New, mount as an
@@ -327,12 +410,15 @@ func New(cfg Config) (*Server, error) {
 			size = 1
 		}
 		p := &pool{
-			name:  name,
-			spec:  spec,
-			mode:  ps.Mode,
-			queue: make(chan *batch, cfg.QueueDepth),
-			open:  map[string]*batch{},
+			name:       name,
+			spec:       spec,
+			mode:       ps.Mode,
+			queueDepth: cfg.QueueDepth,
+			maxParked:  cfg.MaxParked,
+			preempt:    !cfg.NoPreempt,
+			open:       map[string]*batch{},
 		}
+		p.cond = sync.NewCond(&p.mu)
 		mc := workloads.MachineConfigFor(workloads.RunConfig{
 			Spec: spec, Mode: ps.Mode, NoTrace: cfg.NoTrace, NoJIT: cfg.NoJIT, Workers: cfg.MachineWorkers,
 		})
@@ -341,8 +427,10 @@ func New(cfg Config) (*Server, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: pool %s: %w", name, err)
 			}
+			ws := &workerState{m: m}
+			p.workers = append(p.workers, ws)
 			s.workers.Add(1)
-			go s.runWorker(p, m)
+			go s.runWorker(p, ws)
 		}
 		s.pools[name] = p
 		s.order = append(s.order, name)
@@ -382,39 +470,97 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() {
 	s.Drain()
 	for _, name := range s.order {
-		close(s.pools[name].queue)
+		p := s.pools[name]
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		p.cond.Broadcast()
 	}
 	s.workers.Wait()
 	s.logger.log(logEntry{Msg: "closed"})
 }
 
-// runWorker owns one warm machine and executes sealed batches from the
-// pool's queue until Close.
-func (s *Server) runWorker(p *pool, m *machine.Machine) {
+// runWorker owns one warm machine and executes work from the pool — fresh
+// batches and parked resumptions — until Close.
+func (s *Server) runWorker(p *pool, w *workerState) {
 	defer s.workers.Done()
-	for b := range p.queue {
-		if s.cfg.BatchWindow > 0 {
-			if d := time.Until(b.created.Add(s.cfg.BatchWindow)); d > 0 {
-				time.Sleep(d)
+	for {
+		b, pj := p.take(w)
+		switch {
+		case pj != nil:
+			s.resume(p, w, pj)
+		case b != nil:
+			// The coalescing window only delays batch-class work: a latency
+			// request trades batching efficiency for response time.
+			if b.class == ClassBatch && s.cfg.BatchWindow > 0 {
+				if d := time.Until(b.created.Add(s.cfg.BatchWindow)); d > 0 {
+					time.Sleep(d)
+				}
 			}
-		}
-		p.mu.Lock()
-		delete(p.open, b.key) // seal: later identical requests start a new batch
-		waiters := b.waiters
-		p.mu.Unlock()
-		if s.cfg.DebugDelay > 0 {
-			time.Sleep(s.cfg.DebugDelay)
-		}
-		res := s.execute(p, m, b.req, len(waiters))
-		s.metrics.observeBatch(len(waiters))
-		for _, ch := range waiters {
-			ch <- res // buffered: an abandoned (deadline-expired) waiter cannot block the pool
+			p.mu.Lock()
+			delete(p.open, b.key) // seal: later identical requests start a new batch
+			p.mu.Unlock()
+			if s.cfg.DebugDelay > 0 {
+				time.Sleep(s.cfg.DebugDelay)
+			}
+			res, parked := s.execute(p, w, b)
+			if parked {
+				continue // the job is in the parking lot; pick up latency work
+			}
+			s.deliver(b, res)
+		default:
+			return // closed and drained
 		}
 	}
 }
 
-// admit places the request in p's queue or joins an open identical batch.
-// Joining consumes no queue slot: backpressure is on distinct work.
+// take blocks until there is work for this worker: a latency batch first,
+// then a parked job to resume, then fresh batch work. Returns (nil, nil)
+// once the pool is closed and fully drained.
+func (p *pool) take(w *workerState) (*batch, *parkedJob) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.busy, w.preemptible, w.preempting = false, false, false
+	for {
+		if len(p.latQ) > 0 {
+			b := p.latQ[0]
+			p.latQ = p.latQ[1:]
+			w.busy, w.started = true, time.Now()
+			return b, nil
+		}
+		if len(p.parked) > 0 {
+			pj := p.parked[0]
+			p.parked = p.parked[1:]
+			w.busy, w.started = true, time.Now()
+			w.preemptible = p.preempt // a resumed batch job can be parked again
+			return nil, pj
+		}
+		if len(p.batQ) > 0 {
+			b := p.batQ[0]
+			p.batQ = p.batQ[1:]
+			w.busy, w.started = true, time.Now()
+			w.preemptible = p.preempt && b.req.kernel != nil // binary runs never park
+			return b, nil
+		}
+		if p.closed {
+			return nil, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// deliver fans a sealed batch's shared result out to every coalesced waiter.
+func (s *Server) deliver(b *batch, res *batchResult) {
+	s.metrics.observeBatch(len(b.waiters))
+	for _, ch := range b.waiters {
+		ch <- res // buffered: an abandoned (deadline-expired) waiter cannot block the pool
+	}
+}
+
+// admit joins an open identical batch or enqueues the request in its class
+// queue; a latency arrival that finds no idle worker asks the longest-running
+// preemptible batch job to yield at its next ensemble boundary. Joining
+// consumes no queue slot: backpressure is on distinct work.
 func (p *pool) admit(rq *execReq) (<-chan *batchResult, bool) {
 	ch := make(chan *batchResult, 1)
 	p.mu.Lock()
@@ -423,28 +569,93 @@ func (p *pool) admit(rq *execReq) (<-chan *batchResult, bool) {
 		b.waiters = append(b.waiters, ch)
 		return ch, true
 	}
-	b := &batch{key: rq.key, req: rq, created: time.Now(), waiters: []chan *batchResult{ch}}
-	select {
-	case p.queue <- b:
-	default:
+	if len(p.latQ)+len(p.batQ) >= p.queueDepth {
 		return nil, false
 	}
+	b := &batch{key: rq.key, class: rq.class, req: rq, created: time.Now(), waiters: []chan *batchResult{ch}}
+	if rq.class == ClassLatency {
+		p.latQ = append(p.latQ, b)
+		if p.preempt {
+			p.preemptForLatency()
+		}
+	} else {
+		p.batQ = append(p.batQ, b)
+	}
 	p.open[rq.key] = b
+	p.cond.Signal()
 	return ch, true
 }
 
-// execute runs one sealed batch on the worker's warm machine and builds the
-// shared response body.
-func (s *Server) execute(p *pool, m *machine.Machine, rq *execReq, size int) *batchResult {
-	resp := Response{
-		Backend:   p.spec.Name,
-		Mode:      p.mode.String(),
-		Seed:      rq.raw.Seed,
-		BatchSize: size,
+// preemptForLatency, called with p.mu held after a latency enqueue, asks the
+// longest-running preemptible batch job to yield. A no-op when any worker is
+// idle (it will pick the latency batch up directly) or when nothing running
+// can be preempted (only latency or binary jobs in flight).
+func (p *pool) preemptForLatency() {
+	var victim *workerState
+	for _, w := range p.workers {
+		if !w.busy {
+			return
+		}
+		if w.preemptible && !w.preempting && (victim == nil || w.started.Before(victim.started)) {
+			victim = w
+		}
 	}
-	var st *machine.Stats
+	if victim != nil {
+		victim.preempting = true
+		victim.m.Preempt()
+	}
+}
+
+// park moves a preempted batch job off the worker's machine into the pool's
+// parking lot. Called after Run returned ErrPreempted at an ensemble
+// boundary; returns false when the job should simply resume in place —
+// either the latency burst that triggered the preemption was already
+// absorbed by another worker, or the lot is full (counted as a spill).
+func (p *pool) park(w *workerState, b *batch, prep *workloads.Prepared, mt *metrics) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.preempting = false
+	if len(p.latQ) == 0 {
+		return false
+	}
+	if len(p.parked) >= p.maxParked {
+		mt.observeSpill()
+		return false
+	}
+	snap := prep.Machine.Snapshot()
+	p.parked = append(p.parked, &parkedJob{b: b, prep: prep, snap: snap})
+	mt.observePark(len(snap))
+	p.cond.Signal()
+	return true
+}
+
+// resume restores a parked job onto this worker's machine and runs it to
+// completion (or parks it again at the next preemption point). Any pool
+// machine can host the restore: the snapshot fingerprint pins machine
+// configuration, not worker identity.
+func (s *Server) resume(p *pool, w *workerState, pj *parkedJob) {
+	s.metrics.observeUnpark(len(pj.snap))
+	t0 := time.Now()
+	if err := w.m.Restore(pj.snap); err != nil {
+		s.deliver(pj.b, errResult(http.StatusInternalServerError, err))
+		return
+	}
+	s.metrics.observeRestore(time.Since(t0).Seconds())
+	pj.prep.Machine = w.m
+	res, parked := s.runKernel(p, w, pj.b, pj.prep)
+	if parked {
+		return
+	}
+	s.deliver(pj.b, res)
+}
+
+// execute runs one sealed batch on the worker's warm machine. The second
+// return reports that the job was preempted and parked instead of finishing;
+// its result will be delivered by whichever worker resumes it.
+func (s *Server) execute(p *pool, w *workerState, b *batch) (*batchResult, bool) {
+	rq := b.req
 	if rq.kernel != nil {
-		res, err := workloads.RunOn(m, rq.kernel, workloads.RunConfig{
+		prep, err := workloads.PrepareOn(w.m, rq.kernel, workloads.RunConfig{
 			Spec:          p.spec,
 			Mode:          p.mode,
 			TotalElements: rq.raw.Elements,
@@ -455,47 +666,96 @@ func (s *Server) execute(p *pool, m *machine.Machine, rq *execReq, size int) *ba
 			Workers:       s.cfg.MachineWorkers,
 		})
 		if err != nil {
-			return errResult(http.StatusInternalServerError, err)
+			return errResult(http.StatusInternalServerError, err), false
 		}
-		resp.Workload = rq.kernel.Name
-		resp.Elements = rq.raw.Elements
-		resp.Seconds = res.Seconds
-		resp.Joules = res.Joules
-		resp.CheckedLanes = res.CheckedLanes
-		st = res.Stats
-	} else {
-		m.Reset()
-		if err := m.LoadAll(rq.prog); err != nil {
-			return errResult(http.StatusInternalServerError, err)
-		}
-		for _, set := range rq.raw.Sets {
-			a := controlpath.VRFAddr{RFH: set.RFH, VRF: set.VRF}
-			if err := m.WriteVector(0, a, set.Reg, set.Values); err != nil {
-				return errResult(http.StatusBadRequest, err)
-			}
-		}
-		run, err := m.Run()
-		if err != nil {
-			return errResult(http.StatusInternalServerError, err)
-		}
-		cp := *run
-		st = &cp
-		for _, d := range rq.raw.Dumps {
-			a := controlpath.VRFAddr{RFH: d.RFH, VRF: d.VRF}
-			vals, err := m.ReadVector(0, a, d.Reg)
-			if err != nil {
-				return errResult(http.StatusBadRequest, err)
-			}
-			resp.Dumps = append(resp.Dumps, RegisterDump{RFH: d.RFH, VRF: d.VRF, Reg: d.Reg, Values: vals})
+		return s.runKernel(p, w, b, prep)
+	}
+	m := w.m
+	resp := Response{
+		Backend:   p.spec.Name,
+		Mode:      p.mode.String(),
+		Seed:      rq.raw.Seed,
+		BatchSize: len(b.waiters),
+	}
+	m.Reset()
+	if err := m.LoadAll(rq.prog); err != nil {
+		return errResult(http.StatusInternalServerError, err), false
+	}
+	for _, set := range rq.raw.Sets {
+		a := controlpath.VRFAddr{RFH: set.RFH, VRF: set.VRF}
+		if err := m.WriteVector(0, a, set.Reg, set.Values); err != nil {
+			return errResult(http.StatusBadRequest, err), false
 		}
 	}
+	run, err := m.Run()
+	if err != nil {
+		return errResult(http.StatusInternalServerError, err), false
+	}
+	cp := *run
+	for _, d := range rq.raw.Dumps {
+		a := controlpath.VRFAddr{RFH: d.RFH, VRF: d.VRF}
+		vals, err := m.ReadVector(0, a, d.Reg)
+		if err != nil {
+			return errResult(http.StatusBadRequest, err), false
+		}
+		resp.Dumps = append(resp.Dumps, RegisterDump{RFH: d.RFH, VRF: d.VRF, Reg: d.Reg, Values: vals})
+	}
+	return s.sealResponse(&resp, &cp), false
+}
+
+// runKernel drives a prepared kernel batch to completion, parking it when a
+// preemption request lands at an ensemble boundary and the pool wants the
+// machine. Preemption is invisible in the response: a parked-and-resumed run
+// produces byte-identical stats to an uninterrupted one.
+func (s *Server) runKernel(p *pool, w *workerState, b *batch, prep *workloads.Prepared) (*batchResult, bool) {
+	for {
+		// A preemption request that landed before this run started was
+		// cleared by the Reset inside PrepareOn (or by Restore); re-arm it
+		// so the run yields at its first ensemble boundary.
+		p.mu.Lock()
+		if w.preempting {
+			prep.Machine.Preempt()
+		}
+		p.mu.Unlock()
+		run, err := prep.Machine.Run()
+		if errors.Is(err, machine.ErrPreempted) {
+			if p.park(w, b, prep, s.metrics) {
+				return nil, true
+			}
+			continue // nothing to yield to (or no room): resume in place
+		}
+		if err != nil {
+			return errResult(http.StatusInternalServerError, err), false
+		}
+		res, err := prep.Finish(run)
+		if err != nil {
+			return errResult(http.StatusInternalServerError, err), false
+		}
+		resp := Response{
+			Workload:     b.req.kernel.Name,
+			Backend:      p.spec.Name,
+			Mode:         p.mode.String(),
+			Elements:     b.req.raw.Elements,
+			Seed:         b.req.raw.Seed,
+			BatchSize:    len(b.waiters),
+			Seconds:      res.Seconds,
+			Joules:       res.Joules,
+			CheckedLanes: res.CheckedLanes,
+		}
+		return s.sealResponse(&resp, res.Stats), false
+	}
+}
+
+// sealResponse rolls the run's stats into the metrics plane and marshals the
+// shared response body.
+func (s *Server) sealResponse(resp *Response, st *machine.Stats) *batchResult {
 	s.metrics.rollupStats(st.TraceHits, st.TraceMisses, st.TraceFallbacks, st.JITCompiles, st.JITReplays, st.Rounds)
 	statsJSON, err := json.Marshal(st)
 	if err != nil {
 		return errResult(http.StatusInternalServerError, err)
 	}
 	resp.Stats = statsJSON
-	body, err := json.Marshal(&resp)
+	body, err := json.Marshal(resp)
 	if err != nil {
 		return errResult(http.StatusInternalServerError, err)
 	}
@@ -508,7 +768,7 @@ func errResult(status int, err error) *batchResult {
 }
 
 // validate parses the wire request into an execReq bound to a pool.
-func (s *Server) validate(raw *Request) (*execReq, *pool, error) {
+func (s *Server) validate(raw *Request, class string) (*execReq, *pool, error) {
 	mode, err := ParseMode(raw.Mode)
 	if err != nil {
 		return nil, nil, err
@@ -521,7 +781,7 @@ func (s *Server) validate(raw *Request) (*execReq, *pool, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("no pool for %s (have %s)", poolName(spec, mode), strings.Join(s.order, ", "))
 	}
-	rq := &execReq{raw: *raw}
+	rq := &execReq{raw: *raw, class: class}
 	switch {
 	case raw.Workload != "" && raw.Binary != "":
 		return nil, nil, fmt.Errorf("request names both a workload and a binary")
@@ -566,15 +826,18 @@ func (s *Server) validate(raw *Request) (*execReq, *pool, error) {
 	default:
 		return nil, nil, fmt.Errorf("request needs a workload or a binary")
 	}
+	// The class is part of the coalescing identity: a latency request never
+	// rides on (or waits for) an open batch-class twin.
 	key, err := json.Marshal(struct {
 		W  string        `json:"w"`
 		B  string        `json:"b"`
 		E  int           `json:"e"`
 		S  int64         `json:"s"`
 		C  bool          `json:"c"`
+		Q  string        `json:"q"`
 		St []RegisterSet `json:"st,omitempty"`
 		D  []RegisterRef `json:"d,omitempty"`
-	}{raw.Workload, raw.Binary, raw.Elements, raw.Seed, raw.Check, raw.Sets, raw.Dumps})
+	}{raw.Workload, raw.Binary, raw.Elements, raw.Seed, raw.Check, class, raw.Sets, raw.Dumps})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -588,23 +851,29 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	class, err := ParseClass(r.Header.Get("X-QoS"))
+	if err != nil {
+		s.finish(w, nil, "", "", start, http.StatusBadRequest,
+			errResult(http.StatusBadRequest, err))
+		return
+	}
 	var raw Request
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
 	if err := json.NewDecoder(body).Decode(&raw); err != nil {
-		s.finish(w, nil, "", start, http.StatusBadRequest,
+		s.finish(w, nil, "", class, start, http.StatusBadRequest,
 			errResult(http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)))
 		return
 	}
-	rq, p, err := s.validate(&raw)
+	rq, p, err := s.validate(&raw, class)
 	if err != nil {
 		var adm *admissionError
 		if errors.As(err, &adm) {
 			body, _ := json.Marshal(errorBody{Error: adm.Error(), Findings: adm.report.Findings})
-			s.finish(w, nil, raw.Workload, start, http.StatusUnprocessableEntity,
+			s.finish(w, nil, raw.Workload, class, start, http.StatusUnprocessableEntity,
 				&batchResult{status: http.StatusUnprocessableEntity, body: body})
 			return
 		}
-		s.finish(w, nil, raw.Workload, start, http.StatusBadRequest,
+		s.finish(w, nil, raw.Workload, class, start, http.StatusBadRequest,
 			errResult(http.StatusBadRequest, err))
 		return
 	}
@@ -629,11 +898,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-ch:
-		s.finish(w, p, raw.Workload, start, res.status, res)
+		s.finish(w, p, raw.Workload, class, start, res.status, res)
 	case <-ctx.Done():
 		// The batch still executes (its result lands in the buffered
 		// channel); only this waiter gives up.
-		s.finish(w, p, raw.Workload, start, http.StatusGatewayTimeout,
+		s.finish(w, p, raw.Workload, class, start, http.StatusGatewayTimeout,
 			errResult(http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded after %s", deadline)))
 	}
 }
@@ -645,21 +914,24 @@ func (s *Server) refuse(w http.ResponseWriter, p *pool, rq *execReq, start time.
 	res := errResult(http.StatusServiceUnavailable, fmt.Errorf("not admitted: %s", why))
 	writeBody(w, res.status, res.body)
 	s.logger.log(logEntry{
-		Msg: "refused", Pool: p.name, Workload: rq.raw.Workload,
-		Status: http.StatusServiceUnavailable, MS: msSince(start), Queue: len(p.queue), Err: why,
+		Msg: "refused", Pool: p.name, Workload: rq.raw.Workload, Class: rq.class,
+		Status: http.StatusServiceUnavailable, MS: msSince(start), Queue: p.depth(), Err: why,
 	})
 }
 
 // finish writes the response and the request log line, and counts the
 // request in the metrics plane.
-func (s *Server) finish(w http.ResponseWriter, p *pool, workload string, start time.Time, status int, res *batchResult) {
+func (s *Server) finish(w http.ResponseWriter, p *pool, workload, class string, start time.Time, status int, res *batchResult) {
 	elapsed := time.Since(start).Seconds()
 	s.metrics.observeRequest(status, elapsed)
+	if class != "" {
+		s.metrics.observeClass(class, elapsed)
+	}
 	writeBody(w, status, res.body)
-	e := logEntry{Msg: "request", Workload: workload, Status: status, MS: elapsed * 1e3}
+	e := logEntry{Msg: "request", Workload: workload, Class: class, Status: status, MS: elapsed * 1e3}
 	if p != nil {
 		e.Pool = p.name
-		e.Queue = len(p.queue)
+		e.Queue = p.depth()
 	}
 	if status >= 400 {
 		var eb errorBody
@@ -689,7 +961,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	depths := make([]queueDepth, 0, len(s.order))
 	for _, name := range s.order {
-		depths = append(depths, queueDepth{pool: name, depth: len(s.pools[name].queue)})
+		depths = append(depths, queueDepth{pool: name, depth: s.pools[name].depth()})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.metrics.render(depths))

@@ -137,12 +137,55 @@ func Run(k *Kernel, cfg RunConfig) (*Result, error) {
 	return RunOn(m, k, cfg)
 }
 
+// Prepared is a kernel run that has been loaded onto a machine but not yet
+// executed: program assembled, inputs written, and the scaling factors that
+// turn machine stats into chip-level results captured. It exists so callers
+// that preempt runs (internal/serve) can hold the run's accounting context
+// across an arbitrary number of Machine.Run calls, snapshots, and restores:
+// PrepareOn once, Run (possibly many times, possibly on a machine restored
+// from a snapshot — update Machine to point at it), then Finish exactly
+// once with the final stats.
+type Prepared struct {
+	// Machine executes the run. Callers that restore a snapshot into a
+	// different machine must repoint this before calling Finish, which
+	// reads output vectors back for checking.
+	Machine *machine.Machine
+
+	k      *Kernel
+	cfg    RunConfig
+	addrs  []controlpath.VRFAddr
+	inputs [][]uint64
+
+	units      int
+	share      int
+	vrfsNeeded int
+	simVRFs    int
+	simElems   int
+	overflow   float64
+	roundScale float64
+}
+
 // RunOn executes kernel k under cfg on an existing machine, Resetting it
 // first so a warm-pool run is byte-identical to a fresh-machine run. The
 // machine must have been built with MachineConfigFor (or an equivalent
 // spec/mode pair); mismatches are rejected rather than silently simulating
 // the wrong chip.
 func RunOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Result, error) {
+	p, err := PrepareOn(m, k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	run, err := p.Machine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s on %s/%s: %w", k.Name, cfg.Spec.Name, cfg.Mode, err)
+	}
+	return p.Finish(run)
+}
+
+// PrepareOn loads kernel k under cfg onto m — Reset, program load, input
+// vectors — and returns the accounting context Finish needs. It performs
+// every pre-run step of RunOn and none of the post-run ones.
+func PrepareOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Prepared, error) {
 	if cfg.TotalElements <= 0 {
 		return nil, fmt.Errorf("workloads: non-positive element count")
 	}
@@ -219,10 +262,31 @@ func RunOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Result, error) {
 		}
 	}
 
-	run, err := m.Run()
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s on %s/%s: %w", k.Name, spec.Name, cfg.Mode, err)
-	}
+	return &Prepared{
+		Machine:    m,
+		k:          k,
+		cfg:        cfg,
+		addrs:      addrs,
+		inputs:     inputs,
+		units:      units,
+		share:      share,
+		vrfsNeeded: vrfsNeeded,
+		simVRFs:    simVRFs,
+		simElems:   simElems,
+		overflow:   overflow,
+		roundScale: roundScale,
+	}, nil
+}
+
+// Finish turns the stats of a completed run into a chip-level Result —
+// output checking, round/overflow scaling, external-memory streaming, and
+// energy totals. run must be the stats Machine.Run returned on completion
+// (not a preempted intermediate).
+func (p *Prepared) Finish(run *machine.Stats) (*Result, error) {
+	k, cfg, spec, m := p.k, p.cfg, p.cfg.Spec, p.Machine
+	units, simVRFs, simElems := p.units, p.simVRFs, p.simElems
+	share, vrfsNeeded := p.share, p.vrfsNeeded
+	overflow, roundScale := p.overflow, p.roundScale
 	// Run returns a pointer into the machine; a pooled machine's next request
 	// would overwrite it, so the Result carries a private copy. (Each Run
 	// rebuilds PerMPUCycles from nil, so the shallow copy shares nothing the
@@ -234,7 +298,7 @@ func RunOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Result, error) {
 	if cfg.Check {
 		lane := make([]uint64, k.Inputs)
 		for v := 0; v < simVRFs; v++ {
-			out, err := m.ReadVector(0, addrs[v], k.Out)
+			out, err := m.ReadVector(0, p.addrs[v], k.Out)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +308,7 @@ func RunOn(m *machine.Machine, k *Kernel, cfg RunConfig) (*Result, error) {
 					break
 				}
 				for r := range lane {
-					lane[r] = inputs[r][idx]
+					lane[r] = p.inputs[r][idx]
 				}
 				want := k.Ref(lane)
 				if out[l] != want {
