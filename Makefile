@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-short repolint staticcheck govulncheck preflight fuzz check bench bench-serve bench-cluster bench-qos serve-smoke cluster-smoke figures clean
+.PHONY: all build test vet race race-short repolint staticcheck govulncheck preflight fuzz check bench bench-serve bench-cluster bench-qos bench-pipeline serve-smoke cluster-smoke pipeline-smoke figures clean
 
 # Pinned staticcheck release — CI installs exactly this version so findings
 # are reproducible; locally the target is skipped (with a note) when the
@@ -62,20 +62,25 @@ race:
 race-short:
 	$(GO) test -race -timeout 30m ./internal/sweep ./internal/lint
 	$(GO) test -race -timeout 30m -run 'TestTraceParity|TestJITParityRandom|TestParallelMachine|TestParallelDeadlock|TestSnapshotResumeParity' ./internal/machine
-	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool|TestServePreempt|TestServeNoPreempt|TestParkedGauges' ./internal/serve
-	$(GO) test -race -timeout 30m -run 'TestRouterParity|TestRollingDrain|TestFairAdmission' ./internal/router
+	$(GO) test -race -timeout 30m -run 'TestServeParity|TestServePool|TestServePreempt|TestServeNoPreempt|TestParkedGauges|TestPipelineSession' ./internal/serve
+	$(GO) test -race -timeout 30m -run 'TestRouterParity|TestRollingDrain|TestFairAdmission|TestRouterPipeline' ./internal/router
+	$(GO) test -race -timeout 30m -run 'TestPipelineParity' ./internal/fbp
 
 # Bounded runs of the differential oracles: random programs the linter
 # passes must execute without ensemble or capacity faults, and random
 # straight-line bodies must produce identical planes and stats whether
 # rounds run JIT-compiled, step-interpreted, or fully interpreted. The comm
 # oracle cross-checks commlint against the real scheduler: verdict-clean
-# program sets must run, flagged ones must deadlock.
+# program sets must run, flagged ones must deadlock. The FBP oracles check
+# that the pipeline parser never panics and that every graph the compiler
+# accepts is deadlock-free by construction (lint-clean and actually runs).
 fuzz:
 	$(GO) test -fuzz=FuzzLintSoundness -fuzztime=30s ./internal/isa
 	$(GO) test -fuzz=FuzzJITParity -fuzztime=30s ./internal/machine
 	$(GO) test -fuzz=FuzzCommSoundness -fuzztime=30s ./internal/lint/comm
 	$(GO) test -fuzz=FuzzSnapshotRoundTrip -fuzztime=30s -fuzzminimizetime=2s ./internal/machine
+	$(GO) test -fuzz=FuzzFBPParse -fuzztime=30s ./internal/fbp
+	$(GO) test -fuzz=FuzzPipelineSoundness -fuzztime=30s ./internal/fbp
 
 # check is the pre-merge gate: build + vet + full test suite + repo lint +
 # staticcheck + govulncheck (each when installed). Run `make race` (full
@@ -102,6 +107,12 @@ cluster-smoke:
 	$(GO) run ./cmd/mpurouter -smoke
 	$(GO) run ./cmd/mpuload -nodes 2 -rate 150 -tenants 2 -duration 5s -elements 64 -strict
 
+# End-to-end pipeline check (also in CI): compile a .fbp graph in-process,
+# open a persistent session against a self-hosted daemon, stream records
+# across requests (parked between them), and verify the accumulator.
+pipeline-smoke:
+	$(GO) run ./cmd/mpud -pipeline-smoke -quiet
+
 # The PR 5 load study: 64 closed-loop clients against a self-hosted 4-pool
 # daemon with a mid-run SIGTERM drain; fails if any in-flight request drops.
 bench-serve:
@@ -118,6 +129,13 @@ bench-cluster:
 # acceptance floors (5x latency p99 improvement, <=15% batch slowdown).
 bench-qos:
 	$(GO) run ./cmd/mpuload -qos-bench -out BENCH_pr9.json
+
+# The PR 10 pipeline study: a persistent FBP session streams 1000 records
+# across 125 requests (zero recompilation after the cold first request),
+# then keeps streaming under a concurrent latency-class burst; fails if any
+# warm request recompiles or any burst request is shed.
+bench-pipeline:
+	$(GO) run ./cmd/mpuload -pipeline-bench -out BENCH_pr10.json
 
 figures:
 	$(GO) run ./cmd/mastodon all

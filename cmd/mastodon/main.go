@@ -6,9 +6,12 @@
 //	mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...
 //
 // Experiments: preflight fig1 table1 fig5 table3 fig11 fig12 fig13 table4
-// fig14 fig15 scale ablations all. preflight statically verifies every
-// kernel and application with the machine-level linter (commlint) before
-// any cycles are simulated. Scale divides the evaluation working-set sizes (1 =
+// fig14 fig15 scale ablations pipelines all. preflight statically verifies
+// every kernel and application with the machine-level linter (commlint)
+// before any cycles are simulated; pipelines compiles every shipped .fbp
+// dataflow graph (-fbp names the directory) for every back end, checks the
+// verifier findings, and runs each placement once offline.
+// Scale divides the evaluation working-set sizes (1 =
 // paper scale; larger is faster). -j fans independent sweep cells out across
 // N workers (0 = one per CPU; 1 = sequential); -mj sets the scheduler
 // workers running each cell's simulated MPUs concurrently between
@@ -39,9 +42,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also export machine-readable CSVs into this directory")
 	noTrace := flag.Bool("notrace", false, "disable the ensemble trace engine (interpret every scheduling round)")
 	noJIT := flag.Bool("nojit", false, "disable trace JIT compilation (replay traces step-interpreted)")
+	fbpDir := flag.String("fbp", "examples/pipelines", "directory of .fbp graphs for the pipelines experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mastodon [-scale N] [-seed S] [-j N] [-mj N] [-notrace] [-nojit] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: preflight fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune all\n")
+		fmt.Fprintf(os.Stderr, "experiments: preflight fig1 table1 fig5 table3 fig11 fig12 fig13 table4 fig14 fig15 scale ablations autotune pipelines all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,19 +62,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mastodon: CSVs written to %s\n", *csvDir)
 	}
 	for _, name := range flag.Args() {
-		if err := run(name, opts); err != nil {
+		if err := run(name, opts, *fbpDir); err != nil {
 			fmt.Fprintf(os.Stderr, "mastodon: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(name string, opts exp.Options) error {
+func run(name string, opts exp.Options, fbpDir string) error {
 	switch name {
 	case "all":
-		for _, n := range []string{"preflight", "fig1", "table1", "fig5", "table3", "fig11",
+		for _, n := range []string{"preflight", "pipelines", "fig1", "table1", "fig5", "table3", "fig11",
 			"fig12", "fig13", "table4", "fig14", "fig15", "scale", "ablations", "autotune"} {
-			if err := run(n, opts); err != nil {
+			if err := run(n, opts, fbpDir); err != nil {
 				return err
 			}
 		}
@@ -83,6 +87,15 @@ func run(name string, opts exp.Options) error {
 		fmt.Println(r.Render())
 		if !r.Clean() {
 			return fmt.Errorf("static verification found problems (see table above)")
+		}
+	case "pipelines":
+		r, err := exp.Pipelines(opts, fbpDir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		if !r.Clean() {
+			return fmt.Errorf("pipeline verification found problems (see table above)")
 		}
 	case "fig1":
 		r, err := exp.Fig1(opts)
@@ -165,7 +178,7 @@ func run(name string, opts exp.Options) error {
 		}
 		fmt.Println(exp.RenderAblationDivergence(r3))
 	default:
-		return fmt.Errorf("unknown experiment (want preflight, fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, scale, ablations, autotune, all)")
+		return fmt.Errorf("unknown experiment (want preflight, pipelines, fig1, table1, fig5, table3, fig11, fig12, fig13, table4, fig14, fig15, scale, ablations, autotune, all)")
 	}
 	return nil
 }

@@ -18,17 +18,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/execute   run a catalog workload or an assembled binary
-//	GET  /v1/workloads list the kernel catalog
-//	GET  /healthz      liveness + pool inventory (503 while draining)
-//	GET  /metrics      Prometheus text exposition
+//	POST   /v1/execute        run a catalog workload or an assembled binary
+//	GET    /v1/workloads      list the kernel catalog
+//	POST   /v1/pipelines      compile an FBP graph into a persistent session
+//	POST   /v1/pipelines/{id} stream records through a session
+//	GET    /v1/pipelines[/{id}] list sessions / session status
+//	DELETE /v1/pipelines/{id} close a session
+//	GET    /healthz           liveness + pool inventory (503 while draining)
+//	GET    /metrics           Prometheus text exposition
+//
+// Pipeline sessions compile once and stream records across requests; the
+// session's machine state parks as a snapshot between requests, so sessions
+// never pin machines. -max-sessions bounds the table.
 //
 // On SIGTERM/SIGINT the daemon drains: admission stops (503), in-flight
 // requests run to completion, then the pools shut down.
 //
 // -smoke starts the daemon on a random loopback port, exercises /healthz,
 // one /v1/execute, and /metrics against itself, drains, and exits — the CI
-// end-to-end check.
+// end-to-end check. -pipeline-smoke does the same for the session plane:
+// create, stream across two requests (pinning zero recompilation on the
+// second), reject a deadlocking graph with 422 findings, close, drain.
 package main
 
 import (
@@ -62,16 +72,18 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress JSON request logs")
 	nopreempt := flag.Bool("nopreempt", false, "disable ensemble-boundary preemption (latency keeps queue priority only)")
 	maxParked := flag.Int("max-parked", 8, "parking-lot bound per pool for preempted-job snapshots")
+	maxSessions := flag.Int("max-sessions", 8, "live pipeline session bound (/v1/pipelines)")
 	smoke := flag.Bool("smoke", false, "self-test: serve on a random port, run one request, drain, exit")
+	pipelineSmoke := flag.Bool("pipeline-smoke", false, "self-test the session plane: create, stream, 422 check, close, drain, exit")
 	flag.Parse()
 
-	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *nodeID, *quiet, *nopreempt, *maxParked, *smoke); err != nil {
+	if err := run(*addr, *pools, *queue, *window, *deadline, *maxElements, *notrace, *nojit, *jobs, *nodeID, *quiet, *nopreempt, *maxParked, *maxSessions, *smoke, *pipelineSmoke); err != nil {
 		fmt.Fprintf(os.Stderr, "mpud: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, nodeID string, quiet, nopreempt bool, maxParked int, smoke bool) error {
+func run(addr, pools string, queue int, window, deadline time.Duration, maxElements int, notrace, nojit bool, jobs int, nodeID string, quiet, nopreempt bool, maxParked, maxSessions int, smoke, pipelineSmoke bool) error {
 	specs, err := serve.ParsePoolSpecs(pools)
 	if err != nil {
 		return err
@@ -92,13 +104,14 @@ func run(addr, pools string, queue int, window, deadline time.Duration, maxEleme
 		NodeID:          nodeID,
 		NoPreempt:       nopreempt,
 		MaxParked:       maxParked,
+		MaxSessions:     maxSessions,
 		Logs:            logs,
 	})
 	if err != nil {
 		return err
 	}
 
-	if smoke {
+	if smoke || pipelineSmoke {
 		addr = "127.0.0.1:0"
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -119,10 +132,14 @@ func run(addr, pools string, queue int, window, deadline time.Duration, maxEleme
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
-	if smoke {
+	if smoke || pipelineSmoke {
+		test, name := smokeTest, "smoke"
+		if pipelineSmoke {
+			test, name = pipelineSmokeTest, "pipeline-smoke"
+		}
 		go func() {
-			if err := smokeTest("http://" + ln.Addr().String()); err != nil {
-				fmt.Fprintf(os.Stderr, "mpud: smoke: %v\n", err)
+			if err := test("http://" + ln.Addr().String()); err != nil {
+				fmt.Fprintf(os.Stderr, "mpud: %s: %v\n", name, err)
 				os.Exit(1)
 			}
 			// Self-deliver the drain signal so the smoke run exercises the
@@ -204,5 +221,141 @@ func smokeTest(base string) error {
 		return fmt.Errorf("metrics missing the QoS preemption plane:\n%s", metrics)
 	}
 	fmt.Println("mpud: smoke ok")
+	return nil
+}
+
+// pipelineSmokeSource is the resident-accumulator stream the pipeline smoke
+// drives: Split forwards each record's r0 into a Reduce whose r48 total
+// persists across records and across the park/restore boundary between
+// requests.
+const pipelineSmokeSource = "src(Split) OUT -> IN total(Reduce)\n'1' -> REGS src\n'add' -> OP total\n"
+
+// pipelineSmokeTest is the session plane's end-to-end exercise run by
+// -pipeline-smoke (and CI): compile once, stream records across two
+// requests (the second must replay warm traces with zero recompilation),
+// verify the 422 admission path on a deadlocking graph, and close.
+func pipelineSmokeTest(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path string, req, resp any) (int, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		r, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		out, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if resp != nil && r.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(out, resp); err != nil {
+				return r.StatusCode, out, err
+			}
+		}
+		return r.StatusCode, out, nil
+	}
+
+	var created struct {
+		ID    string `json:"id"`
+		MPUs  int    `json:"mpus"`
+		Lanes int    `json:"lanes"`
+	}
+	code, out, err := post("/v1/pipelines", map[string]any{
+		"source": pipelineSmokeSource, "backend": "racer",
+	}, &created)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || created.ID == "" || created.MPUs != 2 {
+		return fmt.Errorf("create: status %d: %s", code, out)
+	}
+
+	vals := make([]uint64, created.Lanes)
+	for i := range vals {
+		vals[i] = 2
+	}
+	record := map[string]any{
+		"sets":  []map[string]any{{"node": "src", "reg": 0, "values": vals}},
+		"dumps": []map[string]any{{"node": "total", "reg": 48}},
+	}
+	type advance struct {
+		Records []struct {
+			Dumps []struct {
+				Values []uint64 `json:"values"`
+			} `json:"dumps"`
+		} `json:"records"`
+		Summary struct {
+			Records     int    `json:"records"`
+			TraceMisses uint64 `json:"trace_misses"`
+			JITCompiles uint64 `json:"jit_compiles"`
+			TraceHits   uint64 `json:"trace_hits"`
+		} `json:"summary"`
+	}
+	var a1, a2 advance
+	code, out, err = post("/v1/pipelines/"+created.ID, map[string]any{
+		"records": []any{record, record},
+	}, &a1)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || a1.Summary.Records != 2 {
+		return fmt.Errorf("advance 1: status %d: %s", code, out)
+	}
+	code, out, err = post("/v1/pipelines/"+created.ID, map[string]any{
+		"records": []any{record},
+	}, &a2)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || a2.Summary.Records != 1 {
+		return fmt.Errorf("advance 2: status %d: %s", code, out)
+	}
+	if a2.Summary.TraceMisses != 0 || a2.Summary.JITCompiles != 0 {
+		return fmt.Errorf("advance 2 recompiled (misses %d, compiles %d) — the session did not stay warm across the park",
+			a2.Summary.TraceMisses, a2.Summary.JITCompiles)
+	}
+	if got := a2.Records[0].Dumps[0].Values[0]; got != 6 {
+		return fmt.Errorf("accumulator = %d after 3 records of 2s, want 6", got)
+	}
+
+	// Admission: a mis-phased ring must be refused statically with findings.
+	code, out, err = post("/v1/pipelines", map[string]any{
+		"source":  "a(EDStep) OUT -> IN b(EDStep)\nb OUT -> IN a\n'1' -> STEPS a\n'2' -> STEPS b",
+		"backend": "racer",
+	}, nil)
+	if err != nil {
+		return err
+	}
+	var eb struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if code != http.StatusUnprocessableEntity || json.Unmarshal(out, &eb) != nil || len(eb.Findings) == 0 {
+		return fmt.Errorf("deadlocking graph: status %d: %s", code, out)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/pipelines/"+created.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("close: status %d", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(metrics, []byte("mpud_session_records_total 3")) ||
+		!bytes.Contains(metrics, []byte("mpud_session_parks_total 2")) {
+		return fmt.Errorf("metrics did not account the session:\n%s", metrics)
+	}
+	fmt.Println("mpud: pipeline-smoke ok")
 	return nil
 }

@@ -14,8 +14,21 @@
 //	        [-elements 128] [-rate 200] [-tenants 4] [-drain] [-strict]
 //	        [-nodes 3] [-hedge=false] [-slow 1:25ms] [-out BENCH.json]
 //	        [-classes latency=2,batch=20] [-nopreempt] [-max-parked 8]
+//	mpuload -pipeline file.fbp [-pipeline-backend racer] [-sessions 2]
+//	        [-records-per-request 1] [-rate 50] [-duration 10s]
 //	mpuload -cluster-bench [-out BENCH_pr8.json]
 //	mpuload -qos-bench [-out BENCH_pr9.json]
+//	mpuload -pipeline-bench [-out BENCH_pr10.json]
+//
+// -pipeline streams records through persistent pipeline sessions compiled
+// from the .fbp graph (one create, then one advance request per record
+// batch), closed-loop per session or open-loop with -rate, and reports
+// per-record latency percentiles plus the recompilation account: cold
+// counters cover each session's first request, warm counters everything
+// after — steady state is warm == zero. -pipeline-bench is the PR 10
+// acceptance suite: >= 1000 records across separate requests with zero warm
+// recompilation, and a latency-class burst absorbed without refusals while
+// the session streams.
 //
 // -classes runs a mixed-QoS open-loop study: each entry is an independent
 // Poisson arrival stream at the given rate (requests/sec) tagged with that
@@ -218,6 +231,10 @@ type opts struct {
 	maxElements int    // self-hosted per-request element cap (0 = serve default)
 	nopreempt   bool   // self-hosted: disable ensemble-boundary preemption
 	maxParked   int    // self-hosted: parking-lot bound per pool
+
+	pipeBackend string // -pipeline: back end for the sessions
+	sessions    int    // -pipeline: concurrent pipeline sessions
+	recordsPer  int    // -pipeline: records per advance request
 }
 
 func main() {
@@ -247,6 +264,11 @@ func main() {
 	flag.IntVar(&o.maxParked, "max-parked", 8, "self-hosted: parking-lot bound per pool for preempted-job snapshots")
 	bench := flag.Bool("cluster-bench", false, "run the scaling + hedging + rolling-drain acceptance suite")
 	qosb := flag.Bool("qos-bench", false, "run the QoS preemption acceptance suite (latency tails vs batch throughput)")
+	pipePath := flag.String("pipeline", "", "stream records through persistent .fbp pipeline sessions instead of /v1/execute")
+	flag.StringVar(&o.pipeBackend, "pipeline-backend", "racer", "-pipeline: back end for the sessions")
+	flag.IntVar(&o.sessions, "sessions", 2, "-pipeline: concurrent pipeline sessions")
+	flag.IntVar(&o.recordsPer, "records-per-request", 1, "-pipeline: records batched into each advance request")
+	pipeBench := flag.Bool("pipeline-bench", false, "run the persistent-pipeline acceptance suite (steady-state recompilation + burst isolation)")
 	out := flag.String("out", "", "write the study JSON to this path")
 	flag.Parse()
 
@@ -256,6 +278,16 @@ func main() {
 		err = clusterBench(*out)
 	case *qosb:
 		err = qosBench(*out)
+	case *pipeBench:
+		err = pipelineBench(*out)
+	case *pipePath != "":
+		var s *pipelineStudy
+		s, err = runPipelineStudy(o, *pipePath)
+		if err == nil && *out != "" {
+			if err = exp.WriteJSON(*out, s); err == nil {
+				fmt.Printf("mpuload: wrote %s\n", *out)
+			}
+		}
 	default:
 		var s *study
 		s, err = runStudy(o)

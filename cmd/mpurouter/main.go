@@ -17,7 +17,11 @@
 // request headers; responses carry X-Mpurouter-Node and
 // X-Mpurouter-Attempts), GET /v1/workloads, GET /healthz (cluster view),
 // GET /metrics (router series; node gauges are re-exported with node
-// labels).
+// labels). The /v1/pipelines session plane passes through with session
+// affinity: creates are placed by ring hash on the graph source, every
+// later verb for a session ID is forwarded single-attempt (never hedged,
+// never retried — advances are non-idempotent) to the node holding its
+// parked state, and GET /v1/pipelines merges every node's session list.
 //
 // On SIGTERM/SIGINT the router drains: admission stops (503 + Retry-After),
 // in-flight forwards complete, then the scraper stops. Node drains are

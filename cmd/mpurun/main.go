@@ -1,5 +1,6 @@
-// Command mpurun executes an MPU assembly (.masm) or ezpim (.ez) program on
-// a simulated chip and reports the run statistics.
+// Command mpurun executes an MPU assembly (.masm), ezpim (.ez), or FBP
+// pipeline (.fbp) program on a simulated chip and reports the run
+// statistics.
 //
 // Usage:
 //
@@ -10,6 +11,13 @@
 // after it. The same binary is loaded into every MPU (SPMD). -j runs the
 // simulated MPUs on N scheduler goroutines between communication points
 // (0 = one per CPU, 1 = sequential); statistics are identical either way.
+//
+// A .fbp file compiles as a dataflow pipeline instead: each graph node
+// places on its own MPU (the compiler reports the placement; -mpus is
+// ignored) and the per-node ensemble programs are machine-verified by
+// construction. For pipelines, -set and -dump take an optional node prefix
+// ("node:rfh.vrf.reg"), addressing that node's MPU; without a prefix they
+// address MPU 0.
 // Before loading, the program is preflighted by the machine-level linter
 // against the selected back end and MPU count: per-core structural checks
 // plus the cross-MPU communication checks (rendezvous matching, route
@@ -88,6 +96,9 @@ func run(path string, o runOpts) error {
 	if err != nil {
 		return err
 	}
+	if strings.HasSuffix(path, ".fbp") {
+		return runPipeline(path, string(src), o)
+	}
 	var prog mpu.Program
 	var lines []int
 	if strings.HasSuffix(path, ".ez") {
@@ -155,6 +166,18 @@ func run(path string, o runOpts) error {
 	if err != nil {
 		return err
 	}
+	resolve := func(s string) (int, mpu.VRFAddr, int, error) {
+		addr, reg, err := parseAddr(s)
+		return 0, addr, reg, err
+	}
+	return emitResults(path, spec, mode, o.mpus, st, m, o, resolve)
+}
+
+// emitResults prints the run's statistics (text or stable JSON), optionally
+// writes the CSV row, and dumps the requested registers. resolve maps one
+// -dump operand to its MPU and register address (pipelines accept a node
+// prefix; flat programs always read MPU 0).
+func emitResults(path string, spec *mpu.Backend, mode mpu.Mode, mpus int, st *mpu.Stats, m *mpu.Machine, o runOpts, resolve func(string) (int, mpu.VRFAddr, int, error)) error {
 	if o.jsonOut {
 		// The stats object uses the stable machine.Stats encoding shared
 		// with mpud responses.
@@ -165,14 +188,14 @@ func run(path string, o runOpts) error {
 			Seconds float64    `json:"seconds"`
 			Joules  float64    `json:"joules"`
 			Stats   *mpu.Stats `json:"stats"`
-		}{spec.Name, mode.String(), o.mpus, st.TimeSeconds(spec.ClockGHz), st.TotalEnergyPJ() * 1e-12, st}
+		}{spec.Name, mode.String(), mpus, st.TimeSeconds(spec.ClockGHz), st.TotalEnergyPJ() * 1e-12, st}
 		b, err := json.Marshal(&env)
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(b))
 	} else {
-		fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, o.mpus)
+		fmt.Printf("backend=%s mode=%s mpus=%d\n", spec.Name, mode, mpus)
 		fmt.Printf("cycles=%d time=%.3gs instructions=%d micro-ops=%d rounds=%d\n",
 			st.Cycles, st.TimeSeconds(spec.ClockGHz), st.Instructions, st.MicroOps, st.Rounds)
 		if st.TraceHits+st.TraceMisses+st.TraceFallbacks > 0 {
@@ -193,7 +216,7 @@ func run(path string, o runOpts) error {
 			{"backend", "mode", "mpus", "cycles", "seconds", "instructions", "micro_ops",
 				"rounds", "trace_hits", "trace_misses", "trace_fallbacks",
 				"jit_compiles", "jit_replays", "offloads", "joules"},
-			{spec.Name, mode.String(), strconv.Itoa(o.mpus),
+			{spec.Name, mode.String(), strconv.Itoa(mpus),
 				strconv.FormatInt(st.Cycles, 10),
 				strconv.FormatFloat(st.TimeSeconds(spec.ClockGHz), 'g', -1, 64),
 				strconv.FormatUint(st.Instructions, 10),
@@ -214,11 +237,11 @@ func run(path string, o runOpts) error {
 		fmt.Fprintf(os.Stderr, "mpurun: CSV written to %s\n", filepath.Join(o.csvDir, name+".csv"))
 	}
 	for _, d := range o.dumps {
-		addr, reg, err := parseAddr(d)
+		id, addr, reg, err := resolve(d)
 		if err != nil {
 			return err
 		}
-		vals, err := m.ReadVector(0, addr, reg)
+		vals, err := m.ReadVector(id, addr, reg)
 		if err != nil {
 			return err
 		}
@@ -233,6 +256,89 @@ func run(path string, o runOpts) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// runPipeline compiles a .fbp graph and runs it once: every node on its own
+// MPU, edges as verified SEND/RECV rendezvous. The placement is printed
+// before the run; -set/-dump accept a "node:" prefix to address a node's
+// MPU directly.
+func runPipeline(path, src string, o runOpts) error {
+	spec, err := mpu.BackendByName(o.backend)
+	if err != nil {
+		return err
+	}
+	c, err := mpu.CompileFBP(src, mpu.FBPOptions{Spec: spec})
+	if err != nil {
+		return err
+	}
+	if o.lintOnly {
+		return emitLintReport(c.Report, o.jsonOut)
+	}
+	var mode mpu.Mode
+	switch strings.ToLower(o.mode) {
+	case "mpu":
+		mode = mpu.ModeMPU
+	case "baseline":
+		mode = mpu.ModeBaseline
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+	nodeMPU := make(map[string]int, len(c.Nodes))
+	if !o.jsonOut {
+		fmt.Printf("pipeline: %d nodes on %d MPUs, %d mesh hops\n", len(c.Nodes), c.MPUs, c.Hops)
+	}
+	for _, n := range c.Nodes {
+		nodeMPU[n.Name] = n.MPU
+		if !o.jsonOut {
+			fmt.Printf("  mpu%-3d %s(%s)\n", n.MPU, n.Name, n.Component)
+		}
+	}
+	m, err := mpu.NewMachine(mpu.MachineConfig{
+		Spec: spec, Mode: mode, NumMPUs: c.MPUs, NoTrace: o.notrace, NoJIT: o.nojit, Workers: o.jobs,
+	})
+	if err != nil {
+		return err
+	}
+	for id, p := range c.Programs {
+		if err := m.LoadProgram(id, p); err != nil {
+			return err
+		}
+	}
+	resolve := func(s string) (int, mpu.VRFAddr, int, error) {
+		rest := s
+		id := 0
+		if i := strings.IndexByte(s, ':'); i >= 0 {
+			node, ok := nodeMPU[s[:i]]
+			if !ok {
+				return 0, mpu.VRFAddr{}, 0, fmt.Errorf("%q names no pipeline node", s[:i])
+			}
+			id, rest = node, s[i+1:]
+		}
+		addr, reg, err := parseAddr(rest)
+		return id, addr, reg, err
+	}
+	for _, s := range o.sets {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad -set %q (want [node:]rfh.vrf.reg=v1,v2,...)", s)
+		}
+		id, addr, reg, err := resolve(s[:eq])
+		if err != nil {
+			return err
+		}
+		vals, err := parseValues(s[eq+1:])
+		if err != nil {
+			return fmt.Errorf("bad -set %q: %w", s, err)
+		}
+		if err := m.WriteVector(id, addr, reg, vals); err != nil {
+			return err
+		}
+	}
+	st, err := m.Run()
+	if err != nil {
+		return err
+	}
+	return emitResults(path, spec, mode, c.MPUs, st, m, o, resolve)
 }
 
 // emitLintReport prints the -lint mode result: the full text report, or —
@@ -288,13 +394,21 @@ func parseSet(s string) (mpu.VRFAddr, int, []uint64, error) {
 	if err != nil {
 		return mpu.VRFAddr{}, 0, nil, err
 	}
+	vals, err := parseValues(s[eq+1:])
+	if err != nil {
+		return mpu.VRFAddr{}, 0, nil, fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	return addr, reg, vals, nil
+}
+
+func parseValues(s string) ([]uint64, error) {
 	var vals []uint64
-	for _, v := range strings.Split(s[eq+1:], ",") {
+	for _, v := range strings.Split(s, ",") {
 		x, err := strconv.ParseUint(strings.TrimSpace(v), 0, 64)
 		if err != nil {
-			return mpu.VRFAddr{}, 0, nil, fmt.Errorf("bad value in %q: %v", s, err)
+			return nil, err
 		}
 		vals = append(vals, x)
 	}
-	return addr, reg, vals, nil
+	return vals, nil
 }

@@ -58,6 +58,15 @@
 //     could fast-forward rounds that were never charged or mark a
 //     mid-flight run as quiesced.
 //
+//  8. session-state-mutation — inside internal/serve, the pipeline session
+//     table (the manager's `sessions` map) may only be written — assigned,
+//     inserted into, or deleted from — by the session manager's audited
+//     lifecycle paths: createSession, advanceSession, and closeSession.
+//     Every HTTP handler and metrics path reads the table under the manager
+//     mutex; a write anywhere else could install a session that was never
+//     admitted (bypassing the MaxSessions 503 and the 422 lint gate) or
+//     drop one whose parked snapshot is still live.
+//
 // Usage: repolint [root]   (default root ".")
 package main
 
@@ -151,6 +160,11 @@ func lintFile(path, rel string) ([]string, error) {
 		lintJITCounterMutation(file, addf)
 		lintRendezvousMutation(file, addf)
 		lintSnapshotStateMutation(file, addf)
+	}
+
+	// Rule 8: session-state-mutation (non-test serve sources only).
+	if strings.HasPrefix(rel, "internal/serve/") && !strings.HasSuffix(rel, "_test.go") {
+		lintSessionTableMutation(file, addf)
 	}
 
 	randNames := map[string]bool{} // local names bound to math/rand
@@ -453,6 +467,64 @@ func lintSnapshotStateMutation(file *ast.File, addf func(pos token.Pos, rule, fo
 				if touchesSnapshotState(s.X) {
 					addf(s.X.Pos(), "snapshot-resume-state-mutation",
 						"%s increments preemption resume state %s", fn.Name.Name, explain)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// touchesSessionTable reports whether the expression's selector chain goes
+// through a field named "sessions" (s.sess.sessions, s.sess.sessions[id]).
+func touchesSessionTable(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "sessions" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sessionTableWriters are the only functions rule 8 lets mutate the session
+// table: the manager's audited create/advance/close lifecycle.
+var sessionTableWriters = map[string]bool{
+	"createSession":  true,
+	"advanceSession": true,
+	"closeSession":   true,
+}
+
+// lintSessionTableMutation enforces rule 8: within internal/serve, only the
+// session manager's lifecycle paths may assign to, insert into, or delete
+// from the sessions map — every other path reads it under the manager mutex.
+func lintSessionTableMutation(file *ast.File, addf func(pos token.Pos, rule, format string, args ...any)) {
+	const explain = "— only createSession, advanceSession, and closeSession may write the session table"
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || sessionTableWriters[fn.Name.Name] || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if touchesSessionTable(lhs) {
+						addf(lhs.Pos(), "session-state-mutation",
+							"%s assigns the session table %s", fn.Name.Name, explain)
+					}
+				}
+			case *ast.IncDecStmt:
+				if touchesSessionTable(s.X) {
+					addf(s.X.Pos(), "session-state-mutation",
+						"%s mutates the session table %s", fn.Name.Name, explain)
+				}
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "delete" && id.Obj == nil &&
+					len(s.Args) > 0 && touchesSessionTable(s.Args[0]) {
+					addf(s.Pos(), "session-state-mutation",
+						"%s deletes from the session table %s", fn.Name.Name, explain)
 				}
 			}
 			return true

@@ -107,6 +107,21 @@ func Restore(m *Machine2)         { m.midRun = true }
 	write(t, root, "internal/machine/snapstate_test.go", `package machine
 func pokeSnap(c *core2) { c.seg = 7 }
 `)
+	// Violations: the session table written outside the manager's lifecycle
+	// paths; allowed: the audited writers, reads, and test files.
+	write(t, root, "internal/serve/sess.go", `package serve
+type session struct{ id string }
+type sessionManager struct{ sessions map[string]*session }
+func install(m *sessionManager, s *session) { m.sessions[s.id] = s }
+func evict(m *sessionManager, id string)    { delete(m.sessions, id) }
+func rebuild(m *sessionManager)             { m.sessions = map[string]*session{} }
+func count(m *sessionManager) int           { return len(m.sessions) }
+func createSession(m *sessionManager, s *session) { m.sessions[s.id] = s }
+func closeSession(m *sessionManager, id string)   { delete(m.sessions, id) }
+`)
+	write(t, root, "internal/serve/sess_test.go", `package serve
+func pokeSess(m *sessionManager) { m.sessions = nil }
+`)
 	// Violations: the no-timeout helper and a bare http.Server literal;
 	// allowed: a literal with explicit timeouts, and test files.
 	write(t, root, "cmd/bad/main.go", `package main
@@ -135,11 +150,11 @@ func helper() { http.ListenAndServe(":0", nil) }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 13 {
-		t.Fatalf("got %d findings, want 13:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 16 {
+		t.Fatalf("got %d findings, want 16:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	joined := strings.Join(findings, "\n")
-	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation", "rendezvous-state-mutation", "snapshot-resume-state-mutation"} {
+	for _, want := range []string{"rand-global-source", "bitvec-import", "machine-stats-mutation", "http-server-timeouts", "jit-counter-mutation", "rendezvous-state-mutation", "snapshot-resume-state-mutation", "session-state-mutation"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %q finding:\n%s", want, joined)
 		}
@@ -158,6 +173,9 @@ func helper() { http.ListenAndServe(":0", nil) }
 	}
 	if n := strings.Count(joined, "snapshot-resume-state-mutation"); n != 3 {
 		t.Errorf("got %d snapshot-resume-state-mutation findings, want 3 (cursor fast-forward + seg increment + midRun flip; designated writers, reads, and tests exempt):\n%s", n, joined)
+	}
+	if n := strings.Count(joined, "session-state-mutation"); n != 3 {
+		t.Errorf("got %d session-state-mutation findings, want 3 (insert + delete + reassign; audited writers, reads, and tests exempt):\n%s", n, joined)
 	}
 }
 

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"mpu/internal/backends"
+	"mpu/internal/controlpath"
+	"mpu/internal/ezpim"
+)
+
+// This file exports the hand-wired application building blocks to the FBP
+// compiler (internal/fbp). The pipeline components EDStep, LLMCoord, and
+// LLMWorker replicate buildEditDistanceBuilders/buildLLMEncodeBuilders call
+// for call; routing both through the same emit functions, register maps, and
+// VRF layouts is what makes the parity tests byte-identical rather than
+// merely equivalent.
+
+// Edit-distance register map (r0..r3; r4.. scratch inside EmitEditStep).
+const (
+	EDChunkReg = edChunk
+	EDQueryReg = edQuery
+	EDBestReg  = edBest
+	EDStageReg = edStage
+)
+
+// LLM-encode register map. LLMPReg aliases LLMXReg: the softmax output
+// overwrites the input features.
+const (
+	LLMFeatures = llmD
+	LLMXReg     = llmX
+	LLMW1Reg    = llmW1
+	LLMPReg     = llmP
+)
+
+// EmitEditStep emits one systolic scoring step: the visiting query is scored
+// against the resident chunk and folded into the running minimum.
+func EmitEditStep(b *ezpim.Builder) { emitEditStep(b) }
+
+// EmitLLMBlock emits the full transformer-encoder block (matmul+ReLU,
+// residual, LayerNorm, softmax) over the LLM register map.
+func EmitLLMBlock(b *ezpim.Builder) { emitLLMBlock(b) }
+
+// EditDistanceLayout returns the per-MPU VRF addresses and identity RFH pair
+// map the ring uses for vrfs resident-read VRFs on spec.
+func EditDistanceLayout(spec *backends.Spec, vrfs int) ([]controlpath.VRFAddr, []controlpath.RFHPair) {
+	return edLayout(EditDistanceConfig{Spec: spec, VRFs: vrfs})
+}
+
+// LLMEncodeLayout returns the compute-VRF addresses and identity pair map
+// for vrfs token VRFs per participant.
+func LLMEncodeLayout(vrfs int) ([]controlpath.VRFAddr, []controlpath.RFHPair) {
+	return llmLayout(LLMEncodeConfig{VRFs: vrfs})
+}

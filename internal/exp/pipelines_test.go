@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every shipped graph must compile, verify clean, and run on every back
+// end, and the sweep must be deterministic (same placements, same cycles).
+func TestPipelinesSweep(t *testing.T) {
+	const dir = "../../examples/pipelines"
+	r, err := Pipelines(Options{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean() {
+		t.Fatalf("shipped pipelines not verification-clean:\n%s", r.Render())
+	}
+	if len(r.Rows) == 0 || len(r.Rows)%4 != 0 {
+		t.Fatalf("got %d rows, want a multiple of 4 (graphs x back ends)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Cycles <= 0 || row.MPUs <= 0 || row.Nodes <= 0 {
+			t.Errorf("%s/%s: degenerate row %+v", row.Graph, row.Backend, row)
+		}
+	}
+	again, err := Pipelines(Options{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Rows, again.Rows) {
+		t.Errorf("sweep not deterministic:\n%s\nvs\n%s", r.Render(), again.Render())
+	}
+}

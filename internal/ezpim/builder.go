@@ -589,6 +589,24 @@ func (b *Builder) LintReport() *lint.Report { return b.lintReport }
 // mpu i; a nil builder contributes an empty program (a core that only
 // terminates).
 func ProgramSet(builders []*Builder) ([]isa.Program, error) {
+	progs, rep, err := ProgramSetChecked(builders, comm.Options{MPUs: len(builders)})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("ezpim: program set fails machine verification: %w", err)
+	}
+	return progs, nil
+}
+
+// ProgramSetChecked is ProgramSet with the verification verdict exposed: it
+// finalizes the builders, runs the commlint composition under opt (MPUs
+// defaults to len(builders)), and returns the programs together with the
+// full report instead of folding Error findings into the error. Callers that
+// relay findings structurally — the FBP compiler feeding mpud's typed 422
+// admission envelope — use this; everyone else uses ProgramSet. The error is
+// non-nil only when a builder itself fails to finalize.
+func ProgramSetChecked(builders []*Builder, opt comm.Options) ([]isa.Program, *lint.Report, error) {
 	progs := make([]isa.Program, len(builders))
 	for i, b := range builders {
 		if b == nil {
@@ -596,15 +614,14 @@ func ProgramSet(builders []*Builder) ([]isa.Program, error) {
 		}
 		p, err := b.Program()
 		if err != nil {
-			return nil, fmt.Errorf("mpu%d: %w", i, err)
+			return nil, nil, fmt.Errorf("mpu%d: %w", i, err)
 		}
 		progs[i] = p
 	}
-	rep := comm.LintMachine(progs, comm.Options{MPUs: len(builders)})
-	if err := rep.Err(); err != nil {
-		return nil, fmt.Errorf("ezpim: program set fails machine verification: %w", err)
+	if opt.MPUs <= 0 {
+		opt.MPUs = len(builders)
 	}
-	return progs, nil
+	return progs, comm.LintMachine(progs, opt), nil
 }
 
 // SourceLines reports the number of high-level statements the builder was

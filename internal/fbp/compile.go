@@ -1,0 +1,138 @@
+package fbp
+
+import (
+	"fmt"
+	"sort"
+
+	"mpu/internal/backends"
+	"mpu/internal/ezpim"
+	"mpu/internal/isa"
+	"mpu/internal/lint"
+	"mpu/internal/lint/comm"
+	"mpu/internal/noc"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Spec is the back end the pipeline targets (required): it sizes the
+	// VRF layouts and feeds the capacity checks.
+	Spec *backends.Spec
+
+	// MaxMPUs caps the node count a graph may place; 0 (or anything above
+	// chip capacity) means Spec.MPUs. mpud sets this to its per-session
+	// machine bound so oversized graphs are rejected at admission.
+	MaxMPUs int
+}
+
+// PlacedNode records where one node landed.
+type PlacedNode struct {
+	Name      string `json:"name"`
+	Component string `json:"component"`
+	MPU       int    `json:"mpu"`
+}
+
+// Compiled is a verified pipeline ready to load: Programs[i] runs on MPU i.
+type Compiled struct {
+	Graph    *Graph
+	Programs []isa.Program
+	Nodes    []PlacedNode
+	MPUs     int
+	Hops     int // total X-Y route hops across all edges
+	Report   *lint.Report
+}
+
+// Compile places the graph on the mesh (node i of first-appearance order on
+// MPU i — the placement that keeps every hand-wired topology reproducible),
+// emits each node's program through its component, and verifies the set
+// with the machine-level linter. The error is *CompileError for component
+// rejections and *LintError (with the findings report) for geometry or
+// communication rejections.
+func Compile(g *Graph, opt Options) (*Compiled, error) {
+	if opt.Spec == nil {
+		return nil, &CompileError{Msg: "Options.Spec is required"}
+	}
+	n := len(g.Nodes)
+	max := opt.MaxMPUs
+	if max <= 0 || max > opt.Spec.MPUs {
+		max = opt.Spec.MPUs
+	}
+	if n > max {
+		// Geometry overflow is an admission verdict, not a grammar error:
+		// report it in the same findings envelope commlint rejections use.
+		return nil, &LintError{Report: &lint.Report{Findings: []lint.Finding{{
+			Severity: lint.Error, Check: "pipeline-geometry", MPU: -1, Index: -1,
+			Message: fmt.Sprintf("graph places %d nodes but the %s machine admits %d MPUs", n, opt.Spec.Name, max),
+		}}}}
+	}
+
+	// Edge bindings per node, sorted by peer for the deterministic
+	// recv/send issue order the components rely on.
+	ins := make([][]Bound, n)
+	outs := make([][]Bound, n)
+	for _, e := range g.Edges {
+		ins[e.To] = append(ins[e.To], Bound{Peer: e.From, Local: e.ToPort, Remote: e.FromPort})
+		outs[e.From] = append(outs[e.From], Bound{Peer: e.To, Local: e.FromPort, Remote: e.ToPort})
+	}
+	for i := 0; i < n; i++ {
+		sort.Slice(ins[i], func(a, b int) bool { return ins[i][a].Peer < ins[i][b].Peer })
+		sort.Slice(outs[i], func(a, b int) bool { return outs[i][a].Peer < outs[i][b].Peer })
+	}
+
+	builders := make([]*ezpim.Builder, n)
+	nodes := make([]PlacedNode, n)
+	for i, node := range g.Nodes {
+		comp := Lookup(node.Component)
+		if comp == nil {
+			return nil, &CompileError{Node: node.Name, Msg: fmt.Sprintf("unknown component %q", node.Component)}
+		}
+		c := &Ctx{
+			B: ezpim.NewBuilder(), Spec: opt.Spec, Graph: g, Node: node,
+			MPU: i, Ins: ins[i], Outs: outs[i],
+		}
+		if err := c.checkParams(comp); err != nil {
+			return nil, err
+		}
+		if err := comp.Emit(c); err != nil {
+			return nil, err
+		}
+		builders[i] = c.B
+		nodes[i] = PlacedNode{Name: node.Name, Component: node.Component, MPU: i}
+	}
+
+	// Finalize and verify the set as one machine: per-core structural and
+	// capacity lint, then the commlint composition (rendezvous matching,
+	// route legality over the mesh machine.New will build, deadlock
+	// freedom). A clean report is the compiler's output contract.
+	progs, report, err := ezpim.ProgramSetChecked(builders, comm.Options{MPUs: n, Spec: opt.Spec})
+	if err != nil {
+		return nil, &CompileError{Msg: err.Error()}
+	}
+	if !report.Ok() {
+		return nil, &LintError{Report: report}
+	}
+
+	mesh, err := noc.New(noc.Default(n))
+	if err != nil {
+		return nil, &CompileError{Msg: fmt.Sprintf("mesh for %d MPUs: %v", n, err)}
+	}
+	hops := 0
+	for _, e := range g.Edges {
+		h, err := mesh.Hops(e.From, e.To)
+		if err != nil {
+			return nil, &CompileError{Msg: err.Error()}
+		}
+		hops += h
+	}
+	return &Compiled{Graph: g, Programs: progs, Nodes: nodes, MPUs: n, Hops: hops, Report: report}, nil
+}
+
+// CompileSource parses and compiles in one step — the entry point the
+// daemon and CLIs use. Errors are *ParseError, *CompileError, or
+// *LintError.
+func CompileSource(src string, opt Options) (*Compiled, error) {
+	g, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(g, opt)
+}

@@ -1,0 +1,140 @@
+package fbp_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mpu/internal/backends"
+	"mpu/internal/fbp"
+	"mpu/internal/machine"
+)
+
+// FuzzFBPParse is the front-end robustness oracle: the parser must never
+// panic on arbitrary input, and every graph it accepts must either compile
+// or be rejected with one of the typed errors (never an untyped failure) —
+// the contract mpud's 400/422 admission mapping depends on.
+func FuzzFBPParse(f *testing.F) {
+	f.Add("a(Map) OUT -> IN b(Map)\n'vecadd' -> KERNEL a\n'relu' -> KERNEL b")
+	f.Add("ed0(EDStep) OUT -> IN ed1(EDStep)\ned1 OUT -> IN ed0")
+	f.Add("c(LLMCoord) OUT[1] -> IN w(LLMWorker)\nw OUT -> IN[1] c")
+	f.Add("src(Split) OUT[0] -> IN a(Filter), src OUT[1] -> IN b(Reduce)\n'2' -> REGS src")
+	f.Add("'9' -> MIN gate\ngate(Filter) OUT -> IN total(Reduce)\n# comment")
+	f.Add("a(Map OUT -> ] [ '")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := fbp.Parse(src)
+		if err != nil {
+			var pe *fbp.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse returned untyped error %T: %v", err, err)
+			}
+			return
+		}
+		spec, specErr := backends.ByName("dcache")
+		if specErr != nil {
+			t.Fatal(specErr)
+		}
+		_, err = fbp.Compile(g, fbp.Options{Spec: spec, MaxMPUs: 8})
+		if err == nil {
+			return
+		}
+		var ce *fbp.CompileError
+		var le *fbp.LintError
+		if !errors.As(err, &ce) && !errors.As(err, &le) {
+			t.Fatalf("Compile returned untyped error %T: %v", err, err)
+		}
+	})
+}
+
+// fuzzKernels are catalog kernels safe on all-zero records (no division,
+// no data-dependent loop that could diverge on degenerate inputs).
+var fuzzKernels = []string{"vecadd", "vecsub", "vecmul", "vecand", "vecxor", "relu", "abs", "sign"}
+
+// genPipeline decodes fuzz bytes into a structured streaming DAG: node 0 is
+// a Split source, every later node is a Map/Filter/Reduce/Merge fed by its
+// predecessor (Merge additionally by an earlier node), so generated graphs
+// are usually — not always — compilable and the oracle exercises the full
+// clean path.
+func genPipeline(data []byte) string {
+	if len(data) < 4 {
+		return ""
+	}
+	n := 2 + int(data[0])%5
+	if len(data) < n+2 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("'2' -> REGS n0\n")
+	for i := 1; i < n; i++ {
+		b := data[i]
+		from := fmt.Sprintf("n%d", i-1)
+		if i == 1 {
+			from = "n0(Split)"
+		}
+		switch kind := b % 6; {
+		case kind == 3:
+			fmt.Fprintf(&sb, "%s OUT -> IN n%d(Filter)\n", from, i)
+			fmt.Fprintf(&sb, "'%d' -> MIN n%d\n", int(b)%7, i)
+		case kind == 4:
+			fmt.Fprintf(&sb, "%s OUT -> IN n%d(Reduce)\n", from, i)
+		case kind == 5 && i >= 3:
+			fmt.Fprintf(&sb, "%s OUT -> IN[0] n%d(Merge)\n", from, i)
+			fmt.Fprintf(&sb, "n%d OUT -> IN[1] n%d\n", int(b/6)%(i-1), i)
+		default:
+			k := fuzzKernels[int(b/6)%len(fuzzKernels)]
+			fmt.Fprintf(&sb, "%s OUT -> IN n%d(Map)\n", from, i)
+			fmt.Fprintf(&sb, "'%s' -> KERNEL n%d\n", k, i)
+		}
+	}
+	return sb.String()
+}
+
+// FuzzPipelineSoundness is the compiler's clean ⇔ runs oracle (the
+// FuzzCommSoundness contract one layer up): every graph the compiler
+// accepts carries a clean machine-level report and must execute on a real
+// machine without a rendezvous deadlock or fault.
+func FuzzPipelineSoundness(f *testing.F) {
+	f.Add([]byte{4, 1, 9, 17, 33, 0})
+	f.Add([]byte{2, 3, 0, 0})
+	f.Add([]byte{6, 5, 23, 4, 29, 3, 11, 0})
+	f.Add([]byte{5, 0, 6, 12, 18, 24, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := genPipeline(data)
+		if src == "" {
+			t.Skip()
+		}
+		spec, err := backends.ByName("dcache")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := fbp.CompileSource(src, fbp.Options{Spec: spec})
+		if err != nil {
+			// Generator slack (e.g. a Merge drawing both edges from the
+			// same predecessor) rejects with a typed error; that path is
+			// FuzzFBPParse's concern.
+			var ce *fbp.CompileError
+			var le *fbp.LintError
+			var pe *fbp.ParseError
+			if !errors.As(err, &ce) && !errors.As(err, &le) && !errors.As(err, &pe) {
+				t.Fatalf("untyped error %T for\n%s: %v", err, src, err)
+			}
+			return
+		}
+		if !c.Report.Ok() {
+			t.Fatalf("compiler accepted a graph with error findings:\n%s", c.Report)
+		}
+		m, err := machine.New(machine.Config{Spec: spec, Mode: machine.ModeMPU, NumMPUs: c.MPUs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, p := range c.Programs {
+			if err := m.LoadProgram(id, p); err != nil {
+				t.Fatalf("load mpu%d: %v", id, err)
+			}
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("compiled pipeline failed at runtime:\n%s\n%v", src, err)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package fbp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a pipeline definition in the minimal FBP grammar (a subset of
+// the classic .fbp network definition language):
+//
+//	statement  = connection | iip
+//	connection = noderef port { "->" port noderef [ port ] }
+//	iip        = "'" text "'" "->" port noderef
+//	noderef    = name [ "(" component ")" ]
+//	port       = NAME [ "[" index "]" ]
+//
+// Statements are separated by newlines or commas; "#" starts a comment
+// running to end of line. A node names its component in parentheses on
+// first appearance (later references use the bare name); node placement
+// order is first-appearance order. Port names are case-insensitive and
+// normalized to upper case. IIPs bind component parameters: the target port
+// name (lower-cased) becomes the parameter key.
+func Parse(src string) (*Graph, error) {
+	p := &parser{g: &Graph{}, byName: map[string]*Node{}}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if hash := strings.IndexByte(line, '#'); hash >= 0 {
+			line = line[:hash]
+		}
+		for _, stmt := range splitStatements(line) {
+			if strings.TrimSpace(stmt) == "" {
+				continue
+			}
+			if err := p.statement(stmt, i+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, n := range p.g.Nodes {
+		if n.Component == "" {
+			return nil, &ParseError{n.Line, fmt.Sprintf("node %s never names a component", n.Name)}
+		}
+	}
+	if len(p.g.Nodes) == 0 {
+		return nil, &ParseError{1, "empty graph: no nodes defined"}
+	}
+	return p.g, nil
+}
+
+// splitStatements splits a line on commas that sit outside IIP quotes.
+func splitStatements(line string) []string {
+	var out []string
+	start, quoted := 0, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				out = append(out, line[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, line[start:])
+}
+
+type parser struct {
+	g      *Graph
+	byName map[string]*Node
+
+	// statement scanning state
+	toks []token
+	pos  int
+	line int
+}
+
+type tokKind int
+
+const (
+	tokName tokKind = iota
+	tokString
+	tokArrow
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.line, fmt.Sprintf(format, args...)}
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-'
+}
+
+func (p *parser) lex(s string) error {
+	p.toks = p.toks[:0]
+	p.pos = 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '\'':
+			j := strings.IndexByte(s[i+1:], '\'')
+			if j < 0 {
+				return p.errf("unterminated IIP literal")
+			}
+			p.toks = append(p.toks, token{tokString, s[i+1 : i+1+j]})
+			i += j + 2
+		case c == '-' && i+1 < len(s) && s[i+1] == '>':
+			p.toks = append(p.toks, token{tokArrow, "->"})
+			i += 2
+		case c == '(':
+			p.toks = append(p.toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, token{tokRParen, ")"})
+			i++
+		case c == '[':
+			p.toks = append(p.toks, token{tokLBracket, "["})
+			i++
+		case c == ']':
+			p.toks = append(p.toks, token{tokRBracket, "]"})
+			i++
+		case isNameByte(c):
+			j := i
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			p.toks = append(p.toks, token{tokName, s[i:j]})
+			i = j
+		default:
+			return p.errf("unexpected character %q", string(c))
+		}
+	}
+	return nil
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if t, ok := p.peek(); ok && t.kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// statement parses one connection chain or IIP binding.
+func (p *parser) statement(s string, line int) error {
+	p.line = line
+	if err := p.lex(s); err != nil {
+		return err
+	}
+	first, _ := p.peek()
+	if first.kind == tokString {
+		return p.iip()
+	}
+	return p.connection()
+}
+
+// iip parses 'literal' -> PORT noderef and binds the parameter.
+func (p *parser) iip() error {
+	lit, _ := p.next()
+	if !p.accept(tokArrow) {
+		return p.errf("IIP literal must be followed by ->")
+	}
+	port, err := p.port(true)
+	if err != nil {
+		return err
+	}
+	if port.Name == "" {
+		return p.errf("IIP needs a target port name")
+	}
+	node, err := p.noderef()
+	if err != nil {
+		return err
+	}
+	if _, ok := p.peek(); ok {
+		return p.errf("trailing tokens after IIP binding")
+	}
+	key := strings.ToLower(port.Name)
+	if _, dup := node.Params[key]; dup {
+		return p.errf("node %s: parameter %s bound twice", node.Name, key)
+	}
+	node.Params[key] = lit.text
+	return nil
+}
+
+// connection parses noderef port (-> port noderef [port])+ — a chain of one
+// or more edges.
+func (p *parser) connection() error {
+	from, err := p.noderef()
+	if err != nil {
+		return err
+	}
+	fromPort, err := p.port(false)
+	if err != nil {
+		return err
+	}
+	edges := 0
+	for p.accept(tokArrow) {
+		toPort, err := p.port(true)
+		if err != nil {
+			return err
+		}
+		if toPort.Name == "" {
+			return p.errf("-> must be followed by an input port name")
+		}
+		to, err := p.noderef()
+		if err != nil {
+			return err
+		}
+		if to == from {
+			return p.errf("node %s connects to itself", to.Name)
+		}
+		p.g.Edges = append(p.g.Edges, Edge{
+			From: from.Index, To: to.Index,
+			FromPort: fromPort, ToPort: toPort, Line: p.line,
+		})
+		edges++
+		// The chain continues only with an out port for the next hop.
+		from = to
+		fromPort, err = p.port(false)
+		if err != nil {
+			return err
+		}
+		if fromPort.Name == "" {
+			break
+		}
+	}
+	if edges == 0 {
+		return p.errf("statement defines no connection (expected ->)")
+	}
+	if fromPort.Name != "" {
+		return p.errf("dangling output port %s (expected ->)", fromPort)
+	}
+	if _, ok := p.peek(); ok {
+		return p.errf("trailing tokens after connection")
+	}
+	return nil
+}
+
+// noderef parses name [ "(" Component ")" ], interning the node.
+func (p *parser) noderef() (*Node, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tokName {
+		return nil, p.errf("expected a node name")
+	}
+	var comp string
+	if p.accept(tokLParen) {
+		c, ok := p.next()
+		if !ok || c.kind != tokName {
+			return nil, p.errf("expected a component name after (")
+		}
+		if !p.accept(tokRParen) {
+			return nil, p.errf("unclosed component reference (missing ))")
+		}
+		comp = c.text
+	}
+	n := p.byName[t.text]
+	if n == nil {
+		n = &Node{Name: t.text, Index: len(p.g.Nodes), Params: map[string]string{}, Line: p.line}
+		p.byName[t.text] = n
+		p.g.Nodes = append(p.g.Nodes, n)
+	}
+	if comp != "" {
+		if n.Component != "" && n.Component != comp {
+			return nil, p.errf("node %s redeclared as %s (was %s)", n.Name, comp, n.Component)
+		}
+		n.Component = comp
+	}
+	return n, nil
+}
+
+// port parses NAME [ "[" index "]" ]; a missing port yields the zero Port
+// when required is false. A bare name is only a port if the token after it
+// is not a port-position ambiguity: the caller's grammar position
+// disambiguates (ports always precede -> or a noderef / end the statement).
+func (p *parser) port(required bool) (Port, error) {
+	t, ok := p.peek()
+	if !ok || t.kind != tokName {
+		if required {
+			return Port{}, p.errf("expected a port name")
+		}
+		return Port{Index: -1}, nil
+	}
+	p.pos++
+	port := Port{Name: strings.ToUpper(t.text), Index: -1}
+	if p.accept(tokLBracket) {
+		idx, ok := p.next()
+		if !ok || idx.kind != tokName {
+			return Port{}, p.errf("expected a port index after [")
+		}
+		n, err := strconv.Atoi(idx.text)
+		if err != nil || n < 0 {
+			return Port{}, p.errf("bad port index %q", idx.text)
+		}
+		if !p.accept(tokRBracket) {
+			return Port{}, p.errf("unclosed port index (missing ])")
+		}
+		port.Index = n
+	}
+	return port, nil
+}

@@ -1,0 +1,101 @@
+package fbp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseChainAndIIP(t *testing.T) {
+	src := `
+# comment line
+src(Split) OUT[0] -> IN sum(Map), src OUT[1] -> IN mix(Map)  # trailing comment
+'2' -> REGS src
+'vecadd' -> KERNEL sum
+sum OUT -> IN[0] fold(Merge) OUT -> IN tail(Filter)
+mix OUT -> IN[1] fold
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := []string{"src", "sum", "mix", "fold", "tail"}
+	if len(g.Nodes) != len(wantNodes) {
+		t.Fatalf("got %d nodes, want %d", len(g.Nodes), len(wantNodes))
+	}
+	for i, name := range wantNodes {
+		if g.Nodes[i].Name != name || g.Nodes[i].Index != i {
+			t.Fatalf("node %d = %s (index %d), want %s", i, g.Nodes[i].Name, g.Nodes[i].Index, name)
+		}
+	}
+	if got := g.Node("src").Params["regs"]; got != "2" {
+		t.Fatalf("src regs param = %q", got)
+	}
+	if got := g.Node("sum").Params["kernel"]; got != "vecadd" {
+		t.Fatalf("sum kernel param = %q", got)
+	}
+	if len(g.Edges) != 5 {
+		t.Fatalf("got %d edges, want 5", len(g.Edges))
+	}
+	e := g.Edges[0]
+	if e.From != 0 || e.To != 1 || e.FromPort.Name != "OUT" || e.FromPort.Index != 0 || e.ToPort.Index != -1 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	// The chained statement contributes fold -> tail.
+	last := g.Edges[3]
+	if last.From != 3 || last.To != 4 {
+		t.Fatalf("chain edge = %+v", last)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+		line      int
+	}{
+		{"", "empty graph", 1},
+		{"a(Map)", "no connection", 1},
+		{"a(Map) OUT ->", "expected a port name", 1},
+		{"a(Map) OUT -> IN a", "connects to itself", 1},
+		{"'v' -> a(Map)", "expected a node name", 1},
+		{"'unterminated -> X a(Map)", "unterminated", 1},
+		{"a(Map) OUT -> IN b(Map)\nb(Filter) OUT -> IN c(Map)", "redeclared", 2},
+		{"a(Map) OUT -> IN b(Map) OUT", "dangling output port", 1},
+		{"a(Map) OUT[x] -> IN b(Map)", "bad port index", 1},
+		{"a OUT -> IN b", "never names a component", 1},
+		{"a(Map) OUT -> IN b(Map) (x)", "trailing tokens", 1},
+		{"'v' -> P a(Map)\n'w' -> P a", "bound twice", 2},
+		{"a(Map) ! -> IN b(Map)", "unexpected character", 1},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) = %v, want *ParseError", c.src, err)
+		}
+		if !strings.Contains(pe.Msg, c.want) {
+			t.Errorf("Parse(%q) msg = %q, want substring %q", c.src, pe.Msg, c.want)
+		}
+		if pe.Line != c.line {
+			t.Errorf("Parse(%q) line = %d, want %d", c.src, pe.Line, c.line)
+		}
+	}
+}
+
+func TestComponentsRegistry(t *testing.T) {
+	comps := Components()
+	if len(comps) < 8 {
+		t.Fatalf("registry has %d components, want >= 8", len(comps))
+	}
+	for i, c := range comps {
+		if c.Doc == "" {
+			t.Errorf("component %s has no doc", c.Name)
+		}
+		if i > 0 && comps[i-1].Name >= c.Name {
+			t.Errorf("registry not sorted: %s >= %s", comps[i-1].Name, c.Name)
+		}
+	}
+	if Lookup("Map") == nil || Lookup("EDStep") == nil {
+		t.Fatal("core components missing from registry")
+	}
+}

@@ -195,10 +195,10 @@ func seedCorpus() [][]byte {
 			chunk(isa.COMPUTE, 0, 0), chunk(isa.JUMP, 1), chunk(isa.COMPUTEDONE)),
 		// Defective programs: the linter must reject (or the machine must
 		// only fail in allowed, config-dependent ways).
-		cat(chunk(isa.COMPUTE, 0, 0), chunk(isa.ADD, 0, 1, 2)),          // no footer
-		cat(chunk(isa.RETURN)),                                          // empty RAS
-		cat(chunk(isa.ADD, 0, 1, 2)),                                    // datapath at top
-		cat(chunk(isa.SEND, 1), chunk(isa.SENDDONE)),                    // no MOVE header
+		cat(chunk(isa.COMPUTE, 0, 0), chunk(isa.ADD, 0, 1, 2)), // no footer
+		cat(chunk(isa.RETURN)),                                 // empty RAS
+		cat(chunk(isa.ADD, 0, 1, 2)),                           // datapath at top
+		cat(chunk(isa.SEND, 1), chunk(isa.SENDDONE)),           // no MOVE header
 		cat(chunk(isa.COMPUTE, 0, 0), chunk(isa.RECV, 0), chunk(isa.COMPUTEDONE)),
 		// A top-entered subroutine that opens an ensemble and returns inside
 		// its body: the caller's fall-through resumes in body context (the

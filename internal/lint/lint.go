@@ -81,9 +81,9 @@ func (s *Severity) UnmarshalJSON(data []byte) error {
 // `ezpim -lint -json` emit for CI.
 type Finding struct {
 	Severity Severity `json:"severity"`
-	Check    string   `json:"check"` // stable check identifier (docs/LINT.md catalog)
-	MPU      int      `json:"mpu"`   // core id for machine-level lint runs, -1 for single-program runs
-	Index    int      `json:"index"` // instruction index, -1 for program-level findings
+	Check    string   `json:"check"`          // stable check identifier (docs/LINT.md catalog)
+	MPU      int      `json:"mpu"`            // core id for machine-level lint runs, -1 for single-program runs
+	Index    int      `json:"index"`          // instruction index, -1 for program-level findings
 	Line     int      `json:"line,omitempty"` // 1-based source line, 0 when unknown
 	Message  string   `json:"message"`
 }

@@ -42,8 +42,8 @@ func has(r *Report, check string, sev Severity) bool {
 func TestLintSeededDefects(t *testing.T) {
 	cases := []struct {
 		name string
-		src  string       // assembly source (exclusive with prog)
-		prog isa.Program  // raw program for defects the assembler rejects
+		src  string      // assembly source (exclusive with prog)
+		prog isa.Program // raw program for defects the assembler rejects
 		opt  Options
 		want map[string]Severity // check id -> expected severity
 		ok   bool                // expected Report.Ok()

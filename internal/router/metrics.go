@@ -123,7 +123,7 @@ type nodeView struct {
 }
 
 // render emits the Prometheus text exposition.
-func (m *rmetrics) render(nodes []nodeView, tenants map[string][2]uint64, hedgeDelaySec float64) string {
+func (m *rmetrics) render(nodes []nodeView, tenants map[string][2]uint64, hedgeDelaySec float64, pipelines int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder
@@ -210,6 +210,10 @@ func (m *rmetrics) render(nodes []nodeView, tenants map[string][2]uint64, hedgeD
 	}
 
 	renderRHistogram(&sb, "mpurouter_request_seconds", "Request wall time from admission to relayed response.", &m.latency)
+
+	sb.WriteString("# HELP mpurouter_pipelines Pipeline sessions with a live node-affinity pin.\n")
+	sb.WriteString("# TYPE mpurouter_pipelines gauge\n")
+	fmt.Fprintf(&sb, "mpurouter_pipelines %d\n", pipelines)
 	return sb.String()
 }
 

@@ -44,6 +44,7 @@ func TestRouterMetricsRenderGolden(t *testing.T) {
 		},
 		map[string][2]uint64{"default": {12, 0}, "tenant-b": {4, 2}},
 		0.025,
+		1,
 	)
 	golden := filepath.Join("testdata", "metrics.golden")
 	if *updateGolden {

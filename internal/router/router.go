@@ -15,9 +15,11 @@
 // determinism contract makes it idempotent — the same request produces
 // byte-identical machine.Stats on any node, cold or warm, so a duplicate
 // in flight is observationally free. Nothing else is duplicated: drains are
-// delivered by signal to a node, never proxied, and any future
-// non-idempotent verb must be forwarded single-attempt (clients can also
-// force single-attempt with the X-No-Hedge header). The client-visible
+// delivered by signal to a node, never proxied; the /v1/pipelines session
+// plane is stateful and non-idempotent, so it is forwarded single-attempt
+// with session affinity (see pipeline.go); and any future non-idempotent
+// verb must follow the same rule (clients can also force single-attempt on
+// execute with the X-No-Hedge header). The client-visible
 // contract is the single-node one: byte-identical stats envelopes, 503 +
 // Retry-After only when no node can accept work.
 //
@@ -153,6 +155,8 @@ type Router struct {
 	metrics  *rmetrics
 	client   *http.Client
 	lat      latencyTracker
+	paffMu   sync.Mutex
+	paff     map[string]*nodeState // pipeline session ID → pinned node
 	logMu    sync.Mutex
 	draining atomic.Bool
 	stop     chan struct{}
@@ -174,6 +178,7 @@ func New(cfg Config) (*Router, error) {
 		metrics: newRMetrics(),
 		adm:     newFairAdmission(cfg.MaxInflight, cfg.TenantQueue, cfg.Tenants),
 		client:  cfg.Client,
+		paff:    map[string]*nodeState{},
 		stop:    make(chan struct{}),
 		started: time.Now(),
 	}
@@ -203,6 +208,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/v1/execute", rt.handleExecute)
 	rt.mux.HandleFunc("/v1/workloads", rt.handleWorkloads)
+	rt.mux.HandleFunc("/v1/pipelines", rt.handlePipelines)
+	rt.mux.HandleFunc("/v1/pipelines/", rt.handlePipelineID)
 	rt.scrapeAll()
 	rt.scrapeWG.Add(1)
 	go rt.scrapeLoop(rt.stop)
@@ -585,7 +592,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, rt.metrics.render(views, rt.adm.snapshot(), rt.hedgeDelay().Seconds()))
+	io.WriteString(w, rt.metrics.render(views, rt.adm.snapshot(), rt.hedgeDelay().Seconds(), rt.pinnedPipelines()))
 }
 
 // hedgeDelay is the current speculative-duplicate trigger: the tracked p95
@@ -650,6 +657,7 @@ type routerLog struct {
 	Tenant   string  `json:"tenant,omitempty"`
 	Node     string  `json:"node,omitempty"`
 	Key      string  `json:"key,omitempty"`
+	Pipeline string  `json:"pipeline,omitempty"`
 	Status   int     `json:"status,omitempty"`
 	MS       float64 `json:"ms,omitempty"`
 	Attempts int     `json:"attempts,omitempty"`

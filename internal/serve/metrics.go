@@ -48,6 +48,15 @@ type metrics struct {
 	parkedBytes   int64
 	restore       histogram
 	classSeconds  map[string]*histogram // ClassLatency / ClassBatch
+
+	// Pipeline session plane: live sessions, records streamed, park events
+	// (one per advance request — the snapshot written when the session's
+	// machine returns to the free list), and the bytes those parked
+	// snapshots currently hold.
+	sessionsOpen     int64
+	sessionRecords   uint64
+	sessionParks     uint64
+	sessionSnapBytes int64
 }
 
 func newMetrics(node string) *metrics {
@@ -164,6 +173,31 @@ func (m *metrics) observeUnpark(bytes int) {
 	m.parkedBytes -= int64(bytes)
 }
 
+// observeSessionOpen moves the live-session gauge as sessions come and go.
+func (m *metrics) observeSessionOpen(d int64) {
+	m.mu.Lock()
+	m.sessionsOpen += d
+	m.mu.Unlock()
+}
+
+// observeSessionPark counts one advance request parking its session:
+// records streamed, one park event, and the change in held snapshot bytes.
+func (m *metrics) observeSessionPark(records int, bytesDelta int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionRecords += uint64(records)
+	m.sessionParks++
+	m.sessionSnapBytes += int64(bytesDelta)
+}
+
+// observeSessionClose retires one session and releases its snapshot bytes.
+func (m *metrics) observeSessionClose(snapBytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsOpen--
+	m.sessionSnapBytes -= int64(snapBytes)
+}
+
 // observeRestore records the wall time of one Machine.Restore on resumption.
 func (m *metrics) observeRestore(seconds float64) {
 	m.mu.Lock()
@@ -268,6 +302,30 @@ func (m *metrics) render(depths []queueDepth) string {
 
 	renderHistogram(&sb, "mpud_restore_seconds", "Machine.Restore wall time when resuming a parked job.", &m.restore)
 	renderClassHistogram(&sb, "mpud_class_request_seconds", "Request wall time from admission to response, by QoS class.", m.classSeconds)
+
+	sb.WriteString("# HELP mpud_sessions Live pipeline sessions.\n")
+	sb.WriteString("# TYPE mpud_sessions gauge\n")
+	if m.node != "" {
+		fmt.Fprintf(&sb, "mpud_sessions{node=%q} %d\n", m.node, m.sessionsOpen)
+	} else {
+		fmt.Fprintf(&sb, "mpud_sessions %d\n", m.sessionsOpen)
+	}
+
+	sb.WriteString("# HELP mpud_session_records_total Records streamed through pipeline sessions.\n")
+	sb.WriteString("# TYPE mpud_session_records_total counter\n")
+	fmt.Fprintf(&sb, "mpud_session_records_total %d\n", m.sessionRecords)
+
+	sb.WriteString("# HELP mpud_session_parks_total Session snapshots parked as advance requests released their machines.\n")
+	sb.WriteString("# TYPE mpud_session_parks_total counter\n")
+	fmt.Fprintf(&sb, "mpud_session_parks_total %d\n", m.sessionParks)
+
+	sb.WriteString("# HELP mpud_session_snapshot_bytes Snapshot bytes currently held by parked pipeline sessions.\n")
+	sb.WriteString("# TYPE mpud_session_snapshot_bytes gauge\n")
+	if m.node != "" {
+		fmt.Fprintf(&sb, "mpud_session_snapshot_bytes{node=%q} %d\n", m.node, m.sessionSnapBytes)
+	} else {
+		fmt.Fprintf(&sb, "mpud_session_snapshot_bytes %d\n", m.sessionSnapBytes)
+	}
 
 	return sb.String()
 }

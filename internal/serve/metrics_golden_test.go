@@ -30,6 +30,10 @@ func goldenMetrics() *metrics {
 	m.observeSpill()
 	m.observeUnpark(1000)
 	m.observeRestore(0.0005)
+	m.observeSessionOpen(2)
+	m.observeSessionPark(10, 4096)
+	m.observeSessionPark(5, 0)
+	m.observeSessionClose(2048)
 	return m
 }
 
@@ -72,6 +76,8 @@ func TestMetricsRenderNoNode(t *testing.T) {
 		"mpud_inflight 0\n",
 		"mpud_parked_jobs 0\n",
 		"mpud_parked_bytes 0\n",
+		"mpud_sessions 0\n",
+		"mpud_session_snapshot_bytes 0\n",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("missing %q in node-less rendering", strings.TrimSpace(want))

@@ -29,6 +29,7 @@ type logEntry struct {
 	Node      string  `json:"node,omitempty"`
 	Pool      string  `json:"pool,omitempty"`
 	Workload  string  `json:"workload,omitempty"`
+	Pipeline  string  `json:"pipeline,omitempty"`
 	Class     string  `json:"class,omitempty"`
 	Status    int     `json:"status,omitempty"`
 	MS        float64 `json:"ms,omitempty"`

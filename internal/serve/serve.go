@@ -119,6 +119,15 @@ type Config struct {
 	// resumes in place and the miss is counted as a spill. Default 8.
 	MaxParked int
 
+	// MaxSessions bounds the live pipeline sessions (/v1/pipelines). A full
+	// table refuses creates with 503 + Retry-After. Default 8.
+	MaxSessions int
+
+	// MaxPipelineMPUs caps how many MPUs one compiled pipeline may place; a
+	// larger graph is rejected at admission with the geometry finding (422).
+	// The backend's own MPU count still applies when smaller. Default 64.
+	MaxPipelineMPUs int
+
 	// Logs receives one JSON line per answered request; nil discards.
 	Logs io.Writer
 }
@@ -147,6 +156,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxParked <= 0 {
 		c.MaxParked = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxPipelineMPUs <= 0 {
+		c.MaxPipelineMPUs = 64
 	}
 	return c
 }
@@ -379,6 +394,7 @@ type Server struct {
 	order    []string // deterministic pool iteration for /metrics, /healthz
 	metrics  *metrics
 	logger   *reqLogger
+	sess     *sessionManager
 	draining atomic.Bool
 	workers  sync.WaitGroup
 	started  time.Time
@@ -394,6 +410,7 @@ func New(cfg Config) (*Server, error) {
 		pools:   map[string]*pool{},
 		metrics: newMetrics(cfg.NodeID),
 		logger:  newReqLogger(cfg.Logs, cfg.NodeID),
+		sess:    newSessionManager(cfg.MaxSessions),
 		started: time.Now(),
 	}
 	for _, ps := range cfg.Pools {
@@ -440,6 +457,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/pipelines", s.handlePipelines)
+	s.mux.HandleFunc("/v1/pipelines/", s.handlePipelineID)
 	return s, nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"mpu/internal/backends"
 	"mpu/internal/controlpath"
 	"mpu/internal/ezpim"
+	"mpu/internal/fbp"
 	"mpu/internal/gpumodel"
 	"mpu/internal/hlops"
 	"mpu/internal/isa"
@@ -106,6 +107,27 @@ type CompileResult = ezpim.CompileResult
 // CompileEzpim translates ezpim source text (Fig. 7-style structured
 // programs) into an MPU program.
 func CompileEzpim(src string) (*CompileResult, error) { return ezpim.Compile(src) }
+
+// ---- FBP pipelines -----------------------------------------------------------
+
+// FBPCompiled is a compiled pipeline: one program per placed MPU plus the
+// placement and the machine-level verification report.
+type FBPCompiled = fbp.Compiled
+
+// FBPOptions selects the back end and placement cap for CompileFBP.
+type FBPOptions = fbp.Options
+
+// FBPPlacedNode names one graph node's MPU assignment.
+type FBPPlacedNode = fbp.PlacedNode
+
+// CompileFBP translates FBP graph text (node(Component) OUT -> IN node
+// connections plus 'literal' -> PORT iip parameter bindings) into a
+// commlint-verified multi-MPU program set. Errors are typed: *fbp.ParseError
+// for grammar, *fbp.CompileError for component misuse, *fbp.LintError (with
+// the finding report) for graphs the machine-level verifier rejects.
+func CompileFBP(src string, opt FBPOptions) (*FBPCompiled, error) {
+	return fbp.CompileSource(src, opt)
+}
 
 // ---- Back ends ---------------------------------------------------------------
 
